@@ -1,0 +1,343 @@
+(* The oregami command line: parse / dump / analyze / map / render /
+   simulate LaRCS programs against network topologies. *)
+
+open Cmdliner
+open Oregami
+
+let read_source path_or_workload =
+  match List.find_opt (fun s -> s.Workloads.w_name = path_or_workload) (Workloads.all ()) with
+  | Some spec -> Ok (spec.Workloads.source, spec.Workloads.bindings)
+  | None -> begin
+    try
+      let ic = open_in path_or_workload in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      Ok (s, [])
+    with Sys_error m -> Error m
+  end
+
+let parse_binding s =
+  match String.split_on_char '=' s with
+  | [ k; v ] -> begin
+    match int_of_string_opt v with
+    | Some v -> Ok (k, v)
+    | None -> Error (Printf.sprintf "bad parameter value in %S" s)
+  end
+  | _ -> Error (Printf.sprintf "bad parameter %S (want name=value)" s)
+
+let collect_bindings raw =
+  List.fold_left
+    (fun acc s ->
+      match (acc, parse_binding s) with
+      | Ok l, Ok kv -> Ok (kv :: l)
+      | (Error _ as e), _ -> e
+      | _, (Error _ as e) -> (match e with Ok _ -> assert false | Error m -> Error m))
+    (Ok []) raw
+
+let or_die = function
+  | Ok v -> v
+  | Error m ->
+    Printf.eprintf "oregami: %s\n" m;
+    exit 1
+
+(* common args *)
+let input_arg =
+  let doc = "LaRCS source file, or a built-in workload name (see $(b,workloads))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+
+let params_arg =
+  let doc = "Bind an algorithm parameter, e.g. $(b,-p n=15).  Repeatable." in
+  Arg.(value & opt_all string [] & info [ "p"; "param" ] ~docv:"NAME=VALUE" ~doc)
+
+let topo_arg =
+  let doc =
+    Printf.sprintf "Target topology (%s)." (String.concat ", " Topology.known_kinds)
+  in
+  Arg.(required & opt (some string) None & info [ "t"; "topology" ] ~docv:"TOPO" ~doc)
+
+let routing_arg =
+  let doc = "Routing algorithm: $(b,mm) (MM-Route) or $(b,oblivious)." in
+  Arg.(value & opt string "mm" & info [ "routing" ] ~docv:"ALG" ~doc)
+
+let load ~input ~params =
+  let source, default_bindings = or_die (read_source input) in
+  let bindings = or_die (collect_bindings params) in
+  let bindings =
+    bindings @ List.filter (fun (k, _) -> not (List.mem_assoc k bindings)) default_bindings
+  in
+  (source, bindings)
+
+let compile ~input ~params =
+  let source, bindings = load ~input ~params in
+  or_die (Larcs.Compile.compile_source ~bindings source)
+
+let mapping_of ~input ~params ~topo ~routing =
+  let compiled = compile ~input ~params in
+  let kind = or_die (Topology.parse topo) in
+  let topology = Topology.make kind in
+  let options =
+    match routing with
+    | "mm" -> Driver.default_options
+    | "oblivious" -> { Driver.default_options with Driver.routing = Driver.Oblivious }
+    | other -> or_die (Error (Printf.sprintf "unknown routing %S" other))
+  in
+  (or_die (Driver.map_compiled ~options compiled topology), compiled)
+
+(* subcommands *)
+let parse_cmd =
+  let run input =
+    let source, _ = or_die (read_source input) in
+    let p = or_die (Larcs.Parser.parse source) in
+    print_string (Larcs.Pretty.program p)
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse a LaRCS program and echo its canonical form")
+    Term.(const run $ input_arg)
+
+let dump_cmd =
+  let run input params =
+    let compiled = compile ~input ~params in
+    print_string (Larcs.Compile.dump compiled)
+  in
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:"Compile and dump the task-graph structures (the Fig 2c analogue)")
+    Term.(const run $ input_arg $ params_arg)
+
+let analyze_cmd =
+  let run input params =
+    let compiled = compile ~input ~params in
+    let a = Larcs.Analyze.analyze compiled in
+    Format.printf "%a@." Larcs.Analyze.pp a
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Run the regularity analyses (Cayley, affine, family)")
+    Term.(const run $ input_arg $ params_arg)
+
+let map_cmd =
+  let run input params topo routing =
+    let m, _ = mapping_of ~input ~params ~topo ~routing in
+    Format.printf "%a@.@." Mapping.pp m;
+    Metrics.print_summary (Metrics.summary m)
+  in
+  Cmd.v (Cmd.info "map" ~doc:"Map a program onto a topology and report METRICS")
+    Term.(const run $ input_arg $ params_arg $ topo_arg $ routing_arg)
+
+let render_cmd =
+  let run input params topo routing svg_path =
+    let m, _ = mapping_of ~input ~params ~topo ~routing in
+    match svg_path with
+    | Some path ->
+      Svg.save path (Svg.mapping m);
+      Printf.printf "wrote %s\n" path
+    | None ->
+      print_string (Render.mapping m);
+      print_newline ();
+      print_endline (Render.link_loads m)
+  in
+  let svg_arg =
+    Arg.(value & opt (some string) None
+         & info [ "svg" ] ~docv:"FILE" ~doc:"Write an SVG rendering to FILE instead of ASCII.")
+  in
+  Cmd.v (Cmd.info "render" ~doc:"Render the mapping and link loads (ASCII or SVG)")
+    Term.(const run $ input_arg $ params_arg $ topo_arg $ routing_arg $ svg_arg)
+
+let routes_cmd =
+  let run input params topo routing phase timeline =
+    let m, _ = mapping_of ~input ~params ~topo ~routing in
+    print_endline (Render.phase_edges m phase);
+    if timeline then begin
+      print_newline ();
+      print_endline (Render.timeline m phase)
+    end
+  in
+  let phase_arg =
+    Arg.(required & opt (some string) None & info [ "phase" ] ~docv:"PHASE" ~doc:"Communication phase to display.")
+  in
+  let timeline_arg =
+    Arg.(value & flag & info [ "timeline" ] ~doc:"Also print the per-channel busy timeline.")
+  in
+  Cmd.v (Cmd.info "routes" ~doc:"Show the routed edges of one communication phase")
+    Term.(const run $ input_arg $ params_arg $ topo_arg $ routing_arg $ phase_arg
+          $ timeline_arg)
+
+let simulate_cmd =
+  let run input params topo routing =
+    let m, _ = mapping_of ~input ~params ~topo ~routing in
+    let r = Netsim.run m in
+    Prelude.Tab.print
+      ~header:[ "metric"; "value" ]
+      [
+        [ "simulated makespan"; string_of_int r.Netsim.makespan ];
+        [ "communication time"; string_of_int r.Netsim.comm_time ];
+        [ "execution time"; string_of_int r.Netsim.exec_time ];
+        [ "trace slots"; string_of_int (List.length r.Netsim.slot_times) ];
+        [ "deepest channel queue"; string_of_int r.Netsim.max_queue ];
+      ]
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run the store-and-forward network simulation of the mapping")
+    Term.(const run $ input_arg $ params_arg $ topo_arg $ routing_arg)
+
+let aggregate_cmd =
+  let run input params topo routing phase =
+    let m, _ = mapping_of ~input ~params ~topo ~routing in
+    match Oregami.Mapper.Aggregate.replan_phase m ~phase with
+    | Error e -> or_die (Error e)
+    | Ok m2 ->
+      Prelude.Tab.print
+        ~header:[ "mapping"; "hot link volume"; "simulated makespan" ]
+        [
+          [
+            "naive all-to-root";
+            string_of_int (Oregami.Mapper.Aggregate.hot_link_volume m phase);
+            string_of_int (Netsim.run m).Netsim.makespan;
+          ];
+          [
+            "spanning-tree reduction";
+            string_of_int (Oregami.Mapper.Aggregate.hot_link_volume m2 phase);
+            string_of_int (Netsim.run m2).Netsim.makespan;
+          ];
+        ];
+      print_newline ();
+      print_endline (Render.phase_edges m2 phase)
+  in
+  let phase_arg =
+    Arg.(required & opt (some string) None & info [ "phase" ] ~docv:"PHASE" ~doc:"Aggregation phase to re-plan.")
+  in
+  Cmd.v
+    (Cmd.info "aggregate"
+       ~doc:"Re-plan an all-to-root phase as a spanning-tree reduction (paper section 6)")
+    Term.(const run $ input_arg $ params_arg $ topo_arg $ routing_arg $ phase_arg)
+
+let remap_cmd =
+  let run input params topo =
+    let compiled = compile ~input ~params in
+    let kind = or_die (Topology.parse topo) in
+    let topology = Topology.make kind in
+    match Remap.plan compiled.Larcs.Compile.graph topology with
+    | Error e -> or_die (Error e)
+    | Ok p ->
+      Prelude.Tab.print
+        ~header:[ "plan"; "makespan" ]
+        ([
+           [ "single static mapping"; string_of_int p.Remap.static_makespan ];
+         ]
+        @ List.mapi
+            (fun i (r, m) ->
+              [
+                Printf.sprintf "regime %d [%s] via %s" (i + 1)
+                  (String.concat "," r.Remap.rg_comms)
+                  m.Mapping.strategy;
+                string_of_int (List.nth p.Remap.regime_makespans i);
+              ])
+            p.Remap.regime_mappings
+        @ [
+            [ "migration"; string_of_int p.Remap.migration_time ];
+            [ "remapped total"; string_of_int p.Remap.remap_makespan ];
+          ]);
+      Printf.printf "
+remapping %s
+"
+        (if p.Remap.worthwhile then "pays off" else "does not pay off")
+  in
+  Cmd.v
+    (Cmd.info "remap"
+       ~doc:"Compare one static mapping against per-regime mappings with migration")
+    Term.(const run $ input_arg $ params_arg $ topo_arg)
+
+let systolic_cmd =
+  let run spec max_pes =
+    let parse_spec s =
+      match String.split_on_char ':' s with
+      | [ "matmul"; n ] -> begin
+        match int_of_string_opt n with
+        | Some n when n >= 2 -> Ok (Systolic.Recurrence.matmul n)
+        | Some _ | None -> Error "matmul needs a size >= 2"
+      end
+      | [ "convolution"; dims ] | [ "fir"; dims ] -> begin
+        match String.split_on_char 'x' dims with
+        | [ a; b ] -> begin
+          match (int_of_string_opt a, int_of_string_opt b) with
+          | Some n, Some k when n >= 1 && k >= 1 ->
+            Ok
+              (if String.length s >= 3 && String.sub s 0 3 = "fir" then
+                 Systolic.Recurrence.fir n k
+               else Systolic.Recurrence.convolution n k)
+          | _, _ -> Error "bad dimensions (want NxK)"
+        end
+        | _ -> Error "bad dimensions (want NxK)"
+      end
+      | _ -> Error "unknown recurrence (matmul:N, convolution:NxK, fir:NxK)"
+    in
+    let r = or_die (parse_spec spec) in
+    match Systolic.Synthesis.synthesize r with
+    | Error e -> or_die (Error e)
+    | Ok d ->
+      print_string (Systolic.Synthesis.describe r d);
+      (match Systolic.Synthesis.verify r d with
+      | Ok () -> print_endline "  verified: injective space-time map, causal dependences"
+      | Error e -> Printf.printf "  VERIFICATION FAILED: %s\n" e);
+      match max_pes with
+      | None -> ()
+      | Some max_pes -> begin
+        match Systolic.Partition.partition r d ~max_pes with
+        | Error e -> or_die (Error e)
+        | Ok p ->
+          Printf.printf
+            "\nLSGP partition onto %d PEs: blocks %s, slowdown %d, latency %d\n"
+            p.Systolic.Partition.physical_count
+            (String.concat "x"
+               (List.map string_of_int (Array.to_list p.Systolic.Partition.block)))
+            p.Systolic.Partition.slowdown p.Systolic.Partition.latency;
+          match Systolic.Partition.check r d p with
+          | Ok () -> print_endline "partition checked"
+          | Error e -> Printf.printf "PARTITION CHECK FAILED: %s\n" e
+      end
+  in
+  let spec_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"RECURRENCE" ~doc:"matmul:N, convolution:NxK, or fir:NxK.")
+  in
+  let pes_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-pes" ] ~docv:"P" ~doc:"Partition the array onto at most P processors (LSGP).")
+  in
+  Cmd.v
+    (Cmd.info "systolic"
+       ~doc:"Synthesize (and optionally partition) a systolic array for a recurrence")
+    Term.(const run $ spec_arg $ pes_arg)
+
+let topo_cmd =
+  let run topo =
+    let kind = or_die (Topology.parse topo) in
+    print_string (Render.topology (Topology.make kind))
+  in
+  let arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"TOPO" ~doc:"Topology spec.") in
+  Cmd.v (Cmd.info "topo" ~doc:"Describe a network topology") Term.(const run $ arg)
+
+let workloads_cmd =
+  let run () =
+    Prelude.Tab.print
+      ~header:[ "name"; "tasks"; "description" ]
+      (List.map
+         (fun spec ->
+           let tg = Workloads.task_graph_exn spec in
+           [ spec.Workloads.w_name; string_of_int tg.Taskgraph.n; spec.Workloads.description ])
+         (Workloads.all ()))
+  in
+  Cmd.v (Cmd.info "workloads" ~doc:"List the built-in workload programs")
+    Term.(const run $ const ())
+
+let default =
+  Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info = Cmd.info "oregami" ~version:Oregami.version ~doc:"OREGAMI mapping tools" in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            parse_cmd; dump_cmd; analyze_cmd; map_cmd; render_cmd; routes_cmd;
+            simulate_cmd; aggregate_cmd; remap_cmd; systolic_cmd; topo_cmd;
+            workloads_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/jacobi_mesh.ml: Array Driver Larcs List Mapper Mapping Metrics Netsim Oregami Prelude Render Taskgraph Topology Workloads

@@ -1,0 +1,1 @@
+examples/metrics_edit.ml: Edit Gray List Mapping Metrics Oregami Printf Render String Workloads

@@ -1,0 +1,1 @@
+examples/nbody_hypercube.ml: Driver Format Larcs Metrics Netsim Oregami Printf Render Taskgraph Topology Workloads

@@ -1,0 +1,1 @@
+examples/reduce_tree.mli:

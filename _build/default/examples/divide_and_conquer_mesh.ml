@@ -1,0 +1,40 @@
+(* Divide and conquer on binomial trees (paper §4.1 and [LRG+89]):
+   the canned binomial-tree-to-mesh embedding and its average
+   dilation against the paper's <= 1.2 claim.
+
+     dune exec examples/divide_and_conquer_mesh.exe *)
+
+open Oregami
+
+let () =
+  print_endline "binomial tree B_k -> 2^ceil(k/2) x 2^floor(k/2) mesh";
+  Prelude.Tab.print
+    ~header:[ "k"; "nodes"; "mesh"; "avg dilation"; "paper bound" ]
+    (List.map
+       (fun k ->
+         let l = Mapper.Binomial_mesh.embed k in
+         [
+           string_of_int k;
+           string_of_int (1 lsl k);
+           Printf.sprintf "%dx%d" l.Mapper.Binomial_mesh.rows l.Mapper.Binomial_mesh.cols;
+           Prelude.Tab.fixed 4
+             (float_of_int l.Mapper.Binomial_mesh.total_dilation
+             /. float_of_int ((1 lsl k) - 1));
+           "1.2";
+         ])
+       [ 2; 4; 6; 8; 10; 12 ]);
+  print_newline ();
+
+  (* a full divide-and-conquer workload mapped via the canned entry *)
+  let spec = Workloads.divide_and_conquer ~k:6 in
+  match
+    map_source ~bindings:spec.Workloads.bindings spec.Workloads.source ~topology:"mesh:4x4"
+  with
+  | Error e ->
+    prerr_endline e;
+    exit 1
+  | Ok (m, s) ->
+    Printf.printf "divconq 64 tasks on mesh:4x4 via %s\n" m.Mapping.strategy;
+    Printf.printf "  avg dilation %.3f, completion %d\n" s.Metrics.dilation_avg
+      s.Metrics.completion_time;
+    print_string (Render.mapping m)

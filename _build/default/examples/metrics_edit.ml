@@ -1,0 +1,65 @@
+(* The METRICS modify-and-recompute loop (paper §5): inspect a
+   mapping, move a task, re-route an edge, and watch the metrics
+   change.
+
+     dune exec examples/metrics_edit.exe *)
+
+open Oregami
+
+let () =
+  let spec = Workloads.voting ~k:3 in
+  let mapping, summary =
+    match
+      map_source ~bindings:spec.Workloads.bindings spec.Workloads.source ~topology:"hypercube:2"
+    with
+    | Ok r -> r
+    | Error e ->
+      prerr_endline e;
+      exit 1
+  in
+  print_endline "initial mapping (8 voters on a 4-processor hypercube):";
+  print_string (Render.mapping mapping);
+  Printf.printf "completion time %d, IPC %d\n\n" summary.Metrics.completion_time
+    summary.Metrics.total_ipc;
+
+  (* user drags task 3 to processor 0 *)
+  (match Edit.move_task mapping ~task:3 ~proc:0 with
+  | Error e -> Printf.printf "move rejected: %s\n" e
+  | Ok moved ->
+    let s = Metrics.summary moved in
+    print_endline "after moving task 3 to processor 0:";
+    print_string (Render.mapping moved);
+    Printf.printf "completion time %d, IPC %d\n\n" s.Metrics.completion_time
+      s.Metrics.total_ipc);
+
+  (* user re-routes one edge of comm3 the long way round *)
+  let pr =
+    List.find (fun pr -> pr.Mapping.pr_phase = "comm3") mapping.Mapping.routings
+  in
+  let re = List.hd pr.Mapping.pr_edges in
+  let pu = Mapping.proc_of_task mapping re.Mapping.re_src in
+  let pv = Mapping.proc_of_task mapping re.Mapping.re_dst in
+  if pu <> pv then begin
+    (* detour through the remaining processors of the 2-cube *)
+    let detour = List.filter (fun p -> p <> pu && p <> pv) [ 0; 1; 2; 3 ] in
+    let path =
+      match detour with
+      | [ a; b ] ->
+        (* pick an order that is a valid cube walk *)
+        if pu lxor a land 3 <> 0 && Gray.differ_bit pu a <> None then [ pu; a; b; pv ]
+        else [ pu; b; a; pv ]
+      | _ -> [ pu; pv ]
+    in
+    match
+      Edit.reroute_edge mapping ~phase:"comm3" ~src:re.Mapping.re_src
+        ~dst:re.Mapping.re_dst ~path
+    with
+    | Error e -> Printf.printf "reroute rejected: %s\n" e
+    | Ok rerouted ->
+      let s = Metrics.summary rerouted in
+      Printf.printf
+        "after rerouting %d->%d over %s: dilation avg %.3f (was %.3f), completion %d\n"
+        re.Mapping.re_src re.Mapping.re_dst
+        (String.concat "-" (List.map string_of_int path))
+        s.Metrics.dilation_avg summary.Metrics.dilation_avg s.Metrics.completion_time
+  end

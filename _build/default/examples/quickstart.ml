@@ -1,0 +1,34 @@
+(* Quickstart: describe a parallel computation in LaRCS, map it onto a
+   topology, and read the METRICS report.
+
+     dune exec examples/quickstart.exe *)
+
+open Oregami
+
+let source =
+  {|
+algorithm pipeline(n);
+
+nodetype stage : 0 .. n-1;
+
+comphase forward { stage i -> stage (i+1) volume 4 when i < n-1; }
+
+exphase work : stage i cost 10 + i;
+
+phases (forward; work)^8;
+|}
+
+let () =
+  match map_source ~bindings:[ ("n", 12) ] source ~topology:"mesh:3x4" with
+  | Error e ->
+    prerr_endline ("mapping failed: " ^ e);
+    exit 1
+  | Ok (mapping, summary) ->
+    print_endline "=== mapping ===";
+    print_string (Render.mapping mapping);
+    print_newline ();
+    print_endline "=== metrics ===";
+    Metrics.print_summary summary;
+    print_newline ();
+    print_endline "=== link loads ===";
+    print_endline (Render.link_loads mapping)

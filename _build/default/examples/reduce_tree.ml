@@ -1,0 +1,43 @@
+(* Aggregate-topology selection (paper §6): a naive all-to-root
+   reduction concentrates every message onto the root's links; the
+   Mapper.Aggregate re-planner combines values per processor and sends
+   one message per spanning-tree link instead.
+
+     dune exec examples/reduce_tree.exe *)
+
+open Oregami
+
+let source =
+  {|
+algorithm reduceall(n);
+nodetype t : 0 .. n-1;
+comphase gather { t i -> t 0 volume 10 when i > 0; }
+exphase work cost 5;
+phases (work; gather)^3;
+|}
+
+let () =
+  let mapping =
+    match map_source ~bindings:[ ("n", 32) ] source ~topology:"mesh:4x4" with
+    | Ok (m, _) -> m
+    | Error e ->
+      prerr_endline e;
+      exit 1
+  in
+  print_endline "naive all-to-root gather (32 tasks, 4x4 mesh):";
+  Printf.printf "  hottest link carries volume %d; simulated makespan %d\n"
+    (Mapper.Aggregate.hot_link_volume mapping "gather")
+    (Netsim.run mapping).Netsim.makespan;
+
+  match Mapper.Aggregate.replan_phase mapping ~phase:"gather" with
+  | Error e ->
+    prerr_endline ("replan failed: " ^ e);
+    exit 1
+  | Ok tree ->
+    print_endline "after spanning-tree re-planning:";
+    Printf.printf "  hottest link carries volume %d; simulated makespan %d\n"
+      (Mapper.Aggregate.hot_link_volume tree "gather")
+      (Netsim.run tree).Netsim.makespan;
+    print_newline ();
+    print_endline "tree-phase routes (one combined message per tree edge):";
+    print_endline (Render.phase_edges tree "gather")

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Array Hashtbl List Option Oregami_graph Oregami_larcs Oregami_mapper Oregami_metrics Oregami_systolic Oregami_taskgraph Oregami_topology Printf

@@ -1,0 +1,1 @@
+lib/core/driver.mli: Oregami_larcs Oregami_mapper Oregami_taskgraph Oregami_topology

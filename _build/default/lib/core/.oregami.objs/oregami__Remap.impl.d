@@ -1,0 +1,1 @@
+lib/core/remap.ml: Array Driver List Oregami_mapper Oregami_metrics Oregami_taskgraph Oregami_topology Result

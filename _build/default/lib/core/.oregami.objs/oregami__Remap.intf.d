@@ -1,0 +1,1 @@
+lib/core/remap.mli: Driver Oregami_mapper Oregami_taskgraph Oregami_topology

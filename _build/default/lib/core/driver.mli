@@ -1,0 +1,43 @@
+(** The MAPPER dispatch (paper Fig 3): pick the mapping strategy from
+    the LaRCS analyses and produce a complete routed mapping.
+
+    Priority: declared/detected nameable family → canned lookup;
+    affine communication on a lattice + mesh-like target → systolic
+    space-time placement; bijective phases forming a Cayley graph →
+    group-theoretic contraction; otherwise MWM-Contract.  Embedding
+    uses the canned placement or NN-Embed, and routing uses MM-Route
+    (or the oblivious deterministic router on request). *)
+
+type routing = Mm_route | Oblivious
+
+type options = {
+  b : int option;  (** load-balance bound B for MWM-Contract *)
+  routing : routing;
+  route_cap : int;  (** candidate shortest routes per pair *)
+  allow_canned : bool;
+  allow_group : bool;
+  allow_systolic : bool;
+  refine : bool;  (** pairwise-interchange improvement of the embedding *)
+}
+
+val default_options : options
+
+val map_compiled :
+  ?options:options ->
+  Oregami_larcs.Compile.compiled ->
+  Oregami_topology.Topology.t ->
+  (Oregami_mapper.Mapping.t, string) result
+(** Full pipeline from a compiled LaRCS program.  The produced mapping
+    always passes [Mapping.validate]. *)
+
+val map_taskgraph :
+  ?options:options ->
+  Oregami_taskgraph.Taskgraph.t ->
+  Oregami_topology.Topology.t ->
+  (Oregami_mapper.Mapping.t, string) result
+(** Same dispatch for a bare task graph (no AST-level affine analysis;
+    family detection and the group path still apply). *)
+
+val strategy_preview :
+  Oregami_larcs.Compile.compiled -> Oregami_topology.Topology.t -> string
+(** Which strategy the dispatch would choose, without running it. *)

@@ -1,0 +1,35 @@
+module Prelude = Oregami_prelude
+module Graph = Oregami_graph
+module Topology = Oregami_topology.Topology
+module Routes = Oregami_topology.Routes
+module Gray = Oregami_topology.Gray
+module Perm = Oregami_perm.Perm
+module Group = Oregami_perm.Group
+module Cayley = Oregami_perm.Cayley
+module Matching = Oregami_matching
+module Taskgraph = Oregami_taskgraph.Taskgraph
+module Phase_expr = Oregami_taskgraph.Phase_expr
+module Larcs = Oregami_larcs
+module Mapper = Oregami_mapper
+module Mapping = Oregami_mapper.Mapping
+module Driver = Driver
+module Remap = Remap
+module Metrics = Oregami_metrics.Metrics
+module Netsim = Oregami_metrics.Netsim
+module Render = Oregami_metrics.Render
+module Svg = Oregami_metrics.Svg
+module Edit = Oregami_metrics.Edit
+module Systolic = Oregami_systolic
+module Sched = Oregami_sched.Synchrony
+module Vm = Oregami_exec.Vm
+module Workloads = Oregami_workloads.Workloads
+
+let version = "1.0.0"
+
+let map_source ?bindings ?options source ~topology =
+  let ( let* ) = Result.bind in
+  let* kind = Topology.parse topology in
+  let topo = Topology.make kind in
+  let* compiled = Oregami_larcs.Compile.compile_source ?bindings source in
+  let* mapping = Driver.map_compiled ?options compiled topo in
+  Ok (mapping, Metrics.summary mapping)

@@ -1,0 +1,54 @@
+(** OREGAMI: software tools for mapping parallel computations to
+    parallel architectures (Lo et al., ICPP 1990).
+
+    Facade over the toolchain:
+
+    - {!Larcs} — the LaRCS description language (lexer, parser,
+      compiler, regularity analyses);
+    - {!Mapper} — contraction / embedding / routing algorithms
+      (canned, group-theoretic, MWM-Contract, NN-Embed, MM-Route);
+    - {!Driver} — the Fig 3 strategy dispatch;
+    - {!Metrics} / {!Netsim} / {!Render} / {!Edit} — the METRICS
+      analysis, simulation, display and modification loop;
+    - {!Systolic} — affine recurrences → systolic arrays;
+    - {!Workloads} — the paper's workload suite as LaRCS programs.
+
+    One-call pipeline: {!map_source}. *)
+
+module Prelude = Oregami_prelude
+module Graph = Oregami_graph
+module Topology = Oregami_topology.Topology
+module Routes = Oregami_topology.Routes
+module Gray = Oregami_topology.Gray
+module Perm = Oregami_perm.Perm
+module Group = Oregami_perm.Group
+module Cayley = Oregami_perm.Cayley
+module Matching = Oregami_matching
+module Taskgraph = Oregami_taskgraph.Taskgraph
+module Phase_expr = Oregami_taskgraph.Phase_expr
+module Larcs = Oregami_larcs
+module Mapper = Oregami_mapper
+module Mapping = Oregami_mapper.Mapping
+module Driver = Driver
+module Remap = Remap
+module Metrics = Oregami_metrics.Metrics
+module Netsim = Oregami_metrics.Netsim
+module Render = Oregami_metrics.Render
+module Svg = Oregami_metrics.Svg
+module Edit = Oregami_metrics.Edit
+module Systolic = Oregami_systolic
+module Sched = Oregami_sched.Synchrony
+module Vm = Oregami_exec.Vm
+module Workloads = Oregami_workloads.Workloads
+
+val map_source :
+  ?bindings:(string * int) list ->
+  ?options:Driver.options ->
+  string ->
+  topology:string ->
+  (Oregami_mapper.Mapping.t * Oregami_metrics.Metrics.summary, string) result
+(** [map_source src ~topology:"hypercube:3"] parses and compiles the
+    LaRCS source, builds the topology, runs the MAPPER dispatch, and
+    returns the validated mapping with its METRICS summary. *)
+
+val version : string

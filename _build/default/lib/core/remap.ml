@@ -1,0 +1,113 @@
+module Taskgraph = Oregami_taskgraph.Taskgraph
+module Phase_expr = Oregami_taskgraph.Phase_expr
+module Topology = Oregami_topology.Topology
+module Routes = Oregami_topology.Routes
+module Mapping = Oregami_mapper.Mapping
+module Netsim = Oregami_metrics.Netsim
+
+type regime = { rg_expr : Phase_expr.t; rg_comms : string list }
+
+(* top-level sequence chunks *)
+let rec seq_chunks = function
+  | Phase_expr.Seq (a, b) -> seq_chunks a @ seq_chunks b
+  | e -> [ e ]
+
+let split_regimes expr =
+  let chunks = seq_chunks expr in
+  let of_chunk e = { rg_expr = e; rg_comms = Phase_expr.comm_names e } in
+  let shares a b = List.exists (fun c -> List.mem c b.rg_comms) a.rg_comms in
+  let merge a b =
+    {
+      rg_expr = Phase_expr.Seq (a.rg_expr, b.rg_expr);
+      rg_comms = List.sort_uniq compare (a.rg_comms @ b.rg_comms);
+    }
+  in
+  (* merge adjacent chunks that reuse a communication phase (no point
+     remapping inside a repeated pattern), and fold pure-exec chunks
+     into their predecessor *)
+  List.fold_left
+    (fun acc chunk ->
+      let r = of_chunk chunk in
+      match acc with
+      | prev :: rest when r.rg_comms = [] || prev.rg_comms = [] || shares prev r ->
+        merge prev r :: rest
+      | _ -> r :: acc)
+    [] chunks
+  |> List.rev
+
+let sub_taskgraph tg expr =
+  (* only the regime's own phases: the mapper must see the regime's
+     communication structure, not the whole program's *)
+  let comms = Phase_expr.comm_names expr and execs = Phase_expr.exec_names expr in
+  Taskgraph.make
+    ~node_labels:tg.Taskgraph.node_labels ~node_types:tg.Taskgraph.node_types
+    ~declared_symmetric:tg.Taskgraph.declared_symmetric ~name:tg.Taskgraph.tg_name
+    ~n:tg.Taskgraph.n
+    ~comm_phases:
+      (tg.Taskgraph.comm_phases
+      |> List.filter (fun (cp : Taskgraph.comm_phase) -> List.mem cp.Taskgraph.cp_name comms)
+      |> List.map (fun (cp : Taskgraph.comm_phase) -> (cp.Taskgraph.cp_name, cp.Taskgraph.edges)))
+    ~exec_phases:
+      (tg.Taskgraph.exec_phases
+      |> List.filter (fun (ep : Taskgraph.exec_phase) -> List.mem ep.Taskgraph.ep_name execs)
+      |> List.map (fun (ep : Taskgraph.exec_phase) -> (ep.Taskgraph.ep_name, ep.Taskgraph.costs)))
+    ~expr ()
+
+type plan = {
+  static_mapping : Mapping.t;
+  static_makespan : int;
+  regime_mappings : (regime * Mapping.t) list;
+  regime_makespans : int list;
+  migration_time : int;
+  remap_makespan : int;
+  worthwhile : bool;
+}
+
+let migration_step topo migration_volume before after =
+  (* every task that moves ships its state in one synchronous step *)
+  let messages = ref [] in
+  Array.iteri
+    (fun t p ->
+      let q = after.(t) in
+      if p <> q then
+        messages := (Routes.deterministic topo p q, migration_volume, 0) :: !messages)
+    before;
+  if !messages = [] then 0
+  else fst (Netsim.simulate_released Netsim.default_params topo !messages)
+
+let plan ?options ?(migration_volume = 8) tg topo =
+  let ( let* ) = Result.bind in
+  let* static_mapping = Driver.map_taskgraph ?options tg topo in
+  let static_makespan = (Netsim.run static_mapping).Netsim.makespan in
+  let regimes = split_regimes tg.Taskgraph.expr in
+  let* regime_mappings =
+    List.fold_left
+      (fun acc r ->
+        let* l = acc in
+        let* sub = sub_taskgraph tg r.rg_expr in
+        let* m = Driver.map_taskgraph ?options sub topo in
+        Ok ((r, m) :: l))
+      (Ok []) regimes
+  in
+  let regime_mappings = List.rev regime_mappings in
+  let regime_makespans =
+    List.map (fun (_, m) -> (Netsim.run m).Netsim.makespan) regime_mappings
+  in
+  let rec migrations = function
+    | (_, a) :: ((_, b) :: _ as rest) ->
+      migration_step topo migration_volume (Mapping.assignment a) (Mapping.assignment b)
+      + migrations rest
+    | [ _ ] | [] -> 0
+  in
+  let migration_time = migrations regime_mappings in
+  let remap_makespan = List.fold_left ( + ) 0 regime_makespans + migration_time in
+  Ok
+    {
+      static_mapping;
+      static_makespan;
+      regime_mappings;
+      regime_makespans;
+      migration_time;
+      remap_makespan;
+      worthwhile = List.length regime_mappings > 1 && remap_makespan < static_makespan;
+    }

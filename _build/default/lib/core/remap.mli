@@ -1,0 +1,42 @@
+(** Phase-shift remapping (paper §6): "algorithms that consider
+    migrating processes at run time in order to accommodate phase
+    shifts (as opposed to our current approach of finding one mapping
+    that accommodates all the phases)".
+
+    The phase expression is split into {e regimes} — maximal top-level
+    sequence chunks that use disjoint sets of communication phases.
+    Each regime gets its own mapping; between consecutive regimes every
+    task that changes processor pays a migration message (its state,
+    [migration_volume] units) routed through the network.  The plan
+    compares the single static mapping against the per-regime mappings
+    plus migration and says whether remapping pays off. *)
+
+type regime = {
+  rg_expr : Oregami_taskgraph.Phase_expr.t;
+  rg_comms : string list;  (** communication phases active in it *)
+}
+
+val split_regimes : Oregami_taskgraph.Phase_expr.t -> regime list
+(** Top-level sequence chunks, adjacent chunks merged while they share
+    a communication phase.  A single-regime expression yields one
+    chunk (remapping cannot help). *)
+
+type plan = {
+  static_mapping : Oregami_mapper.Mapping.t;
+  static_makespan : int;
+  regime_mappings : (regime * Oregami_mapper.Mapping.t) list;
+  regime_makespans : int list;
+  migration_time : int;
+  remap_makespan : int;  (** Σ regimes + Σ migrations *)
+  worthwhile : bool;
+}
+
+val plan :
+  ?options:Driver.options ->
+  ?migration_volume:int ->
+  Oregami_taskgraph.Taskgraph.t ->
+  Oregami_topology.Topology.t ->
+  (plan, string) result
+(** [migration_volume] defaults to 8 units per moved task.  Makespans
+    come from the {!Oregami_metrics.Netsim} simulator; migrations are
+    simulated as one synchronous message step between regimes. *)

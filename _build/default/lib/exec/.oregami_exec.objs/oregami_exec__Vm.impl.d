@@ -1,0 +1,1 @@
+lib/exec/vm.ml: Array List Oregami_graph Oregami_mapper Oregami_taskgraph Oregami_topology Printf

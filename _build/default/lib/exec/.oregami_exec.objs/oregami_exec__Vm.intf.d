@@ -1,0 +1,1 @@
+lib/exec/vm.mli: Oregami_mapper Oregami_taskgraph

@@ -1,0 +1,142 @@
+module Mapping = Oregami_mapper.Mapping
+module Taskgraph = Oregami_taskgraph.Taskgraph
+module Phase_expr = Oregami_taskgraph.Phase_expr
+module Topology = Oregami_topology.Topology
+module Routes = Oregami_topology.Routes
+module Digraph = Oregami_graph.Digraph
+
+type outcome = {
+  digest : int;
+  messages_delivered : int;
+  hops_traversed : int;
+  slots_executed : int;
+}
+
+(* mixing must be deterministic and, across the messages of one slot,
+   commutative: receivers sum mixed payloads *)
+let mix a b = (a * 0x9E3779B1) lxor (b + 0x7F4A7C15) land max_int
+
+let initial_state task = mix 0x12345 task
+
+let exec_step tg states names =
+  List.iter
+    (fun name ->
+      match Taskgraph.exec_phase tg name with
+      | None -> ()
+      | Some ep ->
+        Array.iteri
+          (fun task cost ->
+            if cost > 0 then states.(task) <- mix states.(task) cost)
+          ep.Taskgraph.costs)
+    names
+
+(* payloads captured before any delivery so intra-slot order cannot
+   matter; receivers accumulate commutatively *)
+let comm_payloads tg names states =
+  List.concat_map
+    (fun name ->
+      match Taskgraph.comm_phase tg name with
+      | None -> []
+      | Some cp ->
+        Digraph.edges cp.Taskgraph.edges
+        |> List.filter (fun (u, v, _) -> u <> v)
+        |> List.map (fun (u, v, w) -> (name, u, v, w, mix states.(u) w)))
+    names
+
+let run (m : Mapping.t) =
+  let tg = m.Mapping.tg in
+  let topo = m.Mapping.topo in
+  let n = tg.Taskgraph.n in
+  let states = Array.init n initial_state in
+  let messages_delivered = ref 0 in
+  let hops_traversed = ref 0 in
+  let slots_executed = ref 0 in
+  let routing_of phase =
+    List.find_opt (fun pr -> pr.Mapping.pr_phase = phase) m.Mapping.routings
+  in
+  let deliver (phase, u, v, _w, payload) =
+    match routing_of phase with
+    | None -> Error (Printf.sprintf "phase %S has no routing" phase)
+    | Some pr -> begin
+      match
+        List.find_opt (fun re -> re.Mapping.re_src = u && re.Mapping.re_dst = v) pr.Mapping.pr_edges
+      with
+      | None -> Error (Printf.sprintf "phase %S: edge %d->%d not routed" phase u v)
+      | Some re ->
+        let pu = Mapping.proc_of_task m u and pv = Mapping.proc_of_task m v in
+        let route = re.Mapping.re_route in
+        if pu = pv then
+          if route.Routes.links = [] then Ok payload
+          else Error (Printf.sprintf "co-located %d->%d has a route" u v)
+        else begin
+          (* walk hop by hop, checking each hop is a real link *)
+          let rec walk position nodes =
+            match nodes with
+            | [] -> Error (Printf.sprintf "empty route for %d->%d" u v)
+            | [ last ] ->
+              if last = pv then Ok payload
+              else Error (Printf.sprintf "route for %d->%d ends at processor %d" u v last)
+            | a :: (b :: _ as rest) ->
+              if a <> position then
+                Error (Printf.sprintf "route for %d->%d teleports" u v)
+              else begin
+                match Topology.link_between topo a b with
+                | None ->
+                  Error (Printf.sprintf "route for %d->%d uses missing link %d-%d" u v a b)
+                | Some _ ->
+                  incr hops_traversed;
+                  walk b rest
+              end
+          in
+          match route.Routes.nodes with
+          | first :: _ when first = pu -> walk pu route.Routes.nodes
+          | _ -> Error (Printf.sprintf "route for %d->%d does not start at %d" u v pu)
+        end
+    end
+  in
+  let trace = Phase_expr.trace tg.Taskgraph.expr in
+  let rec run_slots = function
+    | [] -> Ok ()
+    | slot :: rest ->
+      incr slots_executed;
+      let payloads = comm_payloads tg slot.Phase_expr.comms states in
+      let rec deliver_all = function
+        | [] -> Ok ()
+        | msg :: more -> begin
+          match deliver msg with
+          | Error e -> Error e
+          | Ok payload ->
+            let _, _, v, _, _ = msg in
+            states.(v) <- states.(v) + payload;
+            incr messages_delivered;
+            deliver_all more
+        end
+      in
+      (match deliver_all payloads with
+      | Error e -> Error e
+      | Ok () ->
+        exec_step tg states slot.Phase_expr.execs;
+        run_slots rest)
+  in
+  match run_slots trace with
+  | Error e -> Error e
+  | Ok () ->
+    let digest = Array.fold_left ( + ) 0 states land max_int in
+    Ok
+      {
+        digest;
+        messages_delivered = !messages_delivered;
+        hops_traversed = !hops_traversed;
+        slots_executed = !slots_executed;
+      }
+
+let reference_digest tg =
+  let n = tg.Taskgraph.n in
+  let states = Array.init n initial_state in
+  List.iter
+    (fun slot ->
+      let payloads = comm_payloads tg slot.Phase_expr.comms states in
+      List.iter (fun (_, _, v, _, payload) -> states.(v) <- states.(v) + payload) payloads;
+      exec_step tg states slot.Phase_expr.execs)
+    (Phase_expr.trace tg.Taskgraph.expr);
+  Array.fold_left ( + ) 0 states land max_int

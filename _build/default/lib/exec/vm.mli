@@ -1,0 +1,32 @@
+(** A reference executor for mapped computations.
+
+    Runs the phase-expression trace as an actual message-passing
+    program: every task holds an integer state; an execution slot folds
+    the task's cost into its state; a communication slot sends each
+    task-graph edge's message — tagged with the sender's current state
+    — hop by hop along the mapping's chosen route, and receivers fold
+    arrived payloads in with a commutative combiner.
+
+    Because slots are synchronous and the combiner is commutative, the
+    final global digest depends only on the LaRCS program — {e not} on
+    the mapping.  Executing the same program under two different valid
+    mappings must give identical digests; a mapping that corrupts,
+    drops, duplicates, or misroutes a message is caught either by a hop
+    check or by a digest mismatch.  This is the dynamic counterpart of
+    {!Oregami_mapper.Mapping.validate}'s static checks. *)
+
+type outcome = {
+  digest : int;  (** order-independent fold of all final task states *)
+  messages_delivered : int;
+  hops_traversed : int;
+  slots_executed : int;
+}
+
+val run : Oregami_mapper.Mapping.t -> (outcome, string) result
+(** Executes the whole trace.  Errors on: a route hop that is not a
+    network link, a route that does not start/end at the placed
+    sender/receiver, or a co-located edge with a non-empty route. *)
+
+val reference_digest : Oregami_taskgraph.Taskgraph.t -> int
+(** The digest the program must produce under {e any} valid mapping
+    (computed directly on the task graph, no network involved). *)

@@ -1,0 +1,1 @@
+lib/graph/iso.mli: Digraph Ugraph

@@ -1,0 +1,1 @@
+lib/graph/shortest.ml: Array List Oregami_prelude Traverse Ugraph

@@ -1,0 +1,1 @@
+lib/graph/traverse.ml: Array Digraph List Option Oregami_prelude Queue Ugraph

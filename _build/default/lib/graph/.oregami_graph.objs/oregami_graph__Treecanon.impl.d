@@ -1,0 +1,1 @@
+lib/graph/treecanon.ml: Array List String Traverse Ugraph

@@ -1,0 +1,87 @@
+module Pqueue = Oregami_prelude.Pqueue
+
+let all_pairs_hops g =
+  Array.init (Ugraph.node_count g) (fun u -> Traverse.bfs_dist g u)
+
+let dijkstra g s =
+  let n = Ugraph.node_count g in
+  let dist = Array.make n max_int in
+  let parent = Array.make n (-1) in
+  let done_ = Array.make n false in
+  dist.(s) <- 0;
+  parent.(s) <- s;
+  let pq = Pqueue.create () in
+  Pqueue.push pq 0 s;
+  let rec loop () =
+    match Pqueue.pop pq with
+    | None -> ()
+    | Some (d, u) ->
+      if not done_.(u) then begin
+        done_.(u) <- true;
+        let relax (v, w) =
+          if w < 0 then invalid_arg "Shortest.dijkstra: negative weight";
+          if (not done_.(v)) && d + w < dist.(v) then begin
+            dist.(v) <- d + w;
+            parent.(v) <- u;
+            Pqueue.push pq dist.(v) v
+          end
+        in
+        List.iter relax (Ugraph.neighbors g u)
+      end;
+      loop ()
+  in
+  loop ();
+  (dist, parent)
+
+let path_to ~parent v =
+  if v < 0 || v >= Array.length parent || parent.(v) = -1 then None
+  else begin
+    let rec build v acc = if parent.(v) = v then v :: acc else build parent.(v) (v :: acc) in
+    Some (build v [])
+  end
+
+let all_shortest_paths ?(cap = 64) g u v =
+  let dist = Traverse.bfs_dist g v in
+  if dist.(u) = max_int then []
+  else begin
+    (* Walk from [u] towards [v], only along edges that decrease the
+       BFS distance to [v]; every maximal walk is a shortest path. *)
+    let out = ref [] and count = ref 0 in
+    let rec go node acc =
+      if !count < cap then
+        if node = v then begin
+          out := List.rev (v :: acc) :: !out;
+          incr count
+        end
+        else begin
+          let nexts =
+            Ugraph.neighbors g node
+            |> List.filter_map (fun (w, _) ->
+                   if dist.(w) = dist.(node) - 1 then Some w else None)
+            |> List.sort_uniq compare
+          in
+          List.iter (fun w -> go w (node :: acc)) nexts
+        end
+    in
+    go u [];
+    List.rev !out
+  end
+
+let count_shortest_paths g u v =
+  let dist = Traverse.bfs_dist g u in
+  if dist.(v) = max_int then 0
+  else begin
+    let n = Ugraph.node_count g in
+    let order = Array.init n (fun i -> i) in
+    Array.sort (fun a b -> compare dist.(a) dist.(b)) order;
+    let ways = Array.make n 0 in
+    ways.(u) <- 1;
+    Array.iter
+      (fun node ->
+        if dist.(node) < max_int && ways.(node) > 0 then
+          List.iter
+            (fun (w, _) -> if dist.(w) = dist.(node) + 1 then ways.(w) <- ways.(w) + ways.(node))
+            (Ugraph.neighbors g node))
+      order;
+    ways.(v)
+  end

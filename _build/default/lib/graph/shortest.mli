@@ -1,0 +1,26 @@
+(** Shortest-path computations used by the embedding and routing
+    algorithms: unweighted all-pairs hop counts, Dijkstra, and
+    enumeration of all shortest paths between a pair of nodes. *)
+
+val all_pairs_hops : Ugraph.t -> int array array
+(** [all_pairs_hops g] gives hop distance between every pair of nodes
+    ([max_int] when unreachable).  O(V·(V+E)). *)
+
+val dijkstra : Ugraph.t -> int -> int array * int array
+(** [dijkstra g s] returns [(dist, parent)] using edge weights as
+    lengths (weights must be non-negative); [parent.(s) = s] and
+    [parent.(v) = -1] for unreachable [v]. *)
+
+val path_to : parent:int array -> int -> int list option
+(** Reconstructs the path from the Dijkstra/BFS source to the node
+    (inclusive); [None] if unreachable. *)
+
+val all_shortest_paths : ?cap:int -> Ugraph.t -> int -> int -> int list list
+(** [all_shortest_paths g u v] enumerates every minimum-hop path from
+    [u] to [v] as node lists (both endpoints included), up to [cap]
+    paths (default 64).  Paths are produced in lexicographic order of
+    node ids.  Empty when [v] is unreachable; [[ [u] ]] when [u = v]. *)
+
+val count_shortest_paths : Ugraph.t -> int -> int -> int
+(** Number of distinct minimum-hop paths (not capped; may be large but
+    fits an [int] for the network sizes used here). *)

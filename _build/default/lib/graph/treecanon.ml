@@ -1,0 +1,60 @@
+let is_tree g =
+  Ugraph.node_count g > 0
+  && Ugraph.edge_count g = Ugraph.node_count g - 1
+  && Traverse.is_connected g
+
+(* Centre(s) of a tree: repeatedly strip leaves; one or two remain. *)
+let centers g =
+  let n = Ugraph.node_count g in
+  if n = 1 then [ 0 ]
+  else begin
+    let degree = Array.init n (Ugraph.degree g) in
+    let removed = Array.make n false in
+    let leaves = ref [] in
+    for v = 0 to n - 1 do
+      if degree.(v) <= 1 then leaves := v :: !leaves
+    done;
+    let remaining = ref n in
+    let frontier = ref !leaves in
+    while !remaining > 2 do
+      let next = ref [] in
+      List.iter
+        (fun v ->
+          removed.(v) <- true;
+          decr remaining;
+          List.iter
+            (fun (u, _) ->
+              if not removed.(u) then begin
+                degree.(u) <- degree.(u) - 1;
+                if degree.(u) = 1 then next := u :: !next
+              end)
+            (Ugraph.neighbors g v))
+        !frontier;
+      frontier := !next
+    done;
+    let out = ref [] in
+    for v = n - 1 downto 0 do
+      if not removed.(v) then out := v :: !out
+    done;
+    !out
+  end
+
+let rec encode g parent v =
+  let children =
+    Ugraph.neighbors g v
+    |> List.filter_map (fun (u, _) -> if u <> parent then Some (encode g v u) else None)
+    |> List.sort compare
+  in
+  "(" ^ String.concat "" children ^ ")"
+
+let canonical g =
+  if not (is_tree g) then None
+  else begin
+    let encodings = List.map (fun c -> encode g (-1) c) (centers g) in
+    Some (String.concat "|" (List.sort compare encodings))
+  end
+
+let isomorphic_trees a b =
+  match (canonical a, canonical b) with
+  | Some ca, Some cb -> ca = cb
+  | None, _ | _, None -> false

@@ -1,0 +1,13 @@
+(** Canonical forms for free trees (AHU encoding rooted at the tree
+    centre), giving linear-ish-time tree isomorphism.  Used to detect
+    nameable tree-shaped task graphs (full binary trees, binomial
+    trees) of any size. *)
+
+val is_tree : Ugraph.t -> bool
+(** Connected with exactly [n - 1] edges. *)
+
+val canonical : Ugraph.t -> string option
+(** Canonical string of the tree (independent of labelling); [None]
+    when the graph is not a tree. *)
+
+val isomorphic_trees : Ugraph.t -> Ugraph.t -> bool

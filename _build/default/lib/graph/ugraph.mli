@@ -1,0 +1,49 @@
+(** Undirected graphs with integer-weighted edges over nodes [0 .. n-1].
+
+    Network topologies and the cluster graphs built during contraction
+    are undirected.  Parallel edges are merged: adding an edge that
+    already exists accumulates its weight. *)
+
+type t
+
+val create : int -> t
+
+val node_count : t -> int
+
+val edge_count : t -> int
+(** Number of distinct (unordered) adjacent pairs. *)
+
+val add_edge : ?w:int -> t -> int -> int -> unit
+(** [add_edge ~w g u v] adds [w] (default 1) to the weight of the
+    undirected edge [{u, v}].  [u <> v] is required. *)
+
+val neighbors : t -> int -> (int * int) list
+(** [(v, w)] pairs adjacent to the node, in first-insertion order. *)
+
+val degree : t -> int -> int
+
+val weight : t -> int -> int -> int
+(** Weight of edge [{u, v}], or 0 when absent. *)
+
+val mem_edge : t -> int -> int -> bool
+
+val edges : t -> (int * int * int) list
+(** All [(u, v, w)] with [u < v], sorted lexicographically. *)
+
+val total_weight : t -> int
+
+val copy : t -> t
+
+val of_edges : int -> (int * int * int) list -> t
+
+val complete : int -> t
+(** Unit-weight complete graph [K_n]. *)
+
+val max_degree : t -> int
+
+val is_regular : t -> bool
+(** All nodes have equal degree. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

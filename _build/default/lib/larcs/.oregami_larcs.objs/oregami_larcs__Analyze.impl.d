@@ -1,0 +1,1 @@
+lib/larcs/analyze.ml: Array Ast Compile Eval Format List Option Oregami_graph Oregami_perm Oregami_taskgraph Oregami_topology

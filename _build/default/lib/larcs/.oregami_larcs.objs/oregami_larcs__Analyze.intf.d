@@ -1,0 +1,1 @@
+lib/larcs/analyze.mli: Compile Format Oregami_perm Oregami_taskgraph

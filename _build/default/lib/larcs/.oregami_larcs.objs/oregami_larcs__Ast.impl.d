@@ -1,0 +1,1 @@
+lib/larcs/ast.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/larcs/compile.ml: Array Ast Buffer Eval List Option Oregami_graph Oregami_taskgraph Parser Printf Result String

@@ -1,0 +1,1 @@
+lib/larcs/compile.mli: Ast Oregami_taskgraph

@@ -1,0 +1,1 @@
+lib/larcs/eval.ml: Ast List Printf Result

@@ -1,0 +1,1 @@
+lib/larcs/eval.mli: Ast

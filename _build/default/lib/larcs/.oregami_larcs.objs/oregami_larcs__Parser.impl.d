@@ -1,0 +1,1 @@
+lib/larcs/parser.ml: Array Ast Eval Lexer List Printf

@@ -1,0 +1,1 @@
+lib/larcs/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/larcs/pretty.ml: Ast Buffer List Printf String

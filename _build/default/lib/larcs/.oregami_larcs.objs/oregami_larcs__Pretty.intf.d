@@ -1,0 +1,1 @@
+lib/larcs/pretty.mli: Ast

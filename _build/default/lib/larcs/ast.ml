@@ -1,0 +1,126 @@
+(** Abstract syntax of LaRCS (Language for Regular Communication
+    Structures).
+
+    A LaRCS program is parametric: its size is independent of the task
+    count.  Example (the paper's n-body program, Fig 2b):
+
+    {v
+    algorithm nbody(n, s);
+
+    nodetype body : 0 .. n-1 nodesymmetric;
+
+    comphase ring    { body i -> body ((i+1) mod n); }
+    comphase chordal { body i -> body ((i + (n+1)/2) mod n); }
+
+    exphase compute1 cost 10;
+    exphase compute2 cost 20;
+
+    phases ((ring; compute1)^((n+1)/2); chordal; compute2)^s;
+    v} *)
+
+type binop = Add | Sub | Mul | Div | Mod | Xor | Pow
+
+type expr =
+  | Int of int
+  | Var of string
+  | Neg of expr
+  | Bin of binop * expr * expr
+  | Call of string * expr list  (** builtins: min, max, abs, pow, log2 *)
+
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+
+type cond =
+  | Cmp of cmpop * expr * expr
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+
+type range = { lo : expr; hi : expr }
+(** Inclusive integer range [lo .. hi]. *)
+
+type nodetype = {
+  nt_name : string;
+  nt_ranges : range list;  (** one per label dimension *)
+  nt_symmetric : bool;  (** declared [nodesymmetric] *)
+}
+
+type rule = {
+  src_type : string;
+  src_vars : string list;  (** index variables bound over the source type *)
+  dst_type : string;
+  dst_exprs : expr list;  (** destination label, as functions of the sources *)
+  volume : expr option;  (** message volume; default 1 *)
+  guard : cond option;  (** [when] clause restricting the source labels *)
+}
+
+type comphase = { cp_name : string; rules : rule list }
+
+type exphase = {
+  ep_name : string;
+  ep_pattern : (string * string list) option;
+      (** optional [: type vars] binding for a per-task cost *)
+  ep_cost : expr option;  (** default 1 *)
+}
+
+type spawntree = {
+  sp_name : string;
+  sp_depth : expr;
+      (** the tree grows to this depth: [2^(depth+1) - 1] tasks, task
+          [i] spawning children [2i+1] and [2i+2] (paper §6: divide and
+          conquer spawns "a full binary tree") *)
+}
+
+type pexpr =
+  | PEps
+  | PPhase of string
+  | PSeq of pexpr * pexpr
+  | PRep of pexpr * expr
+  | PPar of pexpr * pexpr
+
+type program = {
+  prog_name : string;
+  params : string list;
+  imports : string list;  (** variables imported from the host program *)
+  family : string option;  (** declared well-known family, e.g. ["ring"] *)
+  nodetypes : nodetype list;
+  spawns : spawntree list;
+  comphases : comphase list;
+  exphases : exphase list;
+  phases : pexpr;
+}
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "mod"
+  | Xor -> "xor"
+  | Pow -> "**"
+
+let cmpop_name = function Eq -> "=" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+(** Free variables of an expression, in first-occurrence order. *)
+let expr_vars e =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let rec go = function
+    | Int _ -> ()
+    | Var v ->
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        out := v :: !out
+      end
+    | Neg a -> go a
+    | Bin (_, a, b) ->
+      go a;
+      go b
+    | Call (_, args) -> List.iter go args
+  in
+  go e;
+  List.rev !out
+
+let rec cond_vars = function
+  | Cmp (_, a, b) -> expr_vars a @ expr_vars b
+  | And (a, b) | Or (a, b) -> cond_vars a @ cond_vars b
+  | Not a -> cond_vars a

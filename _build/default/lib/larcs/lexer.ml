@@ -1,0 +1,145 @@
+type token =
+  | INT of int
+  | ID of string
+  | KW of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | COLON
+  | DOTDOT
+  | ARROW
+  | CARET
+  | PARBAR
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EQ
+  | NE
+  | LE
+  | GE
+  | LT
+  | GT
+  | EOF
+
+type lexeme = { tok : token; line : int; col : int }
+
+let keywords =
+  [ "algorithm"; "import"; "family"; "nodetype"; "comphase"; "exphase"; "phases";
+    "volume"; "when"; "cost"; "mod"; "xor"; "div"; "eps"; "nodesymmetric"; "in";
+    "and"; "or"; "not"; "at"; "spawntree"; "depth" ]
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_alnum c = is_alpha c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let error = ref None in
+  let i = ref 0 in
+  let emit tok = out := { tok; line = !line; col = !col } :: !out in
+  let advance k =
+    for _ = 1 to k do
+      if !i < n && src.[!i] = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col;
+      incr i
+    done
+  in
+  while !i < n && !error = None do
+    let c = src.[!i] in
+    let peek = if !i + 1 < n then Some src.[!i + 1] else None in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance 1
+    else if c = '#' || (c = '-' && peek = Some '-') then begin
+      while !i < n && src.[!i] <> '\n' do
+        advance 1
+      done
+    end
+    else if is_digit c then begin
+      let start = !i and l0 = !line and c0 = !col in
+      while !i < n && is_digit src.[!i] do
+        advance 1
+      done;
+      let tok = INT (int_of_string (String.sub src start (!i - start))) in
+      out := { tok; line = l0; col = c0 } :: !out
+    end
+    else if is_alpha c then begin
+      let start = !i and l0 = !line and c0 = !col in
+      while !i < n && is_alnum src.[!i] do
+        advance 1
+      done;
+      let word = String.sub src start (!i - start) in
+      let lower = String.lowercase_ascii word in
+      let tok = if List.mem lower keywords then KW lower else ID word in
+      out := { tok; line = l0; col = c0 } :: !out
+    end
+    else begin
+      let two tok = (* two-character token *) emit tok; advance 2 in
+      let one tok = emit tok; advance 1 in
+      match (c, peek) with
+      | '-', Some '>' -> two ARROW
+      | '|', Some '|' -> two PARBAR
+      | '.', Some '.' -> two DOTDOT
+      | '!', Some '=' -> two NE
+      | '<', Some '=' -> two LE
+      | '>', Some '=' -> two GE
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | ',', _ -> one COMMA
+      | ';', _ -> one SEMI
+      | ':', _ -> one COLON
+      | '^', _ -> one CARET
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '/', _ -> one SLASH
+      | '=', _ -> one EQ
+      | '<', _ -> one LT
+      | '>', _ -> one GT
+      | _, _ ->
+        error := Some (Printf.sprintf "line %d, col %d: unexpected character %C" !line !col c)
+    end
+  done;
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+    emit EOF;
+    Ok (List.rev !out)
+
+let token_name = function
+  | INT v -> Printf.sprintf "integer %d" v
+  | ID s -> Printf.sprintf "identifier %S" s
+  | KW s -> Printf.sprintf "keyword %S" s
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | COLON -> "':'"
+  | DOTDOT -> "'..'"
+  | ARROW -> "'->'"
+  | CARET -> "'^'"
+  | PARBAR -> "'||'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | EQ -> "'='"
+  | NE -> "'!='"
+  | LE -> "'<='"
+  | GE -> "'>='"
+  | LT -> "'<'"
+  | GT -> "'>'"
+  | EOF -> "end of input"

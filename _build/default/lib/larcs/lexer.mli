@@ -1,0 +1,40 @@
+(** Hand-written lexer for LaRCS source text. *)
+
+type token =
+  | INT of int
+  | ID of string
+  | KW of string  (** reserved word, lowercased *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | COLON
+  | DOTDOT
+  | ARROW  (** [->] *)
+  | CARET  (** [^] *)
+  | PARBAR  (** [||] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EQ
+  | NE
+  | LE
+  | GE
+  | LT
+  | GT
+  | EOF
+
+type lexeme = { tok : token; line : int; col : int }
+
+val keywords : string list
+(** Reserved words: algorithm, import, family, nodetype, comphase,
+    exphase, phases, volume, when, cost, mod, xor, div, eps,
+    nodesymmetric, in, and, or, not, at. *)
+
+val tokenize : string -> (lexeme list, string) result
+(** Comments run from [--] or [#] to end of line. *)
+
+val token_name : token -> string

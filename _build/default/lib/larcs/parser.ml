@@ -1,0 +1,474 @@
+open Lexer
+
+exception Parse_error of string
+
+type state = { lexemes : lexeme array; mutable pos : int }
+
+let current st = st.lexemes.(st.pos)
+
+let fail_at lx msg =
+  raise (Parse_error (Printf.sprintf "line %d, col %d: %s" lx.line lx.col msg))
+
+let fail st msg = fail_at (current st) msg
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st tok =
+  let lx = current st in
+  if lx.tok = tok then advance st
+  else fail st (Printf.sprintf "expected %s, found %s" (token_name tok) (token_name lx.tok))
+
+let expect_id st =
+  let lx = current st in
+  match lx.tok with
+  | ID name ->
+    advance st;
+    name
+  | KW _ | INT _ | LPAREN | RPAREN | LBRACE | RBRACE | COMMA | SEMI | COLON | DOTDOT
+  | ARROW | CARET | PARBAR | PLUS | MINUS | STAR | SLASH | EQ | NE | LE | GE | LT | GT
+  | EOF ->
+    fail st (Printf.sprintf "expected identifier, found %s" (token_name lx.tok))
+
+let expect_kw st kw =
+  let lx = current st in
+  if lx.tok = KW kw then advance st
+  else fail st (Printf.sprintf "expected keyword %S, found %s" kw (token_name lx.tok))
+
+let accept st tok =
+  if (current st).tok = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+(* ------------------------------------------------------------------ *)
+(* arithmetic expressions                                              *)
+
+let rec parse_expr_level st = parse_xor st
+
+and parse_xor st =
+  let left = parse_add st in
+  if (current st).tok = KW "xor" then begin
+    advance st;
+    Ast.Bin (Ast.Xor, left, parse_xor st)
+  end
+  else left
+
+and parse_add st =
+  let rec loop left =
+    match (current st).tok with
+    | PLUS ->
+      advance st;
+      loop (Ast.Bin (Ast.Add, left, parse_mul st))
+    | MINUS ->
+      advance st;
+      loop (Ast.Bin (Ast.Sub, left, parse_mul st))
+    | INT _ | ID _ | KW _ | LPAREN | RPAREN | LBRACE | RBRACE | COMMA | SEMI | COLON
+    | DOTDOT | ARROW | CARET | PARBAR | STAR | SLASH | EQ | NE | LE | GE | LT | GT | EOF
+      -> left
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop left =
+    match (current st).tok with
+    | STAR ->
+      advance st;
+      loop (Ast.Bin (Ast.Mul, left, parse_unary st))
+    | SLASH ->
+      advance st;
+      loop (Ast.Bin (Ast.Div, left, parse_unary st))
+    | KW "mod" ->
+      advance st;
+      loop (Ast.Bin (Ast.Mod, left, parse_unary st))
+    | KW "div" ->
+      advance st;
+      loop (Ast.Bin (Ast.Div, left, parse_unary st))
+    | INT _ | ID _ | KW _ | LPAREN | RPAREN | LBRACE | RBRACE | COMMA | SEMI | COLON
+    | DOTDOT | ARROW | CARET | PARBAR | PLUS | MINUS | EQ | NE | LE | GE | LT | GT | EOF
+      -> left
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  if accept st MINUS then Ast.Neg (parse_unary st) else parse_primary st
+
+and parse_primary st =
+  let lx = current st in
+  match lx.tok with
+  | INT v ->
+    advance st;
+    Ast.Int v
+  | ID name ->
+    advance st;
+    if (current st).tok = LPAREN && List.mem name Eval.builtins then begin
+      advance st;
+      let rec args acc =
+        let a = parse_expr_level st in
+        if accept st COMMA then args (a :: acc) else List.rev (a :: acc)
+      in
+      let arglist = args [] in
+      expect st RPAREN;
+      Ast.Call (name, arglist)
+    end
+    else Ast.Var name
+  | LPAREN ->
+    advance st;
+    let e = parse_expr_level st in
+    expect st RPAREN;
+    e
+  | KW _ | RPAREN | LBRACE | RBRACE | COMMA | SEMI | COLON | DOTDOT | ARROW | CARET
+  | PARBAR | PLUS | MINUS | STAR | SLASH | EQ | NE | LE | GE | LT | GT | EOF ->
+    fail st (Printf.sprintf "expected expression, found %s" (token_name lx.tok))
+
+(* ------------------------------------------------------------------ *)
+(* conditions                                                          *)
+
+let rec parse_cond st = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  if (current st).tok = KW "or" then begin
+    advance st;
+    Ast.Or (left, parse_or st)
+  end
+  else left
+
+and parse_and st =
+  let left = parse_not st in
+  if (current st).tok = KW "and" then begin
+    advance st;
+    Ast.And (left, parse_and st)
+  end
+  else left
+
+and parse_not st =
+  if (current st).tok = KW "not" then begin
+    advance st;
+    Ast.Not (parse_not st)
+  end
+  else parse_cmp st
+
+and parse_cmp st =
+  (* parenthesized sub-conditions require lookahead: "(a < b) and c"
+     vs "(a + b) < c".  Try a comparison first; on failure at an
+     opening paren, re-parse as a grouped condition. *)
+  if (current st).tok = LPAREN then begin
+    let save = st.pos in
+    match
+      try Some (parse_cmp_simple st)
+      with Parse_error _ -> None
+    with
+    | Some c -> c
+    | None ->
+      st.pos <- save;
+      advance st;
+      let c = parse_cond st in
+      expect st RPAREN;
+      c
+  end
+  else parse_cmp_simple st
+
+and parse_cmp_simple st =
+  let left = parse_expr_level st in
+  let op =
+    match (current st).tok with
+    | EQ -> Ast.Eq
+    | NE -> Ast.Ne
+    | LT -> Ast.Lt
+    | LE -> Ast.Le
+    | GT -> Ast.Gt
+    | GE -> Ast.Ge
+    | INT _ | ID _ | KW _ | LPAREN | RPAREN | LBRACE | RBRACE | COMMA | SEMI | COLON
+    | DOTDOT | ARROW | CARET | PARBAR | PLUS | MINUS | STAR | SLASH | EOF ->
+      fail st "expected comparison operator"
+  in
+  advance st;
+  let right = parse_expr_level st in
+  Ast.Cmp (op, left, right)
+
+(* ------------------------------------------------------------------ *)
+(* phase expressions                                                   *)
+
+let starts_phase_atom = function
+  | ID _ | KW "eps" | LPAREN -> true
+  | INT _ | KW _ | RPAREN | LBRACE | RBRACE | COMMA | SEMI | COLON | DOTDOT | ARROW
+  | CARET | PARBAR | PLUS | MINUS | STAR | SLASH | EQ | NE | LE | GE | LT | GT | EOF ->
+    false
+
+let rec parse_pexpr st =
+  (* ';' is both the sequence operator and the declaration terminator:
+     it continues the sequence only when a phase atom follows *)
+  let rec loop left =
+    if
+      (current st).tok = SEMI
+      && st.pos + 1 < Array.length st.lexemes
+      && starts_phase_atom st.lexemes.(st.pos + 1).tok
+    then begin
+      advance st;
+      loop (Ast.PSeq (left, parse_ppar st))
+    end
+    else left
+  in
+  loop (parse_ppar st)
+
+and parse_ppar st =
+  let rec loop left =
+    if accept st PARBAR then loop (Ast.PPar (left, parse_prep st)) else left
+  in
+  loop (parse_prep st)
+
+and parse_prep st =
+  let atom = parse_patom st in
+  if accept st CARET then Ast.PRep (atom, parse_primary st) else atom
+
+and parse_patom st =
+  let lx = current st in
+  match lx.tok with
+  | KW "eps" ->
+    advance st;
+    Ast.PEps
+  | ID name ->
+    advance st;
+    Ast.PPhase name
+  | LPAREN ->
+    advance st;
+    let e = parse_pexpr st in
+    expect st RPAREN;
+    e
+  | INT _ | KW _ | RPAREN | LBRACE | RBRACE | COMMA | SEMI | COLON | DOTDOT | ARROW
+  | CARET | PARBAR | PLUS | MINUS | STAR | SLASH | EQ | NE | LE | GE | LT | GT | EOF ->
+    fail st (Printf.sprintf "expected phase, found %s" (token_name lx.tok))
+
+(* ------------------------------------------------------------------ *)
+(* declarations                                                        *)
+
+let parse_id_pattern st =
+  if accept st LPAREN then begin
+    let rec loop acc =
+      let v = expect_id st in
+      if accept st COMMA then loop (v :: acc) else List.rev (v :: acc)
+    in
+    let vars = loop [] in
+    expect st RPAREN;
+    vars
+  end
+  else [ expect_id st ]
+
+let parse_target st =
+  (* single expression, or explicitly parenthesized tuple of >= 2 *)
+  if (current st).tok = LPAREN then begin
+    let save = st.pos in
+    advance st;
+    let first = parse_expr_level st in
+    if accept st COMMA then begin
+      let rec loop acc =
+        let e = parse_expr_level st in
+        if accept st COMMA then loop (e :: acc) else List.rev (e :: acc)
+      in
+      let rest = loop [] in
+      expect st RPAREN;
+      first :: rest
+    end
+    else begin
+      (* parenthesized arithmetic: re-parse as a whole expression so
+         trailing operators ("(i+1) mod n") are consumed *)
+      st.pos <- save;
+      [ parse_expr_level st ]
+    end
+  end
+  else [ parse_expr_level st ]
+
+let parse_range st =
+  let lo = parse_expr_level st in
+  expect st DOTDOT;
+  let hi = parse_expr_level st in
+  { Ast.lo; hi }
+
+let parse_ranges st =
+  (* "(" range "," range ... ")" (multi-dim) or a bare range; a bare
+     range may itself start with "(" ("(n/2) .. n"), so backtrack. *)
+  if (current st).tok = LPAREN then begin
+    let save = st.pos in
+    advance st;
+    match
+      try
+        let r = parse_range st in
+        if (current st).tok = COMMA then Some r else None
+      with Parse_error _ -> None
+    with
+    | Some first ->
+      let rec loop acc =
+        if accept st COMMA then loop (parse_range st :: acc) else List.rev acc
+      in
+      let rest = loop [] in
+      expect st RPAREN;
+      first :: rest
+    | None ->
+      st.pos <- save;
+      [ parse_range st ]
+  end
+  else [ parse_range st ]
+
+let parse_rule st =
+  let src_type = expect_id st in
+  let src_vars = parse_id_pattern st in
+  expect st ARROW;
+  let dst_type = expect_id st in
+  let dst_exprs = parse_target st in
+  let volume =
+    if (current st).tok = KW "volume" then begin
+      advance st;
+      Some (parse_expr_level st)
+    end
+    else None
+  in
+  let guard =
+    if (current st).tok = KW "when" then begin
+      advance st;
+      Some (parse_cond st)
+    end
+    else None
+  in
+  expect st SEMI;
+  { Ast.src_type; src_vars; dst_type; dst_exprs; volume; guard }
+
+let parse_program st =
+  expect_kw st "algorithm";
+  let prog_name = expect_id st in
+  expect st LPAREN;
+  let params =
+    if (current st).tok = RPAREN then []
+    else begin
+      let rec loop acc =
+        let p = expect_id st in
+        if accept st COMMA then loop (p :: acc) else List.rev (p :: acc)
+      in
+      loop []
+    end
+  in
+  expect st RPAREN;
+  expect st SEMI;
+  let imports = ref [] in
+  let family = ref None in
+  let nodetypes = ref [] in
+  let spawns = ref [] in
+  let comphases = ref [] in
+  let exphases = ref [] in
+  let phases = ref None in
+  let rec decls () =
+    match (current st).tok with
+    | EOF -> ()
+    | KW "import" ->
+      advance st;
+      let rec loop () =
+        imports := expect_id st :: !imports;
+        if accept st COMMA then loop ()
+      in
+      loop ();
+      expect st SEMI;
+      decls ()
+    | KW "family" ->
+      advance st;
+      let f = expect_id st in
+      if !family <> None then fail st "duplicate family declaration";
+      family := Some f;
+      expect st SEMI;
+      decls ()
+    | KW "nodetype" ->
+      advance st;
+      let nt_name = expect_id st in
+      expect st COLON;
+      let nt_ranges = parse_ranges st in
+      let nt_symmetric = (current st).tok = KW "nodesymmetric" in
+      if nt_symmetric then advance st;
+      expect st SEMI;
+      nodetypes := { Ast.nt_name; nt_ranges; nt_symmetric } :: !nodetypes;
+      decls ()
+    | KW "spawntree" ->
+      advance st;
+      let sp_name = expect_id st in
+      expect st COLON;
+      expect_kw st "depth";
+      let sp_depth = parse_expr_level st in
+      expect st SEMI;
+      spawns := { Ast.sp_name; sp_depth } :: !spawns;
+      decls ()
+    | KW "comphase" ->
+      advance st;
+      let cp_name = expect_id st in
+      expect st LBRACE;
+      let rec rules acc =
+        if (current st).tok = RBRACE then List.rev acc else rules (parse_rule st :: acc)
+      in
+      let rs = rules [] in
+      expect st RBRACE;
+      comphases := { Ast.cp_name; rules = rs } :: !comphases;
+      decls ()
+    | KW "exphase" ->
+      advance st;
+      let ep_name = expect_id st in
+      let ep_pattern =
+        if accept st COLON then begin
+          let ty = expect_id st in
+          let vars = parse_id_pattern st in
+          Some (ty, vars)
+        end
+        else None
+      in
+      let ep_cost =
+        if (current st).tok = KW "cost" then begin
+          advance st;
+          Some (parse_expr_level st)
+        end
+        else None
+      in
+      expect st SEMI;
+      exphases := { Ast.ep_name; ep_pattern; ep_cost } :: !exphases;
+      decls ()
+    | KW "phases" ->
+      advance st;
+      let pe = parse_pexpr st in
+      if !phases <> None then fail st "duplicate phases declaration";
+      phases := Some pe;
+      expect st SEMI;
+      decls ()
+    | INT _ | ID _ | KW _ | LPAREN | RPAREN | LBRACE | RBRACE | COMMA | SEMI | COLON
+    | DOTDOT | ARROW | CARET | PARBAR | PLUS | MINUS | STAR | SLASH | EQ | NE | LE | GE
+    | LT | GT ->
+      fail st
+        (Printf.sprintf "expected declaration, found %s" (token_name (current st).tok))
+  in
+  decls ();
+  let phases =
+    match !phases with
+    | Some p -> p
+    | None -> fail st "program is missing a phases declaration"
+  in
+  {
+    Ast.prog_name;
+    params;
+    imports = List.rev !imports;
+    family = !family;
+    nodetypes = List.rev !nodetypes;
+    spawns = List.rev !spawns;
+    comphases = List.rev !comphases;
+    exphases = List.rev !exphases;
+    phases;
+  }
+
+let run source entry =
+  match Lexer.tokenize source with
+  | Error msg -> Error msg
+  | Ok lexemes -> begin
+    let st = { lexemes = Array.of_list lexemes; pos = 0 } in
+    try
+      let result = entry st in
+      expect st EOF;
+      Ok result
+    with Parse_error msg -> Error msg
+  end
+
+let parse source = run source parse_program
+
+let parse_expr source = run source parse_expr_level

@@ -1,0 +1,32 @@
+(** Recursive-descent parser for LaRCS.
+
+    Grammar sketch (see {!Ast} for an example program):
+
+    {v
+    program  := "algorithm" ID "(" [ID {"," ID}] ")" ";" decl*
+    decl     := "import" ID {"," ID} ";"
+              | "family" ID ";"
+              | "nodetype" ID ":" ranges ["nodesymmetric"] ";"
+              | "comphase" ID "{" rule* "}"
+              | "exphase" ID [":" ID pattern] ["cost" expr] ";"
+              | "phases" pexpr ";"
+    ranges   := range | "(" range {"," range} ")"
+    range    := expr ".." expr
+    rule     := ID pattern "->" ID target ["volume" expr] ["when" cond] ";"
+    pattern  := ID | "(" ID {"," ID} ")"
+    target   := expr | "(" expr "," expr {"," expr} ")"
+    pexpr    := ppar {";" ppar}
+    ppar     := prep {"||" prep}
+    prep     := patom ["^" primary]
+    patom    := "eps" | ID | "(" pexpr ")"
+    expr     := add-level with xor lowest, then + -, then * / mod div,
+                unary -, calls min/max/abs/pow/log2, parentheses
+    cond     := "or"/"and"/"not" over comparisons  = != < <= > >=
+    v} *)
+
+val parse : string -> (Ast.program, string) result
+(** Lexes and parses a complete program; errors carry line/column. *)
+
+val parse_expr : string -> (Ast.expr, string) result
+(** Parses a standalone arithmetic expression (used by the CLI for
+    parameter values and by tests). *)

@@ -1,0 +1,97 @@
+let rec expr e =
+  match e with
+  | Ast.Int v -> string_of_int v
+  | Ast.Var v -> v
+  | Ast.Neg a -> "-" ^ atom a
+  | Ast.Bin (op, a, b) -> Printf.sprintf "%s %s %s" (atom a) (Ast.binop_name op) (atom b)
+  | Ast.Call (f, args) -> Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr args))
+
+and atom e =
+  match e with
+  | Ast.Int _ | Ast.Var _ | Ast.Call _ -> expr e
+  | Ast.Neg _ | Ast.Bin _ -> "(" ^ expr e ^ ")"
+
+let rec cond c =
+  match c with
+  | Ast.Cmp (op, a, b) -> Printf.sprintf "%s %s %s" (expr a) (Ast.cmpop_name op) (expr b)
+  | Ast.And (a, b) -> Printf.sprintf "(%s) and (%s)" (cond a) (cond b)
+  | Ast.Or (a, b) -> Printf.sprintf "(%s) or (%s)" (cond a) (cond b)
+  | Ast.Not a -> Printf.sprintf "not (%s)" (cond a)
+
+let rec pexpr pe =
+  match pe with
+  | Ast.PEps -> "eps"
+  | Ast.PPhase name -> name
+  | Ast.PSeq (a, b) -> Printf.sprintf "%s; %s" (pseq a) (pseq b)
+  | Ast.PRep (a, e) -> Printf.sprintf "%s^%s" (patom a) (rep_exponent e)
+  | Ast.PPar (a, b) -> Printf.sprintf "%s || %s" (patom a) (patom b)
+
+and pseq pe =
+  match pe with
+  | Ast.PPar _ -> "(" ^ pexpr pe ^ ")"
+  | Ast.PEps | Ast.PPhase _ | Ast.PSeq _ | Ast.PRep _ -> pexpr pe
+
+and patom pe =
+  match pe with
+  | Ast.PEps | Ast.PPhase _ -> pexpr pe
+  | Ast.PSeq _ | Ast.PRep _ | Ast.PPar _ -> "(" ^ pexpr pe ^ ")"
+
+and rep_exponent e =
+  match e with
+  | Ast.Int v when v >= 0 -> string_of_int v
+  | Ast.Var v -> v
+  | Ast.Int _ | Ast.Neg _ | Ast.Bin _ | Ast.Call _ -> "(" ^ expr e ^ ")"
+
+let id_pattern = function
+  | [ v ] -> v
+  | vs -> "(" ^ String.concat ", " vs ^ ")"
+
+let target_pattern = function
+  | [ e ] -> atom e
+  | es -> "(" ^ String.concat ", " (List.map expr es) ^ ")"
+
+let range { Ast.lo; hi } = Printf.sprintf "%s .. %s" (expr lo) (expr hi)
+
+let program (p : Ast.program) =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "algorithm %s(%s);" p.Ast.prog_name (String.concat ", " p.Ast.params);
+  if p.Ast.imports <> [] then line "import %s;" (String.concat ", " p.Ast.imports);
+  (match p.Ast.family with Some f -> line "family %s;" f | None -> ());
+  List.iter
+    (fun (nt : Ast.nodetype) ->
+      let ranges =
+        match nt.Ast.nt_ranges with
+        | [ r ] -> range r
+        | rs -> "(" ^ String.concat ", " (List.map range rs) ^ ")"
+      in
+      line "nodetype %s : %s%s;" nt.Ast.nt_name ranges
+        (if nt.Ast.nt_symmetric then " nodesymmetric" else ""))
+    p.Ast.nodetypes;
+  List.iter
+    (fun (sp : Ast.spawntree) -> line "spawntree %s : depth %s;" sp.Ast.sp_name (expr sp.Ast.sp_depth))
+    p.Ast.spawns;
+  List.iter
+    (fun (cp : Ast.comphase) ->
+      line "comphase %s {" cp.Ast.cp_name;
+      List.iter
+        (fun (r : Ast.rule) ->
+          let vol = match r.Ast.volume with None -> "" | Some e -> " volume " ^ expr e in
+          let guard = match r.Ast.guard with None -> "" | Some c -> " when " ^ cond c in
+          line "  %s %s -> %s %s%s%s;" r.Ast.src_type (id_pattern r.Ast.src_vars)
+            r.Ast.dst_type (target_pattern r.Ast.dst_exprs) vol guard)
+        cp.Ast.rules;
+      line "}")
+    p.Ast.comphases;
+  List.iter
+    (fun (ep : Ast.exphase) ->
+      let pat =
+        match ep.Ast.ep_pattern with
+        | None -> ""
+        | Some (ty, vars) -> Printf.sprintf " : %s %s" ty (id_pattern vars)
+      in
+      let cost = match ep.Ast.ep_cost with None -> "" | Some e -> " cost " ^ expr e in
+      line "exphase %s%s%s;" ep.Ast.ep_name pat cost)
+    p.Ast.exphases;
+  line "phases %s;" (pexpr p.Ast.phases);
+  Buffer.contents buf

@@ -1,0 +1,11 @@
+(** Pretty-printing of LaRCS programs back to concrete syntax. *)
+
+val expr : Ast.expr -> string
+
+val cond : Ast.cond -> string
+
+val pexpr : Ast.pexpr -> string
+
+val program : Ast.program -> string
+(** Valid LaRCS source: [parse (program p)] re-parses to an equal AST
+    (modulo expression parenthesization). *)

@@ -1,0 +1,1 @@
+lib/mapper/aggregate.ml: Array Hashtbl List Mapping Option Oregami_graph Oregami_taskgraph Oregami_topology Printf

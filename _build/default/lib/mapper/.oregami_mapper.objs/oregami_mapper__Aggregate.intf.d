@@ -1,0 +1,1 @@
+lib/mapper/aggregate.mli: Mapping Oregami_taskgraph

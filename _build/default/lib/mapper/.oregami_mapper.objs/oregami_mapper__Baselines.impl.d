@@ -1,0 +1,1 @@
+lib/mapper/baselines.ml: Array Oregami_prelude

@@ -1,0 +1,1 @@
+lib/mapper/baselines.mli: Oregami_prelude

@@ -1,0 +1,1 @@
+lib/mapper/binomial_mesh.mli:

@@ -1,0 +1,1 @@
+lib/mapper/canned.ml: Array Binomial_mesh Option Oregami_topology

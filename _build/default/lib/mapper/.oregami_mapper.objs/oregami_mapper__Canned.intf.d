@@ -1,0 +1,1 @@
+lib/mapper/canned.mli: Oregami_topology

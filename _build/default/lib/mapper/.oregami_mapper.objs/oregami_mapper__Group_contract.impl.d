@@ -1,0 +1,1 @@
+lib/mapper/group_contract.ml: Array List Option Oregami_graph Oregami_perm Oregami_taskgraph Printf Result

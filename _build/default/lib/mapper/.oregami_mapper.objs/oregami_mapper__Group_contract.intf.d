@@ -1,0 +1,1 @@
+lib/mapper/group_contract.mli: Oregami_perm Oregami_taskgraph

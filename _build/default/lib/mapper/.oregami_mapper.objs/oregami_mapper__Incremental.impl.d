@@ -1,0 +1,1 @@
+lib/mapper/incremental.ml: Array List Oregami_graph Oregami_topology Seq

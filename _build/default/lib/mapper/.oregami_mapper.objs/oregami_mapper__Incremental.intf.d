@@ -1,0 +1,1 @@
+lib/mapper/incremental.mli: Oregami_graph Oregami_topology

@@ -1,0 +1,1 @@
+lib/mapper/kl.ml: Array Hashtbl List Oregami_graph

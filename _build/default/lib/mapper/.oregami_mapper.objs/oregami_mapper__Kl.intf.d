@@ -1,0 +1,1 @@
+lib/mapper/kl.mli: Oregami_graph

@@ -1,0 +1,1 @@
+lib/mapper/mapping.ml: Array Format List Oregami_graph Oregami_taskgraph Oregami_topology Printf Result

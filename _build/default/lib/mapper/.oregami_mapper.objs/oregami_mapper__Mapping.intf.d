@@ -1,0 +1,1 @@
+lib/mapper/mapping.mli: Format Oregami_graph Oregami_taskgraph Oregami_topology

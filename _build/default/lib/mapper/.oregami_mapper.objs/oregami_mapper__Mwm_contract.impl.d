@@ -1,0 +1,1 @@
+lib/mapper/mwm_contract.ml: Array Hashtbl List Mapping Oregami_graph Oregami_matching Oregami_prelude Printf

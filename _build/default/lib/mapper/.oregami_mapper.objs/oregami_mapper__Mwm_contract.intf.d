@@ -1,0 +1,1 @@
+lib/mapper/mwm_contract.mli: Oregami_graph

@@ -1,0 +1,1 @@
+lib/mapper/nn_embed.ml: Array List Oregami_graph Oregami_topology

@@ -1,0 +1,1 @@
+lib/mapper/nn_embed.mli: Oregami_graph Oregami_topology

@@ -1,0 +1,1 @@
+lib/mapper/refine.ml: Array List Nn_embed Oregami_graph Oregami_topology

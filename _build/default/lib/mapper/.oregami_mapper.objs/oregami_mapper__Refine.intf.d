@@ -1,0 +1,1 @@
+lib/mapper/refine.mli: Oregami_graph Oregami_topology

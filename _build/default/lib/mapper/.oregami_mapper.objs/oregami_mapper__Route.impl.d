@@ -1,0 +1,1 @@
+lib/mapper/route.ml: Array Hashtbl List Mapping Oregami_graph Oregami_matching Oregami_taskgraph Oregami_topology

@@ -1,0 +1,1 @@
+lib/mapper/route.mli: Mapping Oregami_taskgraph Oregami_topology

@@ -1,0 +1,1 @@
+lib/mapper/stone.ml: Array Hashtbl List Oregami_graph Oregami_matching

@@ -1,0 +1,1 @@
+lib/mapper/stone.mli: Oregami_graph

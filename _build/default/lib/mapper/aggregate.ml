@@ -1,0 +1,168 @@
+module Taskgraph = Oregami_taskgraph.Taskgraph
+module Topology = Oregami_topology.Topology
+module Routes = Oregami_topology.Routes
+module Digraph = Oregami_graph.Digraph
+module Traverse = Oregami_graph.Traverse
+
+let is_aggregation tg phase =
+  match Taskgraph.comm_phase tg phase with
+  | None -> None
+  | Some cp ->
+    let targets =
+      Digraph.edges cp.Taskgraph.edges |> List.map (fun (_, v, _) -> v) |> List.sort_uniq compare
+    in
+    (match targets with
+    | [ root ] -> Some root
+    | [] | _ :: _ :: _ -> None)
+
+let hot_link_volume (m : Mapping.t) phase =
+  let counts = Array.make (Topology.link_count m.Mapping.topo) 0 in
+  (match List.find_opt (fun pr -> pr.Mapping.pr_phase = phase) m.Mapping.routings with
+  | None -> ()
+  | Some pr ->
+    List.iter
+      (fun re ->
+        List.iter
+          (fun l -> counts.(l) <- counts.(l) + re.Mapping.re_volume)
+          re.Mapping.re_route.Routes.links)
+      pr.Mapping.pr_edges);
+  Array.fold_left max 0 counts
+
+let replan_phase (m : Mapping.t) ~phase =
+  let tg = m.Mapping.tg in
+  let topo = m.Mapping.topo in
+  match is_aggregation tg phase with
+  | None -> Error (Printf.sprintf "phase %S is not an aggregation (all edges to one task)" phase)
+  | Some root ->
+    let cp = Option.get (Taskgraph.comm_phase tg phase) in
+    let n = tg.Taskgraph.n in
+    let procs = Topology.node_count topo in
+    let root_proc = Mapping.proc_of_task m root in
+    (* BFS spanning tree of the network towards the root's processor *)
+    let dist = Traverse.bfs_dist (Topology.graph topo) root_proc in
+    let parent = Array.make procs (-1) in
+    for p = 0 to procs - 1 do
+      if p <> root_proc && dist.(p) < max_int then begin
+        let next =
+          List.find_opt
+            (fun (q, _) -> dist.(q) = dist.(p) - 1)
+            (Oregami_graph.Ugraph.neighbors (Topology.graph topo) p)
+        in
+        match next with Some (q, _) -> parent.(p) <- q | None -> ()
+      end
+    done;
+    (* per-processor senders and their volumes *)
+    let local_max = Array.make procs 0 in
+    let senders = Array.make procs [] in
+    List.iter
+      (fun (u, _, w) ->
+        if u <> root then begin
+          let p = Mapping.proc_of_task m u in
+          local_max.(p) <- max local_max.(p) w;
+          senders.(p) <- u :: senders.(p)
+        end)
+      (Digraph.edges cp.Taskgraph.edges);
+    let has_tasks p = senders.(p) <> [] || p = root_proc in
+    let rep p = if p = root_proc then root else List.fold_left min max_int senders.(p) in
+    (* nearest task-bearing ancestor *)
+    let rec anc p =
+      let q = parent.(p) in
+      if q = -1 then root_proc else if has_tasks q then q else anc q
+    in
+    (* subtree-combined volume per task-bearing processor, processed
+       deepest-first so children accumulate into parents *)
+    let order =
+      List.init procs (fun p -> p)
+      |> List.filter (fun p -> has_tasks p && p <> root_proc)
+      |> List.sort (fun a b -> compare (dist.(b), a) (dist.(a), b))
+    in
+    let combined = Array.copy local_max in
+    let tree_edges =
+      List.map
+        (fun p ->
+          let target = anc p in
+          let volume = combined.(p) in
+          combined.(target) <- max combined.(target) volume;
+          (p, target, volume))
+        order
+    in
+    (* rebuild the phase's digraph *)
+    let g = Digraph.create n in
+    let routed = ref [] in
+    (* local forwarding to the representative (or to the root when
+       co-located with it) *)
+    let sender_volume = Hashtbl.create 16 in
+    List.iter
+      (fun (u, _, w) -> if u <> root then Hashtbl.replace sender_volume u w)
+      (Digraph.edges cp.Taskgraph.edges);
+    Array.iteri
+      (fun p tasks ->
+        let r = rep p in
+        List.iter
+          (fun u ->
+            if u <> r then begin
+              let w = Option.value ~default:1 (Hashtbl.find_opt sender_volume u) in
+              Digraph.add_edge ~w g u r;
+              routed :=
+                {
+                  Mapping.re_src = u;
+                  re_dst = r;
+                  re_volume = w;
+                  re_route = { Routes.nodes = [ p ]; links = [] };
+                }
+                :: !routed
+            end)
+          tasks)
+      senders;
+    (* tree hops between representatives, routed along the BFS tree *)
+    List.iter
+      (fun (p, target, volume) ->
+        let rec path q acc = if q = target then List.rev (q :: acc) else path parent.(q) (q :: acc) in
+        (* walk to the direct tree ancestor even across empty procs *)
+        let nodes = path p [] in
+        let src = rep p and dst = rep target in
+        Digraph.add_edge ~w:volume g src dst;
+        routed :=
+          {
+            Mapping.re_src = src;
+            re_dst = dst;
+            re_volume = volume;
+            re_route = { Routes.nodes; links = Topology.links_of_path topo nodes };
+          }
+          :: !routed)
+      tree_edges;
+    (* rebuild the task graph with the phase replaced *)
+    let comm_phases =
+      List.map
+        (fun (cpx : Taskgraph.comm_phase) ->
+          if cpx.Taskgraph.cp_name = phase then (phase, g)
+          else (cpx.Taskgraph.cp_name, cpx.Taskgraph.edges))
+        tg.Taskgraph.comm_phases
+    in
+    let exec_phases =
+      List.map (fun (ep : Taskgraph.exec_phase) -> (ep.Taskgraph.ep_name, ep.Taskgraph.costs))
+        tg.Taskgraph.exec_phases
+    in
+    (match
+       Taskgraph.make ~node_labels:tg.Taskgraph.node_labels
+         ~node_types:tg.Taskgraph.node_types
+         ~declared_symmetric:tg.Taskgraph.declared_symmetric
+         ?declared_family:tg.Taskgraph.declared_family
+         ~name:tg.Taskgraph.tg_name ~n ~comm_phases ~exec_phases ~expr:tg.Taskgraph.expr ()
+     with
+    | Error e -> Error ("aggregate replan: " ^ e)
+    | Ok tg' ->
+      let routings =
+        List.map
+          (fun pr ->
+            if pr.Mapping.pr_phase = phase then
+              { Mapping.pr_phase = phase; pr_edges = List.rev !routed }
+            else pr)
+          m.Mapping.routings
+      in
+      let candidate =
+        { m with Mapping.tg = tg'; routings; strategy = m.Mapping.strategy ^ "+tree-agg" }
+      in
+      (match Mapping.validate candidate with
+      | Ok () -> Ok candidate
+      | Error e -> Error ("aggregate replan produced invalid mapping: " ^ e)))

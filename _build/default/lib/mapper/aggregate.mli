@@ -1,0 +1,29 @@
+(** Aggregate-topology selection (paper §6): "many parallel algorithms
+    use a specific tree topology to aggregate results when a variety of
+    alternate communication topologies will suffice … we would like to
+    automatically select the aggregate topology that is compatible with
+    the communication topologies of other phases".
+
+    Given a mapping whose phase is an {e aggregation} (every task sends
+    to one root task), this module re-plans that phase: values combine
+    on each processor, and one combined message per processor flows
+    down a shortest-path spanning tree of the network towards the
+    root's processor.  Each tree link carries exactly one message per
+    step, so the root's links stop being a hot spot. *)
+
+val is_aggregation : Oregami_taskgraph.Taskgraph.t -> string -> int option
+(** [Some root] when every edge of the phase points at the single task
+    [root] (and the phase is non-empty). *)
+
+val replan_phase : Mapping.t -> phase:string -> (Mapping.t, string) result
+(** Replaces the aggregation phase's task edges by the spanning-tree
+    reduction: tasks forward to a co-located representative for free;
+    each non-root processor's representative sends one combined message
+    (reduction modelled as size-preserving: volume = max entering the
+    subtree) to the nearest task-bearing ancestor on the tree.  The
+    task graph inside the mapping is rebuilt and the phase routed along
+    the tree paths.  Fails when the phase is not an aggregation. *)
+
+val hot_link_volume : Mapping.t -> string -> int
+(** The busiest link's volume in one occurrence of the phase — the
+    quantity tree aggregation is meant to flatten. *)

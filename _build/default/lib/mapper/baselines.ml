@@ -1,0 +1,19 @@
+module Rng = Oregami_prelude.Rng
+
+let identity_embedding k = Array.init k (fun c -> c)
+
+let block ~n ~procs =
+  let k = min n procs in
+  (Array.init n (fun i -> i * k / n), identity_embedding k)
+
+let round_robin ~n ~procs =
+  let k = min n procs in
+  (Array.init n (fun i -> i mod k), identity_embedding k)
+
+let random rng ~n ~procs =
+  let k = min n procs in
+  let order = Array.init n (fun i -> i) in
+  Rng.shuffle rng order;
+  let cluster_of = Array.make n 0 in
+  Array.iteri (fun rank task -> cluster_of.(task) <- rank * k / n) order;
+  (cluster_of, identity_embedding k)

@@ -1,0 +1,16 @@
+(** Naive placements used as experiment baselines: what a programmer
+    gets from "manual task assignment ... and message routing that does
+    not utilize information about the communication patterns of the
+    computation" (paper §1). *)
+
+val random :
+  Oregami_prelude.Rng.t -> n:int -> procs:int -> int array * int array
+(** Random balanced placement: tasks shuffled, dealt into [procs]
+    blocks.  Returns [(cluster_of, proc_of_cluster)]. *)
+
+val block : n:int -> procs:int -> int array * int array
+(** Task [i] → cluster [i·procs/n], cluster [c] → processor [c]
+    (the common "consecutive ranks" default). *)
+
+val round_robin : n:int -> procs:int -> int array * int array
+(** Task [i] → cluster [i mod procs]. *)

@@ -1,0 +1,160 @@
+type layout = {
+  k : int;
+  rows : int;
+  cols : int;
+  pos : (int * int) array;
+  total_dilation : int;
+}
+
+type flip = { fh : bool; fv : bool }
+
+type entry = {
+  e_rows : int;
+  e_cols : int;
+  e_root : int * int;
+  e_dil : int;
+  e_parts : parts;
+}
+
+and parts =
+  | Leaf
+  | Combine of {
+      a : entry;  (** keeps the root (low node ids) *)
+      b : entry;  (** shifted copy (ids + 2^(level-1)) *)
+      fa : flip;
+      fb : flip;
+      vertical : bool;  (** b below a (else b right of a) *)
+    }
+
+let apply_flip f ~rows ~cols (r, c) =
+  ((if f.fv then rows - 1 - r else r), if f.fh then cols - 1 - c else c)
+
+let flips = [ { fh = false; fv = false }; { fh = true; fv = false };
+              { fh = false; fv = true }; { fh = true; fv = true } ]
+
+let manhattan (r1, c1) (r2, c2) = abs (r1 - r2) + abs (c1 - c2)
+
+(* Beam of layout candidates per level: best total dilation per
+   distinct root position, trimmed to [beam] by dilation. *)
+let levels ~beam k =
+  let leaf = { e_rows = 1; e_cols = 1; e_root = (0, 0); e_dil = 0; e_parts = Leaf } in
+  let rec go level pool acc =
+    if level > k then List.rev acc
+    else begin
+      let vertical = level mod 2 = 0 in
+      let best = Hashtbl.create 64 in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              List.iter
+                (fun fa ->
+                  let ra = apply_flip fa ~rows:a.e_rows ~cols:a.e_cols a.e_root in
+                  List.iter
+                    (fun fb ->
+                      let rb0 = apply_flip fb ~rows:b.e_rows ~cols:b.e_cols b.e_root in
+                      let rb =
+                        if vertical then (fst rb0 + a.e_rows, snd rb0)
+                        else (fst rb0, snd rb0 + a.e_cols)
+                      in
+                      let d = manhattan ra rb in
+                      let dil = a.e_dil + b.e_dil + d in
+                      let rows = if vertical then 2 * a.e_rows else a.e_rows in
+                      let cols = if vertical then a.e_cols else 2 * a.e_cols in
+                      let key = ra in
+                      let better =
+                        match Hashtbl.find_opt best key with
+                        | Some e -> dil < e.e_dil
+                        | None -> true
+                      in
+                      if better then
+                        Hashtbl.replace best key
+                          {
+                            e_rows = rows;
+                            e_cols = cols;
+                            e_root = ra;
+                            e_dil = dil;
+                            e_parts = Combine { a; b; fa; fb; vertical };
+                          })
+                    flips)
+                flips)
+            pool)
+        pool;
+      let candidates =
+        Hashtbl.fold (fun _ e acc -> e :: acc) best []
+        |> List.sort (fun x y -> compare (x.e_dil, x.e_root) (y.e_dil, y.e_root))
+      in
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: rest -> x :: take (n - 1) rest
+      in
+      let pool = take beam candidates in
+      go (level + 1) pool (pool :: acc)
+    end
+  in
+  go 1 [ leaf ] [ [ leaf ] ]
+
+let best_entry ~beam k =
+  let all = levels ~beam k in
+  match List.nth_opt all k with
+  | Some (e :: _) -> e
+  | Some [] | None -> invalid_arg "Binomial_mesh: no layout found"
+
+let average_dilation ?(beam = 64) k =
+  if k < 0 then invalid_arg "Binomial_mesh.average_dilation: negative order";
+  if k = 0 then 0.0
+  else begin
+    let e = best_entry ~beam k in
+    float_of_int e.e_dil /. float_of_int ((1 lsl k) - 1)
+  end
+
+(* Materialize node positions by replaying the combine decisions.
+   Copy [a] holds ids [0 .. 2^(l-1)-1], copy [b] the rest. *)
+let rec materialize e =
+  match e.e_parts with
+  | Leaf -> [| (0, 0) |]
+  | Combine { a; b; fa; fb; vertical } ->
+    let pa = materialize a and pb = materialize b in
+    let na = Array.length pa in
+    let place_a p = apply_flip fa ~rows:a.e_rows ~cols:a.e_cols p in
+    let place_b p =
+      let r, c = apply_flip fb ~rows:b.e_rows ~cols:b.e_cols p in
+      if vertical then (r + a.e_rows, c) else (r, c + a.e_cols)
+    in
+    Array.append (Array.map place_a pa) (Array.map place_b pb) |> fun arr ->
+    assert (Array.length arr = 2 * na);
+    arr
+
+let embed ?(beam = 64) k =
+  if k < 0 then invalid_arg "Binomial_mesh.embed: negative order";
+  if k = 0 then { k; rows = 1; cols = 1; pos = [| (0, 0) |]; total_dilation = 0 }
+  else begin
+    let e = best_entry ~beam k in
+    { k; rows = e.e_rows; cols = e.e_cols; pos = materialize e; total_dilation = e.e_dil }
+  end
+
+let check l =
+  let n = Array.length l.pos in
+  n = 1 lsl l.k
+  && n = l.rows * l.cols
+  && begin
+       let seen = Array.make n false in
+       Array.for_all
+         (fun (r, c) ->
+           r >= 0 && r < l.rows && c >= 0 && c < l.cols
+           &&
+           let idx = (r * l.cols) + c in
+           if seen.(idx) then false
+           else begin
+             seen.(idx) <- true;
+             true
+           end)
+         l.pos
+     end
+  &&
+  let total = ref 0 in
+  for i = 1 to n - 1 do
+    total := !total + manhattan l.pos.(i) l.pos.(i land (i - 1))
+  done;
+  !total = l.total_dilation

@@ -1,0 +1,34 @@
+(** Embedding binomial trees into square-ish meshes (paper §4.1).
+
+    The paper's contribution is an embedding of the binomial tree [B_k]
+    (2^k nodes, node [i]'s parent clears [i]'s lowest set bit) into the
+    [2^⌈k/2⌉ × 2^⌊k/2⌋] mesh with average dilation bounded by ≈1.2 for
+    arbitrarily large [k] (their tech report is unavailable, so this is
+    an independent construction targeting the same bound).
+
+    The construction is recursive — [B_k] is two copies of [B_{k-1}]
+    plus one root–root edge — with a beam-search dynamic program over
+    (root position, total dilation) layout candidates: at each level
+    every pair of retained sub-layouts is combined under all 16
+    reflection choices, letting one copy specialize for a
+    boundary-accessible root and the other for low internal dilation. *)
+
+type layout = {
+  k : int;
+  rows : int;
+  cols : int;
+  pos : (int * int) array;  (** binomial node id → mesh cell *)
+  total_dilation : int;  (** sum of Manhattan lengths over tree edges *)
+}
+
+val embed : ?beam:int -> int -> layout
+(** [embed k] materializes the best found embedding of [B_k]
+    ([beam] defaults to 64; deterministic).  [k ≤ 24] is practical. *)
+
+val average_dilation : ?beam:int -> int -> float
+(** Average dilation of the best embedding without materializing node
+    positions — usable for large [k]. *)
+
+val check : layout -> bool
+(** The positions are a bijection onto the mesh and [total_dilation]
+    matches the recomputed sum. *)

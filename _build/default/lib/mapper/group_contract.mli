@@ -1,0 +1,40 @@
+(** Group-theoretic contraction of node-symmetric task graphs
+    (paper §4.2.2).
+
+    When every communication phase is a bijection on the task labels,
+    the phases are permutations generating a group G.  If G acts
+    regularly (|G| = |X|, checked via the paper's equal-cycle-length
+    test), the task graph is the Cayley graph of G and any subgroup H
+    of order |X|/P yields a perfectly balanced contraction into P
+    clusters (cosets), each internalizing the same number of messages.
+    A corollary to Sylow's theorem guarantees such an H exists whenever
+    |X|/P is a prime power. *)
+
+type t = {
+  group : Oregami_perm.Group.t;
+  correspondence : int array;  (** group element index → task label *)
+  subgroup : int list;  (** element indices of the chosen H *)
+  normal : bool;  (** H normal in G (quotient is again a Cayley graph) *)
+  cluster_of : int array;  (** task → cluster (coset) *)
+  clusters : int list array;
+  internalized : int;
+      (** messages internalized per cluster, summed over generators —
+          uniform across clusters by the coset property *)
+}
+
+val generators_of : Oregami_taskgraph.Taskgraph.t -> (string * Oregami_perm.Perm.t) list option
+(** The phase permutations, when every communication phase is a
+    bijection on tasks; [None] otherwise. *)
+
+val contract :
+  Oregami_taskgraph.Taskgraph.t -> procs:int -> (t, string) result
+(** Full pipeline: extract generators, close the group with the
+    paper's [|G| ≤ |X|] halting bound, verify the Cayley conditions,
+    search subgroups of order [n/procs] (preferring normal subgroups,
+    then maximal internalized traffic), and return the coset
+    contraction.  Fails with a diagnostic when any condition breaks
+    (caller falls back to MWM-Contract). *)
+
+val balanced_contraction_exists : n:int -> procs:int -> bool
+(** The Sylow-corollary sufficient condition: [n mod procs = 0] and
+    [n/procs] is 1 or a prime power. *)

@@ -1,0 +1,50 @@
+module Ugraph = Oregami_graph.Ugraph
+module Shortest = Oregami_graph.Shortest
+module Topology = Oregami_topology.Topology
+
+let generations activation =
+  let levels = Array.fold_left max 0 activation in
+  List.init (levels + 1) (fun l ->
+      Array.to_list
+        (Array.of_seq
+           (Seq.filter_map
+              (fun (t, a) -> if a = l then Some t else None)
+              (Array.to_seqi activation))))
+  |> List.filter (fun g -> g <> [])
+
+let place static ~activation ~cap topo =
+  let n = Ugraph.node_count static in
+  let procs = Topology.node_count topo in
+  if Array.length activation <> n then invalid_arg "Incremental.place: activation length";
+  if cap * procs < n then invalid_arg "Incremental.place: capacity too small";
+  let hops = Shortest.all_pairs_hops (Topology.graph topo) in
+  let proc_of = Array.make n (-1) in
+  let load = Array.make procs 0 in
+  let assign t p =
+    proc_of.(t) <- p;
+    load.(p) <- load.(p) + 1
+  in
+  List.iter
+    (fun generation ->
+      List.iter
+        (fun t ->
+          let cost p =
+            List.fold_left
+              (fun acc (u, w) ->
+                if proc_of.(u) <> -1 then acc + (w * hops.(p).(proc_of.(u))) else acc)
+              0 (Ugraph.neighbors static t)
+          in
+          let best = ref (-1) and best_key = ref (max_int, max_int, max_int) in
+          for p = 0 to procs - 1 do
+            if load.(p) < cap then begin
+              let key = (cost p, load.(p), p) in
+              if key < !best_key then begin
+                best_key := key;
+                best := p
+              end
+            end
+          done;
+          assign t !best)
+        generation)
+    (generations activation);
+  proc_of

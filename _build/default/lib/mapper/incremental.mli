@@ -1,0 +1,25 @@
+(** Incremental placement for dynamically spawned computations
+    (paper §6): tasks of a regular spawning pattern appear generation
+    by generation, so the mapper places each new generation without
+    moving anything already running — unlike the static mapper, which
+    sees the whole final graph in advance.
+
+    The quality gap between this online placement and the clairvoyant
+    static mapping measures what the predictable spawning pattern buys
+    (the paper's motivation for describing spawning in LaRCS). *)
+
+val place :
+  Oregami_graph.Ugraph.t ->
+  activation:int array ->
+  cap:int ->
+  Oregami_topology.Topology.t ->
+  int array
+(** [place static ~activation ~cap topo] assigns tasks to processors in
+    generation order (ties by task id).  Each arriving task goes to the
+    processor minimising the hop-weighted communication to its
+    already-placed neighbours, among processors with fewer than [cap]
+    tasks (ties: lightest load, then smallest id).  Requires
+    [cap × processors ≥ tasks]. *)
+
+val generations : int array -> int list list
+(** Task ids grouped by activation level, levels ascending. *)

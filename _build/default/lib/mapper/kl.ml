@@ -1,0 +1,131 @@
+module Ugraph = Oregami_graph.Ugraph
+
+let cut_weight g side =
+  List.fold_left
+    (fun acc (u, v, w) -> if side.(u) <> side.(v) then acc + w else acc)
+    0 (Ugraph.edges g)
+
+(* one Kernighan-Lin pass: returns true if it improved the split *)
+let kl_pass g side =
+  let n = Ugraph.node_count g in
+  let d = Array.make n 0 in
+  let weight u v = Ugraph.weight g u v in
+  for u = 0 to n - 1 do
+    List.iter
+      (fun (v, w) -> d.(u) <- d.(u) + if side.(u) <> side.(v) then w else -w)
+      (Ugraph.neighbors g u)
+  done;
+  let locked = Array.make n false in
+  let swaps = ref [] in
+  let gains = ref [] in
+  let candidates s =
+    let out = ref [] in
+    for u = 0 to n - 1 do
+      if (not locked.(u)) && side.(u) = s then out := u :: !out
+    done;
+    !out
+  in
+  let steps = min (List.length (candidates 0)) (List.length (candidates 1)) in
+  for _ = 1 to steps do
+    let best = ref None in
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            let gain = d.(a) + d.(b) - (2 * weight a b) in
+            match !best with
+            | Some (bg, _, _) when bg >= gain -> ()
+            | Some _ | None -> best := Some (gain, a, b))
+          (candidates 1))
+      (candidates 0);
+    match !best with
+    | None -> ()
+    | Some (gain, a, b) ->
+      locked.(a) <- true;
+      locked.(b) <- true;
+      swaps := (a, b) :: !swaps;
+      gains := gain :: !gains;
+      (* update D values of unlocked nodes as if a and b had swapped *)
+      for x = 0 to n - 1 do
+        if not locked.(x) then begin
+          let wxa = weight x a and wxb = weight x b in
+          if side.(x) = side.(a) then d.(x) <- d.(x) + (2 * wxa) - (2 * wxb)
+          else d.(x) <- d.(x) + (2 * wxb) - (2 * wxa)
+        end
+      done
+  done;
+  let swaps = Array.of_list (List.rev !swaps) in
+  let gains = Array.of_list (List.rev !gains) in
+  (* best prefix of cumulative gain *)
+  let best_k = ref 0 and best_gain = ref 0 and running = ref 0 in
+  Array.iteri
+    (fun i gain ->
+      running := !running + gain;
+      if !running > !best_gain then begin
+        best_gain := !running;
+        best_k := i + 1
+      end)
+    gains;
+  if !best_gain > 0 then begin
+    for i = 0 to !best_k - 1 do
+      let a, b = swaps.(i) in
+      let t = side.(a) in
+      side.(a) <- side.(b);
+      side.(b) <- t
+    done;
+    true
+  end
+  else false
+
+let bipartition g =
+  let n = Ugraph.node_count g in
+  let side = Array.init n (fun u -> if u < (n + 1) / 2 then 0 else 1) in
+  let rec improve rounds = if rounds > 0 && kl_pass g side then improve (rounds - 1) in
+  improve 16;
+  side
+
+let partition g ~parts =
+  if parts < 1 then invalid_arg "Kl.partition: need at least one part";
+  let n = Ugraph.node_count g in
+  let cluster_of = Array.make n 0 in
+  (* recursive bisection with part budgets proportional to subset size *)
+  let rec split nodes parts next_id =
+    match (nodes, parts) with
+    | [], _ -> next_id
+    | _, p when p <= 1 || List.length nodes <= 1 ->
+      List.iter (fun u -> cluster_of.(u) <- next_id) nodes;
+      next_id + 1
+    | nodes, parts ->
+      let index = Hashtbl.create 16 in
+      List.iteri (fun i u -> Hashtbl.add index u i) nodes;
+      let m = List.length nodes in
+      let sub = Ugraph.create m in
+      List.iter
+        (fun (u, v, w) ->
+          match (Hashtbl.find_opt index u, Hashtbl.find_opt index v) with
+          | Some iu, Some iv -> Ugraph.add_edge ~w sub iu iv
+          | (Some _ | None), _ -> ())
+        (Ugraph.edges g);
+      let side = bipartition sub in
+      let arr = Array.of_list nodes in
+      let left = ref [] and right = ref [] in
+      Array.iteri
+        (fun i u -> if side.(i) = 0 then left := u :: !left else right := u :: !right)
+        arr;
+      let pl = parts / 2 in
+      let next_id = split (List.rev !left) (parts - pl) next_id in
+      split (List.rev !right) pl next_id
+  in
+  let k = split (List.init n (fun u -> u)) parts 0 in
+  ignore k;
+  (* renumber by smallest member for determinism *)
+  let first = Hashtbl.create 16 in
+  Array.iteri
+    (fun u c -> if not (Hashtbl.mem first c) then Hashtbl.add first c u)
+    cluster_of;
+  let order =
+    Hashtbl.fold (fun c u acc -> (u, c) :: acc) first [] |> List.sort compare
+  in
+  let renumber = Hashtbl.create 16 in
+  List.iteri (fun i (_, c) -> Hashtbl.add renumber c i) order;
+  Array.map (Hashtbl.find renumber) cluster_of

@@ -1,0 +1,19 @@
+(** Kernighan–Lin graph partitioning — the classical contraction
+    baseline contemporary with the paper, used in the ablation against
+    Algorithm MWM-Contract.
+
+    Balanced bipartitioning by pass-based pair swapping; multiway
+    partitions by recursive bisection. *)
+
+val bipartition : Oregami_graph.Ugraph.t -> int array
+(** [bipartition g] splits the nodes into two halves (sizes differing
+    by at most one) with locally minimal cut weight; result is a 0/1
+    side array.  Deterministic (initial split by node id). *)
+
+val cut_weight : Oregami_graph.Ugraph.t -> int array -> int
+(** Total weight of edges whose endpoints carry different values. *)
+
+val partition : Oregami_graph.Ugraph.t -> parts:int -> int array
+(** Recursive bisection into [parts] clusters ([parts ≥ 1]; non-powers
+    of two are handled by uneven recursion).  Cluster ids are dense,
+    numbered by smallest member. *)

@@ -1,0 +1,161 @@
+module Taskgraph = Oregami_taskgraph.Taskgraph
+module Topology = Oregami_topology.Topology
+module Routes = Oregami_topology.Routes
+module Ugraph = Oregami_graph.Ugraph
+module Digraph = Oregami_graph.Digraph
+
+type routed_edge = {
+  re_src : int;
+  re_dst : int;
+  re_volume : int;
+  re_route : Routes.route;
+}
+
+type phase_routing = { pr_phase : string; pr_edges : routed_edge list }
+
+type t = {
+  tg : Taskgraph.t;
+  topo : Topology.t;
+  cluster_of : int array;
+  proc_of_cluster : int array;
+  routings : phase_routing list;
+  strategy : string;
+}
+
+let cluster_count m = Array.length m.proc_of_cluster
+
+let proc_of_task m task = m.proc_of_cluster.(m.cluster_of.(task))
+
+let assignment m = Array.init m.tg.Taskgraph.n (proc_of_task m)
+
+let cluster_members m =
+  let members = Array.make (cluster_count m) [] in
+  for task = m.tg.Taskgraph.n - 1 downto 0 do
+    members.(m.cluster_of.(task)) <- task :: members.(m.cluster_of.(task))
+  done;
+  members
+
+let tasks_on_proc m =
+  let procs = Topology.node_count m.topo in
+  let tasks = Array.make procs [] in
+  for task = m.tg.Taskgraph.n - 1 downto 0 do
+    let p = proc_of_task m task in
+    tasks.(p) <- task :: tasks.(p)
+  done;
+  tasks
+
+let validate m =
+  let n = m.tg.Taskgraph.n in
+  let k = cluster_count m in
+  let procs = Topology.node_count m.topo in
+  let ( let* ) = Result.bind in
+  let* () =
+    if Array.length m.cluster_of = n then Ok ()
+    else Error "cluster_of length differs from task count"
+  in
+  let* () =
+    if Array.for_all (fun c -> c >= 0 && c < k) m.cluster_of then Ok ()
+    else Error "cluster id out of range"
+  in
+  let* () =
+    let seen = Array.make k false in
+    Array.iter (fun c -> seen.(c) <- true) m.cluster_of;
+    if Array.for_all (fun b -> b) seen then Ok () else Error "empty cluster"
+  in
+  let* () =
+    if Array.for_all (fun p -> p >= 0 && p < procs) m.proc_of_cluster then Ok ()
+    else Error "processor id out of range"
+  in
+  let* () =
+    let used = Array.make procs false in
+    let dup = ref false in
+    Array.iter
+      (fun p ->
+        if used.(p) then dup := true;
+        used.(p) <- true)
+      m.proc_of_cluster;
+    if !dup then Error "two clusters on one processor (embedding must be injective)"
+    else Ok ()
+  in
+  (* every communication phase must be routed consistently *)
+  List.fold_left
+    (fun acc (cp : Taskgraph.comm_phase) ->
+      let* () = acc in
+      match List.find_opt (fun pr -> pr.pr_phase = cp.Taskgraph.cp_name) m.routings with
+      | None -> Error (Printf.sprintf "phase %S has no routing" cp.Taskgraph.cp_name)
+      | Some pr ->
+        let wanted =
+          Digraph.edges cp.Taskgraph.edges
+          |> List.filter (fun (u, v, _) -> u <> v)
+          |> List.map (fun (u, v, w) -> (u, v, w))
+          |> List.sort compare
+        in
+        let got =
+          List.map (fun re -> (re.re_src, re.re_dst, re.re_volume)) pr.pr_edges
+          |> List.sort compare
+        in
+        let* () =
+          if wanted = got then Ok ()
+          else
+            Error
+              (Printf.sprintf "phase %S: routed edge set differs from task graph"
+                 cp.Taskgraph.cp_name)
+        in
+        List.fold_left
+          (fun acc re ->
+            let* () = acc in
+            let pu = proc_of_task m re.re_src and pv = proc_of_task m re.re_dst in
+            let nodes = re.re_route.Routes.nodes in
+            if pu = pv then
+              if re.re_route.Routes.links = [] then Ok ()
+              else Error "co-located edge has a non-empty route"
+            else begin
+              let* () =
+                match nodes with
+                | first :: _ when first = pu -> Ok ()
+                | _ -> Error "route does not start at the sender's processor"
+              in
+              let* () =
+                match List.rev nodes with
+                | last :: _ when last = pv -> Ok ()
+                | _ -> Error "route does not end at the receiver's processor"
+              in
+              (* links consistent with node path *)
+              let links = Topology.links_of_path m.topo nodes in
+              if links = re.re_route.Routes.links then Ok ()
+              else Error "route links do not match route nodes"
+            end)
+          (Ok ()) pr.pr_edges)
+    (Ok ()) m.tg.Taskgraph.comm_phases
+
+let dilation_stats m =
+  let hops = ref [] in
+  List.iter
+    (fun pr ->
+      List.iter
+        (fun re ->
+          if proc_of_task m re.re_src <> proc_of_task m re.re_dst then
+            hops := Routes.hops re.re_route :: !hops)
+        pr.pr_edges)
+    m.routings;
+  match !hops with
+  | [] -> (0, 0.0, 0)
+  | l ->
+    let count = List.length l in
+    let total = List.fold_left ( + ) 0 l in
+    (List.fold_left max 0 l, float_of_int total /. float_of_int count, count)
+
+let total_ipc static cluster_of =
+  List.fold_left
+    (fun acc (u, v, w) -> if cluster_of.(u) <> cluster_of.(v) then acc + w else acc)
+    0 (Ugraph.edges static)
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>mapping %S onto %s via %s" m.tg.Taskgraph.tg_name
+    (Topology.name m.topo) m.strategy;
+  Format.fprintf fmt "@,  %d tasks -> %d clusters -> %d processors" m.tg.Taskgraph.n
+    (cluster_count m)
+    (Topology.node_count m.topo);
+  let max_d, avg_d, routed = dilation_stats m in
+  Format.fprintf fmt "@,  routed edges: %d, dilation max %d avg %.3f" routed max_d avg_d;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,51 @@
+(** The result of mapping a task graph onto a topology: a contraction
+    (tasks → clusters), an embedding (clusters → processors), and a
+    routing (communication edges → network paths), per the paper's §2
+    terminology. *)
+
+type routed_edge = {
+  re_src : int;  (** source task *)
+  re_dst : int;  (** destination task *)
+  re_volume : int;
+  re_route : Oregami_topology.Routes.route;
+      (** empty link list when both tasks share a processor *)
+}
+
+type phase_routing = { pr_phase : string; pr_edges : routed_edge list }
+
+type t = {
+  tg : Oregami_taskgraph.Taskgraph.t;
+  topo : Oregami_topology.Topology.t;
+  cluster_of : int array;  (** task → cluster *)
+  proc_of_cluster : int array;  (** cluster → processor (injective) *)
+  routings : phase_routing list;  (** one entry per communication phase *)
+  strategy : string;  (** which MAPPER algorithm produced it *)
+}
+
+val cluster_count : t -> int
+
+val proc_of_task : t -> int -> int
+
+val assignment : t -> int array
+(** task → processor array. *)
+
+val cluster_members : t -> int list array
+(** Tasks of each cluster, indexed by cluster id. *)
+
+val tasks_on_proc : t -> int list array
+
+val validate : t -> (unit, string) result
+(** Structural checks: cluster ids dense, embedding injective and in
+    range, every cross-processor communication edge routed with a path
+    that starts at the sender's processor and ends at the receiver's,
+    every co-located edge routed with the empty path. *)
+
+val dilation_stats : t -> int * float * int
+(** [(max, average, edge_count)] over all routed cross-processor edges
+    (average 0 when there are none). *)
+
+val total_ipc : Oregami_graph.Ugraph.t -> int array -> int
+(** [total_ipc static cluster_of]: total weight of edges crossing
+    between clusters — the objective MWM-Contract minimizes. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+(** Algorithm MWM-Contract (paper §4.3): symmetric contraction of an
+    arbitrary weighted task graph.
+
+    Minimizes total interprocessor communication subject to the load
+    balancing constraint of at most [b] tasks per cluster, producing at
+    most [procs] clusters:
+
+    - when the task count is ≤ 2·[procs], a single maximum-weight
+      matching pass pairs tasks optimally;
+    - otherwise a greedy pass (edges in non-increasing weight order)
+      merges clusters up to [b/2] tasks until at most 2·[procs] remain,
+      then maximum-weight matching pairs the clusters optimally. *)
+
+type t = {
+  cluster_of : int array;  (** task → dense cluster id *)
+  clusters : int list array;  (** members per cluster *)
+  ipc : int;  (** total weight crossing between clusters *)
+  greedy_merges : int;  (** merges performed by the greedy phase *)
+  matched_pairs : int;  (** pairs made by the matching phase *)
+}
+
+val contract :
+  ?b:int -> Oregami_graph.Ugraph.t -> procs:int -> (t, string) result
+(** [contract g ~procs] with [b] defaulting to the smallest even bound
+    that can fit ([2·⌈⌈n/procs⌉/2⌉]).  Fails when [b·procs < n].
+    Clusters are numbered by smallest task id.  Deterministic. *)

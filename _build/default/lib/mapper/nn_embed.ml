@@ -1,0 +1,98 @@
+module Ugraph = Oregami_graph.Ugraph
+module Shortest = Oregami_graph.Shortest
+module Topology = Oregami_topology.Topology
+
+let weighted_hops cg topo proc_of_cluster =
+  let hops = Shortest.all_pairs_hops (Topology.graph topo) in
+  List.fold_left
+    (fun acc (a, b, w) -> acc + (w * hops.(proc_of_cluster.(a)).(proc_of_cluster.(b))))
+    0 (Ugraph.edges cg)
+
+let embed cg topo =
+  let k = Ugraph.node_count cg in
+  let p = Topology.node_count topo in
+  if k > p then invalid_arg "Nn_embed: more clusters than processors";
+  let hops = Shortest.all_pairs_hops (Topology.graph topo) in
+  let proc_of = Array.make k (-1) in
+  let proc_used = Array.make p false in
+  let place cluster proc =
+    proc_of.(cluster) <- proc;
+    proc_used.(proc) <- true
+  in
+  (* seed: heaviest edge on a max-degree processor and its neighbour *)
+  let heaviest =
+    List.fold_left
+      (fun acc (a, b, w) ->
+        match acc with
+        | Some (bw, _, _) when bw >= w -> acc
+        | Some _ | None -> Some (w, a, b))
+      None (Ugraph.edges cg)
+  in
+  let tg = Topology.graph topo in
+  (match heaviest with
+  | Some (_, a, b) ->
+    let seed_proc =
+      let best = ref 0 in
+      for v = 1 to p - 1 do
+        if Ugraph.degree tg v > Ugraph.degree tg !best then best := v
+      done;
+      !best
+    in
+    place a seed_proc;
+    let neighbour =
+      match Ugraph.neighbors tg seed_proc with
+      | (v, _) :: _ -> v
+      | [] -> if p > 1 then (seed_proc + 1) mod p else seed_proc
+    in
+    if k > 1 then place b neighbour
+  | None -> if k > 0 then place 0 0);
+  (* grow: most-communicating unplaced cluster onto the cheapest free
+     processor *)
+  let remaining () =
+    let out = ref [] in
+    for c = k - 1 downto 0 do
+      if proc_of.(c) = -1 then out := c :: !out
+    done;
+    !out
+  in
+  let rec grow () =
+    match remaining () with
+    | [] -> ()
+    | unplaced ->
+      let attraction c =
+        List.fold_left
+          (fun acc (d, w) -> if proc_of.(d) <> -1 then acc + w else acc)
+          0 (Ugraph.neighbors cg c)
+      in
+      let next =
+        List.fold_left
+          (fun acc c ->
+            match acc with
+            | Some (ba, _) when ba >= attraction c -> acc
+            | Some _ | None -> Some (attraction c, c))
+          None unplaced
+      in
+      (match next with
+      | None -> ()
+      | Some (_, c) ->
+        let cost proc =
+          List.fold_left
+            (fun acc (d, w) ->
+              if proc_of.(d) <> -1 then acc + (w * hops.(proc).(proc_of.(d))) else acc)
+            0 (Ugraph.neighbors cg c)
+        in
+        let best = ref (-1) and best_cost = ref max_int in
+        for proc = 0 to p - 1 do
+          if not proc_used.(proc) then begin
+            let cost = cost proc in
+            if cost < !best_cost then begin
+              best_cost := cost;
+              best := proc
+            end
+          end
+        done;
+        place c !best);
+      grow ()
+  in
+  grow ();
+  proc_of

@@ -1,0 +1,20 @@
+(** Algorithm NN-Embed (paper §4.3): greedy embedding of the contracted
+    cluster graph into the network, placing highly communicating
+    clusters on adjacent processors. *)
+
+val embed :
+  Oregami_graph.Ugraph.t -> Oregami_topology.Topology.t -> int array
+(** [embed cg topo] returns an injective cluster → processor map
+    (requires [node_count cg ≤ node_count topo]).
+
+    Greedy order: the heaviest cluster edge is placed first on a
+    maximum-degree processor and a neighbour; thereafter the unplaced
+    cluster with the largest total communication to placed clusters
+    goes to the free processor minimizing the hop-weighted
+    communication distance to its placed neighbours.  Deterministic
+    (ties by smallest id). *)
+
+val weighted_hops :
+  Oregami_graph.Ugraph.t -> Oregami_topology.Topology.t -> int array -> int
+(** Objective: Σ over cluster edges of weight × hop distance of their
+    processors — the quantity NN-Embed greedily minimizes. *)

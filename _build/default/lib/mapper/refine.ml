@@ -1,0 +1,65 @@
+module Ugraph = Oregami_graph.Ugraph
+module Shortest = Oregami_graph.Shortest
+module Topology = Oregami_topology.Topology
+
+let objective = Nn_embed.weighted_hops
+
+(* cost contribution of one cluster under a tentative processor,
+   against the current positions of the others *)
+let cluster_cost hops cg proc_of c p =
+  List.fold_left
+    (fun acc (d, w) -> if d = c then acc else acc + (w * hops.(p).(proc_of.(d))))
+    0 (Ugraph.neighbors cg c)
+
+let improve_embedding ?(max_rounds = 10) cg topo proc_of_cluster =
+  let k = Ugraph.node_count cg in
+  let p = Topology.node_count topo in
+  let hops = Shortest.all_pairs_hops (Topology.graph topo) in
+  let proc_of = Array.copy proc_of_cluster in
+  let occupant = Array.make p (-1) in
+  Array.iteri (fun c pr -> occupant.(pr) <- c) proc_of;
+  let improved = ref true in
+  let rounds = ref 0 in
+  while !improved && !rounds < max_rounds do
+    improved := false;
+    incr rounds;
+    for c = 0 to k - 1 do
+      for target = 0 to p - 1 do
+        let pc = proc_of.(c) in
+        if target <> pc then begin
+          match occupant.(target) with
+          | -1 ->
+            (* move c to a free processor *)
+            let before = cluster_cost hops cg proc_of c pc in
+            let after = cluster_cost hops cg proc_of c target in
+            if after < before then begin
+              occupant.(pc) <- -1;
+              occupant.(target) <- c;
+              proc_of.(c) <- target;
+              improved := true
+            end
+          | d ->
+            (* swap clusters c and d; edge c-d keeps its length *)
+            let pd = target in
+            let before =
+              cluster_cost hops cg proc_of c pc + cluster_cost hops cg proc_of d pd
+            in
+            proc_of.(c) <- pd;
+            proc_of.(d) <- pc;
+            let after =
+              cluster_cost hops cg proc_of c pd + cluster_cost hops cg proc_of d pc
+            in
+            if after < before then begin
+              occupant.(pc) <- d;
+              occupant.(pd) <- c;
+              improved := true
+            end
+            else begin
+              proc_of.(c) <- pc;
+              proc_of.(d) <- pd
+            end
+        end
+      done
+    done
+  done;
+  proc_of

@@ -1,0 +1,21 @@
+(** Local-search refinement of an embedding (paper §6 anticipates
+    "new and improved algorithms" layered on the MAPPER library).
+
+    Pairwise-interchange hill climbing on the NN-Embed objective: try
+    swapping the processors of two clusters, or moving a cluster to a
+    free processor, and keep any change that lowers the total
+    weight × hop-distance of the cluster graph.  Deterministic;
+    terminates at a local optimum or after [max_rounds] sweeps. *)
+
+val improve_embedding :
+  ?max_rounds:int ->
+  Oregami_graph.Ugraph.t ->
+  Oregami_topology.Topology.t ->
+  int array ->
+  int array
+(** [improve_embedding cg topo proc_of_cluster] returns an embedding
+    with objective ≤ the input's ([max_rounds] defaults to 10). *)
+
+val objective :
+  Oregami_graph.Ugraph.t -> Oregami_topology.Topology.t -> int array -> int
+(** Alias for {!Nn_embed.weighted_hops}. *)

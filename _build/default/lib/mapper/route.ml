@@ -1,0 +1,146 @@
+module Taskgraph = Oregami_taskgraph.Taskgraph
+module Topology = Oregami_topology.Topology
+module Routes = Oregami_topology.Routes
+module Digraph = Oregami_graph.Digraph
+module Bipartite = Oregami_matching.Bipartite
+
+type stats = { phases : (string * int) list }
+
+type pending = {
+  msg_src : int;  (** task *)
+  msg_dst : int;
+  msg_volume : int;
+  mutable candidates : Routes.route list;  (** share the committed prefix *)
+  mutable committed : int;  (** hops fixed so far *)
+}
+
+let route_length r = List.length r.Routes.links
+
+let nth_link r h = List.nth r.Routes.links h
+
+let phase_messages topo proc_of_task routes_cache cap (cp : Taskgraph.comm_phase) =
+  Digraph.edges cp.Taskgraph.edges
+  |> List.filter (fun (u, v, _) -> u <> v)
+  |> List.map (fun (u, v, w) ->
+         let pu = proc_of_task.(u) and pv = proc_of_task.(v) in
+         let candidates =
+           if pu = pv then [ { Routes.nodes = [ pu ]; links = [] } ]
+           else begin
+             match Hashtbl.find_opt routes_cache (pu, pv) with
+             | Some rs -> rs
+             | None ->
+               let rs = Routes.shortest_routes ~cap topo pu pv in
+               Hashtbl.add routes_cache (pu, pv) rs;
+               rs
+           end
+         in
+         { msg_src = u; msg_dst = v; msg_volume = w; candidates; committed = 0 })
+
+(* One phase: commit links hop by hop with maximal-matching rounds. *)
+let route_phase topo messages =
+  let nlinks = Topology.link_count topo in
+  let rounds = ref 0 in
+  let unfinished () =
+    List.filter (fun m -> m.committed < route_length (List.hd m.candidates)) messages
+  in
+  let rec hop () =
+    match unfinished () with
+    | [] -> ()
+    | pending ->
+      (* all messages at the same committed depth: those with the
+         shortest remaining work still appear; we advance every
+         unfinished message by one hop before moving on *)
+      let arr = Array.of_list pending in
+      let unassigned = ref (Array.to_list (Array.init (Array.length arr) (fun i -> i))) in
+      while !unassigned <> [] do
+        incr rounds;
+        let xs = Array.of_list !unassigned in
+        let edges = ref [] in
+        Array.iteri
+          (fun xi mi ->
+            let m = arr.(mi) in
+            let usable =
+              List.filter_map
+                (fun r ->
+                  if route_length r > m.committed then Some (nth_link r m.committed)
+                  else None)
+                m.candidates
+              |> List.sort_uniq compare
+            in
+            List.iter (fun l -> edges := (xi, l) :: !edges) usable)
+          xs;
+        let matching =
+          Bipartite.greedy_maximal ~nx:(Array.length xs) ~ny:nlinks (List.rev !edges)
+        in
+        let next_unassigned = ref [] in
+        Array.iteri
+          (fun xi mi ->
+            let m = arr.(mi) in
+            match matching.Bipartite.pair_x.(xi) with
+            | -1 ->
+              (* no free link this round: if the message has candidate
+                 links at all it waits for the next round; otherwise it
+                 is stuck (cannot happen: usable is non-empty for
+                 unfinished messages) *)
+              next_unassigned := mi :: !next_unassigned
+            | link ->
+              m.candidates <-
+                List.filter
+                  (fun r -> route_length r > m.committed && nth_link r m.committed = link)
+                  m.candidates;
+              m.committed <- m.committed + 1)
+          xs;
+        unassigned := List.rev !next_unassigned
+      done;
+      hop ()
+  in
+  hop ();
+  (!rounds, messages)
+
+let mm_route ?(cap = 64) tg topo ~proc_of_task =
+  let routes_cache = Hashtbl.create 64 in
+  let results =
+    List.map
+      (fun (cp : Taskgraph.comm_phase) ->
+        let messages = phase_messages topo proc_of_task routes_cache cap cp in
+        let rounds, messages = route_phase topo messages in
+        let pr_edges =
+          List.map
+            (fun m ->
+              let route =
+                match m.candidates with
+                | r :: _ -> r
+                | [] -> { Routes.nodes = []; links = [] }
+              in
+              {
+                Mapping.re_src = m.msg_src;
+                re_dst = m.msg_dst;
+                re_volume = m.msg_volume;
+                re_route =
+                  (if proc_of_task.(m.msg_src) = proc_of_task.(m.msg_dst) then
+                     { Routes.nodes = [ proc_of_task.(m.msg_src) ]; links = [] }
+                   else route);
+              })
+            messages
+        in
+        ({ Mapping.pr_phase = cp.Taskgraph.cp_name; pr_edges }, (cp.Taskgraph.cp_name, rounds)))
+      tg.Taskgraph.comm_phases
+  in
+  (List.map fst results, { phases = List.map snd results })
+
+let deterministic_route tg topo ~proc_of_task =
+  List.map
+    (fun (cp : Taskgraph.comm_phase) ->
+      let pr_edges =
+        Digraph.edges cp.Taskgraph.edges
+        |> List.filter (fun (u, v, _) -> u <> v)
+        |> List.map (fun (u, v, w) ->
+               let pu = proc_of_task.(u) and pv = proc_of_task.(v) in
+               let route =
+                 if pu = pv then { Routes.nodes = [ pu ]; links = [] }
+                 else Routes.deterministic topo pu pv
+               in
+               { Mapping.re_src = u; re_dst = v; re_volume = w; re_route = route })
+      in
+      { Mapping.pr_phase = cp.Taskgraph.cp_name; pr_edges })
+    tg.Taskgraph.comm_phases

@@ -1,0 +1,37 @@
+(** Algorithm MM-Route (paper §4.4): phase-aware routing that spreads
+    each communication phase's messages over distinct links using
+    repeated maximal matchings.
+
+    For each phase (one colour of the task graph), messages that must
+    cross the network are routed hop by hop: at hop [h] a bipartite
+    graph joins pending messages (X) to the links usable as their
+    [h]-th hop (Y, consistent with each message's committed prefix and
+    some remaining shortest route).  A maximal matching assigns
+    distinct links to as many messages as possible; covered messages
+    commit, the rest are re-matched in further rounds.  Each round uses
+    any link at most once, so synchronous messages of one phase spread
+    across the links and contention stays low. *)
+
+type stats = {
+  phases : (string * int) list;  (** matching rounds used per phase *)
+}
+
+val mm_route :
+  ?cap:int ->
+  Oregami_taskgraph.Taskgraph.t ->
+  Oregami_topology.Topology.t ->
+  proc_of_task:int array ->
+  Mapping.phase_routing list * stats
+(** [cap] bounds the candidate shortest routes enumerated per
+    processor pair (default 64).  Co-located edges get empty routes.
+    Deterministic. *)
+
+val deterministic_route :
+  Oregami_taskgraph.Taskgraph.t ->
+  Oregami_topology.Topology.t ->
+  proc_of_task:int array ->
+  Mapping.phase_routing list
+(** Baseline: the topology's oblivious single-path routing (e-cube on
+    hypercubes, dimension-order on meshes/tori, first shortest path
+    otherwise) — the "routing that does not utilize information about
+    the communication patterns" the paper contrasts with. *)

@@ -1,0 +1,26 @@
+(** Stone-style network-flow task assignment ([Sto77], [Bok87]) — the
+    lineage the paper cites for its arbitrary-graph mapping, built here
+    as a comparison baseline.
+
+    Two processors: build the commodity network with a source/sink per
+    processor, arcs [source→task] weighted by the task's execution
+    cost {e on the other} processor, arcs [task→sink] likewise, and
+    undirected task–task arcs weighted by communication volume.  A
+    minimum s–t cut is an assignment minimizing total execution +
+    interprocessor communication cost. *)
+
+val two_processor :
+  cost_a:int array ->
+  cost_b:int array ->
+  comm:Oregami_graph.Ugraph.t ->
+  int array * int
+(** [two_processor ~cost_a ~cost_b ~comm] returns [(side, total)]:
+    [side.(t) = 0] assigns task [t] to processor A; [total] is the
+    optimal cost (min-cut value). *)
+
+val recursive_bisection :
+  procs:int -> cost:int array -> comm:Oregami_graph.Ugraph.t -> int array
+(** Heuristic extension to [procs = 2^k] processors: repeated
+    two-processor cuts with a balance-encouraging cost split.  Returns
+    task → processor (processors may be empty; no balance guarantee —
+    Stone's formulation has none). *)

@@ -1,0 +1,18 @@
+let factor_pairs n =
+  let rec go a acc =
+    if a > n then List.rev acc
+    else if n mod a = 0 then go (a + 1) ((a, n / a) :: acc)
+    else go (a + 1) acc
+  in
+  go 1 []
+
+let contract ~rows ~cols ~procs =
+  factor_pairs procs
+  |> List.filter (fun (tr, tc) -> tr <= rows && tc <= cols)
+  |> List.map (fun (tr, tc) ->
+         let cluster_of =
+           Array.init (rows * cols) (fun id ->
+               let i = id / cols and j = id mod cols in
+               ((i * tr / rows) * tc) + (j * tc / cols))
+         in
+         (cluster_of, tr * tc))

@@ -1,0 +1,21 @@
+(** Tile contraction for grid-shaped computations.
+
+    When the LaRCS program declares a single 2-D node type, the natural
+    contraction is a block tiling of the task lattice (the SCMD / data
+    parallel decomposition of paper §2), not edge-greedy merging.  This
+    module produces the tiling candidates; the driver compares them
+    against MWM-Contract under the METRICS completion model and keeps
+    the better mapping. *)
+
+val factor_pairs : int -> (int * int) list
+(** All [(a, b)] with [a·b = n], [a, b ≥ 1], in increasing [a]. *)
+
+val contract :
+  rows:int -> cols:int -> procs:int -> (int array * int) list
+(** [contract ~rows ~cols ~procs] returns candidate tilings of the
+    row-major [rows×cols] task lattice, one per feasible processor-grid
+    factorization [(tr, tc)] with [tr ≤ rows], [tc ≤ cols]: the array
+    maps task id → tile id (tiles numbered row-major over the [tr×tc]
+    grid), paired with the tile count [tr·tc].  Tile boundaries are the
+    balanced splits [⌊i·tr/rows⌋].  Empty when [procs] has no feasible
+    factorization. *)

@@ -1,0 +1,1 @@
+lib/matching/brute.ml: Array List

@@ -1,0 +1,1 @@
+lib/matching/maxflow.ml: Array Queue

@@ -1,0 +1,119 @@
+type t = { pair_x : int array; pair_y : int array; size : int }
+
+let adjacency nx edges =
+  let adj = Array.make nx [] in
+  List.iter
+    (fun (x, y) ->
+      if x < 0 || x >= nx then invalid_arg "Bipartite: left node out of range";
+      adj.(x) <- y :: adj.(x))
+    edges;
+  Array.map List.rev adj
+
+let check_right ny edges =
+  List.iter
+    (fun (_, y) -> if y < 0 || y >= ny then invalid_arg "Bipartite: right node out of range")
+    edges
+
+let greedy_maximal ~nx ~ny edges =
+  check_right ny edges;
+  let adj = adjacency nx edges in
+  let pair_x = Array.make nx (-1) and pair_y = Array.make ny (-1) in
+  let size = ref 0 in
+  for x = 0 to nx - 1 do
+    if pair_x.(x) = -1 then begin
+      let rec try_list = function
+        | [] -> ()
+        | y :: rest ->
+          if pair_y.(y) = -1 then begin
+            pair_x.(x) <- y;
+            pair_y.(y) <- x;
+            incr size
+          end
+          else try_list rest
+      in
+      try_list adj.(x)
+    end
+  done;
+  { pair_x; pair_y; size = !size }
+
+let hopcroft_karp ~nx ~ny edges =
+  check_right ny edges;
+  let adj = adjacency nx edges in
+  let pair_x = Array.make nx (-1) and pair_y = Array.make ny (-1) in
+  let dist = Array.make nx max_int in
+  let inf = max_int in
+  let bfs () =
+    let q = Queue.create () in
+    let found_free = ref false in
+    for x = 0 to nx - 1 do
+      if pair_x.(x) = -1 then begin
+        dist.(x) <- 0;
+        Queue.add x q
+      end
+      else dist.(x) <- inf
+    done;
+    while not (Queue.is_empty q) do
+      let x = Queue.pop q in
+      List.iter
+        (fun y ->
+          match pair_y.(y) with
+          | -1 -> found_free := true
+          | x' ->
+            if dist.(x') = inf then begin
+              dist.(x') <- dist.(x) + 1;
+              Queue.add x' q
+            end)
+        adj.(x)
+    done;
+    !found_free
+  in
+  let rec dfs x =
+    let rec try_list = function
+      | [] ->
+        dist.(x) <- inf;
+        false
+      | y :: rest ->
+        let ok =
+          match pair_y.(y) with
+          | -1 -> true
+          | x' -> dist.(x') = dist.(x) + 1 && dfs x'
+        in
+        if ok then begin
+          pair_x.(x) <- y;
+          pair_y.(y) <- x;
+          true
+        end
+        else try_list rest
+    in
+    try_list adj.(x)
+  in
+  let size = ref 0 in
+  while bfs () do
+    for x = 0 to nx - 1 do
+      if pair_x.(x) = -1 && dfs x then incr size
+    done
+  done;
+  { pair_x; pair_y; size = !size }
+
+let is_matching ~nx ~ny edges m =
+  let edge_set = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace edge_set e ()) edges;
+  Array.length m.pair_x = nx
+  && Array.length m.pair_y = ny
+  && begin
+       let ok = ref true and count = ref 0 in
+       Array.iteri
+         (fun x y ->
+           if y <> -1 then begin
+             incr count;
+             if not (Hashtbl.mem edge_set (x, y)) then ok := false
+             else if m.pair_y.(y) <> x then ok := false
+           end)
+         m.pair_x;
+       Array.iteri (fun y x -> if x <> -1 && m.pair_x.(x) <> y then ok := false) m.pair_y;
+       !ok && !count = m.size
+     end
+
+let is_maximal ~nx ~ny edges m =
+  is_matching ~nx ~ny edges m
+  && List.for_all (fun (x, y) -> m.pair_x.(x) <> -1 || m.pair_y.(y) <> -1) edges

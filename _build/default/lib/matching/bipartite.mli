@@ -1,0 +1,27 @@
+(** Bipartite matchings.
+
+    Algorithm MM-Route (paper §4.4) repeatedly computes a {e maximal}
+    matching between pending task edges and network links; we provide
+    both the greedy maximal matching the paper's complexity bound
+    O(|X|²|Y|) implies and a maximum (Hopcroft–Karp) matching as an
+    upgraded alternative. *)
+
+type t = {
+  pair_x : int array;  (** for each left node, its right partner or -1 *)
+  pair_y : int array;  (** for each right node, its left partner or -1 *)
+  size : int;
+}
+
+val greedy_maximal : nx:int -> ny:int -> (int * int) list -> t
+(** First-fit maximal matching: scans left nodes in increasing order
+    and matches each to its first unmatched neighbour (adjacency in the
+    given order).  Maximal: no edge can be added. *)
+
+val hopcroft_karp : nx:int -> ny:int -> (int * int) list -> t
+(** Maximum-cardinality bipartite matching in O(E√V). *)
+
+val is_matching : nx:int -> ny:int -> (int * int) list -> t -> bool
+(** All pairs are edges and no endpoint repeats. *)
+
+val is_maximal : nx:int -> ny:int -> (int * int) list -> t -> bool
+(** No edge joins two unmatched endpoints. *)

@@ -1,0 +1,528 @@
+(* Edmonds' maximum-weight matching, following the primal-dual O(V^3)
+   formulation popularized by Galil (1986) and van Rantwijk's reference
+   implementation.  Vertices 0..n-1; blossoms n..2n-1.  Labels: 0 free,
+   1 = S, 2 = T; 5 marks a breadcrumb during scanBlossom.  Edge "slack"
+   uses weights doubled internally so every slack and dual stays an
+   even integer and delta-type-3 halving is exact. *)
+
+let max_weight_matching ?(max_cardinality = false) ~n edges_in =
+  (* Deduplicate parallel edges (keep the first occurrence). *)
+  let seen_pair = Hashtbl.create 16 in
+  let edges =
+    List.filter
+      (fun (i, j, _) ->
+        if i = j then invalid_arg "Blossom: self loop";
+        if i < 0 || j < 0 || i >= n || j >= n then invalid_arg "Blossom: vertex out of range";
+        let key = (min i j, max i j) in
+        if Hashtbl.mem seen_pair key then false
+        else begin
+          Hashtbl.add seen_pair key ();
+          true
+        end)
+      edges_in
+    |> List.map (fun (i, j, w) -> (i, j, 2 * w))
+    |> Array.of_list
+  in
+  let nedge = Array.length edges in
+  if nedge = 0 || n = 0 then Array.make (max n 0) (-1)
+  else begin
+    let nvertex = n in
+    let maxweight = Array.fold_left (fun acc (_, _, w) -> max acc w) 0 edges in
+    (* endpoint.(p) = vertex at endpoint p; edge k has endpoints 2k, 2k+1 *)
+    let endpoint =
+      Array.init (2 * nedge) (fun p ->
+          let i, j, _ = edges.(p / 2) in
+          if p land 1 = 0 then i else j)
+    in
+    let neighbend = Array.make nvertex [] in
+    Array.iteri
+      (fun k (i, j, _) ->
+        neighbend.(i) <- ((2 * k) + 1) :: neighbend.(i);
+        neighbend.(j) <- (2 * k) :: neighbend.(j))
+      edges;
+    Array.iteri (fun v l -> neighbend.(v) <- List.rev l) neighbend;
+    let mate = Array.make nvertex (-1) in
+    let label = Array.make (2 * nvertex) 0 in
+    let labelend = Array.make (2 * nvertex) (-1) in
+    let inblossom = Array.init nvertex (fun v -> v) in
+    let blossomparent = Array.make (2 * nvertex) (-1) in
+    let blossomchilds : int array array = Array.make (2 * nvertex) [||] in
+    let has_childs = Array.make (2 * nvertex) false in
+    let blossombase = Array.init (2 * nvertex) (fun b -> if b < nvertex then b else -1) in
+    let blossomendps : int array array = Array.make (2 * nvertex) [||] in
+    let bestedge = Array.make (2 * nvertex) (-1) in
+    let blossombestedges : int list option array = Array.make (2 * nvertex) None in
+    let unusedblossoms = ref (List.init nvertex (fun i -> nvertex + i)) in
+    let dualvar =
+      Array.init (2 * nvertex) (fun b -> if b < nvertex then maxweight else 0)
+    in
+    let allowedge = Array.make nedge false in
+    let queue = ref [] in
+
+    let slack k =
+      let i, j, wt = edges.(k) in
+      dualvar.(i) + dualvar.(j) - (2 * wt)
+    in
+
+    let rec blossom_leaves b acc =
+      if b < nvertex then b :: acc
+      else Array.fold_right (fun t acc -> blossom_leaves t acc) blossomchilds.(b) acc
+    in
+    let leaves b = blossom_leaves b [] in
+
+    let rec assign_label w t p =
+      let b = inblossom.(w) in
+      assert (label.(w) = 0 && label.(b) = 0);
+      label.(w) <- t;
+      label.(b) <- t;
+      labelend.(w) <- p;
+      labelend.(b) <- p;
+      bestedge.(w) <- -1;
+      bestedge.(b) <- -1;
+      if t = 1 then queue := leaves b @ !queue
+      else if t = 2 then begin
+        let base = blossombase.(b) in
+        assert (mate.(base) >= 0);
+        assign_label endpoint.(mate.(base)) 1 (mate.(base) lxor 1)
+      end
+    in
+
+    let scan_blossom v w =
+      (* Trace back from both endpoints, dropping breadcrumbs; the
+         first blossom reached twice is the LCA base (or -1). *)
+      let path = ref [] in
+      let base = ref (-1) in
+      let v = ref v and w = ref w in
+      (try
+         while !v <> -1 || !w <> -1 do
+           let b = inblossom.(!v) in
+           if label.(b) land 4 <> 0 then begin
+             base := blossombase.(b);
+             raise Exit
+           end;
+           assert (label.(b) = 1);
+           path := b :: !path;
+           label.(b) <- 5;
+           assert (labelend.(b) = mate.(blossombase.(b)));
+           if labelend.(b) = -1 then v := -1
+           else begin
+             v := endpoint.(labelend.(b));
+             let b = inblossom.(!v) in
+             assert (label.(b) = 2);
+             assert (labelend.(b) >= 0);
+             v := endpoint.(labelend.(b))
+           end;
+           if !w <> -1 then begin
+             let t = !v in
+             v := !w;
+             w := t
+           end
+         done
+       with Exit -> ());
+      List.iter (fun b -> label.(b) <- 1) !path;
+      !base
+    in
+
+    let add_blossom base k =
+      let v0, w0, _ = edges.(k) in
+      let bb = inblossom.(base) in
+      let bv = ref inblossom.(v0) and bw = ref inblossom.(w0) in
+      let b =
+        match !unusedblossoms with
+        | x :: rest ->
+          unusedblossoms := rest;
+          x
+        | [] -> assert false
+      in
+      blossombase.(b) <- base;
+      blossomparent.(b) <- -1;
+      blossomparent.(bb) <- b;
+      let path = ref [] and endps = ref [] in
+      let v = ref v0 in
+      while !bv <> bb do
+        blossomparent.(!bv) <- b;
+        path := !bv :: !path;
+        endps := labelend.(!bv) :: !endps;
+        assert (labelend.(!bv) >= 0);
+        v := endpoint.(labelend.(!bv));
+        bv := inblossom.(!v)
+      done;
+      path := bb :: !path;
+      (* path/endps were accumulated reversed; restore and extend. *)
+      let path_fwd = !path and endps_fwd = !endps in
+      let path = ref path_fwd and endps = ref (endps_fwd @ [ 2 * k ]) in
+      let w = ref w0 in
+      while !bw <> bb do
+        blossomparent.(!bw) <- b;
+        path := !path @ [ !bw ];
+        endps := !endps @ [ labelend.(!bw) lxor 1 ];
+        assert (labelend.(!bw) >= 0);
+        w := endpoint.(labelend.(!bw));
+        bw := inblossom.(!w)
+      done;
+      assert (label.(bb) = 1);
+      label.(b) <- 1;
+      labelend.(b) <- labelend.(bb);
+      dualvar.(b) <- 0;
+      blossomchilds.(b) <- Array.of_list !path;
+      has_childs.(b) <- true;
+      blossomendps.(b) <- Array.of_list !endps;
+      List.iter
+        (fun v ->
+          if label.(inblossom.(v)) = 2 then queue := v :: !queue;
+          inblossom.(v) <- b)
+        (leaves b);
+      (* recompute best-edge lists for delta-3 *)
+      let bestedgeto = Array.make (2 * nvertex) (-1) in
+      Array.iter
+        (fun bv ->
+          let nblists =
+            match blossombestedges.(bv) with
+            | None -> List.map (fun v -> List.map (fun p -> p / 2) neighbend.(v)) (leaves bv)
+            | Some l -> [ l ]
+          in
+          List.iter
+            (fun nblist ->
+              List.iter
+                (fun k ->
+                  let i, j, _ = edges.(k) in
+                  let j = if inblossom.(j) = b then i else j in
+                  let bj = inblossom.(j) in
+                  if
+                    bj <> b && label.(bj) = 1
+                    && (bestedgeto.(bj) = -1 || slack k < slack bestedgeto.(bj))
+                  then bestedgeto.(bj) <- k)
+                nblist)
+            nblists;
+          blossombestedges.(bv) <- None;
+          bestedge.(bv) <- -1)
+        blossomchilds.(b);
+      let best = Array.to_list bestedgeto |> List.filter (fun k -> k <> -1) in
+      blossombestedges.(b) <- Some best;
+      bestedge.(b) <- -1;
+      List.iter
+        (fun k -> if bestedge.(b) = -1 || slack k < slack bestedge.(b) then bestedge.(b) <- k)
+        best
+    in
+
+    (* Python-style wraparound indexing into a blossom's child list. *)
+    let nth a j =
+      let len = Array.length a in
+      a.(((j mod len) + len) mod len)
+    in
+
+    let rec expand_blossom b endstage =
+      Array.iter
+        (fun s ->
+          blossomparent.(s) <- -1;
+          if s < nvertex then inblossom.(s) <- s
+          else if endstage && dualvar.(s) = 0 then expand_blossom s endstage
+          else List.iter (fun v -> inblossom.(v) <- s) (leaves s))
+        blossomchilds.(b);
+      if (not endstage) && label.(b) = 2 then begin
+        assert (labelend.(b) >= 0);
+        let entrychild = inblossom.(endpoint.(labelend.(b) lxor 1)) in
+        let childs = blossomchilds.(b) in
+        let len = Array.length childs in
+        let idx =
+          let rec find i = if childs.(i) = entrychild then i else find (i + 1) in
+          find 0
+        in
+        let j = ref idx and jstep = ref 0 and endptrick = ref 0 in
+        if idx land 1 <> 0 then begin
+          j := idx - len;
+          jstep := 1;
+          endptrick := 0
+        end
+        else begin
+          jstep := -1;
+          endptrick := 1
+        end;
+        let p = ref labelend.(b) in
+        while !j <> 0 do
+          label.(endpoint.(!p lxor 1)) <- 0;
+          label.(endpoint.(nth blossomendps.(b) (!j - !endptrick) lxor !endptrick lxor 1)) <- 0;
+          assign_label endpoint.(!p lxor 1) 2 !p;
+          allowedge.(nth blossomendps.(b) (!j - !endptrick) / 2) <- true;
+          j := !j + !jstep;
+          p := nth blossomendps.(b) (!j - !endptrick) lxor !endptrick;
+          allowedge.(!p / 2) <- true;
+          j := !j + !jstep
+        done;
+        let bv = nth childs !j in
+        label.(endpoint.(!p lxor 1)) <- 2;
+        label.(bv) <- 2;
+        labelend.(endpoint.(!p lxor 1)) <- !p;
+        labelend.(bv) <- !p;
+        bestedge.(bv) <- -1;
+        j := !j + !jstep;
+        while nth childs !j <> entrychild do
+          let bv = nth childs !j in
+          if label.(bv) = 1 then j := !j + !jstep
+          else begin
+            let rec first_labelled = function
+              | [] -> None
+              | v :: rest -> if label.(v) <> 0 then Some v else first_labelled rest
+            in
+            (match first_labelled (leaves bv) with
+            | None -> ()
+            | Some v ->
+              assert (label.(v) = 2);
+              assert (inblossom.(v) = bv);
+              label.(v) <- 0;
+              label.(endpoint.(mate.(blossombase.(bv)))) <- 0;
+              assign_label v 2 labelend.(v));
+            j := !j + !jstep
+          end
+        done
+      end;
+      label.(b) <- -1;
+      labelend.(b) <- -1;
+      blossomchilds.(b) <- [||];
+      has_childs.(b) <- false;
+      blossomendps.(b) <- [||];
+      blossombase.(b) <- -1;
+      blossombestedges.(b) <- None;
+      bestedge.(b) <- -1;
+      unusedblossoms := b :: !unusedblossoms
+    in
+
+    let rec augment_blossom b v =
+      let t = ref v in
+      while blossomparent.(!t) <> b do
+        t := blossomparent.(!t)
+      done;
+      if !t >= nvertex then augment_blossom !t v;
+      let childs = blossomchilds.(b) in
+      let len = Array.length childs in
+      let i =
+        let rec find k = if childs.(k) = !t then k else find (k + 1) in
+        find 0
+      in
+      let j = ref i and jstep = ref 0 and endptrick = ref 0 in
+      if i land 1 <> 0 then begin
+        j := i - len;
+        jstep := 1;
+        endptrick := 0
+      end
+      else begin
+        jstep := -1;
+        endptrick := 1
+      end;
+      while !j <> 0 do
+        j := !j + !jstep;
+        let t = nth childs !j in
+        let p = nth blossomendps.(b) (!j - !endptrick) lxor !endptrick in
+        if t >= nvertex then augment_blossom t endpoint.(p);
+        j := !j + !jstep;
+        let t = nth childs !j in
+        if t >= nvertex then augment_blossom t endpoint.(p lxor 1);
+        mate.(endpoint.(p)) <- p lxor 1;
+        mate.(endpoint.(p lxor 1)) <- p
+      done;
+      let rotate a k =
+        let len = Array.length a in
+        Array.init len (fun x -> a.((x + k) mod len))
+      in
+      blossomchilds.(b) <- rotate childs i;
+      blossomendps.(b) <- rotate blossomendps.(b) i;
+      blossombase.(b) <- blossombase.(blossomchilds.(b).(0));
+      assert (blossombase.(b) = v)
+    in
+
+    let augment_matching k =
+      let v, w, _ = edges.(k) in
+      List.iter
+        (fun (s0, p0) ->
+          let s = ref s0 and p = ref p0 in
+          let continue_ = ref true in
+          while !continue_ do
+            let bs = inblossom.(!s) in
+            assert (label.(bs) = 1);
+            assert (labelend.(bs) = mate.(blossombase.(bs)));
+            if bs >= nvertex then augment_blossom bs !s;
+            mate.(!s) <- !p;
+            if labelend.(bs) = -1 then continue_ := false
+            else begin
+              let t = endpoint.(labelend.(bs)) in
+              let bt = inblossom.(t) in
+              assert (label.(bt) = 2);
+              assert (labelend.(bt) >= 0);
+              s := endpoint.(labelend.(bt));
+              let j = endpoint.(labelend.(bt) lxor 1) in
+              assert (blossombase.(bt) = t);
+              if bt >= nvertex then augment_blossom bt j;
+              mate.(j) <- labelend.(bt);
+              p := labelend.(bt) lxor 1
+            end
+          done)
+        [ (v, (2 * k) + 1); (w, 2 * k) ]
+    in
+
+    (* main loop: one stage per augmentation opportunity *)
+    (try
+       for _stage = 0 to nvertex - 1 do
+         Array.fill label 0 (2 * nvertex) 0;
+         Array.fill bestedge 0 (2 * nvertex) (-1);
+         for i = nvertex to (2 * nvertex) - 1 do
+           blossombestedges.(i) <- None
+         done;
+         Array.fill allowedge 0 nedge false;
+         queue := [];
+         for v = 0 to nvertex - 1 do
+           if mate.(v) = -1 && label.(inblossom.(v)) = 0 then assign_label v 1 (-1)
+         done;
+         let augmented = ref false in
+         let stage_done = ref false in
+         while not !stage_done do
+           (* scan S-vertices *)
+           while !queue <> [] && not !augmented do
+             let v =
+               match !queue with
+               | x :: rest ->
+                 queue := rest;
+                 x
+               | [] -> assert false
+             in
+             assert (label.(inblossom.(v)) = 1);
+             List.iter
+               (fun p ->
+                 if not !augmented then begin
+                   let k = p / 2 in
+                   let w = endpoint.(p) in
+                   if inblossom.(v) = inblossom.(w) then ()
+                   else begin
+                     let kslack = slack k in
+                     if (not allowedge.(k)) && kslack <= 0 then allowedge.(k) <- true;
+                     if allowedge.(k) then begin
+                       if label.(inblossom.(w)) = 0 then assign_label w 2 (p lxor 1)
+                       else if label.(inblossom.(w)) = 1 then begin
+                         let base = scan_blossom v w in
+                         if base >= 0 then add_blossom base k
+                         else begin
+                           augment_matching k;
+                           augmented := true
+                         end
+                       end
+                       else if label.(w) = 0 then begin
+                         assert (label.(inblossom.(w)) = 2);
+                         label.(w) <- 2;
+                         labelend.(w) <- p lxor 1
+                       end
+                     end
+                     else if label.(inblossom.(w)) = 1 then begin
+                       let b = inblossom.(v) in
+                       if bestedge.(b) = -1 || kslack < slack bestedge.(b) then
+                         bestedge.(b) <- k
+                     end
+                     else if label.(w) = 0 then
+                       if bestedge.(w) = -1 || kslack < slack bestedge.(w) then
+                         bestedge.(w) <- k
+                   end
+                 end)
+               neighbend.(v)
+           done;
+           if !augmented then stage_done := true
+           else begin
+             (* compute delta *)
+             let deltatype = ref (-1) in
+             let delta = ref 0 in
+             let deltaedge = ref (-1) in
+             let deltablossom = ref (-1) in
+             if not max_cardinality then begin
+               deltatype := 1;
+               delta := Array.fold_left min max_int (Array.sub dualvar 0 nvertex)
+             end;
+             for v = 0 to nvertex - 1 do
+               if label.(inblossom.(v)) = 0 && bestedge.(v) <> -1 then begin
+                 let d = slack bestedge.(v) in
+                 if !deltatype = -1 || d < !delta then begin
+                   delta := d;
+                   deltatype := 2;
+                   deltaedge := bestedge.(v)
+                 end
+               end
+             done;
+             for b = 0 to (2 * nvertex) - 1 do
+               if blossomparent.(b) = -1 && label.(b) = 1 && bestedge.(b) <> -1 then begin
+                 let kslack = slack bestedge.(b) in
+                 assert (kslack mod 2 = 0);
+                 let d = kslack / 2 in
+                 if !deltatype = -1 || d < !delta then begin
+                   delta := d;
+                   deltatype := 3;
+                   deltaedge := bestedge.(b)
+                 end
+               end
+             done;
+             for b = nvertex to (2 * nvertex) - 1 do
+               if
+                 blossombase.(b) >= 0 && blossomparent.(b) = -1 && label.(b) = 2
+                 && (!deltatype = -1 || dualvar.(b) < !delta)
+               then begin
+                 delta := dualvar.(b);
+                 deltatype := 4;
+                 deltablossom := b
+               end
+             done;
+             if !deltatype = -1 then begin
+               (* max-cardinality mode with no tight structure left *)
+               deltatype := 1;
+               delta := max 0 (Array.fold_left min max_int (Array.sub dualvar 0 nvertex))
+             end;
+             for v = 0 to nvertex - 1 do
+               let l = label.(inblossom.(v)) in
+               if l = 1 then dualvar.(v) <- dualvar.(v) - !delta
+               else if l = 2 then dualvar.(v) <- dualvar.(v) + !delta
+             done;
+             for b = nvertex to (2 * nvertex) - 1 do
+               if blossombase.(b) >= 0 && blossomparent.(b) = -1 then
+                 if label.(b) = 1 then dualvar.(b) <- dualvar.(b) + !delta
+                 else if label.(b) = 2 then dualvar.(b) <- dualvar.(b) - !delta
+             done;
+             match !deltatype with
+             | 1 -> stage_done := true (* optimum reached *)
+             | 2 ->
+               allowedge.(!deltaedge) <- true;
+               let i, j, _ = edges.(!deltaedge) in
+               let i = if label.(inblossom.(i)) = 0 then j else i in
+               assert (label.(inblossom.(i)) = 1);
+               queue := i :: !queue
+             | 3 ->
+               allowedge.(!deltaedge) <- true;
+               let i, _, _ = edges.(!deltaedge) in
+               assert (label.(inblossom.(i)) = 1);
+               queue := i :: !queue
+             | 4 -> expand_blossom !deltablossom false
+             | _ -> assert false
+           end
+         done;
+         if not !augmented then raise Exit;
+         (* expand tight S-blossoms at end of stage *)
+         for b = nvertex to (2 * nvertex) - 1 do
+           if
+             blossomparent.(b) = -1 && blossombase.(b) >= 0 && label.(b) = 1
+             && dualvar.(b) = 0 && has_childs.(b)
+           then expand_blossom b true
+         done
+       done
+     with Exit -> ());
+    for v = 0 to nvertex - 1 do
+      if mate.(v) >= 0 then mate.(v) <- endpoint.(mate.(v))
+    done;
+    mate
+  end
+
+let matching_weight edges mate =
+  (* each unordered pair occurs once in [edges] (duplicates were
+     dropped), so [mate.(u) = v] counts every matched edge exactly once
+     regardless of the orientation it was listed with *)
+  let n = Array.length mate in
+  List.fold_left
+    (fun acc (u, v, w) -> if u < n && v < n && mate.(u) = v then acc + w else acc)
+    0 edges
+
+let matched_pairs mate =
+  let acc = ref [] in
+  Array.iteri (fun v m -> if m > v then acc := (v, m) :: !acc) mate;
+  List.rev !acc

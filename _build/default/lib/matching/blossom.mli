@@ -1,0 +1,23 @@
+(** Maximum-weight matching in general graphs (Edmonds' blossom
+    algorithm, O(V³) formulation after Galil 1986 / van Rantwijk).
+
+    This is the combinatorial engine of Algorithm MWM-Contract (paper
+    §4.3): pairing task clusters so that the total weight of matched
+    (hence internalized) communication is maximum.
+
+    Weights may be any integers; the algorithm maximizes the total
+    weight of matched edges.  With [max_cardinality] set it returns a
+    maximum-weight matching among maximum-cardinality matchings. *)
+
+val max_weight_matching :
+  ?max_cardinality:bool -> n:int -> (int * int * int) list -> int array
+(** [max_weight_matching ~n edges] with edges [(u, v, w)], [u ≠ v],
+    [0 ≤ u, v < n].  Result [mate] has [mate.(v)] = partner of [v] or
+    [-1]; it is symmetric.  Later duplicate edges between the same pair
+    are ignored (the first is kept). *)
+
+val matching_weight : (int * int * int) list -> int array -> int
+(** Total weight of the matched edges under a mate array. *)
+
+val matched_pairs : int array -> (int * int) list
+(** Pairs [(u, v)] with [u < v] from a mate array. *)

@@ -1,0 +1,61 @@
+let max_weight_matching ~n edges =
+  let edges = Array.of_list edges in
+  let best = ref 0 in
+  let used = Array.make n false in
+  let rec go k acc =
+    if k >= Array.length edges then best := max !best acc
+    else begin
+      (* skip edge k *)
+      go (k + 1) acc;
+      let u, v, w = edges.(k) in
+      if (not used.(u)) && not used.(v) then begin
+        used.(u) <- true;
+        used.(v) <- true;
+        go (k + 1) (acc + w);
+        used.(u) <- false;
+        used.(v) <- false
+      end
+    end
+  in
+  go 0 0;
+  !best
+
+let max_cardinality_matching ~n edges =
+  max_weight_matching ~n (List.map (fun (u, v) -> (u, v, 1)) edges)
+
+let best_partition ~n ~parts ~cap edges =
+  if parts * cap < n then invalid_arg "Brute.best_partition: infeasible";
+  let block = Array.make n (-1) in
+  let counts = Array.make parts 0 in
+  let best_cut = ref max_int in
+  let best_block = Array.make n (-1) in
+  let cut_of () =
+    List.fold_left
+      (fun acc (u, v, w) -> if block.(u) <> block.(v) then acc + w else acc)
+      0 edges
+  in
+  (* canonical assignment: item i may open block (max used block + 1),
+     killing permutation symmetry among blocks *)
+  let rec go i max_used =
+    if i >= n then begin
+      let c = cut_of () in
+      if c < !best_cut then begin
+        best_cut := c;
+        Array.blit block 0 best_block 0 n
+      end
+    end
+    else begin
+      let limit = min (parts - 1) (max_used + 1) in
+      for b = 0 to limit do
+        if counts.(b) < cap then begin
+          block.(i) <- b;
+          counts.(b) <- counts.(b) + 1;
+          go (i + 1) (max max_used b);
+          counts.(b) <- counts.(b) - 1;
+          block.(i) <- -1
+        end
+      done
+    end
+  in
+  go 0 (-1);
+  (!best_cut, best_block)

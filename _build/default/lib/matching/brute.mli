@@ -1,0 +1,16 @@
+(** Exhaustive reference solvers, used as test oracles and in the
+    E6 optimality experiment.  Exponential — small inputs only. *)
+
+val max_weight_matching : n:int -> (int * int * int) list -> int
+(** Weight of a maximum-weight matching (graphs up to ~10 nodes). *)
+
+val max_cardinality_matching : n:int -> (int * int) list -> int
+(** Size of a maximum matching. *)
+
+val best_partition :
+  n:int -> parts:int -> cap:int -> (int * int * int) list -> int * int array
+(** [best_partition ~n ~parts ~cap edges] finds a partition of [n]
+    items into at most [parts] blocks of at most [cap] items each,
+    minimizing the total weight of edges crossing between blocks.
+    Returns [(cut_weight, block_of)].  Feasibility requires
+    [parts * cap >= n]. *)

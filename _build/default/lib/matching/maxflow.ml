@@ -1,0 +1,90 @@
+type arc = { dst : int; mutable cap : int; rev : int }
+
+type t = { n : int; adj : arc array ref array; level : int array; iter : int array }
+
+let create n =
+  {
+    n;
+    adj = Array.init n (fun _ -> ref [||]);
+    level = Array.make n (-1);
+    iter = Array.make n 0;
+  }
+
+let push t u arc =
+  let a = t.adj.(u) in
+  a := Array.append !a [| arc |]
+
+let add_edge t u v ~cap =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then invalid_arg "Maxflow: node out of range";
+  if cap < 0 then invalid_arg "Maxflow: negative capacity";
+  let iu = Array.length !(t.adj.(u)) and iv = Array.length !(t.adj.(v)) in
+  push t u { dst = v; cap; rev = iv };
+  push t v { dst = u; cap = 0; rev = iu }
+
+let add_bidirectional t u v ~cap =
+  let iu = Array.length !(t.adj.(u)) and iv = Array.length !(t.adj.(v)) in
+  push t u { dst = v; cap; rev = iv };
+  push t v { dst = u; cap; rev = iu }
+
+let bfs t src =
+  Array.fill t.level 0 t.n (-1);
+  t.level.(src) <- 0;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun arc ->
+        if arc.cap > 0 && t.level.(arc.dst) = -1 then begin
+          t.level.(arc.dst) <- t.level.(u) + 1;
+          Queue.add arc.dst q
+        end)
+      !(t.adj.(u))
+  done
+
+let rec dfs t u dst f =
+  if u = dst then f
+  else begin
+    let arcs = !(t.adj.(u)) in
+    let result = ref 0 in
+    while !result = 0 && t.iter.(u) < Array.length arcs do
+      let arc = arcs.(t.iter.(u)) in
+      if arc.cap > 0 && t.level.(arc.dst) = t.level.(u) + 1 then begin
+        let d = dfs t arc.dst dst (min f arc.cap) in
+        if d > 0 then begin
+          arc.cap <- arc.cap - d;
+          let back = !(t.adj.(arc.dst)).(arc.rev) in
+          back.cap <- back.cap + d;
+          result := d
+        end
+        else t.iter.(u) <- t.iter.(u) + 1
+      end
+      else t.iter.(u) <- t.iter.(u) + 1
+    done;
+    !result
+  end
+
+let max_flow t ~src ~dst =
+  if src = dst then invalid_arg "Maxflow: src = dst";
+  let flow = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    bfs t src;
+    if t.level.(dst) = -1 then continue_ := false
+    else begin
+      Array.fill t.iter 0 t.n 0;
+      let rec pump () =
+        let f = dfs t src dst max_int in
+        if f > 0 then begin
+          flow := !flow + f;
+          pump ()
+        end
+      in
+      pump ()
+    end
+  done;
+  !flow
+
+let min_cut_side t ~src =
+  bfs t src;
+  Array.map (fun l -> if l >= 0 then 1 else 0) (Array.sub t.level 0 t.n)

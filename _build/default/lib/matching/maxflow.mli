@@ -1,0 +1,27 @@
+(** Maximum flow / minimum cut (Dinic's algorithm).
+
+    Substrate for the Stone-style network-flow task assignment the
+    paper cites as the foundation of its arbitrary-graph mapping
+    ([Sto77], [Bok87]): a minimum s–t cut of the "commodity" graph is
+    an optimal two-processor assignment. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a flow network on nodes [0 .. n-1] with no arcs. *)
+
+val add_edge : t -> int -> int -> cap:int -> unit
+(** Adds a directed arc with the given capacity (and a residual
+    reverse arc of capacity 0).  Call once per arc; parallel arcs are
+    allowed. *)
+
+val add_bidirectional : t -> int -> int -> cap:int -> unit
+(** Adds capacity in both directions (an undirected edge). *)
+
+val max_flow : t -> src:int -> dst:int -> int
+(** Computes the maximum flow.  Mutates the network (flows persist);
+    call on a freshly built network. *)
+
+val min_cut_side : t -> src:int -> int array
+(** After {!max_flow}: characteristic vector of the source side of a
+    minimum cut (1 = reachable from [src] in the residual graph). *)

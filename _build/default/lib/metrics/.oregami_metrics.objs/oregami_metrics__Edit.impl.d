@@ -1,0 +1,1 @@
+lib/metrics/edit.ml: Array List Oregami_mapper Oregami_taskgraph Oregami_topology Printf String

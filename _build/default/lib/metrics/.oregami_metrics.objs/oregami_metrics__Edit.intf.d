@@ -1,0 +1,1 @@
+lib/metrics/edit.mli: Oregami_mapper

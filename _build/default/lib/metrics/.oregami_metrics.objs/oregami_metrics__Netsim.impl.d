@@ -1,0 +1,1 @@
+lib/metrics/netsim.ml: Array List Oregami_mapper Oregami_prelude Oregami_taskgraph Oregami_topology Printf

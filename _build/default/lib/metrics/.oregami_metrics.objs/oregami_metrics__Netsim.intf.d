@@ -1,0 +1,1 @@
+lib/metrics/netsim.mli: Oregami_mapper Oregami_topology

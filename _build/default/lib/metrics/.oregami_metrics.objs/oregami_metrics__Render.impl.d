@@ -1,0 +1,1 @@
+lib/metrics/render.ml: Array Buffer Bytes Format Hashtbl List Metrics Netsim Option Oregami_graph Oregami_mapper Oregami_prelude Oregami_taskgraph Oregami_topology Printf String

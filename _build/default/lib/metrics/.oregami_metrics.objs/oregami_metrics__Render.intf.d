@@ -1,0 +1,1 @@
+lib/metrics/render.mli: Oregami_mapper Oregami_taskgraph Oregami_topology

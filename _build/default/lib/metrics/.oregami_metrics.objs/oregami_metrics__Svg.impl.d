@@ -1,0 +1,1 @@
+lib/metrics/svg.ml: Array Buffer Float List Metrics Oregami_graph Oregami_mapper Oregami_taskgraph Oregami_topology Printf String

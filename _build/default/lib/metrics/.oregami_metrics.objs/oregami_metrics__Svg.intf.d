@@ -1,0 +1,1 @@
+lib/metrics/svg.mli: Oregami_mapper Oregami_topology

@@ -1,0 +1,190 @@
+module Mapping = Oregami_mapper.Mapping
+module Taskgraph = Oregami_taskgraph.Taskgraph
+module Phase_expr = Oregami_taskgraph.Phase_expr
+module Topology = Oregami_topology.Topology
+module Routes = Oregami_topology.Routes
+module Tab = Oregami_prelude.Tab
+
+type load = { tasks_per_proc : int array; exec_per_proc : int array }
+
+type link_report = {
+  volume_per_link : int array;
+  messages_per_link : int array;
+  per_phase_contention : (string * int array) list;
+}
+
+type model = { bandwidth : int; latency : int }
+
+let default_model = { bandwidth = 1; latency = 1 }
+
+type summary = {
+  strategy : string;
+  tasks : int;
+  procs : int;
+  clusters : int;
+  load : load;
+  load_imbalance : float;
+  links : link_report;
+  total_ipc : int;
+  dilation_max : int;
+  dilation_avg : float;
+  max_link_contention : int;
+  completion_time : int;
+}
+
+let load_metrics (m : Mapping.t) =
+  let tg = m.Mapping.tg in
+  let procs = Topology.node_count m.Mapping.topo in
+  let tasks_per_proc = Array.make procs 0 in
+  let exec_per_proc = Array.make procs 0 in
+  for task = 0 to tg.Taskgraph.n - 1 do
+    let p = Mapping.proc_of_task m task in
+    tasks_per_proc.(p) <- tasks_per_proc.(p) + 1;
+    List.iter
+      (fun (ep : Taskgraph.exec_phase) ->
+        let occurrences = Phase_expr.count_exec tg.Taskgraph.expr ep.Taskgraph.ep_name in
+        exec_per_proc.(p) <-
+          exec_per_proc.(p) + (occurrences * ep.Taskgraph.costs.(task)))
+      tg.Taskgraph.exec_phases
+  done;
+  { tasks_per_proc; exec_per_proc }
+
+let phase_routing (m : Mapping.t) name =
+  List.find_opt (fun pr -> pr.Mapping.pr_phase = name) m.Mapping.routings
+
+let link_metrics (m : Mapping.t) =
+  let tg = m.Mapping.tg in
+  let nlinks = Topology.link_count m.Mapping.topo in
+  let volume_per_link = Array.make nlinks 0 in
+  let messages_per_link = Array.make nlinks 0 in
+  let per_phase_contention =
+    List.map
+      (fun (cp : Taskgraph.comm_phase) ->
+        let name = cp.Taskgraph.cp_name in
+        let contention = Array.make nlinks 0 in
+        (match phase_routing m name with
+        | None -> ()
+        | Some pr ->
+          let occurrences = Phase_expr.count_comm tg.Taskgraph.expr name in
+          List.iter
+            (fun re ->
+              List.iter
+                (fun link ->
+                  contention.(link) <- contention.(link) + 1;
+                  messages_per_link.(link) <- messages_per_link.(link) + occurrences;
+                  volume_per_link.(link) <-
+                    volume_per_link.(link) + (occurrences * re.Mapping.re_volume))
+                re.Mapping.re_route.Routes.links)
+            pr.Mapping.pr_edges);
+        (name, contention))
+      tg.Taskgraph.comm_phases
+  in
+  { volume_per_link; messages_per_link; per_phase_contention }
+
+let slot_cost model (m : Mapping.t) exec_loads slot =
+  let nlinks = Topology.link_count m.Mapping.topo in
+  (* execution part: slowest processor *)
+  let exec_cost =
+    List.fold_left
+      (fun acc name ->
+        match List.assoc_opt name exec_loads with
+        | Some per_proc -> max acc (Array.fold_left max 0 per_proc)
+        | None -> acc)
+      0 slot.Phase_expr.execs
+  in
+  (* communication part: busiest link + deepest route *)
+  let link_volume = Array.make nlinks 0 in
+  let max_hops = ref 0 in
+  List.iter
+    (fun name ->
+      match phase_routing m name with
+      | None -> ()
+      | Some pr ->
+        List.iter
+          (fun re ->
+            let hops = Routes.hops re.Mapping.re_route in
+            if hops > 0 then begin
+              max_hops := max !max_hops hops;
+              List.iter
+                (fun link -> link_volume.(link) <- link_volume.(link) + re.Mapping.re_volume)
+                re.Mapping.re_route.Routes.links
+            end)
+          pr.Mapping.pr_edges)
+    slot.Phase_expr.comms;
+  let busiest = Array.fold_left max 0 link_volume in
+  let comm_cost =
+    if busiest = 0 then 0
+    else ((busiest + model.bandwidth - 1) / model.bandwidth) + (!max_hops * model.latency)
+  in
+  exec_cost + comm_cost
+
+let exec_loads_per_phase (m : Mapping.t) =
+  let tg = m.Mapping.tg in
+  let procs = Topology.node_count m.Mapping.topo in
+  List.map
+    (fun (ep : Taskgraph.exec_phase) ->
+      let per_proc = Array.make procs 0 in
+      Array.iteri
+        (fun task cost ->
+          let p = Mapping.proc_of_task m task in
+          per_proc.(p) <- per_proc.(p) + cost)
+        ep.Taskgraph.costs;
+      (ep.Taskgraph.ep_name, per_proc))
+    tg.Taskgraph.exec_phases
+
+let completion_time ?(model = default_model) (m : Mapping.t) =
+  let exec_loads = exec_loads_per_phase m in
+  let trace = Phase_expr.trace m.Mapping.tg.Taskgraph.expr in
+  List.fold_left (fun acc slot -> acc + slot_cost model m exec_loads slot) 0 trace
+
+let summary ?(model = default_model) (m : Mapping.t) =
+  let tg = m.Mapping.tg in
+  let load = load_metrics m in
+  let links = link_metrics m in
+  let total_exec = Array.fold_left ( + ) 0 load.exec_per_proc in
+  let max_exec = Array.fold_left max 0 load.exec_per_proc in
+  let procs = Topology.node_count m.Mapping.topo in
+  let load_imbalance =
+    if total_exec = 0 then 0.0
+    else float_of_int max_exec /. (float_of_int total_exec /. float_of_int procs)
+  in
+  let dilation_max, dilation_avg, _ = Mapping.dilation_stats m in
+  let max_link_contention =
+    List.fold_left
+      (fun acc (_, contention) -> max acc (Array.fold_left max 0 contention))
+      0 links.per_phase_contention
+  in
+  let total_ipc =
+    Mapping.total_ipc (Taskgraph.static_graph tg) (Mapping.assignment m)
+  in
+  {
+    strategy = m.Mapping.strategy;
+    tasks = tg.Taskgraph.n;
+    procs;
+    clusters = Mapping.cluster_count m;
+    load;
+    load_imbalance;
+    links;
+    total_ipc;
+    dilation_max;
+    dilation_avg;
+    max_link_contention;
+    completion_time = completion_time ~model m;
+  }
+
+let print_summary s =
+  Tab.print
+    ~header:[ "metric"; "value" ]
+    [
+      [ "strategy"; s.strategy ];
+      [ "tasks"; string_of_int s.tasks ];
+      [ "clusters"; string_of_int s.clusters ];
+      [ "processors"; string_of_int s.procs ];
+      [ "max tasks/proc"; string_of_int (Array.fold_left max 0 s.load.tasks_per_proc) ];
+      [ "load imbalance"; Tab.fixed 3 s.load_imbalance ];
+      [ "total IPC volume"; string_of_int s.total_ipc ];
+      [ "dilation (max)"; string_of_int s.dilation_max ];
+      [ "dilation (avg)"; Tab.fixed 3 s.dilation_avg ];
+      [ "max link contention"; string_of_int s.max_link_contention ];
+      [ "completion time (model)"; string_of_int s.completion_time ];
+    ]

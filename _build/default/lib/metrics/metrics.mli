@@ -1,0 +1,61 @@
+(** METRICS (paper §5): performance analysis of a mapping.
+
+    Computes the paper's metric spectrum — load balancing (tasks per
+    processor, execution time per processor), link metrics (dilation,
+    communication volume, per-phase contention), and overall metrics
+    (estimated completion time, total interprocessor communication). *)
+
+type load = {
+  tasks_per_proc : int array;
+  exec_per_proc : int array;
+      (** total execution time on each processor over the whole phase
+          expression (costs × occurrences) *)
+}
+
+type link_report = {
+  volume_per_link : int array;
+      (** message volume carried by each link over the whole trace *)
+  messages_per_link : int array;
+  per_phase_contention : (string * int array) list;
+      (** for one occurrence of each phase: messages per link *)
+}
+
+type model = {
+  bandwidth : int;  (** volume units transferred per time unit *)
+  latency : int;  (** per-hop startup cost *)
+}
+
+val default_model : model
+
+type summary = {
+  strategy : string;
+  tasks : int;
+  procs : int;
+  clusters : int;
+  load : load;
+  load_imbalance : float;
+      (** max/mean execution load (1.0 = perfect; 0 when no exec) *)
+  links : link_report;
+  total_ipc : int;  (** volume crossing processors, whole trace *)
+  dilation_max : int;
+  dilation_avg : float;
+  max_link_contention : int;
+      (** worst per-phase messages on one link *)
+  completion_time : int;  (** synchronous phase-by-phase estimate *)
+}
+
+val load_metrics : Oregami_mapper.Mapping.t -> load
+
+val link_metrics : Oregami_mapper.Mapping.t -> link_report
+
+val completion_time : ?model:model -> Oregami_mapper.Mapping.t -> int
+(** Phase-by-phase synchronous estimate: an execution slot costs the
+    maximum per-processor summed task cost; a communication slot costs
+    [max_link_volume/bandwidth + max_hops·latency] over the messages of
+    its phases.  Slots accumulate over the whole phase-expression
+    trace. *)
+
+val summary : ?model:model -> Oregami_mapper.Mapping.t -> summary
+
+val print_summary : summary -> unit
+(** Tabular report on stdout. *)

@@ -1,0 +1,232 @@
+module Mapping = Oregami_mapper.Mapping
+module Taskgraph = Oregami_taskgraph.Taskgraph
+module Phase_expr = Oregami_taskgraph.Phase_expr
+module Topology = Oregami_topology.Topology
+module Routes = Oregami_topology.Routes
+module Pqueue = Oregami_prelude.Pqueue
+
+type switching = Store_and_forward | Wormhole
+
+type params = { bandwidth : int; latency : int; switching : switching }
+
+let default_params = { bandwidth = 1; latency = 1; switching = Store_and_forward }
+
+let wormhole_params = { default_params with switching = Wormhole }
+
+type report = {
+  makespan : int;
+  comm_time : int;
+  exec_time : int;
+  slot_times : int list;
+  max_queue : int;
+}
+
+(* Directed channel id for (link, forward?) *)
+let channel link forward = (2 * link) + if forward then 0 else 1
+
+(* wormhole: a message holds every channel of its path for its whole
+   service time; messages acquire paths greedily in release order
+   (ties by insertion), waiting for the busiest channel on the path *)
+let simulate_wormhole params topo messages =
+  let nchannels = 2 * Topology.link_count topo in
+  let busy_until = Array.make nchannels 0 in
+  let max_queue = ref 0 in
+  let finish_time = ref 0 in
+  let channels_of route =
+    let rec go nodes links acc =
+      match (nodes, links) with
+      | node :: (next :: _ as rest), link :: links ->
+        let u, _ = Topology.link_endpoints topo link in
+        ignore next;
+        go rest links (channel link (node = u) :: acc)
+      | _, [] -> List.rev acc
+      | _, _ -> List.rev acc
+    in
+    go route.Routes.nodes route.Routes.links []
+  in
+  let ordered =
+    List.stable_sort (fun (_, _, r1) (_, _, r2) -> compare r1 r2) messages
+  in
+  List.iter
+    (fun (route, volume, release) ->
+      let chs = channels_of route in
+      if chs <> [] then begin
+        let ready = List.fold_left (fun acc ch -> max acc busy_until.(ch)) release chs in
+        if ready > release then max_queue := max !max_queue 1;
+        let service =
+          (List.length chs * params.latency)
+          + ((volume + params.bandwidth - 1) / params.bandwidth)
+        in
+        let finish = ready + service in
+        List.iter (fun ch -> busy_until.(ch) <- finish) chs;
+        finish_time := max !finish_time finish
+      end
+      else finish_time := max !finish_time release)
+    ordered;
+  (!finish_time, !max_queue)
+
+(* Simulate one communication step with per-message release times;
+   returns (finish time of the last message, deepest queue). *)
+let simulate_store_and_forward params topo messages =
+  let nchannels = 2 * Topology.link_count topo in
+  let busy_until = Array.make nchannels 0 in
+  let queue_depth = Array.make nchannels 0 in
+  let max_queue = ref 0 in
+  let finish_time = ref 0 in
+  (* events: (time, (message_route_remaining, position_node, volume)) *)
+  let pq = Pqueue.create () in
+  List.iter
+    (fun (route, volume, release) ->
+      match route.Routes.nodes with
+      | src :: _ ->
+        finish_time := max !finish_time release;
+        Pqueue.push pq release (route.Routes.links, src, volume)
+      | [] -> ())
+    messages;
+  let hop_time volume = ((volume + params.bandwidth - 1) / params.bandwidth) + params.latency in
+  let rec drain () =
+    match Pqueue.pop pq with
+    | None -> ()
+    | Some (t, (links, node, volume)) -> begin
+      match links with
+      | [] ->
+        finish_time := max !finish_time t;
+        drain ()
+      | link :: rest ->
+        let u, v = Topology.link_endpoints topo link in
+        let forward = node = u in
+        let next_node = if forward then v else u in
+        let ch = channel link forward in
+        let start = max t busy_until.(ch) in
+        if start > t then begin
+          queue_depth.(ch) <- queue_depth.(ch) + 1;
+          max_queue := max !max_queue queue_depth.(ch)
+        end
+        else queue_depth.(ch) <- 0;
+        let finish = start + hop_time volume in
+        busy_until.(ch) <- finish;
+        Pqueue.push pq finish (rest, next_node, volume);
+        drain ()
+    end
+  in
+  drain ();
+  (!finish_time, !max_queue)
+
+type span = { sp_channel : int; sp_start : int; sp_finish : int; sp_volume : int }
+
+let channel_name topo ch =
+  let link = ch / 2 in
+  let u, v = Topology.link_endpoints topo link in
+  if ch land 1 = 0 then Printf.sprintf "%d->%d" u v else Printf.sprintf "%d->%d" v u
+
+(* store-and-forward with span recording (mirrors the simulator's
+   channel discipline; kept separate to keep the hot path lean) *)
+let simulate_spans params topo messages =
+  let nchannels = 2 * Topology.link_count topo in
+  let busy_until = Array.make nchannels 0 in
+  let spans = ref [] in
+  let pq = Pqueue.create () in
+  List.iter
+    (fun (route, volume, release) ->
+      match route.Routes.nodes with
+      | src :: _ -> Pqueue.push pq release (route.Routes.links, src, volume)
+      | [] -> ())
+    messages;
+  let hop_time volume = ((volume + params.bandwidth - 1) / params.bandwidth) + params.latency in
+  let rec drain () =
+    match Pqueue.pop pq with
+    | None -> ()
+    | Some (t, (links, node, volume)) -> begin
+      match links with
+      | [] -> drain ()
+      | link :: rest ->
+        let u, v = Topology.link_endpoints topo link in
+        let forward = node = u in
+        let next_node = if forward then v else u in
+        let ch = channel link forward in
+        let start = max t busy_until.(ch) in
+        let finish = start + hop_time volume in
+        busy_until.(ch) <- finish;
+        spans := { sp_channel = ch; sp_start = start; sp_finish = finish; sp_volume = volume } :: !spans;
+        Pqueue.push pq finish (rest, next_node, volume);
+        drain ()
+    end
+  in
+  drain ();
+  List.rev !spans
+
+let simulate_released params topo messages =
+  match params.switching with
+  | Store_and_forward -> simulate_store_and_forward params topo messages
+  | Wormhole -> simulate_wormhole params topo messages
+
+(* synchronous step: everything released at t = 0 *)
+let simulate_messages params topo messages =
+  simulate_released params topo (List.map (fun (r, v) -> (r, v, 0)) messages)
+
+let slot_messages (m : Mapping.t) slot =
+  List.concat_map
+    (fun name ->
+      match List.find_opt (fun pr -> pr.Mapping.pr_phase = name) m.Mapping.routings with
+      | None -> []
+      | Some pr ->
+        List.filter_map
+          (fun re ->
+            if re.Mapping.re_route.Routes.links = [] then None
+            else Some (re.Mapping.re_route, re.Mapping.re_volume))
+          pr.Mapping.pr_edges)
+    slot.Phase_expr.comms
+
+let exec_slot_time exec_loads slot =
+  List.fold_left
+    (fun acc name ->
+      match List.assoc_opt name exec_loads with
+      | Some per_proc -> max acc (Array.fold_left max 0 per_proc)
+      | None -> acc)
+    0 slot.Phase_expr.execs
+
+let exec_loads (m : Mapping.t) =
+  let tg = m.Mapping.tg in
+  let procs = Topology.node_count m.Mapping.topo in
+  List.map
+    (fun (ep : Taskgraph.exec_phase) ->
+      let per_proc = Array.make procs 0 in
+      Array.iteri
+        (fun task cost ->
+          let p = Mapping.proc_of_task m task in
+          per_proc.(p) <- per_proc.(p) + cost)
+        ep.Taskgraph.costs;
+      (ep.Taskgraph.ep_name, per_proc))
+    tg.Taskgraph.exec_phases
+
+let run ?(params = default_params) (m : Mapping.t) =
+  let loads = exec_loads m in
+  let trace = Phase_expr.trace m.Mapping.tg.Taskgraph.expr in
+  let comm_time = ref 0 and exec_time = ref 0 and max_queue = ref 0 in
+  let slot_times =
+    List.map
+      (fun slot ->
+        let e = exec_slot_time loads slot in
+        let c, q = simulate_messages params m.Mapping.topo (slot_messages m slot) in
+        max_queue := max !max_queue q;
+        comm_time := !comm_time + c;
+        exec_time := !exec_time + e;
+        e + c)
+      trace
+  in
+  {
+    makespan = !comm_time + !exec_time;
+    comm_time = !comm_time;
+    exec_time = !exec_time;
+    slot_times;
+    max_queue = !max_queue;
+  }
+
+let phase_duration ?(params = default_params) (m : Mapping.t) name =
+  let slot = { Phase_expr.comms = [ name ]; execs = [] } in
+  fst (simulate_messages params m.Mapping.topo (slot_messages m slot))
+
+let spans ?(params = default_params) (m : Mapping.t) phase =
+  let slot = { Phase_expr.comms = [ phase ]; execs = [] } in
+  let messages = List.map (fun (r, v) -> (r, v, 0)) (slot_messages m slot) in
+  simulate_spans params m.Mapping.topo messages

@@ -1,0 +1,73 @@
+(** Network simulator — the substitute for the iPSC/2 / NCUBE /
+    Transputer testbeds the paper targeted.
+
+    Two switching disciplines of the era:
+
+    - {e store-and-forward} (iPSC/1-style): each link is two directed
+      channels; a channel transmits one message at a time at
+      [ceil(volume/bandwidth) + latency] per hop, queueing the rest
+      (FIFO by arrival, ties by message id) — dilation multiplies cost;
+    - {e wormhole / cut-through} (iPSC/2-style): a message reserves its
+      whole path, transmits in [hops·latency + ceil(volume/bandwidth)]
+      and blocks until every channel on the path is free — dilation is
+      cheap, contention expensive (which is exactly what MM-Route
+      optimizes).
+
+    A communication slot of the phase expression releases all its
+    messages at once and finishes when the last one arrives; an
+    execution slot advances the clock by the slowest processor's summed
+    task cost.  The simulated makespan of the whole trace is the
+    mapping's measured completion time. *)
+
+type switching = Store_and_forward | Wormhole
+
+type params = {
+  bandwidth : int;  (** volume units per time unit per channel *)
+  latency : int;  (** per-hop fixed cost *)
+  switching : switching;
+}
+
+val default_params : params
+(** Store-and-forward, bandwidth 1, latency 1. *)
+
+val wormhole_params : params
+(** Wormhole, bandwidth 1, latency 1. *)
+
+type report = {
+  makespan : int;
+  comm_time : int;  (** portion of the makespan spent in comm slots *)
+  exec_time : int;
+  slot_times : int list;  (** duration of each trace slot, in order *)
+  max_queue : int;  (** deepest channel queue observed *)
+}
+
+val run : ?params:params -> Oregami_mapper.Mapping.t -> report
+
+val phase_duration : ?params:params -> Oregami_mapper.Mapping.t -> string -> int
+(** Simulated duration of a single occurrence of one communication
+    phase. *)
+
+type span = {
+  sp_channel : int;  (** directed channel id: [2·link + direction] *)
+  sp_start : int;
+  sp_finish : int;
+  sp_volume : int;
+}
+
+val channel_name : Oregami_topology.Topology.t -> int -> string
+(** Human-readable channel label, e.g. ["3->5"]. *)
+
+val spans : ?params:params -> Oregami_mapper.Mapping.t -> string -> span list
+(** Busy intervals of every directed channel during one occurrence of
+    the named communication phase (store-and-forward discipline) —
+    the raw material of the per-link timeline view. *)
+
+val simulate_released :
+  params ->
+  Oregami_topology.Topology.t ->
+  (Oregami_topology.Routes.route * int * int) list ->
+  int * int
+(** Lower-level entry: simulate messages [(route, volume, release
+    time)] and return [(finish time of the last message, deepest
+    queue)].  Used by the scheduling extension, where local task
+    ordering staggers message release. *)

@@ -1,0 +1,165 @@
+module Mapping = Oregami_mapper.Mapping
+module Taskgraph = Oregami_taskgraph.Taskgraph
+module Topology = Oregami_topology.Topology
+module Routes = Oregami_topology.Routes
+module Ugraph = Oregami_graph.Ugraph
+module Digraph = Oregami_graph.Digraph
+module Tab = Oregami_prelude.Tab
+
+let mesh_like topo =
+  match Topology.kind topo with
+  | Topology.Mesh (r, c) | Topology.Torus (r, c) | Topology.Hex_mesh (r, c) -> Some (r, c)
+  | Topology.Line _ | Topology.Ring _ | Topology.Hypercube _ | Topology.Complete _
+  | Topology.Binary_tree _ | Topology.Binomial_tree _ | Topology.Butterfly _
+  | Topology.Cube_connected_cycles _ | Topology.Star_graph _ | Topology.De_bruijn _
+  | Topology.Shuffle_exchange _ ->
+    None
+
+let grid_render rows cols cell =
+  let buf = Buffer.create 256 in
+  let width =
+    let w = ref 1 in
+    for i = 0 to rows - 1 do
+      for j = 0 to cols - 1 do
+        w := max !w (String.length (cell i j))
+      done
+    done;
+    !w
+  in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      let s = cell i j in
+      Buffer.add_string buf (Printf.sprintf "[%-*s]" width s);
+      if j < cols - 1 then Buffer.add_string buf "--"
+    done;
+    Buffer.add_char buf '\n';
+    if i < rows - 1 then begin
+      for j = 0 to cols - 1 do
+        Buffer.add_string buf (Printf.sprintf " %*s " (width / 2) "|");
+        Buffer.add_string buf (String.make ((width + 1) / 2) ' ');
+        if j < cols - 1 then Buffer.add_string buf "  "
+      done;
+      Buffer.add_char buf '\n'
+    end
+  done;
+  Buffer.contents buf
+
+let topology topo =
+  let header = Format.asprintf "%a\n" Topology.pp topo in
+  match mesh_like topo with
+  | Some (r, c) -> header ^ grid_render r c (fun i j -> string_of_int ((i * c) + j))
+  | None ->
+    let g = Topology.graph topo in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf header;
+    for v = 0 to Ugraph.node_count g - 1 do
+      let ns = List.map (fun (u, _) -> string_of_int u) (Ugraph.neighbors g v) in
+      Buffer.add_string buf (Printf.sprintf "  %3d : %s\n" v (String.concat " " ns))
+    done;
+    Buffer.contents buf
+
+let tasks_label m p =
+  let tasks = Mapping.tasks_on_proc m in
+  match tasks.(p) with
+  | [] -> "-"
+  | l -> String.concat "," (List.map string_of_int l)
+
+let mapping m =
+  let topo = m.Mapping.topo in
+  let header =
+    Printf.sprintf "%s on %s (%s)\n" m.Mapping.tg.Taskgraph.tg_name (Topology.name topo)
+      m.Mapping.strategy
+  in
+  match mesh_like topo with
+  | Some (r, c) -> header ^ grid_render r c (fun i j -> tasks_label m ((i * c) + j))
+  | None ->
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf header;
+    for p = 0 to Topology.node_count topo - 1 do
+      Buffer.add_string buf (Printf.sprintf "  proc %3d : tasks %s\n" p (tasks_label m p))
+    done;
+    Buffer.contents buf
+
+let link_loads m =
+  let topo = m.Mapping.topo in
+  let report = Metrics.link_metrics m in
+  let volumes = report.Metrics.volume_per_link in
+  let max_volume = Array.fold_left max 1 volumes in
+  let rows =
+    List.init (Array.length volumes) (fun l ->
+        let u, v = Topology.link_endpoints topo l in
+        [
+          Printf.sprintf "link %d (%d-%d)" l u v;
+          string_of_int volumes.(l);
+          Tab.bar ~width:30 (float_of_int volumes.(l)) (float_of_int max_volume);
+        ])
+  in
+  Tab.render ~header:[ "link"; "volume"; "" ] rows
+
+let phase_edges m name =
+  match List.find_opt (fun pr -> pr.Mapping.pr_phase = name) m.Mapping.routings with
+  | None -> Printf.sprintf "no routing for phase %S" name
+  | Some pr ->
+    let rows =
+      List.map
+        (fun re ->
+          let path =
+            String.concat "->" (List.map string_of_int re.Mapping.re_route.Routes.nodes)
+          in
+          let links =
+            String.concat "," (List.map string_of_int re.Mapping.re_route.Routes.links)
+          in
+          [
+            Printf.sprintf "%d -> %d" re.Mapping.re_src re.Mapping.re_dst;
+            string_of_int re.Mapping.re_volume;
+            (if re.Mapping.re_route.Routes.links = [] then "local" else path);
+            links;
+          ])
+        pr.Mapping.pr_edges
+    in
+    Tab.render ~header:[ "edge"; "vol"; "route"; "links" ] rows
+
+let timeline ?(width = 60) m phase =
+  let topo = m.Mapping.topo in
+  let spans = Netsim.spans m phase in
+  if spans = [] then Printf.sprintf "phase %S: no cross-processor traffic" phase
+  else begin
+    let horizon = List.fold_left (fun acc s -> max acc s.Netsim.sp_finish) 1 spans in
+    let by_channel = Hashtbl.create 16 in
+    List.iter
+      (fun s ->
+        let cur = Option.value ~default:[] (Hashtbl.find_opt by_channel s.Netsim.sp_channel) in
+        Hashtbl.replace by_channel s.Netsim.sp_channel (s :: cur))
+      spans;
+    let channels = Hashtbl.fold (fun ch _ acc -> ch :: acc) by_channel [] |> List.sort compare in
+    let rows =
+      List.map
+        (fun ch ->
+          let cells = Bytes.make width '.' in
+          List.iter
+            (fun s ->
+              let a = s.Netsim.sp_start * width / horizon in
+              let b = max (a + 1) (s.Netsim.sp_finish * width / horizon) in
+              for i = a to min (width - 1) (b - 1) do
+                Bytes.set cells i '#'
+              done)
+            (Hashtbl.find by_channel ch);
+          [ Netsim.channel_name topo ch; Bytes.to_string cells ])
+        channels
+    in
+    Printf.sprintf "phase %S timeline (0 .. %d):\n%s" phase horizon
+      (Tab.render ~header:[ "channel"; "busy" ] rows)
+  end
+
+let task_graph tg =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Format.asprintf "%a\n" Taskgraph.pp_summary tg);
+  List.iter
+    (fun (cp : Taskgraph.comm_phase) ->
+      Buffer.add_string buf (Printf.sprintf "phase %s:\n" cp.Taskgraph.cp_name);
+      List.iter
+        (fun (u, v, w) ->
+          Buffer.add_string buf (Printf.sprintf "  %d -> %d (volume %d)\n" u v w))
+        (Digraph.edges cp.Taskgraph.edges))
+    tg.Taskgraph.comm_phases;
+  Buffer.contents buf

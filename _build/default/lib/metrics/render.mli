@@ -1,0 +1,26 @@
+(** ASCII rendering of mappings — the stand-in for the METRICS colour
+    display on the Mac II.  Everything returns plain strings suitable
+    for a terminal. *)
+
+val topology : Oregami_topology.Topology.t -> string
+(** The network: mesh-like topologies as a grid with link glyphs,
+    others as an adjacency list. *)
+
+val mapping : Oregami_mapper.Mapping.t -> string
+(** Processors with their task lists; meshes drawn as a grid of cells. *)
+
+val link_loads : Oregami_mapper.Mapping.t -> string
+(** Per-link volume bar chart with endpoint labels. *)
+
+val phase_edges : Oregami_mapper.Mapping.t -> string -> string
+(** One communication phase's routed edges:
+    [task -> task : proc path (links)]. *)
+
+val timeline : ?width:int -> Oregami_mapper.Mapping.t -> string -> string
+(** ASCII Gantt of one occurrence of a communication phase: one row per
+    busy directed channel, blocks marking transmission intervals under
+    the store-and-forward simulator — METRICS' "focus on specific
+    links" view over time. *)
+
+val task_graph : Oregami_taskgraph.Taskgraph.t -> string
+(** Per-phase edge lists of the (uncompiled) task graph. *)

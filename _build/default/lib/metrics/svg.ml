@@ -1,0 +1,152 @@
+module Mapping = Oregami_mapper.Mapping
+module Taskgraph = Oregami_taskgraph.Taskgraph
+module Topology = Oregami_topology.Topology
+module Routes = Oregami_topology.Routes
+module Ugraph = Oregami_graph.Ugraph
+
+let palette =
+  [| "#1f77b4"; "#d62728"; "#2ca02c"; "#9467bd"; "#ff7f0e"; "#8c564b"; "#e377c2";
+     "#17becf" |]
+
+let phase_colour i = palette.(i mod Array.length palette)
+
+(* scale layout coordinates into a canvas with margins *)
+let scaled_positions topo =
+  let layout = Topology.layout topo in
+  let xs = Array.map fst layout and ys = Array.map snd layout in
+  let min_a = Array.fold_left min infinity and max_a = Array.fold_left max neg_infinity in
+  let x0 = min_a xs and x1 = max_a xs and y0 = min_a ys and y1 = max_a ys in
+  let spanx = Float.max 1e-6 (x1 -. x0) and spany = Float.max 1e-6 (y1 -. y0) in
+  let side = 520.0 and margin = 60.0 in
+  ( Array.map
+      (fun (x, y) ->
+        ( margin +. ((x -. x0) /. spanx *. side),
+          margin +. ((y -. y0) /. spany *. side) ))
+      layout,
+    side +. (2.0 *. margin) )
+
+let header size extra_height =
+  Printf.sprintf
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">\n\
+     <rect width=\"100%%\" height=\"100%%\" fill=\"white\"/>\n"
+    size (size +. extra_height) size (size +. extra_height)
+
+let footer = "</svg>\n"
+
+let line buf ?(colour = "#999") ?(width = 1.5) (x1, y1) (x2, y2) =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"%s\" stroke-width=\"%.1f\"/>\n"
+       x1 y1 x2 y2 colour width)
+
+let circle buf ?(fill = "#eef") ?(r = 16.0) (x, y) =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\" fill=\"%s\" stroke=\"#333\" stroke-width=\"1\"/>\n"
+       x y r fill)
+
+let text buf ?(size = 11) ?(fill = "#111") ?(anchor = "middle") (x, y) s =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%.1f\" y=\"%.1f\" font-size=\"%d\" fill=\"%s\" text-anchor=\"%s\" font-family=\"monospace\">%s</text>\n"
+       x y size fill anchor s)
+
+let topology topo =
+  let pos, size = scaled_positions topo in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (header size 0.0);
+  for l = 0 to Topology.link_count topo - 1 do
+    let u, v = Topology.link_endpoints topo l in
+    line buf pos.(u) pos.(v)
+  done;
+  Array.iteri
+    (fun p xy ->
+      circle buf xy;
+      text buf xy (string_of_int p))
+    pos;
+  text buf ~anchor:"start" ~size:14 (10.0, 20.0) (Topology.name topo);
+  Buffer.add_string buf footer;
+  Buffer.contents buf
+
+let mapping (m : Mapping.t) =
+  let topo = m.Mapping.topo in
+  let tg = m.Mapping.tg in
+  let pos, size = scaled_positions topo in
+  let buf = Buffer.create 8192 in
+  let phases = Taskgraph.comm_names tg in
+  let legend_height = 24.0 +. (16.0 *. float_of_int (List.length phases)) in
+  Buffer.add_string buf (header size legend_height);
+  (* per-link dominant phase and volume *)
+  let nlinks = Topology.link_count topo in
+  let nphases = List.length phases in
+  let per_phase = Array.make_matrix nlinks (max 1 nphases) 0 in
+  List.iteri
+    (fun pi phase ->
+      match List.find_opt (fun pr -> pr.Mapping.pr_phase = phase) m.Mapping.routings with
+      | None -> ()
+      | Some pr ->
+        List.iter
+          (fun re ->
+            List.iter
+              (fun l -> per_phase.(l).(pi) <- per_phase.(l).(pi) + re.Mapping.re_volume)
+              re.Mapping.re_route.Routes.links)
+          pr.Mapping.pr_edges)
+    phases;
+  let volume = Array.map (Array.fold_left ( + ) 0) per_phase in
+  let dominant =
+    Array.map
+      (fun row ->
+        let best = ref (-1) and best_v = ref 0 in
+        Array.iteri
+          (fun pi v ->
+            if v > !best_v then begin
+              best := pi;
+              best_v := v
+            end)
+          row;
+        !best)
+      per_phase
+  in
+  let max_volume = Array.fold_left max 1 volume in
+  for l = 0 to nlinks - 1 do
+    let u, v = Topology.link_endpoints topo l in
+    let colour = if dominant.(l) >= 0 then phase_colour dominant.(l) else "#bbb" in
+    let width = 1.0 +. (6.0 *. float_of_int volume.(l) /. float_of_int max_volume) in
+    line buf ~colour ~width pos.(u) pos.(v)
+  done;
+  (* processors shaded by execution load *)
+  let load = Metrics.load_metrics m in
+  let max_load = Array.fold_left max 1 load.Metrics.exec_per_proc in
+  let tasks = Mapping.tasks_on_proc m in
+  Array.iteri
+    (fun p xy ->
+      let frac = float_of_int load.Metrics.exec_per_proc.(p) /. float_of_int max_load in
+      let shade = 240 - int_of_float (140.0 *. frac) in
+      circle buf ~r:18.0 ~fill:(Printf.sprintf "rgb(%d,%d,255)" shade shade) xy;
+      text buf (fst xy, snd xy -. 2.0) (string_of_int p);
+      let label =
+        match tasks.(p) with
+        | [] -> "-"
+        | l ->
+          let s = String.concat "," (List.map string_of_int l) in
+          if String.length s > 12 then String.sub s 0 11 ^ ".." else s
+      in
+      text buf ~size:9 ~fill:"#444" (fst xy, snd xy +. 10.0) label)
+    pos;
+  text buf ~anchor:"start" ~size:14 (10.0, 20.0)
+    (Printf.sprintf "%s on %s (%s)" tg.Taskgraph.tg_name (Topology.name topo)
+       m.Mapping.strategy);
+  (* legend *)
+  List.iteri
+    (fun pi phase ->
+      let y = size +. 10.0 +. (16.0 *. float_of_int pi) in
+      line buf ~colour:(phase_colour pi) ~width:4.0 (20.0, y) (60.0, y);
+      text buf ~anchor:"start" (70.0, y +. 4.0) phase)
+    phases;
+  Buffer.add_string buf footer;
+  Buffer.contents buf
+
+let save path svg =
+  let oc = open_out path in
+  output_string oc svg;
+  close_out oc

@@ -1,0 +1,22 @@
+(** SVG rendering of topologies and mappings — the stand-in for the
+    paper's colour display ("actual, physical colors are used by
+    METRICS to display the phase behavior", §2).
+
+    Pure string generation, no I/O beyond {!save}: processors are
+    placed with {!Oregami_topology.Topology.layout}, links drawn with
+    stroke width proportional to carried volume, processors shaded by
+    execution load, and each communication phase assigned its own
+    colour. *)
+
+val topology : Oregami_topology.Topology.t -> string
+(** A standalone SVG document of the bare network. *)
+
+val mapping : Oregami_mapper.Mapping.t -> string
+(** The mapped computation: processors labelled with their task lists
+    and shaded by execution load; every link's stroke scaled by the
+    total volume it carries over the trace; one colour per
+    communication phase (mixed links get the heavier phase's colour);
+    a legend of phases. *)
+
+val save : string -> string -> unit
+(** [save path svg] writes the document to a file. *)

@@ -1,0 +1,1 @@
+lib/perm/cayley.ml: Array Group Hashtbl List Option Oregami_graph Perm Printf

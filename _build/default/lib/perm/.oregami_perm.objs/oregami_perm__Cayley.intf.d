@@ -1,0 +1,1 @@
+lib/perm/cayley.mli: Group Oregami_graph Perm

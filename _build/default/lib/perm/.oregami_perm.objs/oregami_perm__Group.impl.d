@@ -1,0 +1,1 @@
+lib/perm/group.ml: Array Format Hashtbl List Option Oregami_prelude Perm Queue

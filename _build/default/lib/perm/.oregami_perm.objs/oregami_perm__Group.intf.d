@@ -1,0 +1,1 @@
+lib/perm/group.mli: Format Perm

@@ -1,0 +1,1 @@
+lib/perm/perm.ml: Array Char Format List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/perm/perm.mli: Format

@@ -1,0 +1,83 @@
+module Digraph = Oregami_graph.Digraph
+module Ugraph = Oregami_graph.Ugraph
+
+let graphs g =
+  let n = Group.order g in
+  List.map
+    (fun c ->
+      let dg = Digraph.create n in
+      let ci =
+        match Group.index_of g c with
+        | Some i -> i
+        | None -> invalid_arg "Cayley.graphs: generator not in group"
+      in
+      for i = 0 to n - 1 do
+        Digraph.add_edge dg i (Group.mul g i ci)
+      done;
+      dg)
+    (Group.generators g)
+
+let combined g =
+  let n = Group.order g in
+  let u = Ugraph.create n in
+  List.iter
+    (fun dg ->
+      List.iter (fun (a, b, _) -> if a <> b && not (Ugraph.mem_edge u a b) then Ugraph.add_edge u a b)
+        (Digraph.edges dg))
+    (graphs g);
+  u
+
+let correspondence g =
+  if not (Group.acts_regularly g) then
+    invalid_arg "Cayley.correspondence: action is not regular";
+  Array.init (Group.order g) (fun i -> Perm.apply (Group.element g i) 0)
+
+let task_partition g blocks =
+  let corr = correspondence g in
+  List.map (fun block -> List.map (fun i -> corr.(i)) block |> List.sort compare) blocks
+
+let block_of g blocks =
+  let n = Group.order g in
+  let owner = Array.make n (-1) in
+  List.iteri (fun b members -> List.iter (fun i -> owner.(i) <- b) members) blocks;
+  Array.iteri
+    (fun i b -> if b = -1 then invalid_arg (Printf.sprintf "Cayley: element %d not in any block" i))
+    owner;
+  owner
+
+let internalized_per_block g blocks c =
+  let owner = block_of g blocks in
+  let ci =
+    match Group.index_of g c with
+    | Some i -> i
+    | None -> invalid_arg "Cayley.internalized_per_block: generator not in group"
+  in
+  let counts = Array.make (List.length blocks) 0 in
+  for i = 0 to Group.order g - 1 do
+    let j = Group.mul g i ci in
+    if owner.(i) = owner.(j) then counts.(owner.(i)) <- counts.(owner.(i)) + 1
+  done;
+  Array.fold_left max 0 counts
+
+let quotient_multigraph g blocks =
+  let owner = block_of g blocks in
+  let nb = List.length blocks in
+  List.map
+    (fun c ->
+      let ci =
+        match Group.index_of g c with
+        | Some i -> i
+        | None -> invalid_arg "Cayley.quotient_multigraph: generator not in group"
+      in
+      let counts = Hashtbl.create 16 in
+      for i = 0 to Group.order g - 1 do
+        let j = Group.mul g i ci in
+        let key = (owner.(i), owner.(j)) in
+        Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+      done;
+      let dg = Digraph.create nb in
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+      |> List.sort compare
+      |> List.iter (fun ((a, b), w) -> Digraph.add_edge ~w dg a b);
+      dg)
+    (Group.generators g)

@@ -1,0 +1,36 @@
+(** Cayley graphs of permutation groups and their quotients.
+
+    Nodes of the Cayley graph are group-element indices; each generator
+    [c] contributes the coloured edge set [{g → g·c}].  When the group
+    acts regularly on the task labels the Cayley graph is isomorphic to
+    the task graph via [g ↦ g(x₀)] (paper: x₀ = smallest label), and a
+    coset partition of the group induces a balanced contraction. *)
+
+val graphs : Group.t -> Oregami_graph.Digraph.t list
+(** One digraph per generator, over group-element indices. *)
+
+val combined : Group.t -> Oregami_graph.Ugraph.t
+(** Undirected union of all generator edge sets (unit weights). *)
+
+val correspondence : Group.t -> int array
+(** [correspondence g] maps element index [i] to the task label
+    [elements.(i)(x₀)] with [x₀ = 0].  When the action is regular this
+    is a bijection G → X.  Raises [Invalid_argument] when the action is
+    not regular. *)
+
+val task_partition : Group.t -> int list list -> int list list
+(** Pushes a partition of the element indices (e.g. cosets) through
+    {!correspondence}, yielding a partition of task labels; blocks keep
+    their order, members sorted. *)
+
+val internalized_per_block : Group.t -> int list list -> Perm.t -> int
+(** For a generator and a coset partition, the number of that
+    generator's edges that stay inside each block — uniform across
+    blocks for coset partitions, hence a single number.  (A generator of
+    cycle length [l] whose cyclic group is contained in the subgroup
+    internalizes its edges completely.) *)
+
+val quotient_multigraph : Group.t -> int list list -> Oregami_graph.Digraph.t list
+(** Per-generator quotient graphs over block indices: edge [B → B']
+    with weight = number of group elements [g ∈ B] with [g·c ∈ B']
+    (self-loops record internalized messages). *)

@@ -1,0 +1,232 @@
+type t = {
+  degree : int;
+  elements : Perm.t array;
+  index : (int array, int) Hashtbl.t;
+  generators : Perm.t list;
+}
+
+let generate ?bound gens =
+  match gens with
+  | [] -> invalid_arg "Group.generate: no generators"
+  | g0 :: rest ->
+    let degree = Perm.degree g0 in
+    if not (List.for_all (fun g -> Perm.degree g = degree) rest) then
+      invalid_arg "Group.generate: generator degrees differ";
+    let index = Hashtbl.create 64 in
+    let order = Queue.create () in
+    let acc = ref [] in
+    let count = ref 0 in
+    let exceeded = ref false in
+    let add p =
+      let key = Perm.to_array p in
+      if not (Hashtbl.mem index key) then begin
+        (match bound with
+        | Some b when !count >= b -> exceeded := true
+        | Some _ | None ->
+          Hashtbl.add index key !count;
+          incr count;
+          acc := p :: !acc;
+          Queue.add p order);
+        ()
+      end
+    in
+    add (Perm.identity degree);
+    while (not !exceeded) && not (Queue.is_empty order) do
+      let p = Queue.pop order in
+      List.iter (fun g -> if not !exceeded then add (Perm.compose p g)) gens
+    done;
+    if !exceeded then None
+    else begin
+      let elements = Array.of_list (List.rev !acc) in
+      Some { degree; elements; index; generators = gens }
+    end
+
+let degree g = g.degree
+
+let order g = Array.length g.elements
+
+let elements g = Array.copy g.elements
+
+let element g i = g.elements.(i)
+
+let index_of g p = Hashtbl.find_opt g.index (Perm.to_array p)
+
+let mem g p = Option.is_some (index_of g p)
+
+let generators g = g.generators
+
+let mul g i j =
+  match Hashtbl.find_opt g.index (Perm.to_array (Perm.compose g.elements.(i) g.elements.(j))) with
+  | Some k -> k
+  | None -> invalid_arg "Group.mul: product escapes element set"
+
+let inv g i =
+  match Hashtbl.find_opt g.index (Perm.to_array (Perm.inverse g.elements.(i))) with
+  | Some k -> k
+  | None -> invalid_arg "Group.inv: inverse escapes element set"
+
+let is_abelian g =
+  let n = order g in
+  let rec go i j =
+    if i >= n then true
+    else if j >= n then go (i + 1) (i + 2)
+    else mul g i j = mul g j i && go i (j + 1)
+  in
+  go 0 1
+
+let orbits g =
+  let uf = Oregami_prelude.Union_find.create g.degree in
+  Array.iter
+    (fun p ->
+      for x = 0 to g.degree - 1 do
+        ignore (Oregami_prelude.Union_find.union uf x (Perm.apply p x))
+      done)
+    g.elements;
+  Oregami_prelude.Union_find.groups uf |> Array.to_list |> List.filter (fun l -> l <> [])
+
+let is_transitive g = List.length (orbits g) <= 1
+
+let acts_regularly g = order g = g.degree && is_transitive g
+
+let uniform_cycle_lengths g =
+  Array.for_all (fun p -> Option.is_some (Perm.uniform_cycle_length p)) g.elements
+
+let subgroup_generated g seeds =
+  let seen = Hashtbl.create 16 in
+  let q = Queue.create () in
+  let add i =
+    if not (Hashtbl.mem seen i) then begin
+      Hashtbl.add seen i ();
+      Queue.add i q
+    end
+  in
+  add 0;
+  List.iter add seeds;
+  let seeds = List.sort_uniq compare (0 :: seeds) in
+  while not (Queue.is_empty q) do
+    let i = Queue.pop q in
+    List.iter
+      (fun s ->
+        add (mul g i s);
+        add (mul g s i);
+        add (inv g i))
+      seeds
+  done;
+  Hashtbl.fold (fun i () acc -> i :: acc) seen [] |> List.sort compare
+
+let is_subgroup g idxs =
+  let set = Hashtbl.create 16 in
+  List.iter (fun i -> Hashtbl.replace set i ()) idxs;
+  Hashtbl.mem set 0
+  && List.for_all
+       (fun i ->
+         Hashtbl.mem set (inv g i)
+         && List.for_all (fun j -> Hashtbl.mem set (mul g i j)) idxs)
+       idxs
+
+let is_normal g idxs =
+  let set = Hashtbl.create 16 in
+  List.iter (fun i -> Hashtbl.replace set i ()) idxs;
+  let n = order g in
+  let rec all_conj i =
+    i >= n
+    || (List.for_all (fun h -> Hashtbl.mem set (mul g (mul g i h) (inv g i))) idxs
+       && all_conj (i + 1))
+  in
+  is_subgroup g idxs && all_conj 0
+
+let left_cosets g idxs =
+  let n = order g in
+  let assigned = Array.make n false in
+  let cosets = ref [] in
+  for i = 0 to n - 1 do
+    if not assigned.(i) then begin
+      let coset = List.map (fun h -> mul g i h) idxs |> List.sort_uniq compare in
+      List.iter (fun j -> assigned.(j) <- true) coset;
+      cosets := coset :: !cosets
+    end
+  done;
+  List.rev !cosets
+
+let cyclic_subgroups g =
+  let n = order g in
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    let sub = subgroup_generated g [ i ] in
+    if not (Hashtbl.mem seen sub) then begin
+      Hashtbl.add seen sub ();
+      out := sub :: !out
+    end
+  done;
+  List.sort (fun a b -> compare (List.length a, a) (List.length b, b)) !out
+
+let subgroups_of_order ?(max_seed = 2000) g target =
+  if target < 1 || order g mod target <> 0 then []
+  else begin
+    let seen = Hashtbl.create 16 in
+    let out = ref [] in
+    let consider sub =
+      if List.length sub = target && not (Hashtbl.mem seen sub) then begin
+        Hashtbl.add seen sub ();
+        out := sub :: !out
+      end
+    in
+    let cyclics = cyclic_subgroups g in
+    List.iter consider cyclics;
+    (* closures of pairs of cyclic subgroups whose orders divide target *)
+    let small =
+      List.filter (fun s -> target mod List.length s = 0 && List.length s > 1) cyclics
+    in
+    let tried = ref 0 in
+    let rec pairs = function
+      | [] -> ()
+      | a :: rest ->
+        List.iter
+          (fun b ->
+            if !tried < max_seed then begin
+              incr tried;
+              let sub = subgroup_generated g (a @ b) in
+              if List.length sub = target then consider sub
+            end)
+          rest;
+        pairs rest
+    in
+    pairs small;
+    (* triples, still bounded *)
+    let rec triples = function
+      | [] -> ()
+      | a :: rest ->
+        let rec inner = function
+          | [] -> ()
+          | b :: rest' ->
+            List.iter
+              (fun c ->
+                if !tried < max_seed then begin
+                  incr tried;
+                  let sub = subgroup_generated g (a @ b @ c) in
+                  if List.length sub = target then consider sub
+                end)
+              rest';
+            inner rest'
+        in
+        inner rest;
+        triples rest
+    in
+    triples small;
+    List.sort compare !out
+  end
+
+let is_prime_power n =
+  if n < 2 then None
+  else begin
+    let rec smallest_factor d = if d * d > n then n else if n mod d = 0 then d else smallest_factor (d + 1) in
+    let p = smallest_factor 2 in
+    let rec strip m k = if m = 1 then Some (p, k) else if m mod p = 0 then strip (m / p) (k + 1) else None in
+    strip n 0
+  end
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>group of order %d acting on %d points" (order g) g.degree;
+  Array.iteri (fun i p -> Format.fprintf fmt "@,  E%d = %s" i (Perm.to_string p)) g.elements;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,180 @@
+type t = int array
+
+let degree p = Array.length p
+
+let identity n = Array.init n (fun i -> i)
+
+let validate a =
+  let n = Array.length a in
+  let seen = Array.make n false in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= n then invalid_arg "Perm: image out of range"
+      else if seen.(v) then invalid_arg "Perm: not injective"
+      else seen.(v) <- true)
+    a
+
+let of_array a =
+  validate a;
+  Array.copy a
+
+let to_array p = Array.copy p
+
+let is_bijection n f =
+  n >= 0
+  &&
+  let seen = Array.make (max n 1) false in
+  let rec go i =
+    i >= n
+    ||
+    let v = f i in
+    v >= 0 && v < n && (not seen.(v))
+    && begin
+         seen.(v) <- true;
+         go (i + 1)
+       end
+  in
+  go 0
+
+let of_function n f =
+  if not (is_bijection n f) then invalid_arg "Perm.of_function: not a bijection";
+  Array.init n f
+
+let apply p i = p.(i)
+
+let compose p q =
+  if Array.length p <> Array.length q then invalid_arg "Perm.compose: degree mismatch";
+  Array.init (Array.length p) (fun i -> q.(p.(i)))
+
+let inverse p =
+  let n = Array.length p in
+  let inv = Array.make n 0 in
+  for i = 0 to n - 1 do
+    inv.(p.(i)) <- i
+  done;
+  inv
+
+let equal p q = p = (q : int array)
+
+let compare p q = Stdlib.compare (p : int array) q
+
+let is_identity p =
+  let rec go i = i >= Array.length p || (p.(i) = i && go (i + 1)) in
+  go 0
+
+let power p k =
+  let n = Array.length p in
+  let base = if k >= 0 then Array.copy p else inverse p in
+  let rec go acc base k =
+    if k = 0 then acc
+    else begin
+      let acc = if k land 1 = 1 then compose acc base else acc in
+      go acc (compose base base) (k lsr 1)
+    end
+  in
+  go (identity n) base (abs k)
+
+let cycles p =
+  let n = Array.length p in
+  let seen = Array.make n false in
+  let out = ref [] in
+  for start = 0 to n - 1 do
+    if not seen.(start) then begin
+      let rec walk v acc =
+        if v = start && acc <> [] then List.rev acc
+        else begin
+          seen.(v) <- true;
+          walk p.(v) (v :: acc)
+        end
+      in
+      out := walk start [] :: !out
+    end
+  done;
+  List.rev !out
+
+let cycle_type p =
+  cycles p |> List.map List.length |> List.sort (fun a b -> Stdlib.compare b a)
+
+let uniform_cycle_length p =
+  match cycles p with
+  | [] -> Some 1
+  | first :: rest ->
+    let l = List.length first in
+    if List.for_all (fun c -> List.length c = l) rest then Some l else None
+
+let order p =
+  cycle_type p
+  |> List.fold_left
+       (fun acc l ->
+         let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+         acc / gcd acc l * l)
+       1
+
+let of_cycles n cs =
+  let a = Array.init n (fun i -> i) in
+  let assigned = Array.make n false in
+  let place i v =
+    if i < 0 || i >= n || v < 0 || v >= n then invalid_arg "Perm.of_cycles: member out of range";
+    if assigned.(i) then invalid_arg "Perm.of_cycles: cycles not disjoint";
+    assigned.(i) <- true;
+    a.(i) <- v
+  in
+  List.iter
+    (fun c ->
+      match c with
+      | [] -> ()
+      | [ x ] -> place x x
+      | first :: _ ->
+        let rec link = function
+          | [ last ] -> place last first
+          | x :: (y :: _ as rest) ->
+            place x y;
+            link rest
+          | [] -> ()
+        in
+        link c)
+    cs;
+  validate a;
+  a
+
+let to_string p =
+  if is_identity p then "()"
+  else
+    cycles p
+    |> List.filter (fun c -> List.length c > 1)
+    |> List.map (fun c -> "(" ^ String.concat " " (List.map string_of_int c) ^ ")")
+    |> String.concat ""
+
+let of_string n s =
+  let fail msg = Error (Printf.sprintf "Perm.of_string: %s in %S" msg s) in
+  let len = String.length s in
+  let rec skip i = if i < len && (s.[i] = ' ' || s.[i] = ',') then skip (i + 1) else i in
+  let rec parse_int i acc started =
+    if i < len && s.[i] >= '0' && s.[i] <= '9' then
+      parse_int (i + 1) ((acc * 10) + Char.code s.[i] - Char.code '0') true
+    else if started then Ok (i, acc)
+    else fail "expected integer"
+  in
+  let rec parse_cycle i acc =
+    let i = skip i in
+    if i >= len then fail "unterminated cycle"
+    else if s.[i] = ')' then Ok (i + 1, List.rev acc)
+    else
+      match parse_int i 0 false with
+      | Ok (i, v) -> parse_cycle i (v :: acc)
+      | Error e -> Error e
+  in
+  let rec parse_all i acc =
+    let i = skip i in
+    if i >= len then Ok (List.rev acc)
+    else if s.[i] = '(' then
+      match parse_cycle (i + 1) [] with
+      | Ok (i, c) -> parse_all i (c :: acc)
+      | Error e -> Error e
+    else fail "expected '('"
+  in
+  match parse_all 0 [] with
+  | Error e -> Error e
+  | Ok cs -> ( try Ok (of_cycles n cs) with Invalid_argument m -> Error m)
+
+let pp fmt p = Format.pp_print_string fmt (to_string p)

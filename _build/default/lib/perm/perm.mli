@@ -1,0 +1,71 @@
+(** Permutations of [{0, .., n-1}].
+
+    The paper views each bijective LaRCS communication function as a
+    permutation of the task labels and works with the group those
+    permutations generate.  Composition is {e left-to-right}, following
+    the paper's convention: [(123)] composed with [(13)(2)] is
+    [(12)(3)]. *)
+
+type t
+
+val degree : t -> int
+
+val identity : int -> t
+
+val of_array : int array -> t
+(** [of_array a] uses [a.(i)] as the image of [i]; raises
+    [Invalid_argument] when [a] is not a permutation. *)
+
+val to_array : t -> int array
+(** A fresh copy of the image array. *)
+
+val of_function : int -> (int -> int) -> t
+(** [of_function n f] tabulates [f] on [0 .. n-1]; raises
+    [Invalid_argument] when [f] is not a bijection on that set. *)
+
+val is_bijection : int -> (int -> int) -> bool
+
+val apply : t -> int -> int
+
+val compose : t -> t -> t
+(** [compose p q] applies [p] first, then [q] (left-to-right). *)
+
+val inverse : t -> t
+
+val power : t -> int -> t
+(** [power p k] for any [k] (negative powers use the inverse). *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val is_identity : t -> bool
+
+val order : t -> int
+(** Least positive [k] with [p^k = identity]. *)
+
+val cycles : t -> int list list
+(** Cycle decomposition including fixed points, each cycle starting at
+    its smallest member, cycles ordered by first member:
+    [(0 2 4 6)(1 3 5 7)] is [[[0;2;4;6]; [1;3;5;7]]]. *)
+
+val cycle_type : t -> int list
+(** Multiset of cycle lengths, sorted decreasingly. *)
+
+val uniform_cycle_length : t -> int option
+(** [Some l] when every cycle (fixed points included) has length [l] —
+    the paper's Cayley-graph condition on group elements. *)
+
+val of_cycles : int -> int list list -> t
+(** Builds a permutation of the given degree from disjoint cycles
+    (fixed points may be omitted). *)
+
+val to_string : t -> string
+(** Cycle notation, e.g. ["(0 2 4 6)(1 3 5 7)"]; the identity prints as
+    ["()"] prefixed forms like ["(0)(1)..."] are avoided. *)
+
+val of_string : int -> string -> (t, string) result
+(** Parses cycle notation with whitespace- or comma-separated members,
+    e.g. ["(0 4)(1 5)(2 6)(3 7)"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/prelude/tab.ml: Array Float List Printf String

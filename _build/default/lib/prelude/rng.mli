@@ -1,0 +1,30 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every randomized algorithm and benchmark in this repository takes an
+    explicit [Rng.t] so results are reproducible across runs. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a generator seeded deterministically from [seed]. *)
+
+val split : t -> t
+(** An independent generator derived from (and advancing) [t]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+
+val bool : t -> bool
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val sample : t -> int -> int -> int list
+(** [sample t n k] draws [k] distinct values from [0 .. n-1]
+    (requires [k <= n]); result is in increasing order. *)

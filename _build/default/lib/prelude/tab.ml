@@ -1,0 +1,55 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?(aligns = []) ~header rows =
+  let ncols =
+    List.fold_left (fun acc r -> max acc (List.length r)) (List.length header) rows
+  in
+  let norm r =
+    let len = List.length r in
+    if len >= ncols then r else r @ List.init (ncols - len) (fun _ -> "")
+  in
+  let header = norm header and rows = List.map norm rows in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  measure header;
+  List.iter measure rows;
+  let align_of i =
+    match List.nth_opt aligns i with
+    | Some a -> a
+    | None -> if i = 0 then Left else Right
+  in
+  let line row =
+    row
+    |> List.mapi (fun i cell -> pad (align_of i) widths.(i) cell)
+    |> String.concat "  "
+    |> fun s -> String.trim (" " ^ s) |> fun s -> s
+  in
+  let rule =
+    Array.to_list widths |> List.map (fun w -> String.make w '-') |> String.concat "  "
+  in
+  String.concat "\n" (line header :: rule :: List.map line rows)
+
+let print ?aligns ~header rows =
+  print_endline (render ?aligns ~header rows)
+
+let bar ~width value max_value =
+  let frac =
+    if max_value <= 0.0 then 0.0 else Float.max 0.0 (Float.min 1.0 (value /. max_value))
+  in
+  let n = int_of_float (Float.round (frac *. float_of_int width)) in
+  String.make n '#' ^ String.make (width - n) ' '
+
+let fixed d x = Printf.sprintf "%.*f" d x
+
+let section title =
+  let rule = String.make (String.length title + 8) '=' in
+  Printf.printf "\n%s\n=== %s ===\n%s\n" rule title rule

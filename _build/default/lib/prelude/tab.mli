@@ -1,0 +1,22 @@
+(** Plain-text table rendering for the benchmark harness and METRICS
+    reports: aligned columns, a header rule, and simple bar charts. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays the rows out under the header with
+    column-wise alignment (default: first column left, rest right) and a
+    separator rule.  Ragged rows are padded with empty cells. *)
+
+val print : ?aligns:align list -> header:string list -> string list list -> unit
+
+val bar : width:int -> float -> float -> string
+(** [bar ~width value max] is a textual bar of length proportional to
+    [value / max] (clamped to [0, 1]), e.g. ["#####     "]. *)
+
+val fixed : int -> float -> string
+(** [fixed d x] formats [x] with [d] decimal places. *)
+
+val section : string -> unit
+(** Prints a prominent section banner (used to delimit experiments in
+    the benchmark output). *)

@@ -1,0 +1,29 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    Used by the contraction algorithms to maintain task clusters and by
+    graph utilities (spanning structures, connectivity). *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the set containing the element. *)
+
+val union : t -> int -> int -> bool
+(** [union t a b] merges the sets of [a] and [b]; returns [false] when
+    they were already the same set. *)
+
+val same : t -> int -> int -> bool
+
+val size : t -> int -> int
+(** Number of elements in the set containing the given element. *)
+
+val count_sets : t -> int
+(** Number of distinct sets. *)
+
+val groups : t -> int list array
+(** [groups t] lists the members of each set, indexed by representative;
+    non-representative indices map to the empty list.  Members appear in
+    increasing order. *)

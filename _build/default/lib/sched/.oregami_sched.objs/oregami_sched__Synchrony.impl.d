@@ -1,0 +1,1 @@
+lib/sched/synchrony.ml: Array Hashtbl List Option Oregami_graph Oregami_mapper Oregami_metrics Oregami_taskgraph Oregami_topology

@@ -1,0 +1,1 @@
+lib/sched/synchrony.mli: Oregami_mapper Oregami_metrics

@@ -1,0 +1,36 @@
+(** Task synchrony sets and local scheduling directives — the paper's
+    §6 scheduling extension.
+
+    When several tasks share a processor, the order a processor runs
+    its tasks in staggers when their messages depart.  A {e task
+    synchrony set} is "a set of tasks, one on each processor, that
+    should be executing at the same time"; aligning the local orders so
+    heavy senders run early lets each communication phase start
+    draining sooner. *)
+
+type directive = {
+  proc : int;
+  order : int list;  (** the processor's tasks in execution order *)
+}
+
+val synchrony_sets : Oregami_mapper.Mapping.t -> directive list -> int list list
+(** Rank-aligned sets: the r-th set holds the r-th task of every
+    processor's directive (processors with fewer tasks drop out). *)
+
+val default_directives : Oregami_mapper.Mapping.t -> directive list
+(** Task-id order — what an oblivious runtime does. *)
+
+val synchronized_directives : Oregami_mapper.Mapping.t -> directive list
+(** Sends-first ordering: each processor runs tasks in decreasing
+    cross-processor outgoing volume, so messages enter the network as
+    early as possible. *)
+
+val staggered_makespan :
+  ?params:Oregami_metrics.Netsim.params ->
+  Oregami_mapper.Mapping.t ->
+  directive list ->
+  int
+(** Simulated makespan of the whole trace where an execution slot runs
+    each processor's tasks in directive order and the following
+    communication slot releases each message when its sender finished
+    (messages of tasks earlier in the order depart earlier). *)

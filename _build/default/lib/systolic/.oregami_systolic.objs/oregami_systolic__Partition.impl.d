@@ -1,0 +1,1 @@
+lib/systolic/partition.ml: Array Hashtbl Linalg List Option Printf Recurrence Result Synthesis

@@ -1,0 +1,1 @@
+lib/systolic/partition.mli: Recurrence Synthesis

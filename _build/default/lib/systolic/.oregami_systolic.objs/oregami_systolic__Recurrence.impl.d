@@ -1,0 +1,1 @@
+lib/systolic/recurrence.ml: Array Linalg List Printf Result

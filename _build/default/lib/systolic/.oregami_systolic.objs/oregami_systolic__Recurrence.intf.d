@@ -1,0 +1,1 @@
+lib/systolic/recurrence.mli:

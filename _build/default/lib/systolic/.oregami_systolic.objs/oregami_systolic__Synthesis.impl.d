@@ -1,0 +1,1 @@
+lib/systolic/synthesis.ml: Array Buffer Hashtbl Linalg List Printf Recurrence Result String

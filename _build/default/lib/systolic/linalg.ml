@@ -1,0 +1,66 @@
+let dot a b =
+  if Array.length a <> Array.length b then invalid_arg "Linalg.dot: dimension mismatch";
+  let acc = ref 0 in
+  Array.iteri (fun i x -> acc := !acc + (x * b.(i))) a;
+  !acc
+
+let mat_vec m v = Array.map (fun row -> dot row v) m
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if b = 0 then a else gcd b (a mod b)
+
+let gcd_vec v = Array.fold_left gcd 0 v
+
+let primitive v =
+  let g = gcd_vec v in
+  if g = 0 then Array.copy v else Array.map (fun x -> x / g) v
+
+let orthogonal_basis u =
+  let d = Array.length u in
+  if Array.for_all (( = ) 0) u then invalid_arg "Linalg.orthogonal_basis: zero vector";
+  match d with
+  | 1 -> [||]
+  | 2 -> [| primitive [| -u.(1); u.(0) |] |]
+  | 3 ->
+    (* two independent vectors orthogonal to u: cross u with two unit
+       vectors not parallel to it *)
+    let cross a b =
+      [|
+        (a.(1) * b.(2)) - (a.(2) * b.(1));
+        (a.(2) * b.(0)) - (a.(0) * b.(2));
+        (a.(0) * b.(1)) - (a.(1) * b.(0));
+      |]
+    in
+    let units = [ [| 1; 0; 0 |]; [| 0; 1; 0 |]; [| 0; 0; 1 |] ] in
+    let candidates =
+      List.filter_map
+        (fun e ->
+          let c = cross u e in
+          if Array.for_all (( = ) 0) c then None else Some (primitive c))
+        units
+    in
+    let rec pick_two = function
+      | a :: rest ->
+        let independent b = Array.exists (( <> ) 0) (cross a b) in
+        (match List.find_opt independent rest with
+        | Some b -> [| a; b |]
+        | None -> pick_two rest)
+      | [] -> invalid_arg "Linalg.orthogonal_basis: could not build basis"
+    in
+    pick_two candidates
+  | _ -> invalid_arg "Linalg.orthogonal_basis: only dimensions 1-3 supported"
+
+let enum_vectors ~dims ~bound =
+  let rec go d =
+    if d = 0 then [ [] ]
+    else begin
+      let tails = go (d - 1) in
+      List.concat_map
+        (fun v -> List.map (fun tail -> v :: tail) tails)
+        (List.init ((2 * bound) + 1) (fun i -> i - bound))
+    end
+  in
+  go dims
+  |> List.map Array.of_list
+  |> List.filter (fun v -> Array.exists (( <> ) 0) v)

@@ -1,0 +1,22 @@
+(** Small exact integer linear algebra for space-time mapping. *)
+
+val dot : int array -> int array -> int
+
+val mat_vec : int array array -> int array -> int array
+
+val gcd : int -> int -> int
+(** Non-negative gcd; [gcd 0 0 = 0]. *)
+
+val gcd_vec : int array -> int
+
+val primitive : int array -> int array
+(** Divides by the gcd (identity on the zero vector). *)
+
+val orthogonal_basis : int array -> int array array
+(** For a non-zero [u] of dimension [d], a basis of [d-1] primitive
+    integer vectors spanning a lattice complement to [u] (rows of the
+    allocation matrix).  Supported for [d ≤ 3]. *)
+
+val enum_vectors : dims:int -> bound:int -> int array list
+(** All non-zero integer vectors with entries in [-bound..bound],
+    lexicographically ordered. *)

@@ -1,0 +1,211 @@
+type partitioned = {
+  design : Synthesis.design;
+  block : int array;
+  physical : int array;
+  physical_count : int;
+  slowdown : int;
+  latency : int;
+}
+
+let virtual_extents r design =
+  let points = Recurrence.points r.Recurrence.domain in
+  let pes = List.map (fun x -> Linalg.mat_vec design.Synthesis.allocation x) points in
+  match pes with
+  | [] -> ([||], [||])
+  | first :: rest ->
+    let lows = Array.copy first and highs = Array.copy first in
+    List.iter
+      (fun pe ->
+        Array.iteri
+          (fun i v ->
+            if v < lows.(i) then lows.(i) <- v;
+            if v > highs.(i) then highs.(i) <- v)
+          pe)
+      rest;
+    (lows, highs)
+
+let partition r design ~max_pes =
+  if max_pes < 1 then Error "need at least one physical processor"
+  else begin
+    let lows, highs = virtual_extents r design in
+    if Array.length lows = 0 then Error "design has an empty processor space"
+    else begin
+      let dims = Array.length lows in
+      let sizes = Array.init dims (fun i -> highs.(i) - lows.(i) + 1) in
+      (* enumerate block shapes; keep the feasible one with the least
+         slowdown, then the most balanced *)
+      let best = ref None in
+      let rec enum i block =
+        if i = dims then begin
+          let block = Array.of_list (List.rev block) in
+          let physical = Array.init dims (fun j -> (sizes.(j) + block.(j) - 1) / block.(j)) in
+          let count = Array.fold_left ( * ) 1 physical in
+          if count <= max_pes then begin
+            let slowdown = Array.fold_left ( * ) 1 block in
+            let spread =
+              Array.fold_left max 1 block - Array.fold_left min max_int block
+            in
+            let key = (slowdown, spread, Array.to_list block) in
+            match !best with
+            | Some (bk, _, _, _) when bk <= key -> ()
+            | Some _ | None -> best := Some (key, block, physical, count)
+          end
+        end
+        else
+          for b = 1 to sizes.(i) do
+            enum (i + 1) (b :: block)
+          done
+      in
+      enum 0 [];
+      match !best with
+      | None -> Error "no feasible block shape (max_pes too small?)"
+      | Some (_, block, physical, physical_count) ->
+        let slowdown = Array.fold_left ( * ) 1 block in
+        Ok
+          {
+            design;
+            block;
+            physical;
+            physical_count;
+            slowdown;
+            latency = design.Synthesis.latency * slowdown;
+          }
+    end
+  end
+
+let check r design p =
+  let ( let* ) = Result.bind in
+  let lows, _ = virtual_extents r design in
+  let dims = Array.length lows in
+  let* () =
+    if Array.length p.block = dims then Ok () else Error "block dimension mismatch"
+  in
+  let points = Recurrence.points r.Recurrence.domain in
+  let physical_of pe =
+    let rec go i acc =
+      if i = dims then acc
+      else begin
+        let b = (pe.(i) - lows.(i)) / p.block.(i) in
+        go (i + 1) ((acc * p.physical.(i)) + b)
+      end
+    in
+    go 0 0
+  in
+  let* () =
+    let count = Array.fold_left ( * ) 1 p.physical in
+    if count = p.physical_count then Ok () else Error "physical count mismatch"
+  in
+  (* group events by (physical processor, virtual time); LSGP
+     serialises each group within a macro-step of length [slowdown] *)
+  let groups = Hashtbl.create 64 in
+  List.iter
+    (fun x ->
+      let pe = Linalg.mat_vec design.Synthesis.allocation x in
+      let t = Linalg.dot design.Synthesis.schedule x in
+      let key = (physical_of pe, t) in
+      Hashtbl.replace groups key (1 + Option.value ~default:0 (Hashtbl.find_opt groups key)))
+    points;
+  let* () =
+    Hashtbl.fold
+      (fun (_, _) k acc ->
+        let* () = acc in
+        if k <= p.slowdown then Ok ()
+        else Error (Printf.sprintf "a macro-step holds %d firings > slowdown %d" k p.slowdown))
+      groups (Ok ())
+  in
+  (* realised makespan under the macro-step schedule *)
+  let times = List.map (fun x -> Linalg.dot design.Synthesis.schedule x) points in
+  let lo = List.fold_left min max_int times and hi = List.fold_left max min_int times in
+  let realized = (hi - lo + 1) * p.slowdown in
+  if realized <= p.latency then Ok ()
+  else Error "realised makespan exceeds the LSGP latency bound"
+
+(* ------------------------------------------------------------------ *)
+(* LPGS: round-robin dealing of virtual PEs onto the physical grid     *)
+
+let lpgs_owner p ~lows pe =
+  let dims = Array.length p.physical in
+  let rec go i acc =
+    if i = dims then acc
+    else go (i + 1) ((acc * p.physical.(i)) + ((pe.(i) - lows.(i)) mod p.physical.(i)))
+  in
+  go 0 0
+
+let partition_lpgs r design ~max_pes =
+  if max_pes < 1 then Error "need at least one physical processor"
+  else begin
+    let lows, highs = virtual_extents r design in
+    if Array.length lows = 0 then Error "design has an empty processor space"
+    else begin
+      let dims = Array.length lows in
+      let sizes = Array.init dims (fun i -> highs.(i) - lows.(i) + 1) in
+      (* choose physical extents directly (each <= virtual extent),
+         maximizing use of the budget, then balance *)
+      let best = ref None in
+      let rec enum i phys =
+        if i = dims then begin
+          let physical = Array.of_list (List.rev phys) in
+          let count = Array.fold_left ( * ) 1 physical in
+          if count <= max_pes then begin
+            let per_dim_slow =
+              Array.init dims (fun j -> (sizes.(j) + physical.(j) - 1) / physical.(j))
+            in
+            let slowdown = Array.fold_left ( * ) 1 per_dim_slow in
+            let spread =
+              Array.fold_left max 1 per_dim_slow - Array.fold_left min max_int per_dim_slow
+            in
+            let key = (slowdown, spread, Array.to_list physical) in
+            match !best with
+            | Some (bk, _, _) when bk <= key -> ()
+            | Some _ | None -> best := Some (key, physical, per_dim_slow)
+          end
+        end
+        else
+          for v = 1 to sizes.(i) do
+            enum (i + 1) (v :: phys)
+          done
+      in
+      enum 0 [];
+      match !best with
+      | None -> Error "no feasible physical shape"
+      | Some (_, physical, per_dim_slow) ->
+        let slowdown = Array.fold_left ( * ) 1 per_dim_slow in
+        Ok
+          {
+            design;
+            block = per_dim_slow;
+            (* strides per dimension under LPGS *)
+            physical;
+            physical_count = Array.fold_left ( * ) 1 physical;
+            slowdown;
+            latency = design.Synthesis.latency * slowdown;
+          }
+    end
+  end
+
+let check_lpgs r design p =
+  let ( let* ) = Result.bind in
+  let lows, _ = virtual_extents r design in
+  let points = Recurrence.points r.Recurrence.domain in
+  let groups = Hashtbl.create 64 in
+  List.iter
+    (fun x ->
+      let pe = Linalg.mat_vec design.Synthesis.allocation x in
+      let t = Linalg.dot design.Synthesis.schedule x in
+      let key = (lpgs_owner p ~lows pe, t) in
+      Hashtbl.replace groups key (1 + Option.value ~default:0 (Hashtbl.find_opt groups key)))
+    points;
+  let* () =
+    Hashtbl.fold
+      (fun _ k acc ->
+        let* () = acc in
+        if k <= p.slowdown then Ok ()
+        else
+          Error
+            (Printf.sprintf "an LPGS macro-step holds %d firings > slowdown %d" k p.slowdown))
+      groups (Ok ())
+  in
+  let times = List.map (fun x -> Linalg.dot design.Synthesis.schedule x) points in
+  let lo = List.fold_left min max_int times and hi = List.fold_left max min_int times in
+  if (hi - lo + 1) * p.slowdown <= p.latency then Ok ()
+  else Error "realised LPGS makespan exceeds the latency bound"

@@ -1,0 +1,55 @@
+(** Partitioning systolic designs onto fixed-size hardware.
+
+    Paper §4.2.1: "many of the systolic array synthesis algorithms,
+    together with the results on partitioning large systolic arrays for
+    smaller sized hardware, can be used to perform the mappings".
+
+    This module implements LSGP partitioning (locally sequential,
+    globally parallel): the virtual processor space of a design is
+    tiled by a block grid; each physical processor executes its block's
+    virtual processors sequentially, so a time step of the virtual
+    array costs [block size] steps on the partitioned one. *)
+
+type partitioned = {
+  design : Synthesis.design;
+  block : int array;  (** per-dimension block edge lengths *)
+  physical : int array;  (** physical array extents per dimension *)
+  physical_count : int;
+  slowdown : int;  (** virtual processors per physical = Π block *)
+  latency : int;  (** design latency × slowdown (LSGP bound) *)
+}
+
+val partition :
+  Recurrence.t -> Synthesis.design -> max_pes:int -> (partitioned, string) result
+(** Chooses the most balanced block grid fitting [max_pes] physical
+    processors (exhaustive over divisor-ish block shapes of the
+    virtual extents).  Fails when the design's processor space is
+    empty. *)
+
+val virtual_extents : Recurrence.t -> Synthesis.design -> int array * int array
+(** [(lows, highs)] of the design's processor coordinates over the
+    domain points. *)
+
+val check : Recurrence.t -> Synthesis.design -> partitioned -> (unit, string) result
+(** Validates the partition: every virtual processor falls in exactly
+    one block, block count ≤ [max], and the latency bound holds
+    against a direct simulation of the LSGP schedule (each physical
+    processor serialises its block's firings in virtual-time order). *)
+
+val partition_lpgs :
+  Recurrence.t -> Synthesis.design -> max_pes:int -> (partitioned, string) result
+(** The dual LPGS scheme (locally parallel, globally sequential):
+    virtual processors are dealt round-robin (by coordinate modulo the
+    physical extents), so each physical processor hosts a {e strided}
+    subset instead of a contiguous block.  Same slowdown arithmetic;
+    different communication locality — LPGS keeps neighbouring virtual
+    PEs on distinct physical PEs (good for pipelining), LSGP keeps them
+    together (good for internalizing traffic). *)
+
+val lpgs_owner : partitioned -> lows:int array -> int array -> int
+(** Physical processor owning a virtual PE coordinate under LPGS. *)
+
+val check_lpgs :
+  Recurrence.t -> Synthesis.design -> partitioned -> (unit, string) result
+(** Macro-step validation of an LPGS partition (each physical PE fires
+    at most [slowdown] virtual events per virtual time step). *)

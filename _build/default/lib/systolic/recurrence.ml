@@ -1,0 +1,93 @@
+type domain = {
+  lower : int array;
+  upper : int array;
+  halfspaces : (int array * int) list;
+}
+
+type dependence = { dep_name : string; vector : int array }
+
+type t = { name : string; domain : domain; deps : dependence list }
+
+let dims t = Array.length t.domain.lower
+
+let mem d x =
+  Array.length x = Array.length d.lower
+  && begin
+       let ok = ref true in
+       Array.iteri (fun i v -> if v < d.lower.(i) || v > d.upper.(i) then ok := false) x;
+       !ok
+     end
+  && List.for_all (fun (a, b) -> Linalg.dot a x <= b) d.halfspaces
+
+let points ?(cap = 200_000) d =
+  let dim = Array.length d.lower in
+  let out = ref [] in
+  let count = ref 0 in
+  let x = Array.copy d.lower in
+  let rec go i =
+    if i = dim then begin
+      if List.for_all (fun (a, b) -> Linalg.dot a x <= b) d.halfspaces then begin
+        incr count;
+        if !count > cap then invalid_arg "Recurrence.points: domain too large";
+        out := Array.copy x :: !out
+      end
+    end
+    else
+      for v = d.lower.(i) to d.upper.(i) do
+        x.(i) <- v;
+        go (i + 1)
+      done
+  in
+  go 0;
+  List.rev !out
+
+let point_count ?cap d = List.length (points ?cap d)
+
+let validate t =
+  let dim = dims t in
+  let ( let* ) = Result.bind in
+  let* () =
+    if Array.length t.domain.upper = dim then Ok ()
+    else Error "domain bound arrays differ in dimension"
+  in
+  let* () =
+    let ok = ref true in
+    Array.iteri (fun i lo -> if lo > t.domain.upper.(i) then ok := false) t.domain.lower;
+    if !ok then Ok () else Error "empty domain box"
+  in
+  List.fold_left
+    (fun acc dep ->
+      let* () = acc in
+      if Array.length dep.vector <> dim then
+        Error (Printf.sprintf "dependence %S has wrong dimension" dep.dep_name)
+      else if Array.for_all (( = ) 0) dep.vector then
+        Error (Printf.sprintf "dependence %S is the zero vector" dep.dep_name)
+      else Ok ())
+    (Ok ()) t.deps
+
+let matmul n =
+  {
+    name = Printf.sprintf "matmul(%d)" n;
+    domain = { lower = [| 0; 0; 0 |]; upper = [| n - 1; n - 1; n - 1 |]; halfspaces = [] };
+    deps =
+      [
+        { dep_name = "a"; vector = [| 0; 1; 0 |] };
+        { dep_name = "b"; vector = [| 1; 0; 0 |] };
+        { dep_name = "c"; vector = [| 0; 0; 1 |] };
+      ];
+  }
+
+let convolution n k =
+  {
+    name = Printf.sprintf "convolution(%d,%d)" n k;
+    domain = { lower = [| 0; 0 |]; upper = [| n - 1; k - 1 |]; halfspaces = [] };
+    deps =
+      [
+        { dep_name = "w"; vector = [| 1; 0 |] };
+        { dep_name = "x"; vector = [| 1; -1 |] };
+        { dep_name = "y"; vector = [| 0; 1 |] };
+      ];
+  }
+
+let fir n taps =
+  { (convolution n taps) with name = Printf.sprintf "fir(%d,%d)" n taps }

@@ -1,0 +1,52 @@
+(** Systems of uniform recurrence equations over integer polytope
+    domains — the input class of the systolic-array synthesis path
+    (paper §4.2.1).
+
+    A computation point is a lattice point of the domain; each
+    dependence says point [x] consumes the value produced at
+    [x - vector]. *)
+
+type domain = {
+  lower : int array;
+  upper : int array;  (** inclusive box bounds *)
+  halfspaces : (int array * int) list;
+      (** extra constraints [a·x ≤ b] carving the box into a polytope *)
+}
+
+type dependence = { dep_name : string; vector : int array }
+
+type t = {
+  name : string;
+  domain : domain;
+  deps : dependence list;
+}
+
+val dims : t -> int
+
+val mem : domain -> int array -> bool
+
+val points : ?cap:int -> domain -> int array list
+(** Lattice points (row-major order); raises [Invalid_argument] past
+    [cap] (default 200_000). *)
+
+val point_count : ?cap:int -> domain -> int
+
+val validate : t -> (unit, string) result
+(** Dimensions agree; every dependence stays inside or enters the
+    domain boundary correctly (a dependence leaving the domain at some
+    points is fine — those are inputs — but the vector must be
+    non-zero). *)
+
+(** Classic instances. *)
+
+val matmul : int -> t
+(** n×n matrix product: domain [n³], dependences
+    a:(0,1,0), b:(1,0,0), c:(0,0,1). *)
+
+val convolution : int -> int -> t
+(** 1-D convolution of an n-signal with a k-tap kernel: 2-D domain,
+    dependences w:(1,0), x:(1,-1), y:(0,1). *)
+
+val fir : int -> int -> t
+(** FIR filter (same shape as convolution, kept separate for the
+    example suite). *)

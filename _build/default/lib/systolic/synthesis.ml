@@ -1,0 +1,157 @@
+type design = {
+  schedule : int array;
+  projection : int array;
+  allocation : int array array;
+  latency : int;
+  pe_count : int;
+  channels : (string * int array * int) list;
+  nearest_neighbour : bool;
+}
+
+let makespan domain lambda =
+  (* extremes of λ·x over the box corners (exact for boxes; for carved
+     polytopes the box bound is an upper bound, refined on points when
+     small) *)
+  let d = Array.length domain.Recurrence.lower in
+  let lo = ref 0 and hi = ref 0 in
+  for i = 0 to d - 1 do
+    let a = lambda.(i) * domain.Recurrence.lower.(i)
+    and b = lambda.(i) * domain.Recurrence.upper.(i) in
+    lo := !lo + min a b;
+    hi := !hi + max a b
+  done;
+  !hi - !lo + 1
+
+let schedules ?(bound = 2) r =
+  let d = Recurrence.dims r in
+  Linalg.enum_vectors ~dims:d ~bound
+  |> List.filter (fun lambda ->
+         List.for_all (fun dep -> Linalg.dot lambda dep.Recurrence.vector >= 1) r.Recurrence.deps)
+  |> List.map (fun lambda -> (makespan r.Recurrence.domain lambda, lambda))
+  |> List.sort (fun (m1, l1) (m2, l2) -> compare (m1, l1) (m2, l2))
+  |> List.map snd
+
+let project_count r allocation =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun x ->
+      let pe = Linalg.mat_vec allocation x in
+      Hashtbl.replace seen (Array.to_list pe) ())
+    (Recurrence.points r.Recurrence.domain);
+  Hashtbl.length seen
+
+let design_for r lambda u =
+  let allocation = Linalg.orthogonal_basis u in
+  let channels =
+    List.map
+      (fun dep ->
+        ( dep.Recurrence.dep_name,
+          Linalg.mat_vec allocation dep.Recurrence.vector,
+          Linalg.dot lambda dep.Recurrence.vector ))
+      r.Recurrence.deps
+  in
+  let nearest_neighbour =
+    List.for_all (fun (_, off, _) -> Array.for_all (fun v -> abs v <= 1) off) channels
+  in
+  {
+    schedule = lambda;
+    projection = u;
+    allocation;
+    latency = makespan r.Recurrence.domain lambda;
+    pe_count = project_count r allocation;
+    channels;
+    nearest_neighbour;
+  }
+
+let synthesize ?(bound = 2) r =
+  match Recurrence.validate r with
+  | Error e -> Error e
+  | Ok () -> begin
+    match schedules ~bound r with
+    | [] -> Error "no causal linear schedule within the search bound"
+    | lambda :: _ ->
+      let d = Recurrence.dims r in
+      if d < 2 then Error "systolic synthesis needs a domain of dimension >= 2"
+      else begin
+        let candidates =
+          Linalg.enum_vectors ~dims:d ~bound:1
+          |> List.map Linalg.primitive
+          |> List.sort_uniq compare
+          |> List.filter (fun u -> Linalg.dot lambda u <> 0)
+        in
+        let designs = List.map (design_for r lambda) candidates in
+        let better a b =
+          (* fewer PEs, then nearest-neighbour, then lexicographic *)
+          compare
+            (a.pe_count, not a.nearest_neighbour, a.projection)
+            (b.pe_count, not b.nearest_neighbour, b.projection)
+        in
+        match List.sort better designs with
+        | best :: _ -> Ok best
+        | [] -> Error "no valid projection direction"
+      end
+  end
+
+let verify r design =
+  let ( let* ) = Result.bind in
+  let points = Recurrence.points r.Recurrence.domain in
+  let time x = Linalg.dot design.schedule x in
+  let pe x = Array.to_list (Linalg.mat_vec design.allocation x) in
+  (* (time, PE) injective *)
+  let seen = Hashtbl.create 256 in
+  let* () =
+    List.fold_left
+      (fun acc x ->
+        let* () = acc in
+        let key = (time x, pe x) in
+        if Hashtbl.mem seen key then
+          Error
+            (Printf.sprintf "two points fire on the same processor at time %d" (time x))
+        else begin
+          Hashtbl.add seen key ();
+          Ok ()
+        end)
+      (Ok ()) points
+  in
+  (* causality on intra-domain dependences *)
+  let* () =
+    List.fold_left
+      (fun acc x ->
+        let* () = acc in
+        List.fold_left
+          (fun acc dep ->
+            let* () = acc in
+            let src = Array.mapi (fun i v -> v - dep.Recurrence.vector.(i)) x in
+            if Recurrence.mem r.Recurrence.domain src && time src >= time x then
+              Error (Printf.sprintf "dependence %S violates causality" dep.Recurrence.dep_name)
+            else Ok ())
+          (Ok ()) r.Recurrence.deps)
+      (Ok ()) points
+  in
+  (* reported counts *)
+  let pes = Hashtbl.create 64 in
+  List.iter (fun x -> Hashtbl.replace pes (pe x) ()) points;
+  let* () =
+    if Hashtbl.length pes = design.pe_count then Ok ()
+    else Error "PE count mismatch"
+  in
+  let times = List.map time points in
+  let lo = List.fold_left min max_int times and hi = List.fold_left max min_int times in
+  if hi - lo + 1 <= design.latency then Ok ()
+  else Error "latency below the observed makespan"
+
+let describe r design =
+  let vec v = "(" ^ String.concat "," (List.map string_of_int (Array.to_list v)) ^ ")" in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "systolic design for %s\n" r.Recurrence.name);
+  Buffer.add_string buf (Printf.sprintf "  schedule lambda = %s\n" (vec design.schedule));
+  Buffer.add_string buf (Printf.sprintf "  projection u = %s\n" (vec design.projection));
+  Buffer.add_string buf
+    (Printf.sprintf "  processors = %d, latency = %d, nearest-neighbour = %b\n"
+       design.pe_count design.latency design.nearest_neighbour);
+  List.iter
+    (fun (name, off, delay) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  channel %-4s offset %s delay %d\n" name (vec off) delay))
+    design.channels;
+  Buffer.contents buf

@@ -1,0 +1,39 @@
+(** Space-time mapping of uniform recurrences to systolic arrays
+    (paper §4.2.1, after Kung–Leiserson / Moldovan / Rajopadhye–
+    Fujimoto).
+
+    A design is a linear {e schedule} λ (point [x] fires at time λ·x,
+    causal when λ·d ≥ 1 for every dependence d) and a {e projection}
+    direction u with λ·u ≠ 0 (points along u share a processor; the
+    allocation matrix maps a point to its processor coordinates).
+    Validity: no processor fires twice at one time — guaranteed by
+    λ·u ≠ 0 for linear schedules on integer lattices when u is
+    primitive and points are projected along u. *)
+
+type design = {
+  schedule : int array;  (** λ *)
+  projection : int array;  (** u, primitive *)
+  allocation : int array array;  (** (d-1)×d matrix σ; PE = σ·x *)
+  latency : int;  (** makespan: max λ·x − min λ·x + 1 over the domain *)
+  pe_count : int;
+  channels : (string * int array * int) list;
+      (** per dependence: PE offset σ·d and register delay λ·d *)
+  nearest_neighbour : bool;
+      (** every channel offset has ∞-norm ≤ 1 *)
+}
+
+val schedules : ?bound:int -> Recurrence.t -> int array list
+(** All causal schedule vectors with entries in [-bound..bound]
+    (default 2), ordered by increasing makespan then lexicographically. *)
+
+val synthesize : ?bound:int -> Recurrence.t -> (design, string) result
+(** Best design: minimal-makespan causal schedule, then the projection
+    (among small vectors with λ·u ≠ 0) minimizing processor count with
+    nearest-neighbour channels preferred. *)
+
+val verify : Recurrence.t -> design -> (unit, string) result
+(** Exhaustive check on the domain points: injectivity of
+    (time, processor), causality of every intra-domain dependence, and
+    the reported latency/PE count. *)
+
+val describe : Recurrence.t -> design -> string

@@ -1,0 +1,1 @@
+lib/taskgraph/phase_expr.ml: Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/taskgraph/phase_expr.mli: Format

@@ -1,0 +1,1 @@
+lib/taskgraph/taskgraph.ml: Array Format List Oregami_graph Phase_expr Printf Result

@@ -1,0 +1,1 @@
+lib/taskgraph/taskgraph.mli: Format Oregami_graph Phase_expr

@@ -1,0 +1,119 @@
+type t =
+  | Epsilon
+  | Comm of string
+  | Exec of string
+  | Seq of t * t
+  | Repeat of t * int
+  | Par of t * t
+
+type slot = { comms : string list; execs : string list }
+
+let seq = function
+  | [] -> Epsilon
+  | x :: rest -> List.fold_left (fun acc e -> Seq (acc, e)) x rest
+
+let collect pick e =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let add name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      out := name :: !out
+    end
+  in
+  let rec go = function
+    | Epsilon -> ()
+    | Comm c -> if pick then add c
+    | Exec x -> if not pick then add x
+    | Seq (a, b) | Par (a, b) ->
+      go a;
+      go b
+    | Repeat (a, _) -> go a
+  in
+  go e;
+  List.rev !out
+
+let comm_names e = collect true e
+
+let exec_names e = collect false e
+
+let length e =
+  let rec go = function
+    | Epsilon -> 0
+    | Comm _ | Exec _ -> 1
+    | Seq (a, b) -> go a + go b
+    | Repeat (a, k) ->
+      if k < 0 then invalid_arg "Phase_expr.length: negative repetition";
+      k * go a
+    | Par (a, b) -> max (go a) (go b)
+  in
+  go e
+
+let trace ?(max_slots = 100_000) e =
+  if length e > max_slots then invalid_arg "Phase_expr.trace: trace too long";
+  let merge_slot a b = { comms = a.comms @ b.comms; execs = a.execs @ b.execs } in
+  let rec zip xs ys =
+    match (xs, ys) with
+    | [], rest | rest, [] -> rest
+    | x :: xs, y :: ys -> merge_slot x y :: zip xs ys
+  in
+  let rec go = function
+    | Epsilon -> []
+    | Comm c -> [ { comms = [ c ]; execs = [] } ]
+    | Exec x -> [ { comms = []; execs = [ x ] } ]
+    | Seq (a, b) -> go a @ go b
+    | Repeat (a, k) ->
+      if k < 0 then invalid_arg "Phase_expr.trace: negative repetition"
+      else begin
+        let body = go a in
+        let rec rep k acc = if k = 0 then acc else rep (k - 1) (body @ acc) in
+        rep k []
+      end
+    | Par (a, b) -> zip (go a) (go b)
+  in
+  go e
+
+let count_in_trace select e name =
+  List.fold_left
+    (fun acc slot ->
+      acc + List.length (List.filter (( = ) name) (select slot)))
+    0 (trace e)
+
+let count_comm e name = count_in_trace (fun s -> s.comms) e name
+
+let count_exec e name = count_in_trace (fun s -> s.execs) e name
+
+let well_formed ~comms ~execs e =
+  let rec go = function
+    | Epsilon -> Ok ()
+    | Comm c ->
+      if List.mem c comms then Ok ()
+      else Error (Printf.sprintf "undeclared communication phase %S" c)
+    | Exec x ->
+      if List.mem x execs then Ok ()
+      else Error (Printf.sprintf "undeclared execution phase %S" x)
+    | Seq (a, b) | Par (a, b) -> ( match go a with Ok () -> go b | Error _ as e -> e)
+    | Repeat (a, k) ->
+      if k < 0 then Error (Printf.sprintf "negative repetition count %d" k) else go a
+  in
+  go e
+
+let rec to_string = function
+  | Epsilon -> "eps"
+  | Comm c -> c
+  | Exec x -> x
+  | Seq (a, b) -> Printf.sprintf "%s; %s" (seq_part a) (seq_part b)
+  | Repeat (a, k) -> Printf.sprintf "%s^%d" (atom_part a) k
+  | Par (a, b) -> Printf.sprintf "%s || %s" (atom_part a) (atom_part b)
+
+and seq_part e =
+  match e with
+  | Par _ -> "(" ^ to_string e ^ ")"
+  | Epsilon | Comm _ | Exec _ | Seq _ | Repeat _ -> to_string e
+
+and atom_part e =
+  match e with
+  | Epsilon | Comm _ | Exec _ | Repeat _ -> to_string e
+  | Seq _ | Par _ -> "(" ^ to_string e ^ ")"
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)

@@ -1,0 +1,50 @@
+(** Phase expressions (paper §3, item 6): the dynamic behaviour of a
+    computation over its communication and execution phases.
+
+    [((ring; compute1)^((n+1)/2); chordal; compute2)^s] is represented
+    with repetition counts already evaluated to integers (the LaRCS
+    compiler evaluates parameter expressions before building one). *)
+
+type t =
+  | Epsilon  (** idle task *)
+  | Comm of string  (** one communication phase, by name *)
+  | Exec of string  (** one execution phase, by name *)
+  | Seq of t * t
+  | Repeat of t * int
+  | Par of t * t
+
+type slot = { comms : string list; execs : string list }
+(** One synchronous step of the computation: the communication phases
+    and execution phases active simultaneously (normally singletons;
+    parallel composition merges slots). *)
+
+val seq : t list -> t
+(** Right-nested sequence; [seq [] = Epsilon]. *)
+
+val comm_names : t -> string list
+(** Distinct communication phase names, in first-occurrence order. *)
+
+val exec_names : t -> string list
+
+val trace : ?max_slots:int -> t -> slot list
+(** Flattens to the synchronous slot sequence: [Seq] concatenates,
+    [Repeat] unrolls, [Par] zips slot-by-slot (the shorter side idles).
+    Raises [Invalid_argument] if the unrolled length would exceed
+    [max_slots] (default 100_000) or a repetition count is negative. *)
+
+val length : t -> int
+(** Number of slots of {!trace} without materializing it. *)
+
+val count_comm : t -> string -> int
+(** Total occurrences of a communication phase across the trace. *)
+
+val count_exec : t -> string -> int
+
+val well_formed : comms:string list -> execs:string list -> t -> (unit, string) result
+(** Every referenced phase name is declared and repetition counts are
+    non-negative. *)
+
+val to_string : t -> string
+(** Concrete syntax, e.g. ["((ring; compute1)^4; chordal; compute2)^10"]. *)
+
+val pp : Format.formatter -> t -> unit

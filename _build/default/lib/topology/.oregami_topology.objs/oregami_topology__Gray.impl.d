@@ -1,0 +1,1 @@
+lib/topology/gray.ml: Array

@@ -1,0 +1,1 @@
+lib/topology/routes.ml: Hashtbl List Oregami_graph Topology

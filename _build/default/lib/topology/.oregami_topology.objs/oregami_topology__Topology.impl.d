@@ -1,0 +1,1 @@
+lib/topology/topology.ml: Array Float Format Hashtbl List Option Oregami_graph Printf Result String

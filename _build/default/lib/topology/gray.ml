@@ -1,0 +1,21 @@
+let encode i = i lxor (i lsr 1)
+
+let decode g =
+  let rec go acc g = if g = 0 then acc else go (acc lxor g) (g lsr 1) in
+  go 0 g
+
+let rank_in_cube bits i =
+  let g = encode i in
+  if g lsr bits <> 0 then invalid_arg "Gray.rank_in_cube: value does not fit"
+  else g
+
+let sequence bits = Array.init (1 lsl bits) encode
+
+let differ_bit a b =
+  let x = a lxor b in
+  if x = 0 then None
+  else if x land (x - 1) <> 0 then None
+  else begin
+    let rec idx x acc = if x = 1 then acc else idx (x lsr 1) (acc + 1) in
+    Some (idx x 0)
+  end

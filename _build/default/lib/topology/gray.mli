@@ -1,0 +1,22 @@
+(** Binary-reflected Gray codes.
+
+    Used by the canned embeddings: consecutive Gray codewords differ in
+    exactly one bit, so a ring (or a mesh row) maps to a hypercube with
+    dilation 1. *)
+
+val encode : int -> int
+(** [encode i] is the i-th Gray codeword. *)
+
+val decode : int -> int
+(** Inverse of {!encode}. *)
+
+val rank_in_cube : int -> int -> int
+(** [rank_in_cube bits i] = [encode i] checked to fit in [bits] bits
+    (raises [Invalid_argument] otherwise). *)
+
+val sequence : int -> int array
+(** [sequence bits] is the full Gray sequence of length [2^bits]. *)
+
+val differ_bit : int -> int -> int option
+(** [differ_bit a b] is [Some k] when [a] and [b] differ in exactly bit
+    [k], [None] otherwise. *)

@@ -1,0 +1,35 @@
+(** Routing tables: enumeration of candidate routes between processor
+    pairs.
+
+    MM-Route consumes "possible choices for the shortest routes" (paper
+    §4.4, Fig 6b); this module provides them, either enumerated from the
+    shortest-path DAG of an arbitrary topology or by the classical
+    deterministic schemes (e-cube for hypercubes, dimension-order for
+    meshes) used as routing baselines. *)
+
+type route = { nodes : int list; links : int list }
+(** A route records both the processor path (endpoints included) and
+    the link ids traversed, so [List.length links = hops]. *)
+
+val shortest_routes : ?cap:int -> Topology.t -> int -> int -> route list
+(** All minimum-hop routes between two processors, up to [cap]
+    (default 64), lexicographically ordered by node path.  Returns the
+    single empty-link route when source equals destination. *)
+
+val route_table : ?cap:int -> Topology.t -> (int * int, route list) Hashtbl.t
+(** Routes for every ordered pair; memoised per pair. *)
+
+val ecube : Topology.t -> int -> int -> route
+(** Deterministic e-cube (dimension-order, lowest bit first) route on a
+    hypercube.  Raises [Invalid_argument] on other topologies. *)
+
+val dimension_order : Topology.t -> int -> int -> route
+(** Deterministic row-then-column route on a mesh or torus (tori route
+    the short way around).  Raises [Invalid_argument] otherwise. *)
+
+val deterministic : Topology.t -> int -> int -> route
+(** The natural deterministic route for the topology: {!ecube} on
+    hypercubes, {!dimension_order} on meshes and tori, and the unique
+    first shortest route otherwise. *)
+
+val hops : route -> int

@@ -1,0 +1,369 @@
+module Ugraph = Oregami_graph.Ugraph
+module Traverse = Oregami_graph.Traverse
+
+type kind =
+  | Line of int
+  | Ring of int
+  | Mesh of int * int
+  | Torus of int * int
+  | Hypercube of int
+  | Complete of int
+  | Binary_tree of int
+  | Binomial_tree of int
+  | Butterfly of int
+  | Cube_connected_cycles of int
+  | Hex_mesh of int * int
+  | Star_graph of int
+  | De_bruijn of int
+  | Shuffle_exchange of int
+
+type t = {
+  kind : kind;
+  graph : Ugraph.t;
+  links : (int * int) array;
+  link_ids : (int * int, int) Hashtbl.t;
+}
+
+let positive what n = if n <= 0 then invalid_arg (Printf.sprintf "Topology: %s must be positive" what)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+    List.concat_map
+      (fun x -> List.map (fun p -> x :: p) (permutations (List.filter (( <> ) x) xs)))
+      xs
+
+let de_bruijn_graph k =
+  positive "de Bruijn order" k;
+  let n = 1 lsl k in
+  let g = Ugraph.create n in
+  for u = 0 to n - 1 do
+    List.iter
+      (fun b ->
+        let v = ((2 * u) + b) mod n in
+        if u <> v && not (Ugraph.mem_edge g u v) then Ugraph.add_edge g u v)
+      [ 0; 1 ]
+  done;
+  g
+
+let shuffle_exchange_graph k =
+  positive "shuffle-exchange order" k;
+  let n = 1 lsl k in
+  let g = Ugraph.create n in
+  let rotl u = ((u lsl 1) lor (u lsr (k - 1))) land (n - 1) in
+  for u = 0 to n - 1 do
+    let x = u lxor 1 in
+    if u < x && not (Ugraph.mem_edge g u x) then Ugraph.add_edge g u x;
+    let s = rotl u in
+    if u <> s && not (Ugraph.mem_edge g u s) then Ugraph.add_edge g u s
+  done;
+  g
+
+let build_graph kind =
+  match kind with
+  | Line n ->
+    positive "line size" n;
+    let g = Ugraph.create n in
+    for i = 0 to n - 2 do
+      Ugraph.add_edge g i (i + 1)
+    done;
+    g
+  | Ring n ->
+    positive "ring size" n;
+    let g = Ugraph.create n in
+    for i = 0 to n - 2 do
+      Ugraph.add_edge g i (i + 1)
+    done;
+    if n > 2 then Ugraph.add_edge g (n - 1) 0;
+    g
+  | Mesh (r, c) ->
+    positive "mesh rows" r;
+    positive "mesh cols" c;
+    let g = Ugraph.create (r * c) in
+    for i = 0 to r - 1 do
+      for j = 0 to c - 1 do
+        let u = (i * c) + j in
+        if j + 1 < c then Ugraph.add_edge g u (u + 1);
+        if i + 1 < r then Ugraph.add_edge g u (u + c)
+      done
+    done;
+    g
+  | Torus (r, c) ->
+    positive "torus rows" r;
+    positive "torus cols" c;
+    let g = Ugraph.create (r * c) in
+    for i = 0 to r - 1 do
+      for j = 0 to c - 1 do
+        let u = (i * c) + j in
+        if j + 1 < c then Ugraph.add_edge g u (u + 1);
+        if i + 1 < r then Ugraph.add_edge g u (u + c)
+      done
+    done;
+    if c > 2 then for i = 0 to r - 1 do Ugraph.add_edge g (i * c) ((i * c) + c - 1) done;
+    if r > 2 then for j = 0 to c - 1 do Ugraph.add_edge g j (((r - 1) * c) + j) done;
+    g
+  | Hypercube d ->
+    if d < 0 then invalid_arg "Topology: hypercube dimension must be >= 0";
+    let n = 1 lsl d in
+    let g = Ugraph.create n in
+    for u = 0 to n - 1 do
+      for b = 0 to d - 1 do
+        let v = u lxor (1 lsl b) in
+        if u < v then Ugraph.add_edge g u v
+      done
+    done;
+    g
+  | Complete n ->
+    positive "complete size" n;
+    Ugraph.complete n
+  | Binary_tree d ->
+    if d < 0 then invalid_arg "Topology: tree depth must be >= 0";
+    let n = (1 lsl (d + 1)) - 1 in
+    let g = Ugraph.create n in
+    for u = 0 to n - 1 do
+      let l = (2 * u) + 1 and r = (2 * u) + 2 in
+      if l < n then Ugraph.add_edge g u l;
+      if r < n then Ugraph.add_edge g u r
+    done;
+    g
+  | Binomial_tree k ->
+    if k < 0 then invalid_arg "Topology: binomial order must be >= 0";
+    let n = 1 lsl k in
+    let g = Ugraph.create n in
+    for u = 1 to n - 1 do
+      let parent = u land (u - 1) in
+      Ugraph.add_edge g parent u
+    done;
+    g
+  | Butterfly k ->
+    positive "butterfly stages" k;
+    let rows = 1 lsl k in
+    let n = (k + 1) * rows in
+    let id l r = (l * rows) + r in
+    let g = Ugraph.create n in
+    for l = 0 to k - 1 do
+      for r = 0 to rows - 1 do
+        Ugraph.add_edge g (id l r) (id (l + 1) r);
+        Ugraph.add_edge g (id l r) (id (l + 1) (r lxor (1 lsl l)))
+      done
+    done;
+    g
+  | Cube_connected_cycles d ->
+    if d < 3 then invalid_arg "Topology: CCC dimension must be >= 3";
+    let n = d * (1 lsl d) in
+    let id x i = (x * d) + i in
+    let g = Ugraph.create n in
+    for x = 0 to (1 lsl d) - 1 do
+      for i = 0 to d - 1 do
+        let j = (i + 1) mod d in
+        if i < j || j = 0 then Ugraph.add_edge g (id x (min i j)) (id x (max i j));
+        let y = x lxor (1 lsl i) in
+        if x < y then Ugraph.add_edge g (id x i) (id y i)
+      done
+    done;
+    g
+  | Hex_mesh (r, c) ->
+    positive "hex rows" r;
+    positive "hex cols" c;
+    let g = Ugraph.create (r * c) in
+    for i = 0 to r - 1 do
+      for j = 0 to c - 1 do
+        let u = (i * c) + j in
+        if j + 1 < c then Ugraph.add_edge g u (u + 1);
+        if i + 1 < r then Ugraph.add_edge g u (u + c);
+        if i + 1 < r && j > 0 then Ugraph.add_edge g u (u + c - 1)
+      done
+    done;
+    g
+  | De_bruijn k -> de_bruijn_graph k
+  | Shuffle_exchange k -> shuffle_exchange_graph k
+  | Star_graph n ->
+    if n < 2 || n > 7 then invalid_arg "Topology: star graph order must be in [2,7]";
+    let perms = permutations (List.init n (fun i -> i)) in
+    let tbl = Hashtbl.create 64 in
+    List.iteri (fun idx p -> Hashtbl.add tbl p idx) perms;
+    let count = List.length perms in
+    let g = Ugraph.create count in
+    List.iteri
+      (fun idx p ->
+        let arr = Array.of_list p in
+        for i = 1 to n - 1 do
+          let arr' = Array.copy arr in
+          let t = arr'.(0) in
+          arr'.(0) <- arr'.(i);
+          arr'.(i) <- t;
+          let idx' = Hashtbl.find tbl (Array.to_list arr') in
+          if idx < idx' then Ugraph.add_edge g idx idx'
+        done)
+      perms;
+    g
+
+let make kind =
+  let graph = build_graph kind in
+  let links = Array.of_list (List.map (fun (u, v, _) -> (u, v)) (Ugraph.edges graph)) in
+  let link_ids = Hashtbl.create (Array.length links) in
+  Array.iteri (fun i uv -> Hashtbl.add link_ids uv i) links;
+  { kind; graph; links; link_ids }
+
+let kind t = t.kind
+
+let name t =
+  match t.kind with
+  | Line n -> Printf.sprintf "line(%d)" n
+  | Ring n -> Printf.sprintf "ring(%d)" n
+  | Mesh (r, c) -> Printf.sprintf "mesh(%dx%d)" r c
+  | Torus (r, c) -> Printf.sprintf "torus(%dx%d)" r c
+  | Hypercube d -> Printf.sprintf "hypercube(%d)" d
+  | Complete n -> Printf.sprintf "complete(%d)" n
+  | Binary_tree d -> Printf.sprintf "bintree(%d)" d
+  | Binomial_tree k -> Printf.sprintf "binomial(%d)" k
+  | Butterfly k -> Printf.sprintf "butterfly(%d)" k
+  | Cube_connected_cycles d -> Printf.sprintf "ccc(%d)" d
+  | Hex_mesh (r, c) -> Printf.sprintf "hex(%dx%d)" r c
+  | Star_graph n -> Printf.sprintf "star(%d)" n
+  | De_bruijn k -> Printf.sprintf "debruijn(%d)" k
+  | Shuffle_exchange k -> Printf.sprintf "shuffle(%d)" k
+
+let graph t = t.graph
+
+let node_count t = Ugraph.node_count t.graph
+
+let link_count t = Array.length t.links
+
+let link_endpoints t i =
+  if i < 0 || i >= Array.length t.links then invalid_arg "Topology.link_endpoints";
+  t.links.(i)
+
+let link_between t u v =
+  let key = if u < v then (u, v) else (v, u) in
+  Hashtbl.find_opt t.link_ids key
+
+let links_of_path t path =
+  let rec go = function
+    | [] | [ _ ] -> []
+    | u :: (v :: _ as rest) ->
+      (match link_between t u v with
+      | Some l -> l :: go rest
+      | None -> invalid_arg (Printf.sprintf "Topology.links_of_path: %d and %d not adjacent" u v))
+  in
+  go path
+
+let degree t u = Ugraph.degree t.graph u
+
+let diameter t = Traverse.diameter t.graph
+
+let split_bits d v =
+  (* interleave: even-indexed bits -> x, odd-indexed -> y *)
+  let x = ref 0 and y = ref 0 and xb = ref 0 and yb = ref 0 in
+  for b = 0 to d - 1 do
+    if v land (1 lsl b) <> 0 then
+      if b mod 2 = 0 then x := !x lor (1 lsl !xb) else y := !y lor (1 lsl !yb);
+    if b mod 2 = 0 then incr xb else incr yb
+  done;
+  (!x, !y)
+
+let layout t =
+  let n = node_count t in
+  let circle () =
+    Array.init n (fun i ->
+        let a = 2.0 *. Float.pi *. float_of_int i /. float_of_int (max 1 n) in
+        (cos a, sin a))
+  in
+  match t.kind with
+  | Line _ -> Array.init n (fun i -> (float_of_int i, 0.0))
+  | Ring _ | Complete _ | Star_graph _ | De_bruijn _ | Shuffle_exchange _ -> circle ()
+  | Mesh (_, c) | Torus (_, c) -> Array.init n (fun u -> (float_of_int (u mod c), float_of_int (u / c)))
+  | Hex_mesh (_, c) ->
+    Array.init n (fun u ->
+        let i = u / c and j = u mod c in
+        (float_of_int j +. (0.5 *. float_of_int i), float_of_int i))
+  | Hypercube d ->
+    Array.init n (fun u ->
+        let x, y = split_bits d u in
+        (float_of_int x, float_of_int y))
+  | Binary_tree _ | Binomial_tree _ ->
+    let dist = Traverse.bfs_dist t.graph 0 in
+    let counters = Hashtbl.create 8 in
+    Array.init n (fun u ->
+        let d = dist.(u) in
+        let k = Option.value ~default:0 (Hashtbl.find_opt counters d) in
+        Hashtbl.replace counters d (k + 1);
+        (float_of_int k, float_of_int d))
+  | Butterfly k ->
+    let rows = 1 lsl k in
+    Array.init n (fun u -> (float_of_int (u mod rows), float_of_int (u / rows)))
+  | Cube_connected_cycles d ->
+    Array.init n (fun u ->
+        let x = u / d and i = u mod d in
+        let cx, cy = split_bits d x in
+        let a = 2.0 *. Float.pi *. float_of_int i /. float_of_int d in
+        ((3.0 *. float_of_int cx) +. (0.5 *. cos a), (3.0 *. float_of_int cy) +. (0.5 *. sin a)))
+
+let hypercube_coords t u =
+  match t.kind with
+  | Hypercube _ -> u
+  | Line _ | Ring _ | Mesh _ | Torus _ | Complete _ | Binary_tree _ | Binomial_tree _
+  | Butterfly _ | Cube_connected_cycles _ | Hex_mesh _ | Star_graph _ | De_bruijn _
+  | Shuffle_exchange _ ->
+    invalid_arg "Topology.hypercube_coords: not a hypercube"
+
+let mesh_coords t u =
+  match t.kind with
+  | Mesh (_, c) | Torus (_, c) | Hex_mesh (_, c) -> (u / c, u mod c)
+  | Line _ | Ring _ | Hypercube _ | Complete _ | Binary_tree _ | Binomial_tree _
+  | Butterfly _ | Cube_connected_cycles _ | Star_graph _ | De_bruijn _
+  | Shuffle_exchange _ ->
+    invalid_arg "Topology.mesh_coords: not a mesh-like topology"
+
+let mesh_node t (i, j) =
+  match t.kind with
+  | Mesh (_, c) | Torus (_, c) | Hex_mesh (_, c) -> (i * c) + j
+  | Line _ | Ring _ | Hypercube _ | Complete _ | Binary_tree _ | Binomial_tree _
+  | Butterfly _ | Cube_connected_cycles _ | Star_graph _ | De_bruijn _
+  | Shuffle_exchange _ ->
+    invalid_arg "Topology.mesh_node: not a mesh-like topology"
+
+let known_kinds =
+  [ "line:N"; "ring:N"; "mesh:RxC"; "torus:RxC"; "hypercube:D"; "complete:N";
+    "bintree:D"; "binomial:K"; "butterfly:K"; "ccc:D"; "hex:RxC"; "star:N";
+    "debruijn:K"; "shuffle:K" ]
+
+let parse s =
+  match String.split_on_char ':' s with
+  | [ family; arg ] -> begin
+    let int () =
+      match int_of_string_opt arg with
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "bad integer argument %S" arg)
+    in
+    let dims () =
+      match String.split_on_char 'x' arg with
+      | [ a; b ] -> begin
+        match (int_of_string_opt a, int_of_string_opt b) with
+        | Some r, Some c -> Ok (r, c)
+        | _, _ -> Error (Printf.sprintf "bad dimensions %S (want RxC)" arg)
+      end
+      | _ -> Error (Printf.sprintf "bad dimensions %S (want RxC)" arg)
+    in
+    match family with
+    | "line" -> Result.map (fun n -> Line n) (int ())
+    | "ring" -> Result.map (fun n -> Ring n) (int ())
+    | "mesh" -> Result.map (fun (r, c) -> Mesh (r, c)) (dims ())
+    | "torus" -> Result.map (fun (r, c) -> Torus (r, c)) (dims ())
+    | "hypercube" | "cube" -> Result.map (fun d -> Hypercube d) (int ())
+    | "complete" -> Result.map (fun n -> Complete n) (int ())
+    | "bintree" -> Result.map (fun d -> Binary_tree d) (int ())
+    | "binomial" -> Result.map (fun k -> Binomial_tree k) (int ())
+    | "butterfly" -> Result.map (fun k -> Butterfly k) (int ())
+    | "ccc" -> Result.map (fun d -> Cube_connected_cycles d) (int ())
+    | "hex" -> Result.map (fun (r, c) -> Hex_mesh (r, c)) (dims ())
+    | "star" -> Result.map (fun n -> Star_graph n) (int ())
+    | "debruijn" -> Result.map (fun k -> De_bruijn k) (int ())
+    | "shuffle" -> Result.map (fun k -> Shuffle_exchange k) (int ())
+    | other -> Error (Printf.sprintf "unknown topology family %S" other)
+  end
+  | _ -> Error (Printf.sprintf "bad topology %S (want family:args)" s)
+
+let pp fmt t =
+  Format.fprintf fmt "%s: %d processors, %d links, degree %d, diameter %d" (name t)
+    (node_count t) (link_count t) (Ugraph.max_degree t.graph) (diameter t)

@@ -1,0 +1,82 @@
+(** Interconnection-network topologies.
+
+    A topology is a named regular undirected graph of homogeneous
+    processors plus an indexed table of its links, matching the paper's
+    model (OREGAMI assumes "homogeneous processors connected by some
+    regular network topology": iPSC/2, NCUBE, Transputer-style meshes,
+    hypercubes, rings, trees, ...).
+
+    Links are numbered [0 .. link_count-1] in lexicographic order of
+    their endpoint pairs; routing (Algorithm MM-Route) and the METRICS
+    contention reports are expressed in terms of link ids. *)
+
+type kind =
+  | Line of int  (** linear array of [n] processors *)
+  | Ring of int
+  | Mesh of int * int  (** rows × cols, no wraparound *)
+  | Torus of int * int
+  | Hypercube of int  (** dimension [d], [2^d] processors *)
+  | Complete of int
+  | Binary_tree of int  (** full binary tree of depth [d], [2^(d+1)-1] nodes *)
+  | Binomial_tree of int  (** order [k], [2^k] nodes *)
+  | Butterfly of int  (** [k]-stage butterfly, [(k+1)·2^k] nodes *)
+  | Cube_connected_cycles of int  (** CCC of dimension [d ≥ 3], [d·2^d] nodes *)
+  | Hex_mesh of int * int  (** hexagonal (6-neighbour) bounded grid *)
+  | Star_graph of int  (** Akers–Krishnamurthy star graph [S_n], [n!] nodes *)
+  | De_bruijn of int  (** binary de Bruijn graph, [2^k] nodes *)
+  | Shuffle_exchange of int  (** binary shuffle-exchange, [2^k] nodes *)
+
+type t
+
+val make : kind -> t
+
+val kind : t -> kind
+
+val name : t -> string
+(** Short printable name, e.g. ["hypercube(3)"]. *)
+
+val graph : t -> Oregami_graph.Ugraph.t
+
+val node_count : t -> int
+
+val link_count : t -> int
+
+val link_endpoints : t -> int -> int * int
+(** Endpoints [(u, v)] with [u < v] of a link id. *)
+
+val link_between : t -> int -> int -> int option
+(** Link id joining two processors, if adjacent (order-insensitive). *)
+
+val links_of_path : t -> int list -> int list
+(** Converts a node path to the list of traversed link ids.  Raises
+    [Invalid_argument] if consecutive nodes are not adjacent. *)
+
+val degree : t -> int -> int
+
+val diameter : t -> int
+
+val layout : t -> (float * float) array
+(** 2-D positions for rendering: meshes/tori on a grid, rings on a
+    circle, hypercubes on a Gray-coded grid, trees layered, others on a
+    circle. *)
+
+val hypercube_coords : t -> int -> int
+(** For a hypercube, the node id itself (its corner bit string); raises
+    [Invalid_argument] on other kinds. *)
+
+val mesh_coords : t -> int -> int * int
+(** For meshes/tori/hex meshes, the (row, col) of a node. *)
+
+val mesh_node : t -> int * int -> int
+(** Inverse of {!mesh_coords}. *)
+
+val parse : string -> (kind, string) result
+(** Parses CLI notation: ["ring:8"], ["mesh:4x4"], ["torus:4x8"],
+    ["hypercube:3"], ["line:5"], ["complete:6"], ["bintree:3"],
+    ["binomial:4"], ["butterfly:3"], ["ccc:3"], ["hex:3x4"],
+    ["star:4"], ["debruijn:4"], ["shuffle:4"]. *)
+
+val known_kinds : string list
+(** Names accepted by {!parse}, for help messages. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Buffer List Oregami_larcs Printf String

@@ -1,0 +1,277 @@
+type spec = {
+  w_name : string;
+  description : string;
+  source : string;
+  bindings : (string * int) list;
+}
+
+let nbody ~n ~s =
+  {
+    w_name = "nbody";
+    description = "n-body on a chordal ring (paper Fig 2)";
+    bindings = [ ("n", n); ("s", s) ];
+    source =
+      {|
+algorithm nbody(n, s);
+
+nodetype body : 0 .. n-1 nodesymmetric;
+
+comphase ring    { body i -> body ((i+1) mod n); }
+comphase chordal { body i -> body ((i + (n+1)/2) mod n); }
+
+exphase compute1 cost 10;
+exphase compute2 cost 20;
+
+phases ((ring; compute1)^((n+1)/2); chordal; compute2)^s;
+|};
+  }
+
+let matmul ~n =
+  {
+    w_name = "matmul";
+    description = "Cannon-style matrix multiplication on an n x n task mesh";
+    bindings = [ ("n", n) ];
+    source =
+      {|
+algorithm matmul(n);
+
+nodetype cell : (0 .. n-1, 0 .. n-1) nodesymmetric;
+
+comphase shiftleft { cell (i, j) -> cell (i, (j - 1) mod n) volume n; }
+comphase shiftup   { cell (i, j) -> cell ((i - 1) mod n, j) volume n; }
+
+exphase multiply cost 50;
+
+phases (shiftleft; shiftup; multiply)^n;
+|};
+  }
+
+(* phase-per-stage programs are generated textually *)
+let staged_source ~name ~params ~nodetype ~stage ~stages ~exphases ~phase_tail =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "algorithm %s(%s);\n\n" name params);
+  Buffer.add_string buf (nodetype ^ "\n");
+  List.iteri (fun r () -> Buffer.add_string buf (stage r)) (List.init stages (fun _ -> ()));
+  Buffer.add_string buf ("\n" ^ exphases ^ "\n");
+  Buffer.add_string buf (Printf.sprintf "phases %s;\n" phase_tail);
+  Buffer.contents buf
+
+let fft ~d =
+  if d < 1 then invalid_arg "Workloads.fft: need d >= 1";
+  let stage r =
+    Printf.sprintf "comphase stage%d { pt i -> pt (i xor %d) volume 1; }\n" r (1 lsl r)
+  in
+  let phase_tail =
+    String.concat "; "
+      (List.init d (fun r -> Printf.sprintf "stage%d; butterfly" r))
+  in
+  {
+    w_name = "fft";
+    description = "butterfly FFT exchange pattern on 2^d tasks";
+    bindings = [ ("n", 1 lsl d) ];
+    source =
+      staged_source ~name:"fft" ~params:"n"
+        ~nodetype:"nodetype pt : 0 .. n-1 nodesymmetric;\n" ~stage ~stages:d
+        ~exphases:"exphase butterfly cost 5;" ~phase_tail;
+  }
+
+let topsort ~levels ~width =
+  {
+    w_name = "topsort";
+    description = "layered-DAG wavefront sweep (parallel topological sort)";
+    bindings = [ ("l", levels); ("w", width) ];
+    source =
+      {|
+algorithm topsort(l, w);
+
+nodetype node : (0 .. l-1, 0 .. w-1);
+
+comphase straight { node (i, j) -> node (i+1, j) when i < l-1; }
+comphase diagonal { node (i, j) -> node (i+1, (j+1) mod w) when i < l-1; }
+
+exphase visit cost 3;
+
+phases (straight || diagonal; visit)^(l-1);
+|};
+  }
+
+let divide_and_conquer ~k =
+  if k < 1 then invalid_arg "Workloads.divide_and_conquer: need k >= 1";
+  (* combine round r: the node holding a 2^r-block boundary reports to
+     its partner 2^r below *)
+  let stage r =
+    Printf.sprintf
+      "comphase combine%d { node i -> node (i - %d) when (i mod %d) = %d; }\n" r (1 lsl r)
+      (1 lsl (r + 1))
+      (1 lsl r)
+  in
+  let phase_tail =
+    String.concat "; "
+      (List.init k (fun r -> Printf.sprintf "solve%d; combine%d" r r))
+  in
+  let exphases =
+    String.concat "\n" (List.init k (fun r -> Printf.sprintf "exphase solve%d cost %d;" r (4 * (r + 1))))
+  in
+  {
+    w_name = "divconq";
+    description = "divide-and-conquer combine along a binomial tree";
+    bindings = [ ("n", 1 lsl k) ];
+    source =
+      staged_source ~name:"divconq" ~params:"n" ~nodetype:"nodetype node : 0 .. n-1;\n"
+        ~stage ~stages:k ~exphases ~phase_tail;
+  }
+
+let annealing ~n ~sweeps =
+  {
+    w_name = "annealing";
+    description = "simulated annealing exchange sweeps on an n x n grid";
+    bindings = [ ("n", n); ("s", sweeps) ];
+    source =
+      {|
+algorithm annealing(n, s);
+
+nodetype site : (0 .. n-1, 0 .. n-1);
+
+comphase east  { site (i, j) -> site (i, j+1) volume 2 when j < n-1; }
+comphase west  { site (i, j) -> site (i, j-1) volume 2 when j > 0; }
+comphase south { site (i, j) -> site (i+1, j) volume 2 when i < n-1; }
+comphase north { site (i, j) -> site (i-1, j) volume 2 when i > 0; }
+
+exphase anneal cost 8;
+
+phases (east || west; north || south; anneal)^s;
+|};
+  }
+
+let jacobi ~n ~iters =
+  {
+    w_name = "jacobi";
+    description = "Jacobi iteration for Laplace's equation on an n x n grid";
+    bindings = [ ("n", n); ("t", iters) ];
+    source =
+      {|
+algorithm jacobi(n, t);
+
+nodetype cell : (0 .. n-1, 0 .. n-1);
+
+comphase east  { cell (i, j) -> cell (i, j+1) when j < n-1; }
+comphase west  { cell (i, j) -> cell (i, j-1) when j > 0; }
+comphase south { cell (i, j) -> cell (i+1, j) when i < n-1; }
+comphase north { cell (i, j) -> cell (i-1, j) when i > 0; }
+
+exphase relax cost 6;
+
+phases (east || west || north || south; relax)^t;
+|};
+  }
+
+let sor ~n ~iters =
+  {
+    w_name = "sor";
+    description = "red/black successive over-relaxation on an n x n grid";
+    bindings = [ ("n", n); ("t", iters) ];
+    source =
+      {|
+algorithm sor(n, t);
+
+nodetype cell : (0 .. n-1, 0 .. n-1);
+
+-- red cells (i+j even) push to black neighbours, then black push back
+comphase red2black {
+  cell (i, j) -> cell (i, j+1) when ((i + j) mod 2 = 0) and (j < n-1);
+  cell (i, j) -> cell (i+1, j) when ((i + j) mod 2 = 0) and (i < n-1);
+}
+comphase black2red {
+  cell (i, j) -> cell (i, j+1) when ((i + j) mod 2 = 1) and (j < n-1);
+  cell (i, j) -> cell (i+1, j) when ((i + j) mod 2 = 1) and (i < n-1);
+}
+
+exphase relaxred cost 5;
+exphase relaxblack cost 5;
+
+phases (red2black; relaxblack; black2red; relaxred)^t;
+|};
+  }
+
+let voting ~k =
+  if k < 1 then invalid_arg "Workloads.voting: need k >= 1";
+  let stage r =
+    Printf.sprintf "comphase comm%d { voter i -> voter ((i + %d) mod n) volume 1; }\n"
+      (r + 1) (1 lsl r)
+  in
+  let phase_tail =
+    String.concat "; " (List.init k (fun r -> Printf.sprintf "comm%d; tally" (r + 1)))
+  in
+  {
+    w_name = "voting";
+    description = "perfect-broadcast distributed voting (paper Fig 4 at k = 3)";
+    bindings = [ ("n", 1 lsl k) ];
+    source =
+      staged_source ~name:"voting" ~params:"n"
+        ~nodetype:"nodetype voter : 0 .. n-1 nodesymmetric;\n" ~stage ~stages:k
+        ~exphases:"exphase tally cost 2;" ~phase_tail;
+  }
+
+let matmul3d ~n =
+  {
+    w_name = "matmul3d";
+    description = "3-D uniform-recurrence matrix product (systolic projection path)";
+    bindings = [ ("n", n) ];
+    source =
+      {|
+algorithm matmul3d(n);
+
+nodetype p : (0 .. n-1, 0 .. n-1, 0 .. n-1);
+
+comphase a { p (i, j, k) -> p (i, j+1, k) when j < n-1; }
+comphase b { p (i, j, k) -> p (i+1, j, k) when i < n-1; }
+comphase c { p (i, j, k) -> p (i, j, k+1) when k < n-1; }
+
+exphase mac cost 1;
+
+phases (a || b || c; mac)^n;
+|};
+  }
+
+let spawned_divide_and_conquer ~depth =
+  {
+    w_name = "spawned";
+    description = "divide & conquer with a dynamically spawned binary tree (section 6)";
+    bindings = [ ("d", depth) ];
+    source =
+      {|
+algorithm spawned(d);
+
+spawntree node : depth d;
+
+comphase report { node i -> node ((i - 1) / 2) volume 4 when i > 0; }
+
+exphase solve : node i cost 3;
+
+phases (node_spawn; solve)^d; report; solve;
+|};
+  }
+
+let all () =
+  [
+    nbody ~n:15 ~s:2;
+    matmul ~n:6;
+    fft ~d:4;
+    topsort ~levels:6 ~width:8;
+    divide_and_conquer ~k:4;
+    annealing ~n:6 ~sweeps:3;
+    jacobi ~n:8 ~iters:4;
+    sor ~n:6 ~iters:3;
+    voting ~k:3;
+    spawned_divide_and_conquer ~depth:4;
+    matmul3d ~n:4;
+  ]
+
+let compile spec = Oregami_larcs.Compile.compile_source ~bindings:spec.bindings spec.source
+
+let compile_exn spec =
+  match compile spec with
+  | Ok c -> c
+  | Error m -> invalid_arg (Printf.sprintf "Workloads.compile_exn(%s): %s" spec.w_name m)
+
+let task_graph_exn spec = (compile_exn spec).Oregami_larcs.Compile.graph

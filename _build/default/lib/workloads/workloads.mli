@@ -1,0 +1,62 @@
+(** The paper's workload suite as LaRCS programs (§3 lists LaRCS
+    descriptions of the n-body problem, matrix multiplication, FFT,
+    topological sort, divide and conquer on binomial trees, simulated
+    annealing, Jacobi, SOR, and perfect-broadcast distributed voting).
+
+    Programs whose phase count depends on a parameter (FFT stages,
+    broadcast rounds) are generated textually for the given size —
+    LaRCS itself stays first-order. *)
+
+type spec = {
+  w_name : string;
+  description : string;
+  source : string;  (** LaRCS source text *)
+  bindings : (string * int) list;  (** parameter values *)
+}
+
+val nbody : n:int -> s:int -> spec
+(** The running example (Fig 2): ring + chordal phases, [s] outer
+    iterations. *)
+
+val matmul : n:int -> spec
+(** Cannon-style mesh matrix multiplication on an n×n task mesh. *)
+
+val fft : d:int -> spec
+(** Butterfly FFT on [2^d] tasks: one exchange phase per stage. *)
+
+val topsort : levels:int -> width:int -> spec
+(** Layered-DAG wavefront (parallel topological sort sweep). *)
+
+val divide_and_conquer : k:int -> spec
+(** Binomial-tree combine over [2^k] tasks (the paper's D&C shape). *)
+
+val annealing : n:int -> sweeps:int -> spec
+(** Simulated annealing sweeps on an n×n exchange grid. *)
+
+val jacobi : n:int -> iters:int -> spec
+(** Jacobi iteration for Laplace's equation on an n×n grid
+    (4-neighbour stencil). *)
+
+val sor : n:int -> iters:int -> spec
+(** Red/black successive over-relaxation on an n×n grid. *)
+
+val voting : k:int -> spec
+(** Perfect-broadcast distributed voting on [2^k] tasks (the Fig 4
+    example at [k = 3]): round [r] sends [i → (i + 2^r) mod n]. *)
+
+val matmul3d : n:int -> spec
+(** The matrix product as a 3-D uniform recurrence on an n³ lattice —
+    exercises the systolic projection path of the dispatch (§4.2.1). *)
+
+val spawned_divide_and_conquer : depth:int -> spec
+(** Divide and conquer over a [spawntree] (the §6 dynamic-spawning
+    extension): tasks appear generation by generation. *)
+
+val all : unit -> spec list
+(** One moderate instance of every workload. *)
+
+val compile : spec -> (Oregami_larcs.Compile.compiled, string) result
+
+val compile_exn : spec -> Oregami_larcs.Compile.compiled
+
+val task_graph_exn : spec -> Oregami_taskgraph.Taskgraph.t

@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Array Driver List Mapper Mapping Metrics Netsim Oregami Prelude Printf Result Sched Taskgraph Topology Workloads

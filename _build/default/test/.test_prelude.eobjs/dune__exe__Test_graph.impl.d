@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array List Option Oregami_graph Oregami_prelude Oregami_topology QCheck QCheck_alcotest

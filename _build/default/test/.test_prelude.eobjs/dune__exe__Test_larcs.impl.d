@@ -1,0 +1,1 @@
+test/test_larcs.ml: Alcotest Array List Option Oregami_graph Oregami_larcs Oregami_perm Oregami_taskgraph Printf QCheck QCheck_alcotest Result String

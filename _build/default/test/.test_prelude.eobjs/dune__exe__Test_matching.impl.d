@@ -1,0 +1,1 @@
+test/test_matching.ml: Alcotest Array Hashtbl List Oregami_matching Oregami_prelude Printf QCheck QCheck_alcotest String

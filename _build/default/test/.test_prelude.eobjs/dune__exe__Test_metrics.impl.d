@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Filename List Oregami Oregami_graph Oregami_mapper Oregami_metrics Oregami_taskgraph Oregami_topology Oregami_workloads String Sys

@@ -1,0 +1,1 @@
+test/test_paper_threads.ml: Alcotest Array Larcs List Oregami Printf Result String Systolic Workloads

@@ -1,0 +1,1 @@
+test/test_perm.ml: Alcotest Array List Option Oregami_graph Oregami_perm Oregami_prelude Oregami_topology Printf QCheck QCheck_alcotest

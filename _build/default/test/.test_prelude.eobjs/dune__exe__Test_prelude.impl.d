@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Hashtbl List Option Oregami_prelude QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_systolic.ml: Alcotest Array List Oregami_prelude Oregami_systolic Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_taskgraph.ml: Alcotest List Oregami_graph Oregami_taskgraph

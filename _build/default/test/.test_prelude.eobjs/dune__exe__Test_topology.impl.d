@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Hashtbl List Option Oregami_graph Oregami_topology

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Driver List Mapper Mapping Oregami Printf Result Routes Topology Vm Workloads

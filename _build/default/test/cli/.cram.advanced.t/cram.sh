@@ -1,0 +1,7 @@
+  $ oregami systolic matmul:4 --max-pes 4
+  $ oregami systolic fir:8x3
+  $ oregami systolic nosuch:4
+  $ oregami aggregate ./reduce.larcs -p n=16 -t hypercube:3 --phase gather | head -4
+  $ oregami remap nbody -t hypercube:3 | tail -1
+  $ oregami routes voting -t hypercube:2 --phase comm3 --timeline | tail -1
+  $ oregami routes voting -t hypercube:2 --phase comm1 --timeline | tail -6

@@ -1,0 +1,5 @@
+  $ oregami workloads | head -4
+  $ oregami topo hypercube:2
+  $ oregami map voting -t hypercube:2
+  $ oregami analyze voting
+  $ oregami map voting -t nosuch:4

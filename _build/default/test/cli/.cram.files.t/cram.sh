@@ -1,0 +1,6 @@
+  $ oregami parse ./nbody.larcs | head -3
+  $ oregami dump ./nbody.larcs
+  $ oregami dump ./nbody.larcs -p n=4 -p s=1 | head -6
+  $ oregami map ./jacobi.larcs -p n=8 -p t=2 -t mesh:4x4 | head -3
+  $ oregami routes ./reduce.larcs -p n=8 -t hypercube:3 --phase gather | head -5
+  $ oregami simulate ./reduce.larcs -p n=8 -t hypercube:3 | head -3

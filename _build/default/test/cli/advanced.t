@@ -1,0 +1,55 @@
+Systolic synthesis from the CLI:
+
+  $ oregami systolic matmul:4 --max-pes 4
+  systolic design for matmul(4)
+    schedule lambda = (1,1,1)
+    projection u = (-1,0,0)
+    processors = 16, latency = 10, nearest-neighbour = true
+    channel a    offset (0,1) delay 1
+    channel b    offset (0,0) delay 1
+    channel c    offset (-1,0) delay 1
+    verified: injective space-time map, causal dependences
+  
+  LSGP partition onto 4 PEs: blocks 2x2, slowdown 4, latency 40
+  partition checked
+
+  $ oregami systolic fir:8x3
+  systolic design for fir(8,3)
+    schedule lambda = (2,1)
+    projection u = (-1,0)
+    processors = 3, latency = 17, nearest-neighbour = true
+    channel w    offset (0) delay 2
+    channel x    offset (1) delay 1
+    channel y    offset (-1) delay 1
+    verified: injective space-time map, causal dependences
+
+  $ oregami systolic nosuch:4
+  oregami: unknown recurrence (matmul:N, convolution:NxK, fir:NxK)
+  [1]
+
+Aggregate re-planning of an all-to-root phase:
+
+  $ oregami aggregate ./reduce.larcs -p n=16 -t hypercube:3 --phase gather | head -4
+  mapping                  hot link volume  simulated makespan
+  -----------------------  ---------------  ------------------
+  naive all-to-root                     60                 228
+  spanning-tree reduction               10                  63
+
+Phase-shift remapping report:
+
+  $ oregami remap nbody -t hypercube:3 | tail -1
+  remapping does not pay off
+
+The group contraction internalizes comm3 completely (paper Fig 4c), so its
+timeline is empty; comm1 crosses processors:
+
+  $ oregami routes voting -t hypercube:2 --phase comm3 --timeline | tail -1
+  phase "comm3": no cross-processor traffic
+
+  $ oregami routes voting -t hypercube:2 --phase comm1 --timeline | tail -6
+  0->2     ########################################....................
+  2->0     ....................####################....................
+  1->3     ########################################....................
+  3->1     ############################################################
+  2->3     ########################################....................
+  3->2     ####################........................................

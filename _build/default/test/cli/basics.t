@@ -1,0 +1,54 @@
+The workloads table lists the built-in programs:
+
+  $ oregami workloads | head -4
+  name       tasks                                                          description
+  ---------  -----  -------------------------------------------------------------------
+  nbody         15                               n-body on a chordal ring (paper Fig 2)
+  matmul        36             Cannon-style matrix multiplication on an n x n task mesh
+
+Describing a topology:
+
+  $ oregami topo hypercube:2
+  hypercube(2): 4 processors, 4 links, degree 2, diameter 2
+      0 : 1 2
+      1 : 0 3
+      2 : 0 3
+      3 : 1 2
+
+Mapping a built-in workload prints the mapping and METRICS report:
+
+  $ oregami map voting -t hypercube:2
+  mapping "voting" onto hypercube(2) via group-theoretic
+    8 tasks -> 4 clusters -> 4 processors
+    routed edges: 16, dilation max 2 avg 1.250
+  
+  metric                             value
+  -----------------------  ---------------
+  strategy                 group-theoretic
+  tasks                                  8
+  clusters                               4
+  processors                             4
+  max tasks/proc                         2
+  load imbalance                     1.000
+  total IPC volume                      16
+  dilation (max)                         2
+  dilation (avg)                     1.250
+  max link contention                    5
+  completion time (model)               24
+
+Analysis of the regular structure (Cayley detection):
+
+  $ oregami analyze voting
+  analysis:
+    detected family: none
+    phase comm1: bijective (0 1 2 3 4 5 6 7)
+    phase comm2: bijective (0 2 4 6)(1 3 5 7)
+    phase comm3: bijective (0 4)(1 5)(2 6)(3 7)
+    group closure: |G| = 8, regular action = true, uniform cycles = true, Cayley = true
+    affine communication: no
+
+Unknown topologies produce an error:
+
+  $ oregami map voting -t nosuch:4
+  oregami: unknown topology family "nosuch"
+  [1]

@@ -1,0 +1,43 @@
+LaRCS source files parse back to canonical form:
+
+  $ oregami parse ./nbody.larcs | head -3
+  algorithm nbody(n, s);
+  nodetype body : 0 .. n - 1 nodesymmetric;
+  comphase ring {
+
+Compiling a file needs its parameters bound:
+
+  $ oregami dump ./nbody.larcs
+  oregami: missing binding for parameter "n"
+  [1]
+
+  $ oregami dump ./nbody.larcs -p n=4 -p s=1 | head -6
+  (algorithm nbody
+    (bindings (s 1) (n 4))
+    (tasks 4)
+    (nodetype body (offset 0) (count 4) (dims (0 3)))
+    (comphase ring
+      (edge 0 1 (volume 1))
+
+Mapping a 2-D stencil file onto a mesh uses the canned tiling:
+
+  $ oregami map ./jacobi.larcs -p n=8 -p t=2 -t mesh:4x4 | head -3
+  mapping "jacobi" onto mesh(4x4) via canned:mesh
+    64 tasks -> 16 clusters -> 16 processors
+    routed edges: 96, dilation max 1 avg 1.000
+
+The routed edges of one phase:
+
+  $ oregami routes ./reduce.larcs -p n=8 -t hypercube:3 --phase gather | head -5
+  edge    vol       route  links
+  ------  ---  ----------  -----
+  1 -> 0   10        1->0      0
+  2 -> 0   10        2->0      1
+  3 -> 0   10        4->0      2
+
+Simulation of the mapping:
+
+  $ oregami simulate ./reduce.larcs -p n=8 -t hypercube:3 | head -3
+  metric                 value
+  ---------------------  -----
+  simulated makespan       147

@@ -1,0 +1,530 @@
+(* Tests for the extensions beyond the paper's core pipeline:
+   aggregate-topology selection (§6), tiled/block contraction
+   candidates, embedding refinement, canonical relabeling for canned
+   mappings, torus detection, and the extra network families. *)
+
+open Oregami
+module Aggregate = Mapper.Aggregate
+module Tiled = Mapper.Tiled
+module Refine = Mapper.Refine
+module Nn_embed = Mapper.Nn_embed
+module Ugraph = Graph.Ugraph
+module Rng = Prelude.Rng
+
+let topo s = Topology.make (Result.get_ok (Topology.parse s))
+
+let reduce_source =
+  {|
+algorithm reduceall(n);
+nodetype t : 0 .. n-1;
+comphase gather { t i -> t 0 volume 10 when i > 0; }
+exphase work cost 5;
+phases (work; gather)^3;
+|}
+
+let reduce_mapping () =
+  match map_source ~bindings:[ ("n", 32) ] reduce_source ~topology:"mesh:4x4" with
+  | Ok (m, _) -> m
+  | Error e -> Alcotest.failf "reduce mapping: %s" e
+
+(* ------------------------------------------------------------------ *)
+
+let test_is_aggregation () =
+  let m = reduce_mapping () in
+  Alcotest.(check (option int)) "gather aggregates to task 0" (Some 0)
+    (Aggregate.is_aggregation m.Mapping.tg "gather");
+  let nb = Workloads.task_graph_exn (Workloads.nbody ~n:8 ~s:1) in
+  Alcotest.(check (option int)) "ring is not an aggregation" None
+    (Aggregate.is_aggregation nb "ring")
+
+let test_aggregate_replan () =
+  let m = reduce_mapping () in
+  let hot_before = Aggregate.hot_link_volume m "gather" in
+  match Aggregate.replan_phase m ~phase:"gather" with
+  | Error e -> Alcotest.failf "replan: %s" e
+  | Ok m2 ->
+    (match Mapping.validate m2 with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "invalid after replan: %s" e);
+    let hot_after = Aggregate.hot_link_volume m2 "gather" in
+    Alcotest.(check bool)
+      (Printf.sprintf "hot link %d -> %d" hot_before hot_after)
+      true
+      (hot_after < hot_before);
+    (* the tree reduction carries one combined message per link *)
+    Alcotest.(check int) "tree hot link is one message" 10 hot_after;
+    let s_before = (Netsim.run m).Netsim.makespan in
+    let s_after = (Netsim.run m2).Netsim.makespan in
+    Alcotest.(check bool)
+      (Printf.sprintf "makespan %d -> %d" s_before s_after)
+      true (s_after < s_before);
+    (* other phases untouched *)
+    Alcotest.(check bool) "strategy tagged" true
+      (m2.Mapping.strategy <> m.Mapping.strategy)
+
+let test_aggregate_rejects_non_aggregation () =
+  let spec = Workloads.nbody ~n:8 ~s:1 in
+  match
+    map_source ~bindings:spec.Workloads.bindings spec.Workloads.source
+      ~topology:"hypercube:3"
+  with
+  | Error e -> Alcotest.failf "map: %s" e
+  | Ok (m, _) -> begin
+    match Aggregate.replan_phase m ~phase:"ring" with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "ring accepted as aggregation"
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let test_factor_pairs () =
+  Alcotest.(check (list (pair int int))) "12" [ (1, 12); (2, 6); (3, 4); (4, 3); (6, 2); (12, 1) ]
+    (Tiled.factor_pairs 12);
+  Alcotest.(check (list (pair int int))) "prime" [ (1, 7); (7, 1) ] (Tiled.factor_pairs 7)
+
+let test_tiled_contract () =
+  let candidates = Tiled.contract ~rows:6 ~cols:6 ~procs:8 in
+  Alcotest.(check int) "two feasible grids (2x4, 4x2)" 2 (List.length candidates);
+  List.iter
+    (fun (cluster_of, k) ->
+      Alcotest.(check int) "k = 8" 8 k;
+      Alcotest.(check int) "covers tasks" 36 (Array.length cluster_of);
+      (* every tile non-empty; contiguous tiles *)
+      let counts = Array.make k 0 in
+      Array.iter (fun c -> counts.(c) <- counts.(c) + 1) cluster_of;
+      Array.iter (fun n -> Alcotest.(check bool) "non-empty" true (n > 0)) counts)
+    candidates;
+  Alcotest.(check (list (pair int int))) "infeasible when procs > grid" []
+    (List.map (fun (_, k) -> (k, k)) (Tiled.contract ~rows:2 ~cols:2 ~procs:9))
+
+let test_refine_improves_or_equal () =
+  let rng = Rng.create 99 in
+  for _ = 0 to 20 do
+    let t = topo "mesh:3x3" in
+    let k = 9 in
+    let cg = Ugraph.create k in
+    for _ = 0 to 20 do
+      let u = Rng.int rng k and v = Rng.int rng k in
+      if u <> v then Ugraph.add_edge ~w:(1 + Rng.int rng 9) cg u v
+    done;
+    let em = Array.init k (fun i -> i) in
+    let before = Nn_embed.weighted_hops cg t em in
+    let refined = Refine.improve_embedding cg t em in
+    let after = Nn_embed.weighted_hops cg t refined in
+    Alcotest.(check bool) "no worse" true (after <= before);
+    (* still injective *)
+    Alcotest.(check (list int)) "permutation" (List.init k (fun i -> i))
+      (List.sort compare (Array.to_list refined))
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let test_relabeled_canned () =
+  (* matmul(4)'s static graph is a 4x4 torus = Q4 under a non-trivial
+     isomorphism; the canned hypercube entry must use the relabeling *)
+  let spec = Workloads.matmul ~n:4 in
+  let c = Workloads.compile_exn spec in
+  Alcotest.(check (option string)) "detected as hypercube" (Some "hypercube")
+    (Larcs.Analyze.detect_family c.Larcs.Compile.graph);
+  match Driver.map_compiled c (topo "hypercube:4") with
+  | Error e -> Alcotest.failf "map: %s" e
+  | Ok m ->
+    Alcotest.(check string) "canned path" "canned:hypercube" m.Mapping.strategy;
+    let _, avg, _ = Mapping.dilation_stats m in
+    Alcotest.(check bool)
+      (Printf.sprintf "dilation 1.0, got %.3f" avg)
+      true (avg = 1.0)
+
+let test_family_match_ring_scrambled () =
+  (* a ring written with a stride-3 numbering still canonicalizes *)
+  let src =
+    {|
+algorithm scrambled(n);
+nodetype t : 0 .. n-1;
+comphase step { t i -> t ((i + 3) mod n); }
+phases step;
+|}
+  in
+  let c = Result.get_ok (Larcs.Compile.compile_source ~bindings:[ ("n", 8) ] src) in
+  (* gcd(3,8)=1 so this is an 8-cycle, but not the natural one *)
+  match Larcs.Analyze.detect_family_match c.Larcs.Compile.graph with
+  | None -> Alcotest.fail "expected a ring match"
+  | Some m ->
+    Alcotest.(check string) "ring" "ring" m.Larcs.Analyze.fam_name;
+    (* relabeling is a bijection and maps the stride cycle to the
+       natural cycle *)
+    Alcotest.(check (list int)) "bijection" (List.init 8 (fun i -> i))
+      (List.sort compare (Array.to_list m.Larcs.Analyze.relabel));
+    let r = m.Larcs.Analyze.relabel in
+    for i = 0 to 7 do
+      let a = r.(i) and b = r.((i + 3) mod 8) in
+      let d = min ((a - b + 8) mod 8) ((b - a + 8) mod 8) in
+      Alcotest.(check int) "consecutive in canonical order" 1 d
+    done
+
+let test_torus_family_detection () =
+  (* a 3x4 torus task graph (4-regular, not a hypercube) *)
+  let src =
+    {|
+algorithm wrap(r, c);
+nodetype t : (0 .. r-1, 0 .. c-1);
+comphase east  { t (i, j) -> t (i, (j + 1) mod c); }
+comphase south { t (i, j) -> t ((i + 1) mod r, j); }
+phases east; south;
+|}
+  in
+  let c =
+    Result.get_ok (Larcs.Compile.compile_source ~bindings:[ ("r", 3); ("c", 4) ] src)
+  in
+  Alcotest.(check (option string)) "torus detected" (Some "torus")
+    (Larcs.Analyze.detect_family c.Larcs.Compile.graph)
+
+let test_torus_canned_tiling () =
+  (* an 8x8 torus program tiles onto a 4x4 torus with dilation 1 *)
+  let src =
+    {|
+algorithm wrap(n);
+family torus;
+nodetype t : (0 .. n-1, 0 .. n-1);
+comphase east  { t (i, j) -> t (i, (j + 1) mod n); }
+comphase south { t (i, j) -> t ((i + 1) mod n, j); }
+exphase work cost 2;
+phases (east; south; work)^2;
+|}
+  in
+  let c = Result.get_ok (Larcs.Compile.compile_source ~bindings:[ ("n", 8) ] src) in
+  match Driver.map_compiled c (topo "torus:4x4") with
+  | Error e -> Alcotest.failf "map: %s" e
+  | Ok m ->
+    Alcotest.(check string) "canned torus" "canned:torus" m.Mapping.strategy;
+    let mx, _, _ = Mapping.dilation_stats m in
+    Alcotest.(check int) "dilation 1 incl. wraps" 1 mx
+
+(* ------------------------------------------------------------------ *)
+
+let test_new_topologies () =
+  let db = topo "debruijn:4" in
+  Alcotest.(check int) "debruijn nodes" 16 (Topology.node_count db);
+  Alcotest.(check bool) "debruijn connected" true
+    (Graph.Traverse.is_connected (Topology.graph db));
+  (* binary de Bruijn diameter = k *)
+  Alcotest.(check int) "debruijn diameter" 4 (Topology.diameter db);
+  let se = topo "shuffle:4" in
+  Alcotest.(check int) "shuffle nodes" 16 (Topology.node_count se);
+  Alcotest.(check bool) "shuffle connected" true
+    (Graph.Traverse.is_connected (Topology.graph se));
+  (* shuffle-exchange degree <= 3 *)
+  Alcotest.(check bool) "shuffle degree <= 3" true
+    (Ugraph.max_degree (Topology.graph se) <= 3)
+
+let test_mapping_onto_new_topologies () =
+  List.iter
+    (fun (spec, t) ->
+      let c = Workloads.compile_exn spec in
+      match Driver.map_compiled c (topo t) with
+      | Error e -> Alcotest.failf "%s on %s: %s" spec.Workloads.w_name t e
+      | Ok m -> (
+        match Mapping.validate m with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "%s on %s invalid: %s" spec.Workloads.w_name t e))
+    [
+      (Workloads.fft ~d:4, "debruijn:4");
+      (Workloads.voting ~k:4, "shuffle:4");
+      (Workloads.nbody ~n:15 ~s:1, "debruijn:3");
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_random_taskgraphs_map_validly =
+  QCheck.Test.make ~name:"random task graphs map validly onto random topologies" ~count:40
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 20 in
+      let g = Graph.Digraph.create n in
+      for _ = 0 to 2 * n do
+        let u = Rng.int rng n and v = Rng.int rng n in
+        if u <> v then Graph.Digraph.add_edge ~w:(1 + Rng.int rng 9) g u v
+      done;
+      let tg =
+        Taskgraph.make_exn ~name:"random" ~n
+          ~comm_phases:[ ("p", g) ]
+          ~exec_phases:[ ("e", Array.init n (fun i -> 1 + (i mod 5))) ]
+          ~expr:
+            Phase_expr.(Repeat (Seq (Comm "p", Exec "e"), 1 + Rng.int rng 3))
+          ()
+      in
+      let topos =
+        [| "hypercube:3"; "mesh:3x3"; "ring:6"; "torus:3x3"; "bintree:2"; "ccc:3";
+           "debruijn:3"; "shuffle:3"; "line:7" |]
+      in
+      let t = topo topos.(Rng.int rng (Array.length topos)) in
+      match Driver.map_taskgraph tg t with
+      | Ok m -> Mapping.validate m = Ok ()
+      | Error _ ->
+        (* only legitimate failure: more tasks than capacity - never
+           here since default B adapts *)
+        false)
+
+(* ------------------------------------------------------------------ *)
+(* phase-shift remapping (§6)                                          *)
+
+let shift_source =
+  {|
+algorithm shift(n);
+nodetype t : 0 .. n-1;
+comphase ring { t i -> t ((i+1) mod n) volume 20; }
+comphase far  { t i -> t ((i + n/2) mod n) volume 20; }
+exphase a cost 2;
+exphase b cost 2;
+phases (ring; a)^6; (far; b)^6;
+|}
+
+let test_split_regimes () =
+  let c =
+    Result.get_ok (Larcs.Compile.compile_source ~bindings:[ ("n", 16) ] shift_source)
+  in
+  let regimes = Remap.split_regimes c.Larcs.Compile.graph.Taskgraph.expr in
+  Alcotest.(check int) "two regimes" 2 (List.length regimes);
+  Alcotest.(check (list (list string))) "phases per regime" [ [ "ring" ]; [ "far" ] ]
+    (List.map (fun r -> r.Remap.rg_comms) regimes);
+  (* a single repeated pattern stays one regime *)
+  let nb = Workloads.task_graph_exn (Workloads.nbody ~n:8 ~s:2) in
+  Alcotest.(check int) "nbody is one regime" 1
+    (List.length (Remap.split_regimes nb.Taskgraph.expr))
+
+let test_remap_worthwhile () =
+  let c =
+    Result.get_ok (Larcs.Compile.compile_source ~bindings:[ ("n", 16) ] shift_source)
+  in
+  let t = topo "ring:8" in
+  match Remap.plan c.Larcs.Compile.graph t with
+  | Error e -> Alcotest.failf "plan: %s" e
+  | Ok p ->
+    Alcotest.(check int) "two regime mappings" 2 (List.length p.Remap.regime_mappings);
+    Alcotest.(check bool) "migration happens" true (p.Remap.migration_time > 0);
+    Alcotest.(check bool)
+      (Printf.sprintf "remap %d < static %d" p.Remap.remap_makespan p.Remap.static_makespan)
+      true p.Remap.worthwhile;
+    (* each regime mapping is valid *)
+    List.iter
+      (fun (_, m) ->
+        match Mapping.validate m with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "regime mapping invalid: %s" e)
+      p.Remap.regime_mappings
+
+let test_remap_single_regime_not_worthwhile () =
+  let tg = Workloads.task_graph_exn (Workloads.jacobi ~n:4 ~iters:2) in
+  match Remap.plan tg (topo "mesh:2x2") with
+  | Error e -> Alcotest.failf "plan: %s" e
+  | Ok p ->
+    Alcotest.(check bool) "single regime" true (List.length p.Remap.regime_mappings = 1);
+    Alcotest.(check bool) "not worthwhile" false p.Remap.worthwhile
+
+
+(* ------------------------------------------------------------------ *)
+(* dynamic spawning (§6)                                               *)
+
+let test_spawntree_compile () =
+  let spec = Workloads.spawned_divide_and_conquer ~depth:3 in
+  let c = Workloads.compile_exn spec in
+  let tg = c.Larcs.Compile.graph in
+  Alcotest.(check int) "2^4 - 1 tasks" 15 tg.Taskgraph.n;
+  Alcotest.(check bool) "implicit spawn phase" true
+    (List.mem "node_spawn" (Taskgraph.comm_names tg));
+  (* spawn edges: every non-root child receives one *)
+  let sp = Option.get (Taskgraph.comm_phase tg "node_spawn") in
+  Alcotest.(check int) "14 spawn edges" 14 (Graph.Digraph.edge_count sp.Taskgraph.edges);
+  Alcotest.(check bool) "root spawns 1 and 2" true
+    (Graph.Digraph.mem_edge sp.Taskgraph.edges 0 1
+    && Graph.Digraph.mem_edge sp.Taskgraph.edges 0 2);
+  (* activation levels *)
+  Alcotest.(check (list int)) "levels" [ 0; 1; 1; 2; 2; 2; 2 ]
+    (Array.to_list (Array.sub c.Larcs.Compile.activation 0 7))
+
+let test_spawntree_pretty_roundtrip () =
+  let spec = Workloads.spawned_divide_and_conquer ~depth:2 in
+  let p = Result.get_ok (Larcs.Parser.parse spec.Workloads.source) in
+  Alcotest.(check int) "one spawn" 1 (List.length p.Larcs.Ast.spawns);
+  let printed = Larcs.Pretty.program p in
+  match Larcs.Parser.parse printed with
+  | Error e -> Alcotest.failf "re-parse: %s\n%s" e printed
+  | Ok p2 -> Alcotest.(check int) "spawns survive" 1 (List.length p2.Larcs.Ast.spawns)
+
+let test_incremental_generations () =
+  let activation = [| 0; 1; 1; 2; 2; 2; 2 |] in
+  Alcotest.(check (list (list int))) "generations"
+    [ [ 0 ]; [ 1; 2 ]; [ 3; 4; 5; 6 ] ]
+    (Mapper.Incremental.generations activation)
+
+let test_incremental_vs_static () =
+  let spec = Workloads.spawned_divide_and_conquer ~depth:4 in
+  let c = Workloads.compile_exn spec in
+  let tg = c.Larcs.Compile.graph in
+  let t = topo "mesh:2x4" in
+  let static = Taskgraph.static_graph tg in
+  let cap = (tg.Taskgraph.n + 7) / 8 in
+  let inc = Mapper.Incremental.place static ~activation:c.Larcs.Compile.activation ~cap t in
+  (* placement valid: within range, capacity respected *)
+  let load = Array.make 8 0 in
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "in range" true (p >= 0 && p < 8);
+      load.(p) <- load.(p) + 1)
+    inc;
+  Array.iter (fun l -> Alcotest.(check bool) "cap" true (l <= cap)) load;
+  (* the clairvoyant static mapping (possible because LaRCS described
+     the spawning pattern) is at least as good as online placement *)
+  let m_static = Result.get_ok (Driver.map_compiled c t) in
+  let hops = Graph.Shortest.all_pairs_hops (Topology.graph t) in
+  let weighted placement =
+    List.fold_left
+      (fun acc (u, v, w) ->
+        if placement.(u) <> placement.(v) then acc + (w * hops.(placement.(u)).(placement.(v)))
+        else acc)
+      0
+      (Graph.Ugraph.edges static)
+  in
+  Alcotest.(check bool) "static no worse in weighted hops" true
+    (weighted (Mapping.assignment m_static) <= weighted inc)
+
+
+(* ------------------------------------------------------------------ *)
+(* KL baseline and LPGS partitioning                                   *)
+
+let test_kl_bipartition () =
+  (* two cliques joined by one light edge: KL must find the obvious cut *)
+  let g = Ugraph.create 8 in
+  for u = 0 to 3 do
+    for v = u + 1 to 3 do
+      Ugraph.add_edge ~w:10 g u v
+    done
+  done;
+  for u = 4 to 7 do
+    for v = u + 1 to 7 do
+      Ugraph.add_edge ~w:10 g u v
+    done
+  done;
+  Ugraph.add_edge ~w:1 g 1 6;
+  let side = Mapper.Kl.bipartition g in
+  Alcotest.(check int) "cut weight" 1 (Mapper.Kl.cut_weight g side);
+  let zeros = Array.to_list side |> List.filter (( = ) 0) |> List.length in
+  Alcotest.(check int) "balanced" 4 zeros
+
+let test_kl_partition_multiway () =
+  let rng = Rng.create 21 in
+  let n = 24 in
+  let g = Ugraph.create n in
+  for _ = 0 to 3 * n do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then Ugraph.add_edge ~w:(1 + Rng.int rng 9) g u v
+  done;
+  List.iter
+    (fun parts ->
+      let cluster_of = Mapper.Kl.partition g ~parts in
+      let k = 1 + Array.fold_left max 0 cluster_of in
+      Alcotest.(check bool) "within parts" true (k <= parts);
+      (* density: ids 0..k-1 all used *)
+      let used = Array.make k false in
+      Array.iter (fun c -> used.(c) <- true) cluster_of;
+      Alcotest.(check bool) "dense ids" true (Array.for_all (fun b -> b) used);
+      (* rough balance from recursive halving *)
+      let counts = Array.make k 0 in
+      Array.iter (fun c -> counts.(c) <- counts.(c) + 1) cluster_of;
+      let mx = Array.fold_left max 0 counts and mn = Array.fold_left min max_int counts in
+      Alcotest.(check bool) "roughly balanced" true (mx - mn <= 1 + (n / parts)))
+    [ 2; 3; 4; 8 ]
+
+let test_kl_vs_mwm_ablation () =
+  (* on the workload suite, MWM-Contract should be at least competitive
+     with the KL baseline on total IPC *)
+  let better = ref 0 and total = ref 0 in
+  List.iter
+    (fun spec ->
+      let tg = Workloads.task_graph_exn spec in
+      let static = Taskgraph.static_graph tg in
+      let procs = 8 in
+      match Mapper.Mwm_contract.contract static ~procs with
+      | Error _ -> ()
+      | Ok r ->
+        let kl = Mapper.Kl.partition static ~parts:procs in
+        let kl_ipc = Mapping.total_ipc static kl in
+        incr total;
+        if r.Mapper.Mwm_contract.ipc <= kl_ipc then incr better)
+    (Workloads.all ());
+  Alcotest.(check bool)
+    (Printf.sprintf "MWM no worse than KL on %d/%d" !better !total)
+    true
+    (2 * !better >= !total)
+
+let test_lpgs_partition () =
+  let r = Systolic.Recurrence.matmul 8 in
+  let d = Result.get_ok (Systolic.Synthesis.synthesize r) in
+  match Systolic.Partition.partition_lpgs r d ~max_pes:16 with
+  | Error e -> Alcotest.failf "lpgs: %s" e
+  | Ok p ->
+    Alcotest.(check int) "16 PEs" 16 p.Systolic.Partition.physical_count;
+    Alcotest.(check int) "slowdown 4" 4 p.Systolic.Partition.slowdown;
+    Alcotest.(check bool) "checked" true (Systolic.Partition.check_lpgs r d p = Ok ());
+    (* same arithmetic as LSGP on this symmetric case *)
+    let lsgp = Result.get_ok (Systolic.Partition.partition r d ~max_pes:16) in
+    Alcotest.(check int) "same slowdown as LSGP" lsgp.Systolic.Partition.slowdown
+      p.Systolic.Partition.slowdown
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "aggregate",
+        [
+          Alcotest.test_case "aggregation detection" `Quick test_is_aggregation;
+          Alcotest.test_case "tree replan flattens the hot link" `Quick test_aggregate_replan;
+          Alcotest.test_case "non-aggregations rejected" `Quick
+            test_aggregate_rejects_non_aggregation;
+        ] );
+      ( "tiled",
+        [
+          Alcotest.test_case "factor pairs" `Quick test_factor_pairs;
+          Alcotest.test_case "tile candidates" `Quick test_tiled_contract;
+        ] );
+      ( "refine",
+        [ Alcotest.test_case "improves or preserves" `Quick test_refine_improves_or_equal ] );
+      ( "relabel",
+        [
+          Alcotest.test_case "canned under isomorphism (matmul/Q4)" `Quick
+            test_relabeled_canned;
+          Alcotest.test_case "scrambled ring canonicalizes" `Quick
+            test_family_match_ring_scrambled;
+          Alcotest.test_case "torus detection" `Quick test_torus_family_detection;
+          Alcotest.test_case "torus canned tiling" `Quick test_torus_canned_tiling;
+        ] );
+      ( "topologies",
+        [
+          Alcotest.test_case "de Bruijn / shuffle-exchange" `Quick test_new_topologies;
+          Alcotest.test_case "mapping onto them" `Quick test_mapping_onto_new_topologies;
+        ] );
+      ( "remap",
+        [
+          Alcotest.test_case "regime splitting" `Quick test_split_regimes;
+          Alcotest.test_case "remapping pays off on a phase shift" `Quick
+            test_remap_worthwhile;
+          Alcotest.test_case "single regime declines" `Quick
+            test_remap_single_regime_not_worthwhile;
+        ] );
+      ( "baselines2",
+        [
+          Alcotest.test_case "KL bipartition" `Quick test_kl_bipartition;
+          Alcotest.test_case "KL multiway" `Quick test_kl_partition_multiway;
+          Alcotest.test_case "MWM vs KL ablation" `Quick test_kl_vs_mwm_ablation;
+          Alcotest.test_case "LPGS partition" `Quick test_lpgs_partition;
+        ] );
+      ( "spawning",
+        [
+          Alcotest.test_case "spawntree compiles" `Quick test_spawntree_compile;
+          Alcotest.test_case "pretty roundtrip" `Quick test_spawntree_pretty_roundtrip;
+          Alcotest.test_case "generations" `Quick test_incremental_generations;
+          Alcotest.test_case "incremental vs clairvoyant" `Quick test_incremental_vs_static;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest qcheck_random_taskgraphs_map_validly ] );
+    ]

@@ -1,0 +1,387 @@
+(* LaRCS language tests: lexer, parser, evaluator, compiler, and the
+   regularity analyses on the paper's own examples. *)
+
+module Larcs = Oregami_larcs
+module Taskgraph = Oregami_taskgraph.Taskgraph
+module Phase_expr = Oregami_taskgraph.Phase_expr
+module Digraph = Oregami_graph.Digraph
+module Perm = Oregami_perm.Perm
+module Group = Oregami_perm.Group
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let nbody_source =
+  {|
+-- the paper's running example (Fig 2b)
+algorithm nbody(n, s);
+
+nodetype body : 0 .. n-1 nodesymmetric;
+
+comphase ring    { body i -> body ((i+1) mod n); }
+comphase chordal { body i -> body ((i + (n+1)/2) mod n); }
+
+exphase compute1 cost 10;
+exphase compute2 cost 20;
+
+phases ((ring; compute1)^((n+1)/2); chordal; compute2)^s;
+|}
+
+let compile_nbody n s =
+  match Larcs.Compile.compile_source ~bindings:[ ("n", n); ("s", s) ] nbody_source with
+  | Ok c -> c
+  | Error m -> Alcotest.failf "nbody compile failed: %s" m
+
+let test_lexer () =
+  match Larcs.Lexer.tokenize "algorithm foo(n); -- comment\nphases a^2;" with
+  | Error m -> Alcotest.failf "lexer: %s" m
+  | Ok lexemes ->
+    let kinds = List.map (fun l -> l.Larcs.Lexer.tok) lexemes in
+    Alcotest.(check bool) "starts with algorithm" true
+      (List.hd kinds = Larcs.Lexer.KW "algorithm");
+    Alcotest.(check bool) "ends with EOF" true
+      (List.nth kinds (List.length kinds - 1) = Larcs.Lexer.EOF)
+
+let test_lexer_error () =
+  match Larcs.Lexer.tokenize "algorithm $bad" with
+  | Error m -> Alcotest.(check bool) "mentions position" true (String.length m > 0)
+  | Ok _ -> Alcotest.fail "expected lexer error"
+
+let test_parse_expr () =
+  let eval s env =
+    match Larcs.Parser.parse_expr s with
+    | Ok e -> Larcs.Eval.expr_exn env e
+    | Error m -> Alcotest.failf "parse_expr %S: %s" s m
+  in
+  Alcotest.(check int) "precedence" 7 (eval "1 + 2 * 3" []);
+  Alcotest.(check int) "parens" 9 (eval "(1 + 2) * 3" []);
+  Alcotest.(check int) "mod euclidean" 4 (eval "(0 - 1) mod 5" []);
+  Alcotest.(check int) "div" 8 (eval "(n+1)/2" [ ("n", 15) ]);
+  Alcotest.(check int) "xor" 6 (eval "5 xor 3" []);
+  Alcotest.(check int) "pow" 32 (eval "pow(2, 5)" []);
+  Alcotest.(check int) "log2" 4 (eval "log2(31)" []);
+  Alcotest.(check int) "min max" 3 (eval "min(max(1,3), 7)" []);
+  Alcotest.(check int) "unary minus" (-6) (eval "-2*3" [])
+
+let test_parse_nbody () =
+  match Larcs.Parser.parse nbody_source with
+  | Error m -> Alcotest.failf "parse: %s" m
+  | Ok p ->
+    Alcotest.(check string) "name" "nbody" p.Larcs.Ast.prog_name;
+    Alcotest.(check (list string)) "params" [ "n"; "s" ] p.Larcs.Ast.params;
+    Alcotest.(check int) "nodetypes" 1 (List.length p.Larcs.Ast.nodetypes);
+    Alcotest.(check int) "comphases" 2 (List.length p.Larcs.Ast.comphases);
+    Alcotest.(check int) "exphases" 2 (List.length p.Larcs.Ast.exphases);
+    let nt = List.hd p.Larcs.Ast.nodetypes in
+    Alcotest.(check bool) "nodesymmetric" true nt.Larcs.Ast.nt_symmetric
+
+let test_parse_errors () =
+  let expect_error src =
+    match Larcs.Parser.parse src with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected parse error for %S" src
+  in
+  expect_error "algorithm;";
+  expect_error "algorithm a(n) nodetype t : 0..n;";
+  expect_error "algorithm a(n); nodetype t : 0..n-1; phases;";
+  expect_error "algorithm a(n); phases x^;";
+  expect_error "algorithm a(n); comphase c { t i -> t i+ ; } phases c;"
+
+let test_compile_nbody () =
+  let c = compile_nbody 8 3 in
+  let tg = c.Larcs.Compile.graph in
+  Alcotest.(check int) "8 tasks" 8 tg.Taskgraph.n;
+  let ring = Option.get (Taskgraph.comm_phase tg "ring") in
+  Alcotest.(check int) "ring has 8 edges" 8 (Digraph.edge_count ring.Taskgraph.edges);
+  Alcotest.(check bool) "ring 0->1" true (Digraph.mem_edge ring.Taskgraph.edges 0 1);
+  Alcotest.(check bool) "ring 7->0" true (Digraph.mem_edge ring.Taskgraph.edges 7 0);
+  let chordal = Option.get (Taskgraph.comm_phase tg "chordal") in
+  (* (n+1)/2 = 4 for n = 8 *)
+  Alcotest.(check bool) "chordal 0->4" true (Digraph.mem_edge chordal.Taskgraph.edges 0 4);
+  Alcotest.(check bool) "declared symmetric" true tg.Taskgraph.declared_symmetric;
+  (* phase expression: ((ring; compute1)^4; chordal; compute2)^3 *)
+  Alcotest.(check int) "ring occurrences" 12 (Phase_expr.count_comm tg.Taskgraph.expr "ring");
+  Alcotest.(check int) "chordal occurrences" 3
+    (Phase_expr.count_comm tg.Taskgraph.expr "chordal");
+  Alcotest.(check int) "trace length" ((4 * 2 + 2) * 3)
+    (List.length (Phase_expr.trace tg.Taskgraph.expr))
+
+let test_compile_missing_binding () =
+  match Larcs.Compile.compile_source ~bindings:[ ("n", 8) ] nbody_source with
+  | Error m ->
+    Alcotest.(check bool) "mentions s" true (contains m "s")
+  | Ok _ -> Alcotest.fail "expected missing-binding error"
+
+let test_compile_out_of_range () =
+  let src =
+    {|
+algorithm bad(n);
+nodetype t : 0 .. n-1;
+comphase c { t i -> t (i+1); }
+phases c;
+|}
+  in
+  match Larcs.Compile.compile_source ~bindings:[ ("n", 4) ] src with
+  | Error m -> Alcotest.(check bool) "suggests guard" true (String.length m > 10)
+  | Ok _ -> Alcotest.fail "expected out-of-range error"
+
+let test_compile_guarded () =
+  let src =
+    {|
+algorithm line(n);
+nodetype t : 0 .. n-1;
+comphase right { t i -> t (i+1) when i < n-1; }
+exphase work cost 1;
+phases (right; work)^2;
+|}
+  in
+  match Larcs.Compile.compile_source ~bindings:[ ("n", 5) ] src with
+  | Error m -> Alcotest.failf "guarded compile failed: %s" m
+  | Ok c ->
+    let tg = c.Larcs.Compile.graph in
+    let right = Option.get (Taskgraph.comm_phase tg "right") in
+    Alcotest.(check int) "4 edges" 4 (Digraph.edge_count right.Taskgraph.edges)
+
+let test_compile_2d () =
+  let src =
+    {|
+algorithm jacobi(n);
+nodetype cell : (0 .. n-1, 0 .. n-1);
+comphase east  { cell (i, j) -> cell (i, j+1) when j < n-1; }
+comphase south { cell (i, j) -> cell (i+1, j) when i < n-1; }
+exphase relax : cell (i, j) cost 5;
+phases (east; south; relax)^10;
+|}
+  in
+  match Larcs.Compile.compile_source ~bindings:[ ("n", 4) ] src with
+  | Error m -> Alcotest.failf "2d compile failed: %s" m
+  | Ok c ->
+    let tg = c.Larcs.Compile.graph in
+    Alcotest.(check int) "16 tasks" 16 tg.Taskgraph.n;
+    let east = Option.get (Taskgraph.comm_phase tg "east") in
+    Alcotest.(check int) "12 east edges" 12 (Digraph.edge_count east.Taskgraph.edges);
+    Alcotest.(check (option int)) "node id (1,2)" (Some 6)
+      (Larcs.Compile.node_id c "cell" [ 1; 2 ]);
+    Alcotest.(check (list int)) "label of 6" [ 1; 2 ] (Larcs.Compile.node_label_values c 6)
+
+let test_volume_and_multi_type () =
+  let src =
+    {|
+algorithm masterworker(w);
+nodetype master : 0 .. 0;
+nodetype worker : 0 .. w-1;
+comphase distribute { master m -> worker 0 volume 100; }
+comphase report { worker i -> master 0 volume i + 1; }
+exphase work : worker i cost 10 * (i + 1);
+phases distribute; work; report;
+|}
+  in
+  match Larcs.Compile.compile_source ~bindings:[ ("w", 3) ] src with
+  | Error m -> Alcotest.failf "multi-type compile failed: %s" m
+  | Ok c ->
+    let tg = c.Larcs.Compile.graph in
+    Alcotest.(check int) "tasks" 4 tg.Taskgraph.n;
+    Alcotest.(check int) "report volume" 6 (Taskgraph.phase_volume tg "report");
+    let work = Option.get (Taskgraph.exec_phase tg "work") in
+    Alcotest.(check int) "master cost 0" 0 work.Taskgraph.costs.(0);
+    Alcotest.(check int) "worker 2 cost" 30 work.Taskgraph.costs.(3)
+
+let test_analyze_nbody () =
+  let c = compile_nbody 8 1 in
+  let a = Larcs.Analyze.analyze c in
+  Alcotest.(check bool) "all bijective" true a.Larcs.Analyze.all_bijective;
+  (match a.Larcs.Analyze.cayley with
+  | Some cy ->
+    Alcotest.(check int) "group order 8" 8 (Group.order cy.Larcs.Analyze.group);
+    Alcotest.(check bool) "is cayley" true cy.Larcs.Analyze.is_cayley
+  | None -> Alcotest.fail "expected cayley analysis");
+  (* the ring/chordal functions wrap with mod, so they are not affine
+     on the label box — the systolic path must NOT trigger *)
+  Alcotest.(check bool) "not affine" true (Option.is_none a.Larcs.Analyze.affine_maps)
+
+let test_analyze_affine () =
+  let src =
+    {|
+algorithm stencil(n);
+nodetype cell : (0 .. n-1, 0 .. n-1);
+comphase flow { cell (i, j) -> cell (i+1, j+2) when (i < n-1) and (j < n-2); }
+phases flow;
+|}
+  in
+  let c = Result.get_ok (Larcs.Compile.compile_source ~bindings:[ ("n", 6) ] src) in
+  let a = Larcs.Analyze.analyze c in
+  match a.Larcs.Analyze.affine_maps with
+  | None -> Alcotest.fail "expected affine maps"
+  | Some [ ("flow", [ m ]) ] ->
+    Alcotest.(check bool) "identity matrix" true
+      (m.Larcs.Analyze.matrix = [| [| 1; 0 |]; [| 0; 1 |] |]);
+    Alcotest.(check bool) "offset (1,2)" true (m.Larcs.Analyze.offset = [| 1; 2 |])
+  | Some _ -> Alcotest.fail "unexpected affine map shape"
+
+let test_analyze_families () =
+  let ring_src =
+    {|
+algorithm r(n);
+nodetype t : 0 .. n-1;
+comphase step { t i -> t ((i+1) mod n); }
+phases step;
+|}
+  in
+  let c = Result.get_ok (Larcs.Compile.compile_source ~bindings:[ ("n", 10) ] ring_src) in
+  Alcotest.(check (option string)) "ring detected" (Some "ring")
+    (Larcs.Analyze.detect_family c.Larcs.Compile.graph);
+  let line_src =
+    {|
+algorithm l(n);
+nodetype t : 0 .. n-1;
+comphase step { t i -> t (i+1) when i < n-1; }
+phases step;
+|}
+  in
+  let c = Result.get_ok (Larcs.Compile.compile_source ~bindings:[ ("n", 7) ] line_src) in
+  Alcotest.(check (option string)) "line detected" (Some "line")
+    (Larcs.Analyze.detect_family c.Larcs.Compile.graph);
+  let hyper_src =
+    {|
+algorithm h(d);
+nodetype t : 0 .. pow(2,d)-1;
+comphase d0 { t i -> t (i xor 1); }
+comphase d1 { t i -> t (i xor 2); }
+comphase d2 { t i -> t (i xor 4); }
+phases d0; d1; d2;
+|}
+  in
+  let c = Result.get_ok (Larcs.Compile.compile_source ~bindings:[ ("d", 3) ] hyper_src) in
+  Alcotest.(check (option string)) "hypercube detected" (Some "hypercube")
+    (Larcs.Analyze.detect_family c.Larcs.Compile.graph)
+
+let test_pretty_roundtrip () =
+  let p = Result.get_ok (Larcs.Parser.parse nbody_source) in
+  let printed = Larcs.Pretty.program p in
+  match Larcs.Parser.parse printed with
+  | Error m -> Alcotest.failf "re-parse of pretty output failed: %s\n%s" m printed
+  | Ok p2 ->
+    Alcotest.(check string) "name" p.Larcs.Ast.prog_name p2.Larcs.Ast.prog_name;
+    Alcotest.(check int) "comphases" (List.length p.Larcs.Ast.comphases)
+      (List.length p2.Larcs.Ast.comphases);
+    (* compiled graphs agree *)
+    let g1 =
+      (Result.get_ok (Larcs.Compile.compile ~bindings:[ ("n", 9); ("s", 2) ] p)).Larcs.Compile.graph
+    in
+    let g2 =
+      (Result.get_ok (Larcs.Compile.compile ~bindings:[ ("n", 9); ("s", 2) ] p2)).Larcs.Compile.graph
+    in
+    Alcotest.(check int) "same n" g1.Taskgraph.n g2.Taskgraph.n;
+    List.iter2
+      (fun (a : Taskgraph.comm_phase) (b : Taskgraph.comm_phase) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "phase %s equal" a.Taskgraph.cp_name)
+          true
+          (Digraph.equal a.Taskgraph.edges b.Taskgraph.edges))
+      g1.Taskgraph.comm_phases g2.Taskgraph.comm_phases
+
+let test_dump () =
+  let c = compile_nbody 4 1 in
+  let d = Larcs.Compile.dump c in
+  Alcotest.(check bool) "mentions algorithm" true
+    (contains d "(algorithm nbody")
+
+(* ------------------------------------------------------------------ *)
+(* property tests                                                      *)
+
+let gen_expr =
+  let open QCheck.Gen in
+  let var = oneofl [ "i"; "j"; "n" ] in
+  sized
+  @@ fix (fun self size ->
+         if size <= 1 then
+           oneof [ map (fun v -> Larcs.Ast.Int v) (int_range 0 20);
+                   map (fun v -> Larcs.Ast.Var v) var ]
+         else
+           oneof
+             [
+               map (fun v -> Larcs.Ast.Int v) (int_range 0 20);
+               map (fun v -> Larcs.Ast.Var v) var;
+               map (fun e -> Larcs.Ast.Neg e) (self (size / 2));
+               map3
+                 (fun op a b -> Larcs.Ast.Bin (op, a, b))
+                 (oneofl Larcs.Ast.[ Add; Sub; Mul; Div; Mod; Xor ])
+                 (self (size / 2)) (self (size / 2));
+               map2
+                 (fun a b -> Larcs.Ast.Call ("min", [ a; b ]))
+                 (self (size / 2)) (self (size / 2));
+             ])
+
+let qcheck_expr_roundtrip =
+  QCheck.Test.make ~name:"pretty-printed expressions re-parse structurally" ~count:300
+    (QCheck.make gen_expr) (fun e ->
+      let printed = Larcs.Pretty.expr e in
+      match Larcs.Parser.parse_expr printed with
+      | Ok e2 -> e2 = e
+      | Error _ -> false)
+
+let gen_pexpr =
+  let open QCheck.Gen in
+  let phase = oneofl [ "a"; "b"; "c" ] in
+  sized
+  @@ fix (fun self size ->
+         if size <= 1 then
+           oneof [ return Larcs.Ast.PEps; map (fun p -> Larcs.Ast.PPhase p) phase ]
+         else
+           oneof
+             [
+               map (fun p -> Larcs.Ast.PPhase p) phase;
+               map2 (fun a b -> Larcs.Ast.PSeq (a, b)) (self (size / 2)) (self (size / 2));
+               map2 (fun a b -> Larcs.Ast.PPar (a, b)) (self (size / 2)) (self (size / 2));
+               map2
+                 (fun a k -> Larcs.Ast.PRep (a, Larcs.Ast.Int k))
+                 (self (size / 2)) (int_range 0 4);
+             ])
+
+let qcheck_pexpr_roundtrip =
+  (* sequences re-associate during parsing, so require idempotence of
+     pretty . parse rather than structural equality *)
+  QCheck.Test.make ~name:"pretty-printed phase expressions are parse-stable" ~count:300
+    (QCheck.make gen_pexpr) (fun pe ->
+      let printed = Larcs.Pretty.pexpr pe in
+      let src = Printf.sprintf "algorithm q(); phases %s;" printed in
+      match Larcs.Parser.parse src with
+      | Error _ -> false
+      | Ok p -> Larcs.Pretty.pexpr p.Larcs.Ast.phases = printed)
+
+let () =
+  Alcotest.run "larcs"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer;
+          Alcotest.test_case "error position" `Quick test_lexer_error;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "expressions" `Quick test_parse_expr;
+          Alcotest.test_case "nbody program" `Quick test_parse_nbody;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "pretty roundtrip" `Quick test_pretty_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_expr_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_pexpr_roundtrip;
+        ] );
+      ( "compiler",
+        [
+          Alcotest.test_case "nbody" `Quick test_compile_nbody;
+          Alcotest.test_case "missing binding" `Quick test_compile_missing_binding;
+          Alcotest.test_case "out of range target" `Quick test_compile_out_of_range;
+          Alcotest.test_case "guards" `Quick test_compile_guarded;
+          Alcotest.test_case "2d node space" `Quick test_compile_2d;
+          Alcotest.test_case "volumes and multiple types" `Quick test_volume_and_multi_type;
+          Alcotest.test_case "s-expression dump" `Quick test_dump;
+        ] );
+      ( "analyze",
+        [
+          Alcotest.test_case "nbody cayley" `Quick test_analyze_nbody;
+          Alcotest.test_case "affine stencil" `Quick test_analyze_affine;
+          Alcotest.test_case "family detection" `Quick test_analyze_families;
+        ] );
+    ]

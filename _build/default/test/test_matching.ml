@@ -1,0 +1,209 @@
+(* Tests for the matching substrate: blossom maximum-weight matching
+   against a brute-force oracle, Hopcroft-Karp, greedy maximal
+   matching, and Dinic max-flow. *)
+
+module Blossom = Oregami_matching.Blossom
+module Bipartite = Oregami_matching.Bipartite
+module Maxflow = Oregami_matching.Maxflow
+module Brute = Oregami_matching.Brute
+module Rng = Oregami_prelude.Rng
+
+let check_valid_matching n edges mate =
+  Alcotest.(check int) "mate length" n (Array.length mate);
+  Array.iteri
+    (fun v m ->
+      if m <> -1 then begin
+        Alcotest.(check bool) "symmetric" true (mate.(m) = v);
+        let is_edge = List.exists (fun (a, b, _) -> (a = v && b = m) || (a = m && b = v)) edges in
+        Alcotest.(check bool) "matched pair is an edge" true is_edge
+      end)
+    mate
+
+let random_graph rng n max_edges max_w =
+  let edges = ref [] in
+  let seen = Hashtbl.create 16 in
+  let count = Rng.int rng (max_edges + 1) in
+  for _ = 1 to count do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v && not (Hashtbl.mem seen (min u v, max u v)) then begin
+      Hashtbl.add seen (min u v, max u v) ();
+      edges := (u, v, 1 + Rng.int rng max_w) :: !edges
+    end
+  done;
+  !edges
+
+let test_blossom_simple () =
+  (* single edge *)
+  let mate = Blossom.max_weight_matching ~n:2 [ (0, 1, 5) ] in
+  Alcotest.(check int) "pair" 1 mate.(0);
+  (* triangle: only one edge can be matched; pick the heaviest *)
+  let edges = [ (0, 1, 3); (1, 2, 5); (0, 2, 4) ] in
+  let mate = Blossom.max_weight_matching ~n:3 edges in
+  Alcotest.(check int) "triangle weight" 5 (Blossom.matching_weight edges mate)
+
+let test_blossom_path () =
+  (* path a-b-c-d with weights 10, 11, 10: optimal is the two outer edges *)
+  let edges = [ (0, 1, 10); (1, 2, 11); (2, 3, 10) ] in
+  let mate = Blossom.max_weight_matching ~n:4 edges in
+  Alcotest.(check int) "path weight" 20 (Blossom.matching_weight edges mate)
+
+let test_blossom_needs_blossom () =
+  (* 5-cycle with a pendant: forces blossom formation *)
+  let edges = [ (0, 1, 8); (1, 2, 9); (2, 3, 10); (3, 4, 7); (4, 0, 8); (2, 5, 2) ] in
+  let mate = Blossom.max_weight_matching ~n:6 edges in
+  let w = Blossom.matching_weight edges mate in
+  Alcotest.(check int) "blossom weight" (Brute.max_weight_matching ~n:6 edges) w
+
+let test_blossom_vs_brute () =
+  let rng = Rng.create 42 in
+  for trial = 0 to 199 do
+    let n = 3 + Rng.int rng 6 in
+    let edges = random_graph rng n 14 20 in
+    let mate = Blossom.max_weight_matching ~n edges in
+    check_valid_matching n edges mate;
+    let got = Blossom.matching_weight edges mate in
+    let want = Brute.max_weight_matching ~n edges in
+    if got <> want then
+      Alcotest.failf "trial %d: blossom %d <> brute %d (n=%d, edges=%s)" trial got want n
+        (String.concat ";"
+           (List.map (fun (a, b, w) -> Printf.sprintf "(%d,%d,%d)" a b w) edges))
+  done
+
+let test_blossom_max_cardinality () =
+  let rng = Rng.create 7 in
+  for _ = 0 to 99 do
+    let n = 3 + Rng.int rng 6 in
+    let edges = random_graph rng n 12 5 in
+    let mate = Blossom.max_weight_matching ~max_cardinality:true ~n edges in
+    check_valid_matching n edges mate;
+    let size = List.length (Blossom.matched_pairs mate) in
+    let want = Brute.max_cardinality_matching ~n (List.map (fun (a, b, _) -> (a, b)) edges) in
+    Alcotest.(check int) "max cardinality" want size
+  done
+
+let test_hopcroft_karp () =
+  (* complete bipartite K_{3,3} *)
+  let edges = List.concat_map (fun x -> List.map (fun y -> (x, y)) [ 0; 1; 2 ]) [ 0; 1; 2 ] in
+  let m = Bipartite.hopcroft_karp ~nx:3 ~ny:3 edges in
+  Alcotest.(check int) "perfect matching size" 3 m.Bipartite.size;
+  Alcotest.(check bool) "valid" true (Bipartite.is_matching ~nx:3 ~ny:3 edges m)
+
+let test_hopcroft_karp_vs_brute () =
+  let rng = Rng.create 11 in
+  for _ = 0 to 99 do
+    let nx = 1 + Rng.int rng 5 and ny = 1 + Rng.int rng 5 in
+    let edges = ref [] in
+    for x = 0 to nx - 1 do
+      for y = 0 to ny - 1 do
+        if Rng.int rng 3 = 0 then edges := (x, y) :: !edges
+      done
+    done;
+    let m = Bipartite.hopcroft_karp ~nx ~ny !edges in
+    Alcotest.(check bool) "valid" true (Bipartite.is_matching ~nx ~ny !edges m);
+    (* oracle via brute matching on the disjoint union *)
+    let gen_edges = List.map (fun (x, y) -> (x, nx + y)) !edges in
+    let want = Brute.max_cardinality_matching ~n:(nx + ny) gen_edges in
+    Alcotest.(check int) "maximum size" want m.Bipartite.size
+  done
+
+let test_greedy_maximal () =
+  let rng = Rng.create 13 in
+  for _ = 0 to 99 do
+    let nx = 1 + Rng.int rng 6 and ny = 1 + Rng.int rng 6 in
+    let edges = ref [] in
+    for x = 0 to nx - 1 do
+      for y = 0 to ny - 1 do
+        if Rng.int rng 3 = 0 then edges := (x, y) :: !edges
+      done
+    done;
+    let m = Bipartite.greedy_maximal ~nx ~ny !edges in
+    Alcotest.(check bool) "maximal" true (Bipartite.is_maximal ~nx ~ny !edges m);
+    (* a maximal matching is at least half a maximum one *)
+    let mm = Bipartite.hopcroft_karp ~nx ~ny !edges in
+    Alcotest.(check bool) "half of maximum" true (2 * m.Bipartite.size >= mm.Bipartite.size)
+  done
+
+let test_maxflow_simple () =
+  (* classic 4-node diamond: source 0, sink 3 *)
+  let t = Maxflow.create 4 in
+  Maxflow.add_edge t 0 1 ~cap:3;
+  Maxflow.add_edge t 0 2 ~cap:2;
+  Maxflow.add_edge t 1 2 ~cap:1;
+  Maxflow.add_edge t 1 3 ~cap:2;
+  Maxflow.add_edge t 2 3 ~cap:3;
+  Alcotest.(check int) "flow" 5 (Maxflow.max_flow t ~src:0 ~dst:3)
+
+let test_maxflow_cut () =
+  let t = Maxflow.create 4 in
+  Maxflow.add_edge t 0 1 ~cap:10;
+  Maxflow.add_edge t 1 2 ~cap:1;
+  Maxflow.add_edge t 2 3 ~cap:10;
+  let f = Maxflow.max_flow t ~src:0 ~dst:3 in
+  Alcotest.(check int) "bottleneck" 1 f;
+  let side = Maxflow.min_cut_side t ~src:0 in
+  Alcotest.(check (list int)) "cut side" [ 1; 1; 0; 0 ] (Array.to_list side)
+
+let test_maxflow_bipartite_equiv () =
+  (* max-flow on a unit network equals maximum bipartite matching *)
+  let rng = Rng.create 17 in
+  for _ = 0 to 49 do
+    let nx = 1 + Rng.int rng 5 and ny = 1 + Rng.int rng 5 in
+    let edges = ref [] in
+    for x = 0 to nx - 1 do
+      for y = 0 to ny - 1 do
+        if Rng.int rng 3 = 0 then edges := (x, y) :: !edges
+      done
+    done;
+    let src = nx + ny and dst = nx + ny + 1 in
+    let t = Maxflow.create (nx + ny + 2) in
+    for x = 0 to nx - 1 do
+      Maxflow.add_edge t src x ~cap:1
+    done;
+    for y = 0 to ny - 1 do
+      Maxflow.add_edge t (nx + y) dst ~cap:1
+    done;
+    List.iter (fun (x, y) -> Maxflow.add_edge t x (nx + y) ~cap:1) !edges;
+    let flow = Maxflow.max_flow t ~src ~dst in
+    let m = Bipartite.hopcroft_karp ~nx ~ny !edges in
+    Alcotest.(check int) "flow = matching" m.Bipartite.size flow
+  done
+
+let qcheck_blossom =
+  QCheck.Test.make ~name:"blossom matches brute on random graphs" ~count:150
+    QCheck.(
+      pair (int_range 2 8)
+        (small_list (triple (int_range 0 7) (int_range 0 7) (int_range 1 15))))
+    (fun (n, raw) ->
+      let edges =
+        List.filter (fun (u, v, _) -> u < n && v < n && u <> v) raw
+        |> List.sort_uniq (fun (a, b, _) (c, d, _) ->
+               compare (min a b, max a b) (min c d, max c d))
+      in
+      let mate = Blossom.max_weight_matching ~n edges in
+      Blossom.matching_weight edges mate = Brute.max_weight_matching ~n edges)
+
+let () =
+  Alcotest.run "matching"
+    [
+      ( "blossom",
+        [
+          Alcotest.test_case "simple" `Quick test_blossom_simple;
+          Alcotest.test_case "path" `Quick test_blossom_path;
+          Alcotest.test_case "odd cycle forces blossom" `Quick test_blossom_needs_blossom;
+          Alcotest.test_case "random vs brute" `Quick test_blossom_vs_brute;
+          Alcotest.test_case "max cardinality" `Quick test_blossom_max_cardinality;
+          QCheck_alcotest.to_alcotest qcheck_blossom;
+        ] );
+      ( "bipartite",
+        [
+          Alcotest.test_case "hopcroft-karp K33" `Quick test_hopcroft_karp;
+          Alcotest.test_case "hopcroft-karp vs brute" `Quick test_hopcroft_karp_vs_brute;
+          Alcotest.test_case "greedy maximal" `Quick test_greedy_maximal;
+        ] );
+      ( "maxflow",
+        [
+          Alcotest.test_case "diamond" `Quick test_maxflow_simple;
+          Alcotest.test_case "min cut side" `Quick test_maxflow_cut;
+          Alcotest.test_case "flow equals matching" `Quick test_maxflow_bipartite_equiv;
+        ] );
+    ]

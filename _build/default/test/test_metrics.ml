@@ -1,0 +1,389 @@
+(* Tests for METRICS: load/link/overall metrics, the completion-time
+   model, the network simulator, rendering, and the edit loop. *)
+
+module Ugraph = Oregami_graph.Ugraph
+module Digraph = Oregami_graph.Digraph
+module Topology = Oregami_topology.Topology
+module Routes = Oregami_topology.Routes
+module Taskgraph = Oregami_taskgraph.Taskgraph
+module Phase_expr = Oregami_taskgraph.Phase_expr
+module Mapping = Oregami_mapper.Mapping
+module Route = Oregami_mapper.Route
+module Metrics = Oregami_metrics.Metrics
+module Netsim = Oregami_metrics.Netsim
+module Render = Oregami_metrics.Render
+module Edit = Oregami_metrics.Edit
+module Workloads = Oregami_workloads.Workloads
+module Driver = Oregami.Driver
+
+(* a tiny, fully hand-checkable scenario: 4 tasks in a line of 2 procs *)
+let tiny_mapping () =
+  let comm = Digraph.create 4 in
+  Digraph.add_edge ~w:3 comm 0 2;
+  (* 0 and 1 on proc 0; 2 and 3 on proc 1 *)
+  Digraph.add_edge ~w:1 comm 1 3;
+  let tg =
+    Taskgraph.make_exn ~name:"tiny" ~n:4
+      ~comm_phases:[ ("send", comm) ]
+      ~exec_phases:[ ("work", [| 2; 4; 6; 8 |]) ]
+      ~expr:(Phase_expr.Seq (Phase_expr.Comm "send", Phase_expr.Exec "work"))
+      ()
+  in
+  let topo = Topology.make (Topology.Line 2) in
+  let cluster_of = [| 0; 0; 1; 1 |] in
+  let proc_of_cluster = [| 0; 1 |] in
+  let proc_of_task = [| 0; 0; 1; 1 |] in
+  let routings, _ = Route.mm_route tg topo ~proc_of_task in
+  { Mapping.tg; topo; cluster_of; proc_of_cluster; routings; strategy = "hand" }
+
+let test_load_metrics () =
+  let m = tiny_mapping () in
+  let l = Metrics.load_metrics m in
+  Alcotest.(check (list int)) "tasks per proc" [ 2; 2 ] (Array.to_list l.Metrics.tasks_per_proc);
+  Alcotest.(check (list int)) "exec per proc" [ 6; 14 ] (Array.to_list l.Metrics.exec_per_proc)
+
+let test_link_metrics () =
+  let m = tiny_mapping () in
+  let lr = Metrics.link_metrics m in
+  (* line(2) has one link; both messages cross it: volume 3 + 1 *)
+  Alcotest.(check (list int)) "volume" [ 4 ] (Array.to_list lr.Metrics.volume_per_link);
+  Alcotest.(check (list int)) "messages" [ 2 ] (Array.to_list lr.Metrics.messages_per_link);
+  match lr.Metrics.per_phase_contention with
+  | [ ("send", c) ] -> Alcotest.(check (list int)) "contention" [ 2 ] (Array.to_list c)
+  | _ -> Alcotest.fail "unexpected phase contention shape"
+
+let test_completion_time_model () =
+  let m = tiny_mapping () in
+  (* comm slot: busiest link volume 4 / bandwidth 1 + 1 hop * latency 1
+     = 5; exec slot: max(2+4, 6+8) = 14; total 19 *)
+  Alcotest.(check int) "default model" 19 (Metrics.completion_time m);
+  let fast = { Metrics.bandwidth = 4; latency = 0 } in
+  Alcotest.(check int) "fast links" 15 (Metrics.completion_time ~model:fast m)
+
+let test_summary_fields () =
+  let m = tiny_mapping () in
+  let s = Metrics.summary m in
+  Alcotest.(check int) "ipc" 4 s.Metrics.total_ipc;
+  Alcotest.(check int) "dilation max" 1 s.Metrics.dilation_max;
+  Alcotest.(check int) "contention" 2 s.Metrics.max_link_contention;
+  Alcotest.(check int) "clusters" 2 s.Metrics.clusters;
+  Alcotest.(check bool) "imbalance > 1" true (s.Metrics.load_imbalance > 1.0)
+
+(* ------------------------------------------------------------------ *)
+
+let test_netsim_single_message () =
+  let m = tiny_mapping () in
+  (* two messages share the single channel: 3+1 then 1+1 -> finish 6;
+     exec 14; makespan 20 *)
+  let r = Netsim.run m in
+  Alcotest.(check int) "comm time" 6 r.Netsim.comm_time;
+  Alcotest.(check int) "exec time" 14 r.Netsim.exec_time;
+  Alcotest.(check int) "makespan" 20 r.Netsim.makespan;
+  Alcotest.(check int) "two slots" 2 (List.length r.Netsim.slot_times)
+
+let test_netsim_contention_serializes () =
+  (* two messages over the same link take twice as long as one *)
+  let topo = Topology.make (Topology.Line 2) in
+  let route = { Routes.nodes = [ 0; 1 ]; links = [ 0 ] } in
+  let p = Netsim.default_params in
+  let one, _ = Netsim.simulate_released p topo [ (route, 5, 0) ] in
+  let two, _ = Netsim.simulate_released p topo [ (route, 5, 0); (route, 5, 0) ] in
+  Alcotest.(check int) "one message" 6 one;
+  Alcotest.(check int) "two serialize" 12 two
+
+let test_netsim_full_duplex () =
+  let topo = Topology.make (Topology.Line 2) in
+  let fwd = { Routes.nodes = [ 0; 1 ]; links = [ 0 ] } in
+  let bwd = { Routes.nodes = [ 1; 0 ]; links = [ 0 ] } in
+  let t, _ = Netsim.simulate_released Netsim.default_params topo [ (fwd, 5, 0); (bwd, 5, 0) ] in
+  Alcotest.(check int) "opposite directions in parallel" 6 t
+
+let test_netsim_multi_hop () =
+  let topo = Topology.make (Topology.Line 3) in
+  let route = { Routes.nodes = [ 0; 1; 2 ]; links = [ 0; 1 ] } in
+  let t, _ = Netsim.simulate_released Netsim.default_params topo [ (route, 3, 0) ] in
+  (* 2 hops x (3 + 1) *)
+  Alcotest.(check int) "store and forward" 8 t
+
+let test_netsim_release_staggering () =
+  let topo = Topology.make (Topology.Line 2) in
+  let route = { Routes.nodes = [ 0; 1 ]; links = [ 0 ] } in
+  let t, _ =
+    Netsim.simulate_released Netsim.default_params topo [ (route, 5, 10); (route, 5, 0) ]
+  in
+  (* early one finishes at 6; late released at 10, finishes 16 *)
+  Alcotest.(check int) "release times honoured" 16 t
+
+let test_netsim_tracks_better_mapping () =
+  (* the simulator must rank a dilation-1 mapping ahead of a scattered
+     one on the same workload *)
+  let tg = Workloads.task_graph_exn (Workloads.jacobi ~n:4 ~iters:2) in
+  let topo = Topology.make (Topology.Mesh (4, 4)) in
+  let mk name proc_of_task =
+    let routings, _ = Route.mm_route tg topo ~proc_of_task in
+    {
+      Mapping.tg;
+      topo;
+      cluster_of = Array.init 16 (fun t -> t);
+      proc_of_cluster = proc_of_task;
+      routings;
+      strategy = name;
+    }
+  in
+  let identity = mk "identity" (Array.init 16 (fun t -> t)) in
+  (* multiply by 7 mod 16: a permutation that scatters grid neighbours
+     (transpose/reversal would be a mesh automorphism and change
+     nothing) *)
+  let scrambled = mk "scattered" (Array.init 16 (fun t -> t * 7 mod 16)) in
+  let a = (Netsim.run identity).Netsim.makespan in
+  let b = (Netsim.run scrambled).Netsim.makespan in
+  Alcotest.(check bool) "identity tiling is faster" true (a < b)
+
+(* ------------------------------------------------------------------ *)
+
+let test_wormhole_single () =
+  let topo = Topology.make (Topology.Line 3) in
+  let route = { Routes.nodes = [ 0; 1; 2 ]; links = [ 0; 1 ] } in
+  let t, _ = Netsim.simulate_released Netsim.wormhole_params topo [ (route, 6, 0) ] in
+  (* path setup 2 hops x latency 1 + volume 6 (no per-hop copy) *)
+  Alcotest.(check int) "cut-through" 8 t;
+  let saf, _ = Netsim.simulate_released Netsim.default_params topo [ (route, 6, 0) ] in
+  Alcotest.(check int) "store-and-forward pays per hop" 14 saf
+
+let test_wormhole_contention () =
+  let topo = Topology.make (Topology.Line 2) in
+  let route = { Routes.nodes = [ 0; 1 ]; links = [ 0 ] } in
+  let two, _ =
+    Netsim.simulate_released Netsim.wormhole_params topo [ (route, 5, 0); (route, 5, 0) ]
+  in
+  Alcotest.(check int) "shared path serializes" 12 two;
+  (* disjoint paths run in parallel *)
+  let topo = Topology.make (Topology.Line 3) in
+  let r1 = { Routes.nodes = [ 0; 1 ]; links = [ 0 ] } in
+  let r2 = { Routes.nodes = [ 2; 1 ]; links = [ 1 ] } in
+  let par, _ =
+    Netsim.simulate_released Netsim.wormhole_params topo [ (r1, 5, 0); (r2, 5, 0) ]
+  in
+  Alcotest.(check int) "disjoint in parallel" 6 par
+
+let test_wormhole_blocks_whole_path () =
+  (* a long message holds both links; a second message wanting the far
+     link must wait for the whole transfer *)
+  let topo = Topology.make (Topology.Line 3) in
+  let long = { Routes.nodes = [ 0; 1; 2 ]; links = [ 0; 1 ] } in
+  let short = { Routes.nodes = [ 1; 2 ]; links = [ 1 ] } in
+  let t, _ =
+    Netsim.simulate_released Netsim.wormhole_params topo [ (long, 10, 0); (short, 1, 0) ]
+  in
+  (* long: 2 + 10 = 12; short waits: 12 + (1 + 1) = 14 *)
+  Alcotest.(check int) "path blocking" 14 t
+
+let count_tag svg tag =
+  let n = String.length svg and t = String.length tag in
+  let rec go i acc =
+    if i + t > n then acc
+    else if String.sub svg i t = tag then go (i + t) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let test_svg_topology () =
+  let topo = Topology.make (Topology.Hypercube 3) in
+  let svg = Oregami_metrics.Svg.topology topo in
+  Alcotest.(check bool) "starts with <svg" true (String.sub svg 0 4 = "<svg");
+  Alcotest.(check int) "one circle per processor" 8 (count_tag svg "<circle");
+  Alcotest.(check int) "one line per link" 12 (count_tag svg "<line");
+  Alcotest.(check bool) "closed" true (count_tag svg "</svg>" = 1)
+
+let test_svg_mapping () =
+  let m = tiny_mapping () in
+  let svg = Oregami_metrics.Svg.mapping m in
+  Alcotest.(check int) "processors drawn" 2 (count_tag svg "<circle");
+  (* 1 link + 1 legend entry *)
+  Alcotest.(check int) "links and legend" 2 (count_tag svg "<line");
+  Alcotest.(check bool) "phase named in legend" true (count_tag svg ">send<" = 1);
+  (* save and re-read *)
+  let path = Filename.temp_file "oregami" ".svg" in
+  Oregami_metrics.Svg.save path svg;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check int) "roundtrips" (String.length svg) (String.length s)
+
+let test_timeline () =
+  let m = tiny_mapping () in
+  let t = Render.timeline m "send" in
+  Alcotest.(check bool) "has channel row" true (String.length t > 20);
+  (* two messages over one channel: the 0->1 channel is busy end to end *)
+  let spans = Netsim.spans m "send" in
+  Alcotest.(check int) "two spans" 2 (List.length spans);
+  let total =
+    List.fold_left (fun acc s -> acc + (s.Netsim.sp_finish - s.Netsim.sp_start)) 0 spans
+  in
+  (* (3+1) + (1+1) *)
+  Alcotest.(check int) "busy time" 6 total;
+  List.iter
+    (fun s -> Alcotest.(check string) "channel name" "0->1" (Netsim.channel_name m.Mapping.topo s.Netsim.sp_channel))
+    spans;
+  Alcotest.(check bool) "quiet phase handled" true
+    (String.length (Render.timeline m "nope") > 0)
+
+let test_render_outputs () =
+  let m = tiny_mapping () in
+  let r = Render.mapping m in
+  Alcotest.(check bool) "mapping mentions strategy" true (String.length r > 10);
+  let ll = Render.link_loads m in
+  Alcotest.(check bool) "loads render" true (String.length ll > 10);
+  let pe = Render.phase_edges m "send" in
+  Alcotest.(check bool) "phase render" true (String.length pe > 10);
+  Alcotest.(check bool) "missing phase handled" true
+    (String.length (Render.phase_edges m "nope") > 0);
+  let topo_r = Render.topology (Topology.make (Topology.Mesh (2, 3))) in
+  Alcotest.(check bool) "grid drawn" true (String.length topo_r > 10);
+  let tg_r = Render.task_graph m.Mapping.tg in
+  Alcotest.(check bool) "task graph" true (String.length tg_r > 10)
+
+(* ------------------------------------------------------------------ *)
+
+let test_edit_move_task () =
+  let m = tiny_mapping () in
+  match Edit.move_task m ~task:1 ~proc:1 with
+  | Error e -> Alcotest.failf "move: %s" e
+  | Ok m2 ->
+    Alcotest.(check int) "task now on proc 1" 1 (Mapping.proc_of_task m2 1);
+    (match Mapping.validate m2 with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "invalid after move: %s" e);
+    Alcotest.(check bool) "strategy tagged" true
+      (m2.Mapping.strategy = "hand+edit");
+    (* moving back restores the shape *)
+    (match Edit.move_task m2 ~task:1 ~proc:0 with
+    | Error e -> Alcotest.failf "move back: %s" e
+    | Ok m3 -> Alcotest.(check int) "restored" 0 (Mapping.proc_of_task m3 1));
+    (* no-op move returns the same mapping *)
+    match Edit.move_task m ~task:0 ~proc:0 with
+    | Ok same -> Alcotest.(check bool) "noop" true (same == m)
+    | Error e -> Alcotest.failf "noop move: %s" e
+
+let test_edit_move_errors () =
+  let m = tiny_mapping () in
+  (match Edit.move_task m ~task:99 ~proc:0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad task accepted");
+  match Edit.move_task m ~task:0 ~proc:9 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad proc accepted"
+
+let test_edit_swap () =
+  let m = tiny_mapping () in
+  match Edit.swap_processors m 0 1 with
+  | Error e -> Alcotest.failf "swap: %s" e
+  | Ok m2 ->
+    Alcotest.(check int) "task 0 moved" 1 (Mapping.proc_of_task m2 0);
+    Alcotest.(check int) "task 2 moved" 0 (Mapping.proc_of_task m2 2)
+
+let test_edit_reroute () =
+  (* a 2x2 mesh with a detour *)
+  let comm = Digraph.create 2 in
+  Digraph.add_edge ~w:1 comm 0 1;
+  let tg =
+    Taskgraph.make_exn ~name:"two" ~n:2 ~comm_phases:[ ("go", comm) ] ~exec_phases:[]
+      ~expr:(Phase_expr.Comm "go") ()
+  in
+  let topo = Topology.make (Topology.Mesh (2, 2)) in
+  let proc_of_task = [| 0; 1 |] in
+  let routings, _ = Route.mm_route tg topo ~proc_of_task in
+  let m =
+    {
+      Mapping.tg;
+      topo;
+      cluster_of = [| 0; 1 |];
+      proc_of_cluster = [| 0; 1 |];
+      routings;
+      strategy = "hand";
+    }
+  in
+  (* direct route is 0-1; detour over 0-2-3-1 *)
+  (match Edit.reroute_edge m ~phase:"go" ~src:0 ~dst:1 ~path:[ 0; 2; 3; 1 ] with
+  | Error e -> Alcotest.failf "reroute: %s" e
+  | Ok m2 ->
+    let mx, avg, _ = Mapping.dilation_stats m2 in
+    Alcotest.(check int) "dilation 3" 3 mx;
+    Alcotest.(check bool) "avg" true (avg = 3.0));
+  (* invalid paths rejected *)
+  (match Edit.reroute_edge m ~phase:"go" ~src:0 ~dst:1 ~path:[ 0; 3; 1 ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-adjacent path accepted");
+  (match Edit.reroute_edge m ~phase:"go" ~src:0 ~dst:1 ~path:[ 2; 3; 1 ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong start accepted");
+  match Edit.reroute_edge m ~phase:"go" ~src:1 ~dst:0 ~path:[ 1; 0 ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing edge accepted"
+
+let test_edit_improves_bad_mapping () =
+  (* the METRICS workflow: spot a hot processor, move a task away, and
+     the modelled completion time drops *)
+  let tg = Workloads.task_graph_exn (Workloads.voting ~k:2) in
+  let topo = Topology.make (Topology.Hypercube 2) in
+  (* bad start: everything on processor 0's corner pair *)
+  let proc_of_task = [| 0; 0; 1; 1 |] in
+  let routings, _ = Route.mm_route tg topo ~proc_of_task in
+  let m =
+    {
+      Mapping.tg;
+      topo;
+      cluster_of = [| 0; 0; 1; 1 |];
+      proc_of_cluster = [| 0; 1 |];
+      routings;
+      strategy = "bad";
+    }
+  in
+  let before = Metrics.completion_time m in
+  match Edit.move_task m ~task:1 ~proc:2 with
+  | Error e -> Alcotest.failf "move: %s" e
+  | Ok m2 ->
+    let after = Metrics.completion_time m2 in
+    Alcotest.(check bool) "exec load spread helps" true (after <= before)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "load" `Quick test_load_metrics;
+          Alcotest.test_case "links" `Quick test_link_metrics;
+          Alcotest.test_case "completion model" `Quick test_completion_time_model;
+          Alcotest.test_case "summary" `Quick test_summary_fields;
+        ] );
+      ( "netsim",
+        [
+          Alcotest.test_case "hand-checked run" `Quick test_netsim_single_message;
+          Alcotest.test_case "contention serializes" `Quick test_netsim_contention_serializes;
+          Alcotest.test_case "full duplex" `Quick test_netsim_full_duplex;
+          Alcotest.test_case "store and forward hops" `Quick test_netsim_multi_hop;
+          Alcotest.test_case "release staggering" `Quick test_netsim_release_staggering;
+          Alcotest.test_case "ranks mappings correctly" `Quick test_netsim_tracks_better_mapping;
+          Alcotest.test_case "wormhole single message" `Quick test_wormhole_single;
+          Alcotest.test_case "wormhole contention" `Quick test_wormhole_contention;
+          Alcotest.test_case "wormhole path blocking" `Quick test_wormhole_blocks_whole_path;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "all renderers" `Quick test_render_outputs;
+          Alcotest.test_case "svg topology" `Quick test_svg_topology;
+          Alcotest.test_case "svg mapping" `Quick test_svg_mapping;
+          Alcotest.test_case "timeline" `Quick test_timeline;
+        ] );
+      ( "edit",
+        [
+          Alcotest.test_case "move task" `Quick test_edit_move_task;
+          Alcotest.test_case "move errors" `Quick test_edit_move_errors;
+          Alcotest.test_case "swap processors" `Quick test_edit_swap;
+          Alcotest.test_case "reroute edge" `Quick test_edit_reroute;
+          Alcotest.test_case "edit improves a bad mapping" `Quick
+            test_edit_improves_bad_mapping;
+        ] );
+    ]

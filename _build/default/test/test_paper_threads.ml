@@ -1,0 +1,175 @@
+(* Tests for the two research threads the paper describes as open work
+   in its own sections: syntactic Cayley detection (§4.2.2: avoid
+   computing cycle notations) and partitioning systolic arrays for
+   smaller hardware (§4.2.1). *)
+
+open Oregami
+module Analyze = Larcs.Analyze
+module Recurrence = Systolic.Recurrence
+module Synthesis = Systolic.Synthesis
+module Partition = Systolic.Partition
+
+(* ------------------------------------------------------------------ *)
+(* syntactic Cayley                                                    *)
+
+let test_syntactic_voting () =
+  let c = Workloads.compile_exn (Workloads.voting ~k:3) in
+  match Analyze.syntactic_cayley c with
+  | None -> Alcotest.fail "expected translations"
+  | Some tr ->
+    Alcotest.(check int) "modulus" 8 tr.Analyze.tr_modulus;
+    Alcotest.(check (list (pair string int))) "offsets"
+      [ ("comm1", 1); ("comm2", 2); ("comm3", 4) ]
+      tr.Analyze.tr_offsets;
+    Alcotest.(check bool) "cayley by gcd" true (Analyze.syntactic_is_cayley tr)
+
+let test_syntactic_agrees_with_closure () =
+  (* the O(1) syntactic verdict must agree with the O(n^2) closure on
+     translation programs *)
+  List.iter
+    (fun (n, offsets) ->
+      let phases =
+        List.mapi
+          (fun i c ->
+            Printf.sprintf "comphase p%d { t i -> t ((i + %d) mod n); }" i c)
+          offsets
+      in
+      let expr = String.concat "; " (List.mapi (fun i _ -> Printf.sprintf "p%d" i) offsets) in
+      let src =
+        Printf.sprintf "algorithm g(n);\nnodetype t : 0 .. n-1;\n%s\nphases %s;\n"
+          (String.concat "\n" phases) expr
+      in
+      let c = Result.get_ok (Larcs.Compile.compile_source ~bindings:[ ("n", n) ] src) in
+      let syntactic =
+        match Analyze.syntactic_cayley c with
+        | Some tr -> Analyze.syntactic_is_cayley tr
+        | None -> Alcotest.failf "n=%d: expected translations" n
+      in
+      let closure =
+        match (Analyze.analyze c).Analyze.cayley with
+        | Some cy -> cy.Analyze.is_cayley
+        | None -> false
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d offsets=%s agree" n
+           (String.concat "," (List.map string_of_int offsets)))
+        closure syntactic)
+    [
+      (8, [ 1; 2; 4 ]);
+      (8, [ 2; 4 ]);
+      (* gcd 2: subgroup only, not transitive *)
+      (9, [ 3; 6 ]);
+      (* gcd 3 *)
+      (12, [ 4; 3 ]);
+      (* gcd 1 *)
+      (15, [ 5 ]);
+      (* gcd 5 *)
+    ]
+
+let test_syntactic_declines () =
+  (* xor-based FFT phases are bijections but not modular translations *)
+  let c = Workloads.compile_exn (Workloads.fft ~d:3) in
+  Alcotest.(check bool) "fft declined" true (Analyze.syntactic_cayley c = None);
+  (* 2-D programs decline *)
+  let c = Workloads.compile_exn (Workloads.jacobi ~n:4 ~iters:1) in
+  Alcotest.(check bool) "jacobi declined" true (Analyze.syntactic_cayley c = None);
+  (* guarded rules decline *)
+  let src =
+    "algorithm g(n);\nnodetype t : 0 .. n-1;\ncomphase p { t i -> t ((i+1) mod n) when i > 0; }\nphases p;\n"
+  in
+  let c = Result.get_ok (Larcs.Compile.compile_source ~bindings:[ ("n", 6) ] src) in
+  Alcotest.(check bool) "guard declined" true (Analyze.syntactic_cayley c = None)
+
+let test_syntactic_subtraction_form () =
+  let src =
+    "algorithm g(n);\nnodetype t : 0 .. n-1;\ncomphase back { t i -> t ((i - 1) mod n); }\nphases back;\n"
+  in
+  let c = Result.get_ok (Larcs.Compile.compile_source ~bindings:[ ("n", 10) ] src) in
+  match Analyze.syntactic_cayley c with
+  | Some tr ->
+    Alcotest.(check (list (pair string int))) "normalized offset" [ ("back", 9) ]
+      tr.Analyze.tr_offsets
+  | None -> Alcotest.fail "subtraction form not recognised"
+
+(* ------------------------------------------------------------------ *)
+(* LSGP partitioning                                                   *)
+
+let test_partition_matmul () =
+  let r = Recurrence.matmul 8 in
+  let d = Result.get_ok (Synthesis.synthesize r) in
+  match Partition.partition r d ~max_pes:16 with
+  | Error e -> Alcotest.failf "partition: %s" e
+  | Ok p ->
+    Alcotest.(check int) "16 physical PEs" 16 p.Partition.physical_count;
+    Alcotest.(check int) "slowdown 4" 4 p.Partition.slowdown;
+    Alcotest.(check int) "latency scales" (4 * d.Synthesis.latency) p.Partition.latency;
+    Alcotest.(check (list int)) "balanced 2x2 blocks" [ 2; 2 ]
+      (Array.to_list p.Partition.block);
+    Alcotest.(check bool) "check passes" true (Partition.check r d p = Ok ())
+
+let test_partition_degenerate () =
+  let r = Recurrence.matmul 4 in
+  let d = Result.get_ok (Synthesis.synthesize r) in
+  (* enough PEs: no slowdown *)
+  (match Partition.partition r d ~max_pes:64 with
+  | Ok p ->
+    Alcotest.(check int) "no slowdown" 1 p.Partition.slowdown;
+    Alcotest.(check bool) "check" true (Partition.check r d p = Ok ())
+  | Error e -> Alcotest.failf "partition: %s" e);
+  (* a single PE serializes everything *)
+  match Partition.partition r d ~max_pes:1 with
+  | Ok p ->
+    Alcotest.(check int) "fully sequential" 16 p.Partition.slowdown;
+    Alcotest.(check int) "one PE" 1 p.Partition.physical_count;
+    Alcotest.(check bool) "check" true (Partition.check r d p = Ok ())
+  | Error e -> Alcotest.failf "partition 1: %s" e
+
+let test_partition_bad_args () =
+  let r = Recurrence.matmul 3 in
+  let d = Result.get_ok (Synthesis.synthesize r) in
+  match Partition.partition r d ~max_pes:0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "max_pes 0 accepted"
+
+let test_partition_sweep () =
+  (* slowdown decreases monotonically as hardware grows *)
+  let r = Recurrence.matmul 6 in
+  let d = Result.get_ok (Synthesis.synthesize r) in
+  let slowdowns =
+    List.map
+      (fun max_pes ->
+        match Partition.partition r d ~max_pes with
+        | Ok p ->
+          Alcotest.(check bool) "valid" true (Partition.check r d p = Ok ());
+          p.Partition.slowdown
+        | Error e -> Alcotest.failf "pes=%d: %s" max_pes e)
+      [ 1; 4; 9; 18; 36 ]
+  in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "monotone: %s" (String.concat "," (List.map string_of_int slowdowns)))
+    true (non_increasing slowdowns);
+  Alcotest.(check int) "full hardware = no slowdown" 1 (List.nth slowdowns 4)
+
+let () =
+  Alcotest.run "paper_threads"
+    [
+      ( "syntactic_cayley",
+        [
+          Alcotest.test_case "voting offsets" `Quick test_syntactic_voting;
+          Alcotest.test_case "agrees with the closure" `Quick
+            test_syntactic_agrees_with_closure;
+          Alcotest.test_case "declines non-translations" `Quick test_syntactic_declines;
+          Alcotest.test_case "subtraction form" `Quick test_syntactic_subtraction_form;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "matmul 64 -> 16 PEs" `Quick test_partition_matmul;
+          Alcotest.test_case "degenerate sizes" `Quick test_partition_degenerate;
+          Alcotest.test_case "bad arguments" `Quick test_partition_bad_args;
+          Alcotest.test_case "hardware sweep" `Quick test_partition_sweep;
+        ] );
+    ]

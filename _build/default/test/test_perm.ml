@@ -1,0 +1,299 @@
+(* Tests for the permutation-group library, including the paper's own
+   worked example (Fig 4: the 8-node perfect broadcast). *)
+
+module Perm = Oregami_perm.Perm
+module Group = Oregami_perm.Group
+module Cayley = Oregami_perm.Cayley
+module Digraph = Oregami_graph.Digraph
+module Ugraph = Oregami_graph.Ugraph
+module Iso = Oregami_graph.Iso
+module Rng = Oregami_prelude.Rng
+
+let perm_of_string n s =
+  match Perm.of_string n s with
+  | Ok p -> p
+  | Error m -> Alcotest.failf "of_string %S: %s" s m
+
+let rotation n k = Perm.of_function n (fun i -> (i + k) mod n)
+
+(* ------------------------------------------------------------------ *)
+
+let test_compose_paper_convention () =
+  (* footnote 4: (123) composed with (13)(2) gives (12)(3), acting on
+     {1,2,3}; we use {0,1,2} so: (012) . (02) = (01) *)
+  let a = Perm.of_cycles 3 [ [ 0; 1; 2 ] ] in
+  let b = Perm.of_cycles 3 [ [ 0; 2 ] ] in
+  let c = Perm.compose a b in
+  Alcotest.(check string) "left-to-right" "(0 1)" (Perm.to_string c)
+
+let test_apply_inverse_power () =
+  let p = rotation 8 3 in
+  Alcotest.(check int) "apply" 3 (Perm.apply p 0);
+  Alcotest.(check bool) "inverse" true (Perm.is_identity (Perm.compose p (Perm.inverse p)));
+  Alcotest.(check bool) "p^8 = id" true (Perm.is_identity (Perm.power p 8));
+  Alcotest.(check bool) "p^-3 = inverse cubed" true
+    (Perm.equal (Perm.power p (-3)) (Perm.inverse (Perm.power p 3)));
+  Alcotest.(check int) "order of +3 mod 8" 8 (Perm.order p);
+  Alcotest.(check int) "order of +2 mod 8" 4 (Perm.order (rotation 8 2))
+
+let test_cycles () =
+  let p = rotation 8 2 in
+  Alcotest.(check (list (list int))) "cycles of +2" [ [ 0; 2; 4; 6 ]; [ 1; 3; 5; 7 ] ]
+    (Perm.cycles p);
+  Alcotest.(check (list int)) "cycle type" [ 4; 4 ] (Perm.cycle_type p);
+  Alcotest.(check (option int)) "uniform" (Some 4) (Perm.uniform_cycle_length p);
+  let q = Perm.of_cycles 5 [ [ 0; 1; 2 ] ] in
+  Alcotest.(check (option int)) "not uniform with fixed points" None
+    (Perm.uniform_cycle_length q);
+  Alcotest.(check (option int)) "identity uniform" (Some 1)
+    (Perm.uniform_cycle_length (Perm.identity 4))
+
+let test_string_roundtrip () =
+  let p = perm_of_string 8 "(0 4)(1 5)(2 6)(3 7)" in
+  Alcotest.(check bool) "matches rotation by 4" true (Perm.equal p (rotation 8 4));
+  Alcotest.(check string) "print" "(0 4)(1 5)(2 6)(3 7)" (Perm.to_string p);
+  Alcotest.(check string) "identity prints ()" "()" (Perm.to_string (Perm.identity 5));
+  (match Perm.of_string 4 "(0 1 9)" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out of range accepted");
+  match Perm.of_string 4 "(0 1)(1 2)" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "overlapping cycles accepted"
+
+let test_bad_perms () =
+  Alcotest.check_raises "not injective" (Invalid_argument "Perm: not injective") (fun () ->
+      ignore (Perm.of_array [| 0; 0; 1 |]));
+  Alcotest.(check bool) "is_bijection negative" false
+    (Perm.is_bijection 3 (fun _ -> 1));
+  Alcotest.(check bool) "is_bijection positive" true (Perm.is_bijection 3 (fun i -> (i + 1) mod 3))
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"cycle notation roundtrips" ~count:200 QCheck.(pair (int_range 1 10) int)
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let a = Array.init n (fun i -> i) in
+      Rng.shuffle rng a;
+      let p = Perm.of_array a in
+      match Perm.of_string n (Perm.to_string p) with
+      | Ok q -> Perm.equal p q
+      | Error _ -> false)
+
+let qcheck_compose_assoc =
+  QCheck.Test.make ~name:"composition is associative" ~count:200 QCheck.(int_bound 10000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let mk () =
+        let a = Array.init 6 (fun i -> i) in
+        Rng.shuffle rng a;
+        Perm.of_array a
+      in
+      let p = mk () and q = mk () and r = mk () in
+      Perm.equal (Perm.compose (Perm.compose p q) r) (Perm.compose p (Perm.compose q r)))
+
+(* ------------------------------------------------------------------ *)
+
+let fig4_generators =
+  (* comm1 = (01234567), comm2 = (0246)(1357), comm3 = (04)(15)(26)(37) *)
+  [ rotation 8 1; rotation 8 2; rotation 8 4 ]
+
+let fig4_group () =
+  match Group.generate ~bound:8 fig4_generators with
+  | Some g -> g
+  | None -> Alcotest.fail "closure exceeded bound"
+
+let test_group_fig4_closure () =
+  let g = fig4_group () in
+  Alcotest.(check int) "|G| = 8" 8 (Group.order g);
+  Alcotest.(check bool) "uniform cycle lengths" true (Group.uniform_cycle_lengths g);
+  Alcotest.(check bool) "regular action" true (Group.acts_regularly g);
+  Alcotest.(check bool) "abelian (Z8)" true (Group.is_abelian g);
+  (* the paper lists E0..E7; each rotation by k must be present *)
+  for k = 0 to 7 do
+    Alcotest.(check bool)
+      (Printf.sprintf "rotation %d present" k)
+      true
+      (Group.mem g (rotation 8 k))
+  done
+
+let test_group_bound_halts () =
+  (* S3 has order 6 > 3 = degree: the paper's halting rule fires *)
+  let gens = [ Perm.of_cycles 3 [ [ 0; 1 ] ]; Perm.of_cycles 3 [ [ 0; 1; 2 ] ] ] in
+  Alcotest.(check bool) "halted" true (Group.generate ~bound:3 gens = None);
+  match Group.generate gens with
+  | Some g ->
+    Alcotest.(check int) "S3 order" 6 (Group.order g);
+    Alcotest.(check bool) "S3 not abelian" false (Group.is_abelian g);
+    Alcotest.(check bool) "S3 transitive" true (Group.is_transitive g);
+    Alcotest.(check bool) "S3 not regular" false (Group.acts_regularly g);
+    Alcotest.(check bool) "S3 has non-uniform elements" false (Group.uniform_cycle_lengths g)
+  | None -> Alcotest.fail "unbounded generation failed"
+
+let test_group_orbits () =
+  (* two independent swaps on 4 points: orbits {0,1} {2,3} *)
+  let gens = [ Perm.of_cycles 4 [ [ 0; 1 ] ]; Perm.of_cycles 4 [ [ 2; 3 ] ] ] in
+  match Group.generate gens with
+  | None -> Alcotest.fail "generation failed"
+  | Some g ->
+    Alcotest.(check (list (list int))) "orbits" [ [ 0; 1 ]; [ 2; 3 ] ] (Group.orbits g);
+    Alcotest.(check bool) "not transitive" false (Group.is_transitive g)
+
+let test_subgroups_z8 () =
+  let g = fig4_group () in
+  let cyclics = Group.cyclic_subgroups g in
+  (* Z8 has exactly 4 cyclic subgroups: orders 1, 2, 4, 8 *)
+  Alcotest.(check (list int)) "cyclic subgroup orders" [ 1; 2; 4; 8 ]
+    (List.map List.length cyclics);
+  let of_order_2 = Group.subgroups_of_order g 2 in
+  Alcotest.(check int) "one subgroup of order 2" 1 (List.length of_order_2);
+  let h = List.hd of_order_2 in
+  Alcotest.(check bool) "subgroup" true (Group.is_subgroup g h);
+  Alcotest.(check bool) "normal in abelian" true (Group.is_normal g h);
+  (* {E0, E4}: identity plus rotation by 4 *)
+  let rot4_idx = Option.get (Group.index_of g (rotation 8 4)) in
+  Alcotest.(check (list int)) "the paper's {E0,E4}" (List.sort compare [ 0; rot4_idx ]) h
+
+let test_cosets () =
+  let g = fig4_group () in
+  let h = List.hd (Group.subgroups_of_order g 2) in
+  let cosets = Group.left_cosets g h in
+  Alcotest.(check int) "four cosets" 4 (List.length cosets);
+  List.iter (fun c -> Alcotest.(check int) "coset size 2" 2 (List.length c)) cosets;
+  (* cosets partition the group *)
+  let all = List.concat cosets |> List.sort compare in
+  Alcotest.(check (list int)) "partition" (List.init 8 (fun i -> i)) all
+
+let test_subgroup_not_closed () =
+  let g = fig4_group () in
+  let rot1 = Option.get (Group.index_of g (rotation 8 1)) in
+  Alcotest.(check bool) "not a subgroup" false (Group.is_subgroup g [ 0; rot1 ])
+
+let test_is_prime_power () =
+  Alcotest.(check (option (pair int int))) "8" (Some (2, 3)) (Group.is_prime_power 8);
+  Alcotest.(check (option (pair int int))) "9" (Some (3, 2)) (Group.is_prime_power 9);
+  Alcotest.(check (option (pair int int))) "7" (Some (7, 1)) (Group.is_prime_power 7);
+  Alcotest.(check (option (pair int int))) "12" None (Group.is_prime_power 12);
+  Alcotest.(check (option (pair int int))) "1" None (Group.is_prime_power 1)
+
+(* ------------------------------------------------------------------ *)
+
+let test_cayley_graphs () =
+  let g = fig4_group () in
+  let graphs = Cayley.graphs g in
+  Alcotest.(check int) "one per generator" 3 (List.length graphs);
+  List.iter
+    (fun dg ->
+      for v = 0 to 7 do
+        Alcotest.(check int) "out degree 1" 1 (Digraph.out_degree dg v)
+      done)
+    graphs;
+  (* the Cayley graph of the rotation generators on Z8 is isomorphic
+     to the task graph built from the same functions on the labels *)
+  let corr = Cayley.correspondence g in
+  Alcotest.(check (list int)) "correspondence is a bijection"
+    (List.init 8 (fun i -> i))
+    (List.sort compare (Array.to_list corr));
+  let combined = Cayley.combined g in
+  let task_graph = Ugraph.create 8 in
+  List.iter
+    (fun k ->
+      for i = 0 to 7 do
+        let j = (i + k) mod 8 in
+        if not (Ugraph.mem_edge task_graph i j) then Ugraph.add_edge task_graph i j
+      done)
+    [ 1; 2; 4 ];
+  Alcotest.(check bool) "cayley graph isomorphic to task graph" true
+    (Iso.isomorphic combined task_graph)
+
+let test_quotient_internalization () =
+  let g = fig4_group () in
+  let h = List.hd (Group.subgroups_of_order g 2) in
+  let cosets = Group.left_cosets g h in
+  (* the generator comm3 = rotation by 4 has cycle length 2; its
+     subgroup quotient internalizes 2 messages per cluster (paper) *)
+  Alcotest.(check int) "comm3 internalized" 2
+    (Cayley.internalized_per_block g cosets (rotation 8 4));
+  Alcotest.(check int) "comm1 not internalized" 0
+    (Cayley.internalized_per_block g cosets (rotation 8 1));
+  let quotients = Cayley.quotient_multigraph g cosets in
+  Alcotest.(check int) "one quotient per generator" 3 (List.length quotients);
+  (* each quotient preserves total message count = 8 *)
+  List.iter
+    (fun q -> Alcotest.(check int) "total weight 8" 8 (Digraph.total_weight q))
+    quotients;
+  (* task partition equals the {i, i+4} pairing *)
+  let parts = Cayley.task_partition g cosets in
+  Alcotest.(check (list (list int))) "task clusters"
+    [ [ 0; 4 ]; [ 1; 5 ]; [ 2; 6 ]; [ 3; 7 ] ]
+    (List.sort compare parts)
+
+let test_quaternion_like_nonabelian () =
+  (* dihedral group D4 acting on the square's corners: order 8 on 4
+     points -> not regular *)
+  let r = Perm.of_cycles 4 [ [ 0; 1; 2; 3 ] ] in
+  let f = Perm.of_cycles 4 [ [ 0; 2 ] ] in
+  match Group.generate [ r; f ] with
+  | None -> Alcotest.fail "generation failed"
+  | Some g ->
+    Alcotest.(check int) "D4 order" 8 (Group.order g);
+    Alcotest.(check bool) "transitive" true (Group.is_transitive g);
+    Alcotest.(check bool) "not regular (|G| <> |X|)" false (Group.acts_regularly g);
+    (* subgroup search still works: the rotation subgroup has order 4 *)
+    let subs = Group.subgroups_of_order g 4 in
+    Alcotest.(check bool) "found order-4 subgroups" true (List.length subs >= 1)
+
+let test_star_graph_is_cayley () =
+  (* the Akers-Krishnamurthy star graph S4 [AK89] is the Cayley graph
+     of S_4 under the "swap position 0 with position i" generators --
+     cross-validating the group machinery against the topology module *)
+  let gens =
+    List.map (fun i -> Perm.of_cycles 4 [ [ 0; i ] ]) [ 1; 2; 3 ]
+  in
+  match Group.generate gens with
+  | None -> Alcotest.fail "generation failed"
+  | Some g ->
+    Alcotest.(check int) "S4 order 24" 24 (Group.order g);
+    let cayley = Cayley.combined g in
+    let star =
+      Oregami_topology.Topology.graph
+        (Oregami_topology.Topology.make (Oregami_topology.Topology.Star_graph 4))
+    in
+    Alcotest.(check int) "same node count" 24 (Ugraph.node_count star);
+    Alcotest.(check int) "same link count" (Ugraph.edge_count star)
+      (Ugraph.edge_count cayley);
+    (* both are vertex-transitive 3-regular; verify isomorphism with
+       distance pruning *)
+    Alcotest.(check bool) "isomorphic" true
+      (Option.is_some (Iso.isomorphism_distance_pruned cayley star))
+
+let () =
+  Alcotest.run "perm"
+    [
+      ( "perm",
+        [
+          Alcotest.test_case "paper composition convention" `Quick test_compose_paper_convention;
+          Alcotest.test_case "apply/inverse/power/order" `Quick test_apply_inverse_power;
+          Alcotest.test_case "cycles" `Quick test_cycles;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "invalid permutations" `Quick test_bad_perms;
+          QCheck_alcotest.to_alcotest qcheck_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_compose_assoc;
+        ] );
+      ( "group",
+        [
+          Alcotest.test_case "Fig 4 closure" `Quick test_group_fig4_closure;
+          Alcotest.test_case "halting bound" `Quick test_group_bound_halts;
+          Alcotest.test_case "orbits" `Quick test_group_orbits;
+          Alcotest.test_case "subgroups of Z8" `Quick test_subgroups_z8;
+          Alcotest.test_case "cosets" `Quick test_cosets;
+          Alcotest.test_case "non-subgroup rejected" `Quick test_subgroup_not_closed;
+          Alcotest.test_case "prime powers" `Quick test_is_prime_power;
+          Alcotest.test_case "non-regular action" `Quick test_quaternion_like_nonabelian;
+        ] );
+      ( "cayley",
+        [
+          Alcotest.test_case "cayley graphs" `Quick test_cayley_graphs;
+          Alcotest.test_case "quotient internalization (Fig 4c)" `Quick
+            test_quotient_internalization;
+          Alcotest.test_case "star graph is Cayley(S4)" `Quick test_star_graph_is_cayley;
+        ] );
+    ]

@@ -1,0 +1,234 @@
+(* Tests for the prelude: priority queue, union-find, bitset, RNG,
+   table rendering. *)
+
+module Pqueue = Oregami_prelude.Pqueue
+module Union_find = Oregami_prelude.Union_find
+module Bitset = Oregami_prelude.Bitset
+module Rng = Oregami_prelude.Rng
+module Tab = Oregami_prelude.Tab
+
+(* ------------------------------------------------------------------ *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  List.iter (fun (p, v) -> Pqueue.push q p v) [ (5, "e"); (1, "a"); (3, "c"); (2, "b") ];
+  Alcotest.(check int) "length" 4 (Pqueue.length q);
+  Alcotest.(check (option (pair int string))) "peek" (Some (1, "a")) (Pqueue.peek q);
+  let drained = List.init 4 (fun _ -> Option.get (Pqueue.pop q)) in
+  Alcotest.(check (list (pair int string)))
+    "sorted" [ (1, "a"); (2, "b"); (3, "c"); (5, "e") ] drained;
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q)
+
+let test_pqueue_ties_fifo () =
+  let q = Pqueue.create () in
+  List.iter (fun v -> Pqueue.push q 7 v) [ "first"; "second"; "third" ];
+  let order = List.init 3 (fun _ -> snd (Option.get (Pqueue.pop q))) in
+  Alcotest.(check (list string)) "insertion order on ties" [ "first"; "second"; "third" ] order
+
+let test_pqueue_to_sorted_list () =
+  let q = Pqueue.of_list [ (3, 'c'); (1, 'a'); (2, 'b') ] in
+  Alcotest.(check (list (pair int char)))
+    "sorted copy" [ (1, 'a'); (2, 'b'); (3, 'c') ] (Pqueue.to_sorted_list q);
+  Alcotest.(check int) "queue unchanged" 3 (Pqueue.length q)
+
+let qcheck_pqueue_sorts =
+  QCheck.Test.make ~name:"pqueue drains in sorted order" ~count:200
+    QCheck.(small_list small_int)
+    (fun xs ->
+      let q = Pqueue.create () in
+      List.iter (fun x -> Pqueue.push q x x) xs;
+      let rec drain acc =
+        match Pqueue.pop q with None -> List.rev acc | Some (p, _) -> drain (p :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+(* ------------------------------------------------------------------ *)
+
+let test_union_find_basic () =
+  let uf = Union_find.create 6 in
+  Alcotest.(check int) "six sets" 6 (Union_find.count_sets uf);
+  Alcotest.(check bool) "union 0 1" true (Union_find.union uf 0 1);
+  Alcotest.(check bool) "union again" false (Union_find.union uf 1 0);
+  Alcotest.(check bool) "same" true (Union_find.same uf 0 1);
+  Alcotest.(check int) "size" 2 (Union_find.size uf 0);
+  ignore (Union_find.union uf 2 3);
+  ignore (Union_find.union uf 0 3);
+  Alcotest.(check int) "merged size" 4 (Union_find.size uf 2);
+  Alcotest.(check int) "three sets" 3 (Union_find.count_sets uf)
+
+let test_union_find_groups () =
+  let uf = Union_find.create 5 in
+  ignore (Union_find.union uf 0 4);
+  ignore (Union_find.union uf 1 3);
+  let groups =
+    Union_find.groups uf |> Array.to_list |> List.filter (fun g -> g <> [])
+    |> List.sort compare
+  in
+  Alcotest.(check (list (list int))) "groups" [ [ 0; 4 ]; [ 1; 3 ]; [ 2 ] ] groups
+
+let qcheck_union_find_transitive =
+  QCheck.Test.make ~name:"union-find: same is an equivalence" ~count:100
+    QCheck.(small_list (pair (int_range 0 9) (int_range 0 9)))
+    (fun pairs ->
+      let uf = Union_find.create 10 in
+      List.iter (fun (a, b) -> ignore (Union_find.union uf a b)) pairs;
+      (* transitivity via representative equality *)
+      let ok = ref true in
+      for a = 0 to 9 do
+        for b = 0 to 9 do
+          for c = 0 to 9 do
+            if Union_find.same uf a b && Union_find.same uf b c && not (Union_find.same uf a c)
+            then ok := false
+          done
+        done
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+
+let test_bitset_basic () =
+  let s = Bitset.create 100 in
+  Alcotest.(check bool) "initially empty" true (Bitset.is_empty s);
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 64;
+  Bitset.add s 99;
+  Alcotest.(check int) "cardinal" 4 (Bitset.cardinal s);
+  Alcotest.(check bool) "mem 63" true (Bitset.mem s 63);
+  Alcotest.(check bool) "not mem 62" false (Bitset.mem s 62);
+  Bitset.remove s 63;
+  Alcotest.(check bool) "removed" false (Bitset.mem s 63);
+  Alcotest.(check (list int)) "elements sorted" [ 0; 64; 99 ] (Bitset.elements s);
+  Alcotest.(check (option int)) "choose" (Some 0) (Bitset.choose s)
+
+let test_bitset_bounds () =
+  let s = Bitset.create 10 in
+  Alcotest.check_raises "out of range" (Invalid_argument "Bitset: index 10 out of [0,10)")
+    (fun () -> Bitset.add s 10)
+
+let test_bitset_set_ops () =
+  let a = Bitset.create 20 and b = Bitset.create 20 in
+  List.iter (Bitset.add a) [ 1; 2; 3 ];
+  List.iter (Bitset.add b) [ 2; 3; 4 ];
+  let u = Bitset.copy a in
+  Bitset.union_into u b;
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4 ] (Bitset.elements u);
+  let i = Bitset.copy a in
+  Bitset.inter_into i b;
+  Alcotest.(check (list int)) "inter" [ 2; 3 ] (Bitset.elements i);
+  Alcotest.(check bool) "full" true (Bitset.cardinal (Bitset.full 20) = 20)
+
+let qcheck_bitset_model =
+  QCheck.Test.make ~name:"bitset agrees with a list-set model" ~count:200
+    QCheck.(small_list (pair bool (int_range 0 49)))
+    (fun ops ->
+      let s = Bitset.create 50 in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (add, i) ->
+          if add then begin
+            Bitset.add s i;
+            Hashtbl.replace model i ()
+          end
+          else begin
+            Bitset.remove s i;
+            Hashtbl.remove model i
+          end)
+        ops;
+      let want = Hashtbl.fold (fun i () acc -> i :: acc) model [] |> List.sort compare in
+      Bitset.elements s = want && Bitset.cardinal s = List.length want)
+
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 99 and b = Rng.create 99 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys;
+  let c = Rng.create 100 in
+  let zs = List.init 20 (fun _ -> Rng.int c 1000) in
+  Alcotest.(check bool) "different seed differs" true (xs <> zs)
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of bounds: %d" v
+  done;
+  for _ = 1 to 100 do
+    let f = Rng.float rng 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.failf "float out of bounds: %f" f
+  done
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 5 in
+  let a = Array.init 30 (fun i -> i) in
+  Rng.shuffle rng a;
+  Alcotest.(check (list int)) "still a permutation" (List.init 30 (fun i -> i))
+    (List.sort compare (Array.to_list a))
+
+let test_rng_sample () =
+  let rng = Rng.create 11 in
+  let s = Rng.sample rng 10 4 in
+  Alcotest.(check int) "size" 4 (List.length s);
+  Alcotest.(check (list int)) "sorted distinct" (List.sort_uniq compare s) s;
+  List.iter (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 10)) s
+
+(* ------------------------------------------------------------------ *)
+
+let test_tab_render () =
+  let out = Tab.render ~header:[ "name"; "n" ] [ [ "alpha"; "1" ]; [ "b"; "200" ] ] in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "four lines" 4 (List.length lines);
+  Alcotest.(check bool) "separator" true
+    (String.for_all (fun c -> c = '-' || c = ' ') (List.nth lines 1))
+
+let test_tab_ragged () =
+  let out = Tab.render ~header:[ "a"; "b"; "c" ] [ [ "x" ] ] in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let test_tab_bar () =
+  Alcotest.(check string) "half bar" "#####     " (Tab.bar ~width:10 1.0 2.0);
+  Alcotest.(check string) "clamped" "##########" (Tab.bar ~width:10 5.0 2.0);
+  Alcotest.(check string) "zero max" "          " (Tab.bar ~width:10 1.0 0.0)
+
+let test_tab_fixed () = Alcotest.(check string) "fixed" "3.14" (Tab.fixed 2 3.14159)
+
+let () =
+  Alcotest.run "prelude"
+    [
+      ( "pqueue",
+        [
+          Alcotest.test_case "priority order" `Quick test_pqueue_order;
+          Alcotest.test_case "FIFO ties" `Quick test_pqueue_ties_fifo;
+          Alcotest.test_case "to_sorted_list" `Quick test_pqueue_to_sorted_list;
+          QCheck_alcotest.to_alcotest qcheck_pqueue_sorts;
+        ] );
+      ( "union_find",
+        [
+          Alcotest.test_case "basics" `Quick test_union_find_basic;
+          Alcotest.test_case "groups" `Quick test_union_find_groups;
+          QCheck_alcotest.to_alcotest qcheck_union_find_transitive;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "basics" `Quick test_bitset_basic;
+          Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+          Alcotest.test_case "set operations" `Quick test_bitset_set_ops;
+          QCheck_alcotest.to_alcotest qcheck_bitset_model;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "sample" `Quick test_rng_sample;
+        ] );
+      ( "tab",
+        [
+          Alcotest.test_case "render" `Quick test_tab_render;
+          Alcotest.test_case "ragged rows" `Quick test_tab_ragged;
+          Alcotest.test_case "bar" `Quick test_tab_bar;
+          Alcotest.test_case "fixed" `Quick test_tab_fixed;
+        ] );
+    ]

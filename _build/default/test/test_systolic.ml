@@ -1,0 +1,194 @@
+(* Tests for the systolic synthesis library (paper §4.2.1). *)
+
+module Linalg = Oregami_systolic.Linalg
+module Recurrence = Oregami_systolic.Recurrence
+module Synthesis = Oregami_systolic.Synthesis
+module Rng = Oregami_prelude.Rng
+
+let test_linalg_dot_matvec () =
+  Alcotest.(check int) "dot" 32 (Linalg.dot [| 1; 2; 3 |] [| 4; 5; 6 |]);
+  Alcotest.(check (list int)) "matvec" [ 5; 11 ]
+    (Array.to_list (Linalg.mat_vec [| [| 1; 0 |]; [| 1; 2 |] |] [| 5; 3 |]));
+  Alcotest.check_raises "dim mismatch" (Invalid_argument "Linalg.dot: dimension mismatch")
+    (fun () -> ignore (Linalg.dot [| 1 |] [| 1; 2 |]))
+
+let test_linalg_gcd_primitive () =
+  Alcotest.(check int) "gcd" 6 (Linalg.gcd 18 (-24));
+  Alcotest.(check int) "gcd zero" 5 (Linalg.gcd 0 5);
+  Alcotest.(check (list int)) "primitive" [ 2; -3 ] (Array.to_list (Linalg.primitive [| 4; -6 |]));
+  Alcotest.(check (list int)) "zero stays" [ 0; 0 ] (Array.to_list (Linalg.primitive [| 0; 0 |]))
+
+let test_linalg_orthogonal () =
+  let check u =
+    let basis = Linalg.orthogonal_basis u in
+    Alcotest.(check int) "basis size" (Array.length u - 1) (Array.length basis);
+    Array.iter
+      (fun b ->
+        Alcotest.(check int) "orthogonal" 0 (Linalg.dot u b);
+        Alcotest.(check bool) "non-zero" true (Array.exists (( <> ) 0) b))
+      basis
+  in
+  check [| 1; 0 |];
+  check [| 2; 3 |];
+  check [| 1; 1; 1 |];
+  check [| 0; 0; 1 |];
+  check [| 1; -2; 3 |]
+
+let test_linalg_enum () =
+  Alcotest.(check int) "2d bound 1" 8 (List.length (Linalg.enum_vectors ~dims:2 ~bound:1));
+  Alcotest.(check int) "3d bound 1" 26 (List.length (Linalg.enum_vectors ~dims:3 ~bound:1))
+
+(* ------------------------------------------------------------------ *)
+
+let test_recurrence_points () =
+  let d = { Recurrence.lower = [| 0; 0 |]; upper = [| 2; 1 |]; halfspaces = [] } in
+  Alcotest.(check int) "box points" 6 (Recurrence.point_count d);
+  let tri =
+    { Recurrence.lower = [| 0; 0 |]; upper = [| 2; 2 |]; halfspaces = [ ([| 1; 1 |], 2) ] }
+  in
+  (* i + j <= 2 over 3x3: 6 points *)
+  Alcotest.(check int) "triangle" 6 (Recurrence.point_count tri);
+  Alcotest.(check bool) "mem" true (Recurrence.mem tri [| 1; 1 |]);
+  Alcotest.(check bool) "not mem" false (Recurrence.mem tri [| 2; 2 |])
+
+let test_recurrence_validate () =
+  let r = Recurrence.matmul 3 in
+  Alcotest.(check bool) "matmul valid" true (Recurrence.validate r = Ok ());
+  let bad = { r with Recurrence.deps = [ { Recurrence.dep_name = "z"; vector = [| 0; 0; 0 |] } ] } in
+  match Recurrence.validate bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "zero dependence accepted"
+
+(* ------------------------------------------------------------------ *)
+
+let test_matmul_classic () =
+  List.iter
+    (fun n ->
+      let r = Recurrence.matmul n in
+      match Synthesis.synthesize r with
+      | Error e -> Alcotest.failf "matmul %d: %s" n e
+      | Ok d ->
+        Alcotest.(check (list int)) "lambda = (1,1,1)" [ 1; 1; 1 ]
+          (Array.to_list d.Synthesis.schedule);
+        Alcotest.(check int) "latency 3n-2" ((3 * n) - 2) d.Synthesis.latency;
+        Alcotest.(check int) "n^2 processors" (n * n) d.Synthesis.pe_count;
+        Alcotest.(check bool) "nearest neighbour" true d.Synthesis.nearest_neighbour;
+        Alcotest.(check bool) "verified" true (Synthesis.verify r d = Ok ()))
+    [ 2; 3; 4; 5 ]
+
+let test_convolution_classic () =
+  let r = Recurrence.convolution 10 4 in
+  match Synthesis.synthesize r with
+  | Error e -> Alcotest.failf "convolution: %s" e
+  | Ok d ->
+    Alcotest.(check int) "k processors" 4 d.Synthesis.pe_count;
+    Alcotest.(check bool) "nearest neighbour" true d.Synthesis.nearest_neighbour;
+    Alcotest.(check bool) "verified" true (Synthesis.verify r d = Ok ())
+
+let test_schedules_causal () =
+  let r = Recurrence.matmul 3 in
+  let all = Synthesis.schedules r in
+  Alcotest.(check bool) "found schedules" true (List.length all > 0);
+  List.iter
+    (fun lambda ->
+      List.iter
+        (fun dep ->
+          Alcotest.(check bool) "causal" true (Linalg.dot lambda dep.Recurrence.vector >= 1))
+        r.Recurrence.deps)
+    all;
+  (* first schedule has minimal makespan *)
+  match all with
+  | first :: _ ->
+    Alcotest.(check (list int)) "minimal is (1,1,1)" [ 1; 1; 1 ] (Array.to_list first)
+  | [] -> Alcotest.fail "no schedules"
+
+let test_verify_rejects_bad_designs () =
+  let r = Recurrence.matmul 3 in
+  match Synthesis.synthesize r with
+  | Error e -> Alcotest.failf "synth: %s" e
+  | Ok d ->
+    (* projection parallel to a processor axis (allocation rows
+       dependent): two points collide in space-time *)
+    let broken = { d with Synthesis.allocation = [| [| 0; 0; 0 |]; [| 0; 0; 0 |] |] } in
+    (match Synthesis.verify r broken with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail "degenerate allocation accepted");
+    (* acausal schedule *)
+    let acausal = { d with Synthesis.schedule = [| 1; 1; -1 |] } in
+    match Synthesis.verify r acausal with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail "acausal schedule accepted"
+
+let test_no_schedule_case () =
+  (* antagonistic dependences d and -d admit no causal schedule *)
+  let r =
+    {
+      Recurrence.name = "impossible";
+      domain = { Recurrence.lower = [| 0; 0 |]; upper = [| 3; 3 |]; halfspaces = [] };
+      deps =
+        [
+          { Recurrence.dep_name = "f"; vector = [| 1; 0 |] };
+          { Recurrence.dep_name = "g"; vector = [| -1; 0 |] };
+        ];
+    }
+  in
+  match Synthesis.synthesize r with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "impossible system scheduled"
+
+let qcheck_random_uniform_systems =
+  QCheck.Test.make ~name:"synthesized designs always verify" ~count:60
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let dims = 2 + Rng.int rng 2 in
+      let size = 2 + Rng.int rng 3 in
+      let deps =
+        List.init
+          (1 + Rng.int rng 3)
+          (fun i ->
+            (* strictly positive first component keeps systems schedulable *)
+            let v = Array.init dims (fun j -> if j = 0 then 1 + Rng.int rng 2 else Rng.int rng 3 - 1) in
+            { Recurrence.dep_name = Printf.sprintf "d%d" i; vector = v })
+      in
+      let r =
+        {
+          Recurrence.name = "random";
+          domain =
+            {
+              Recurrence.lower = Array.make dims 0;
+              upper = Array.make dims (size - 1);
+              halfspaces = [];
+            };
+          deps;
+        }
+      in
+      match Synthesis.synthesize ~bound:2 r with
+      | Error _ -> true (* may be unschedulable within bound; fine *)
+      | Ok d -> Synthesis.verify r d = Ok ())
+
+let () =
+  Alcotest.run "systolic"
+    [
+      ( "linalg",
+        [
+          Alcotest.test_case "dot / matvec" `Quick test_linalg_dot_matvec;
+          Alcotest.test_case "gcd / primitive" `Quick test_linalg_gcd_primitive;
+          Alcotest.test_case "orthogonal bases" `Quick test_linalg_orthogonal;
+          Alcotest.test_case "vector enumeration" `Quick test_linalg_enum;
+        ] );
+      ( "recurrence",
+        [
+          Alcotest.test_case "polytope points" `Quick test_recurrence_points;
+          Alcotest.test_case "validation" `Quick test_recurrence_validate;
+        ] );
+      ( "synthesis",
+        [
+          Alcotest.test_case "matmul classic result" `Quick test_matmul_classic;
+          Alcotest.test_case "convolution classic result" `Quick test_convolution_classic;
+          Alcotest.test_case "schedules causal and sorted" `Quick test_schedules_causal;
+          Alcotest.test_case "verify rejects bad designs" `Quick test_verify_rejects_bad_designs;
+          Alcotest.test_case "unschedulable detected" `Quick test_no_schedule_case;
+          QCheck_alcotest.to_alcotest qcheck_random_uniform_systems;
+        ] );
+    ]

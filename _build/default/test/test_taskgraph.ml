@@ -1,0 +1,167 @@
+(* Tests for the task-graph model and phase expressions. *)
+
+module Taskgraph = Oregami_taskgraph.Taskgraph
+module Phase_expr = Oregami_taskgraph.Phase_expr
+module Digraph = Oregami_graph.Digraph
+module Ugraph = Oregami_graph.Ugraph
+
+open Phase_expr
+
+let nbody_expr =
+  (* ((ring; compute1)^4; chordal; compute2)^3 *)
+  Repeat
+    ( seq [ Repeat (Seq (Comm "ring", Exec "compute1"), 4); Comm "chordal"; Exec "compute2" ],
+      3 )
+
+let test_trace_structure () =
+  let t = trace nbody_expr in
+  Alcotest.(check int) "slot count" 30 (List.length t);
+  Alcotest.(check int) "length agrees" 30 (length nbody_expr);
+  let first = List.hd t in
+  Alcotest.(check (list string)) "first slot is ring" [ "ring" ] first.comms;
+  Alcotest.(check (list string)) "no execs in first slot" [] first.execs
+
+let test_counts () =
+  Alcotest.(check int) "ring count" 12 (count_comm nbody_expr "ring");
+  Alcotest.(check int) "chordal count" 3 (count_comm nbody_expr "chordal");
+  Alcotest.(check int) "compute1 count" 12 (count_exec nbody_expr "compute1");
+  Alcotest.(check int) "compute2 count" 3 (count_exec nbody_expr "compute2");
+  Alcotest.(check int) "absent phase" 0 (count_comm nbody_expr "nope")
+
+let test_par_zip () =
+  let e = Par (seq [ Comm "a"; Comm "b" ], Comm "c") in
+  let t = trace e in
+  Alcotest.(check int) "par length is max" 2 (List.length t);
+  Alcotest.(check (list string)) "merged slot" [ "a"; "c" ] (List.hd t).comms;
+  Alcotest.(check (list string)) "tail from longer side" [ "b" ] (List.nth t 1).comms;
+  Alcotest.(check int) "length of par" 2 (length e)
+
+let test_epsilon_and_repeat_zero () =
+  Alcotest.(check int) "epsilon empty" 0 (List.length (trace Epsilon));
+  Alcotest.(check int) "repeat zero" 0 (List.length (trace (Repeat (Comm "a", 0))));
+  Alcotest.check_raises "negative repeat"
+    (Invalid_argument "Phase_expr.length: negative repetition") (fun () ->
+      ignore (length (Repeat (Comm "a", -1))))
+
+let test_trace_cap () =
+  Alcotest.check_raises "trace too long" (Invalid_argument "Phase_expr.trace: trace too long")
+    (fun () -> ignore (trace ~max_slots:5 (Repeat (Comm "a", 10))))
+
+let test_well_formed () =
+  Alcotest.(check bool) "ok" true
+    (well_formed ~comms:[ "ring"; "chordal" ] ~execs:[ "compute1"; "compute2" ] nbody_expr
+    = Ok ());
+  (match well_formed ~comms:[ "ring" ] ~execs:[ "compute1"; "compute2" ] nbody_expr with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "undeclared phase accepted");
+  match well_formed ~comms:[ "a" ] ~execs:[] (Repeat (Comm "a", -2)) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "negative repetition accepted"
+
+let test_to_string () =
+  Alcotest.(check string) "nbody expression"
+    "((ring; compute1)^4; chordal; compute2)^3" (to_string nbody_expr);
+  Alcotest.(check string) "par" "a || b" (to_string (Par (Comm "a", Comm "b")));
+  Alcotest.(check string) "eps" "eps" (to_string Epsilon);
+  Alcotest.(check string) "par in seq parenthesized" "(a || b); c"
+    (to_string (Seq (Par (Comm "a", Comm "b"), Comm "c")))
+
+let test_names () =
+  Alcotest.(check (list string)) "comm names in order" [ "ring"; "chordal" ]
+    (comm_names nbody_expr);
+  Alcotest.(check (list string)) "exec names" [ "compute1"; "compute2" ]
+    (exec_names nbody_expr)
+
+(* ------------------------------------------------------------------ *)
+
+let two_phase_tg () =
+  let ring = Digraph.create 4 in
+  for i = 0 to 3 do
+    Digraph.add_edge ~w:2 ring i ((i + 1) mod 4)
+  done;
+  let pairs = Digraph.create 4 in
+  Digraph.add_edge ~w:5 pairs 0 2;
+  Digraph.add_edge ~w:5 pairs 1 3;
+  Taskgraph.make ~name:"two" ~n:4
+    ~comm_phases:[ ("ring", ring); ("pairs", pairs) ]
+    ~exec_phases:[ ("work", [| 1; 2; 3; 4 |]) ]
+    ~expr:(seq [ Comm "ring"; Exec "work"; Repeat (Comm "pairs", 2) ])
+    ()
+
+let test_make_validations () =
+  let ring = Digraph.create 4 in
+  (* duplicate phase names *)
+  (match
+     Taskgraph.make ~name:"bad" ~n:4
+       ~comm_phases:[ ("p", ring); ("p", ring) ]
+       ~exec_phases:[] ~expr:(Comm "p") ()
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate names accepted");
+  (* wrong node count *)
+  (match
+     Taskgraph.make ~name:"bad" ~n:5 ~comm_phases:[ ("p", ring) ] ~exec_phases:[]
+       ~expr:(Comm "p") ()
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "node count mismatch accepted");
+  (* undeclared phase in expression *)
+  (match
+     Taskgraph.make ~name:"bad" ~n:4 ~comm_phases:[ ("p", ring) ] ~exec_phases:[]
+       ~expr:(Comm "q") ()
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "undeclared phase accepted");
+  (* wrong cost array length *)
+  match
+    Taskgraph.make ~name:"bad" ~n:4 ~comm_phases:[ ("p", ring) ]
+      ~exec_phases:[ ("e", [| 1 |]) ] ~expr:(Comm "p") ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad cost array accepted"
+
+let test_static_graph_scaling () =
+  match two_phase_tg () with
+  | Error m -> Alcotest.failf "make: %s" m
+  | Ok tg ->
+    (* ring occurs once (w 2), pairs occurs twice (w 5 each) *)
+    let s = Taskgraph.static_graph tg in
+    Alcotest.(check int) "ring edge weight" 2 (Ugraph.weight s 0 1);
+    Alcotest.(check int) "pairs edge scaled by occurrences" 10 (Ugraph.weight s 0 2);
+    let u = Taskgraph.static_graph_unit tg in
+    Alcotest.(check int) "unit graph unscaled" 5 (Ugraph.weight u 0 2);
+    Alcotest.(check int) "total volume" (8 + 20) (Taskgraph.total_volume tg);
+    Alcotest.(check int) "total exec" 10 (Taskgraph.total_exec_cost tg);
+    Alcotest.(check int) "max comm degree" 3 (Taskgraph.max_comm_degree tg);
+    Alcotest.(check int) "phase volume" 10 (Taskgraph.phase_volume tg "pairs")
+
+let test_lookups () =
+  match two_phase_tg () with
+  | Error m -> Alcotest.failf "make: %s" m
+  | Ok tg ->
+    Alcotest.(check (list string)) "comm names" [ "ring"; "pairs" ] (Taskgraph.comm_names tg);
+    Alcotest.(check (list string)) "exec names" [ "work" ] (Taskgraph.exec_names tg);
+    Alcotest.(check bool) "comm lookup" true (Taskgraph.comm_phase tg "ring" <> None);
+    Alcotest.(check bool) "missing lookup" true (Taskgraph.comm_phase tg "zzz" = None)
+
+let () =
+  Alcotest.run "taskgraph"
+    [
+      ( "phase_expr",
+        [
+          Alcotest.test_case "trace structure" `Quick test_trace_structure;
+          Alcotest.test_case "occurrence counts" `Quick test_counts;
+          Alcotest.test_case "parallel zip" `Quick test_par_zip;
+          Alcotest.test_case "epsilon and zero repeats" `Quick test_epsilon_and_repeat_zero;
+          Alcotest.test_case "trace cap" `Quick test_trace_cap;
+          Alcotest.test_case "well-formedness" `Quick test_well_formed;
+          Alcotest.test_case "printing" `Quick test_to_string;
+          Alcotest.test_case "name collection" `Quick test_names;
+        ] );
+      ( "taskgraph",
+        [
+          Alcotest.test_case "validations" `Quick test_make_validations;
+          Alcotest.test_case "static graph scaling" `Quick test_static_graph_scaling;
+          Alcotest.test_case "lookups" `Quick test_lookups;
+        ] );
+    ]

@@ -1,0 +1,131 @@
+(* Tests for the reference executor: mapping-independence of the
+   computation, and dynamic detection of corrupted mappings. *)
+
+open Oregami
+module Route = Mapper.Route
+
+let topo s = Topology.make (Result.get_ok (Topology.parse s))
+
+let map_spec ?options spec topo_s =
+  let c = Workloads.compile_exn spec in
+  match Driver.map_compiled ?options c (topo topo_s) with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "%s on %s: %s" spec.Workloads.w_name topo_s e
+
+let test_digest_mapping_independent () =
+  (* every workload must produce its reference digest under every
+     strategy and topology *)
+  List.iter
+    (fun spec ->
+      let want = Vm.reference_digest (Workloads.task_graph_exn spec) in
+      List.iter
+        (fun topo_s ->
+          let m = map_spec spec topo_s in
+          match Vm.run m with
+          | Error e -> Alcotest.failf "%s on %s: %s" spec.Workloads.w_name topo_s e
+          | Ok o ->
+            Alcotest.(check int)
+              (Printf.sprintf "%s on %s (%s)" spec.Workloads.w_name topo_s
+                 m.Mapping.strategy)
+              want o.Vm.digest)
+        [ "hypercube:3"; "mesh:4x4"; "torus:4x4"; "ring:8"; "ccc:3" ])
+    (Workloads.all ())
+
+let test_digest_independent_of_routing () =
+  let spec = Workloads.nbody ~n:15 ~s:1 in
+  let want = Vm.reference_digest (Workloads.task_graph_exn spec) in
+  let mm = map_spec spec "hypercube:3" in
+  let ob =
+    map_spec ~options:{ Driver.default_options with Driver.routing = Driver.Oblivious }
+      spec "hypercube:3"
+  in
+  let digest m = (Result.get_ok (Vm.run m)).Vm.digest in
+  Alcotest.(check int) "mm-route" want (digest mm);
+  Alcotest.(check int) "oblivious" want (digest ob)
+
+let test_counts () =
+  let m = map_spec (Workloads.voting ~k:3) "hypercube:2" in
+  match Vm.run m with
+  | Error e -> Alcotest.failf "run: %s" e
+  | Ok o ->
+    (* 3 rounds x 8 messages each *)
+    Alcotest.(check int) "messages" 24 o.Vm.messages_delivered;
+    (* trace: (comm; tally)^3 = 6 slots *)
+    Alcotest.(check int) "slots" 6 o.Vm.slots_executed;
+    Alcotest.(check bool) "hops >= cross messages" true (o.Vm.hops_traversed > 0)
+
+let test_tampered_route_detected () =
+  let m = map_spec (Workloads.voting ~k:3) "hypercube:2" in
+  (* corrupt one cross-processor route: replace its node path with a
+     teleporting one *)
+  let corrupt_one routings =
+    let changed = ref false in
+    List.map
+      (fun pr ->
+        {
+          pr with
+          Mapping.pr_edges =
+            List.map
+              (fun re ->
+                if (not !changed) && re.Mapping.re_route.Routes.links <> [] then begin
+                  changed := true;
+                  {
+                    re with
+                    Mapping.re_route =
+                      {
+                        re.Mapping.re_route with
+                        Routes.nodes =
+                          (match re.Mapping.re_route.Routes.nodes with
+                          | first :: _ :: rest -> first :: first :: rest
+                          | short -> short);
+                      };
+                  }
+                end
+                else re)
+              pr.Mapping.pr_edges;
+        })
+      routings
+  in
+  let bad = { m with Mapping.routings = corrupt_one m.Mapping.routings } in
+  match Vm.run bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "teleporting route executed"
+
+let test_misplaced_task_detected () =
+  (* swap two tasks' processors without re-routing: routes no longer
+     start at the senders *)
+  let m = map_spec (Workloads.voting ~k:3) "hypercube:2" in
+  let proc_of_cluster = Array.copy m.Mapping.proc_of_cluster in
+  let t = proc_of_cluster.(0) in
+  proc_of_cluster.(0) <- proc_of_cluster.(1);
+  proc_of_cluster.(1) <- t;
+  let bad = { m with Mapping.proc_of_cluster } in
+  match Vm.run bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "stale routes executed after moving tasks"
+
+let test_spawned_digest () =
+  (* the spawntree program also executes identically everywhere *)
+  let spec = Workloads.spawned_divide_and_conquer ~depth:4 in
+  let want = Vm.reference_digest (Workloads.task_graph_exn spec) in
+  List.iter
+    (fun topo_s ->
+      let m = map_spec spec topo_s in
+      Alcotest.(check int) topo_s want (Result.get_ok (Vm.run m)).Vm.digest)
+    [ "hypercube:3"; "mesh:2x4" ]
+
+let () =
+  Alcotest.run "vm"
+    [
+      ( "vm",
+        [
+          Alcotest.test_case "digest is mapping-independent" `Slow
+            test_digest_mapping_independent;
+          Alcotest.test_case "digest is routing-independent" `Quick
+            test_digest_independent_of_routing;
+          Alcotest.test_case "delivery counts" `Quick test_counts;
+          Alcotest.test_case "tampered route detected" `Quick test_tampered_route_detected;
+          Alcotest.test_case "misplaced task detected" `Quick test_misplaced_task_detected;
+          Alcotest.test_case "spawned program digest" `Quick test_spawned_digest;
+        ] );
+    ]

@@ -1,0 +1,132 @@
+(* Tests for the workload suite: every program compiles, has the
+   expected shape, and triggers the expected analyses. *)
+
+module Workloads = Oregami_workloads.Workloads
+module Larcs = Oregami_larcs
+module Taskgraph = Oregami_taskgraph.Taskgraph
+module Phase_expr = Oregami_taskgraph.Phase_expr
+module Digraph = Oregami_graph.Digraph
+module Perm = Oregami_perm.Perm
+module Group = Oregami_perm.Group
+
+let test_all_compile () =
+  List.iter
+    (fun spec ->
+      match Workloads.compile spec with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "%s: %s" spec.Workloads.w_name m)
+    (Workloads.all ())
+
+let test_shapes () =
+  let check spec tasks phases =
+    let tg = Workloads.task_graph_exn spec in
+    Alcotest.(check int) (spec.Workloads.w_name ^ " tasks") tasks tg.Taskgraph.n;
+    Alcotest.(check int)
+      (spec.Workloads.w_name ^ " phases")
+      phases
+      (List.length tg.Taskgraph.comm_phases)
+  in
+  check (Workloads.nbody ~n:15 ~s:1) 15 2;
+  check (Workloads.matmul ~n:4) 16 2;
+  check (Workloads.fft ~d:3) 8 3;
+  check (Workloads.topsort ~levels:4 ~width:3) 12 2;
+  check (Workloads.divide_and_conquer ~k:3) 8 3;
+  check (Workloads.annealing ~n:3 ~sweeps:1) 9 4;
+  check (Workloads.jacobi ~n:3 ~iters:1) 9 4;
+  check (Workloads.sor ~n:4 ~iters:1) 16 2;
+  check (Workloads.voting ~k:3) 8 3
+
+let test_nbody_is_paper_graph () =
+  let tg = Workloads.task_graph_exn (Workloads.nbody ~n:15 ~s:1) in
+  let ring = Option.get (Taskgraph.comm_phase tg "ring") in
+  let chordal = Option.get (Taskgraph.comm_phase tg "chordal") in
+  for i = 0 to 14 do
+    Alcotest.(check bool) "ring edge" true
+      (Digraph.mem_edge ring.Taskgraph.edges i ((i + 1) mod 15));
+    Alcotest.(check bool) "chordal edge" true
+      (Digraph.mem_edge chordal.Taskgraph.edges i ((i + 8) mod 15))
+  done
+
+let test_voting_matches_fig4 () =
+  (* k = 3 gives the paper's comm1/comm2/comm3 permutations *)
+  let c = Workloads.compile_exn (Workloads.voting ~k:3) in
+  let a = Larcs.Analyze.analyze c in
+  let perm_strings =
+    List.map
+      (fun (name, kind) ->
+        match kind with
+        | Larcs.Analyze.Bijective p -> (name, Perm.to_string p)
+        | Larcs.Analyze.Functional | Larcs.Analyze.General ->
+          Alcotest.failf "phase %s not bijective" name)
+      a.Larcs.Analyze.comm_kinds
+  in
+  Alcotest.(check (list (pair string string)))
+    "Fig 4a generators"
+    [
+      ("comm1", "(0 1 2 3 4 5 6 7)");
+      ("comm2", "(0 2 4 6)(1 3 5 7)");
+      ("comm3", "(0 4)(1 5)(2 6)(3 7)");
+    ]
+    perm_strings;
+  match a.Larcs.Analyze.cayley with
+  | None -> Alcotest.fail "expected Cayley analysis"
+  | Some cy ->
+    Alcotest.(check int) "|G| = 8" 8 (Group.order cy.Larcs.Analyze.group);
+    Alcotest.(check bool) "is Cayley" true cy.Larcs.Analyze.is_cayley
+
+let test_family_detection () =
+  let family spec =
+    Larcs.Analyze.detect_family (Workloads.task_graph_exn spec)
+  in
+  Alcotest.(check (option string)) "divconq is a binomial tree" (Some "binomial")
+    (family (Workloads.divide_and_conquer ~k:4));
+  Alcotest.(check (option string)) "jacobi is a mesh" (Some "mesh")
+    (family (Workloads.jacobi ~n:4 ~iters:1));
+  Alcotest.(check (option string)) "fft static graph is a hypercube" (Some "hypercube")
+    (family (Workloads.fft ~d:3))
+
+let test_costs_positive () =
+  List.iter
+    (fun spec ->
+      let tg = Workloads.task_graph_exn spec in
+      Alcotest.(check bool)
+        (spec.Workloads.w_name ^ " has exec cost")
+        true
+        (Taskgraph.total_exec_cost tg > 0);
+      Alcotest.(check bool)
+        (spec.Workloads.w_name ^ " has traffic")
+        true
+        (Taskgraph.total_volume tg > 0))
+    (Workloads.all ())
+
+let test_phase_expressions_finite () =
+  List.iter
+    (fun spec ->
+      let tg = Workloads.task_graph_exn spec in
+      let slots = List.length (Phase_expr.trace tg.Taskgraph.expr) in
+      Alcotest.(check bool)
+        (spec.Workloads.w_name ^ " trace non-trivial")
+        true (slots > 0 && slots < 10000))
+    (Workloads.all ())
+
+let test_bad_params_rejected () =
+  Alcotest.check_raises "fft d=0" (Invalid_argument "Workloads.fft: need d >= 1") (fun () ->
+      ignore (Workloads.fft ~d:0));
+  Alcotest.check_raises "voting k=0" (Invalid_argument "Workloads.voting: need k >= 1")
+    (fun () -> ignore (Workloads.voting ~k:0))
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "workloads",
+        [
+          Alcotest.test_case "all compile" `Quick test_all_compile;
+          Alcotest.test_case "shapes" `Quick test_shapes;
+          Alcotest.test_case "nbody matches the paper" `Quick test_nbody_is_paper_graph;
+          Alcotest.test_case "voting matches Fig 4" `Quick test_voting_matches_fig4;
+          Alcotest.test_case "family detection" `Quick test_family_detection;
+          Alcotest.test_case "costs positive" `Quick test_costs_positive;
+          Alcotest.test_case "finite traces" `Quick test_phase_expressions_finite;
+          Alcotest.test_case "bad parameters rejected" `Quick test_bad_params_rejected;
+        ] );
+    ]
