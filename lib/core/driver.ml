@@ -14,6 +14,7 @@ module Recurrence = Oregami_systolic.Recurrence
 module Synthesis = Oregami_systolic.Synthesis
 module Route = Oregami_mapper.Route
 module Ugraph = Oregami_graph.Ugraph
+module Distcache = Oregami_topology.Distcache
 
 type routing = Mm_route | Oblivious
 
@@ -299,6 +300,10 @@ let block_candidate options tg topo =
   ("blocks+nn", cluster_of, proc_of_cluster)
 
 let map_compiled ?(options = default_options) compiled topo =
+  (* warm the topology's distance cache up front: every candidate
+     strategy below shares the one hop matrix (built in parallel for
+     large networks) instead of racing to build it mid-evaluation *)
+  let _ = Distcache.hops topo in
   let tg = compiled.Compile.graph in
   let special =
     match try_canned options ?dims:(mesh_dims compiled) tg topo with
@@ -337,6 +342,7 @@ let map_compiled ?(options = default_options) compiled topo =
   end
 
 let map_taskgraph ?(options = default_options) tg topo =
+  let _ = Distcache.hops topo in
   let result =
     match try_canned options tg topo with
     | Some r -> Ok r

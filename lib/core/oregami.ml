@@ -2,6 +2,7 @@ module Prelude = Oregami_prelude
 module Graph = Oregami_graph
 module Topology = Oregami_topology.Topology
 module Routes = Oregami_topology.Routes
+module Distcache = Oregami_topology.Distcache
 module Gray = Oregami_topology.Gray
 module Perm = Oregami_perm.Perm
 module Group = Oregami_perm.Group

@@ -2,7 +2,9 @@ type t = {
   n : int;
   adj : (int * int ref) list array;
   (* [adj.(u)] holds [(v, w)] with [w] shared with the entry in
-     [adj.(v)], so weight accumulation stays consistent on both sides. *)
+     [adj.(v)], so weight accumulation stays consistent on both sides.
+     Stored in reverse insertion order so insertion is O(1); [neighbors]
+     reverses on read to keep the documented first-insertion order. *)
   weights : (int, int ref) Hashtbl.t; (* key: u * n + v with u < v *)
   mutable edge_count : int;
 }
@@ -27,13 +29,13 @@ let add_edge ?(w = 1) g u v =
   | None ->
     let r = ref w in
     Hashtbl.add g.weights (key g u v) r;
-    g.adj.(u) <- g.adj.(u) @ [ (v, r) ];
-    g.adj.(v) <- g.adj.(v) @ [ (u, r) ];
+    g.adj.(u) <- (v, r) :: g.adj.(u);
+    g.adj.(v) <- (u, r) :: g.adj.(v);
     g.edge_count <- g.edge_count + 1
 
 let neighbors g u =
   check g u;
-  List.map (fun (v, r) -> (v, !r)) g.adj.(u)
+  List.rev_map (fun (v, r) -> (v, !r)) g.adj.(u)
 
 let degree g u =
   check g u;

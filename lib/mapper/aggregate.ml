@@ -1,8 +1,8 @@
 module Taskgraph = Oregami_taskgraph.Taskgraph
 module Topology = Oregami_topology.Topology
 module Routes = Oregami_topology.Routes
+module Distcache = Oregami_topology.Distcache
 module Digraph = Oregami_graph.Digraph
-module Traverse = Oregami_graph.Traverse
 
 let is_aggregation tg phase =
   match Taskgraph.comm_phase tg phase with
@@ -38,8 +38,10 @@ let replan_phase (m : Mapping.t) ~phase =
     let n = tg.Taskgraph.n in
     let procs = Topology.node_count topo in
     let root_proc = Mapping.proc_of_task m root in
-    (* BFS spanning tree of the network towards the root's processor *)
-    let dist = Traverse.bfs_dist (Topology.graph topo) root_proc in
+    (* BFS spanning tree of the network towards the root's processor,
+       read off the topology's cached hop matrix *)
+    let dc = Distcache.hops topo in
+    let dist = Array.init procs (fun p -> Distcache.hop dc root_proc p) in
     let parent = Array.make procs (-1) in
     for p = 0 to procs - 1 do
       if p <> root_proc && dist.(p) < max_int then begin

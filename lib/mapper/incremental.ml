@@ -1,6 +1,6 @@
 module Ugraph = Oregami_graph.Ugraph
-module Shortest = Oregami_graph.Shortest
 module Topology = Oregami_topology.Topology
+module Distcache = Oregami_topology.Distcache
 
 let generations activation =
   let levels = Array.fold_left max 0 activation in
@@ -17,7 +17,7 @@ let place static ~activation ~cap topo =
   let procs = Topology.node_count topo in
   if Array.length activation <> n then invalid_arg "Incremental.place: activation length";
   if cap * procs < n then invalid_arg "Incremental.place: capacity too small";
-  let hops = Shortest.all_pairs_hops (Topology.graph topo) in
+  let dc = Distcache.hops topo in
   let proc_of = Array.make n (-1) in
   let load = Array.make procs 0 in
   let assign t p =
@@ -31,7 +31,8 @@ let place static ~activation ~cap topo =
           let cost p =
             List.fold_left
               (fun acc (u, w) ->
-                if proc_of.(u) <> -1 then acc + (w * hops.(p).(proc_of.(u))) else acc)
+                if proc_of.(u) <> -1 then acc + (w * Distcache.hop dc p proc_of.(u))
+                else acc)
               0 (Ugraph.neighbors static t)
           in
           let best = ref (-1) and best_key = ref (max_int, max_int, max_int) in

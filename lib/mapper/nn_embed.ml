@@ -1,18 +1,19 @@
 module Ugraph = Oregami_graph.Ugraph
-module Shortest = Oregami_graph.Shortest
 module Topology = Oregami_topology.Topology
+module Distcache = Oregami_topology.Distcache
 
 let weighted_hops cg topo proc_of_cluster =
-  let hops = Shortest.all_pairs_hops (Topology.graph topo) in
+  let dc = Distcache.hops topo in
   List.fold_left
-    (fun acc (a, b, w) -> acc + (w * hops.(proc_of_cluster.(a)).(proc_of_cluster.(b))))
+    (fun acc (a, b, w) ->
+      acc + (w * Distcache.hop dc proc_of_cluster.(a) proc_of_cluster.(b)))
     0 (Ugraph.edges cg)
 
 let embed cg topo =
   let k = Ugraph.node_count cg in
   let p = Topology.node_count topo in
   if k > p then invalid_arg "Nn_embed: more clusters than processors";
-  let hops = Shortest.all_pairs_hops (Topology.graph topo) in
+  let dc = Distcache.hops topo in
   let proc_of = Array.make k (-1) in
   let proc_used = Array.make p false in
   let place cluster proc =
@@ -78,7 +79,8 @@ let embed cg topo =
         let cost proc =
           List.fold_left
             (fun acc (d, w) ->
-              if proc_of.(d) <> -1 then acc + (w * hops.(proc).(proc_of.(d))) else acc)
+              if proc_of.(d) <> -1 then acc + (w * Distcache.hop dc proc proc_of.(d))
+              else acc)
             0 (Ugraph.neighbors cg c)
         in
         let best = ref (-1) and best_cost = ref max_int in

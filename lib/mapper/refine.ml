@@ -1,20 +1,20 @@
 module Ugraph = Oregami_graph.Ugraph
-module Shortest = Oregami_graph.Shortest
 module Topology = Oregami_topology.Topology
+module Distcache = Oregami_topology.Distcache
 
 let objective = Nn_embed.weighted_hops
 
 (* cost contribution of one cluster under a tentative processor,
    against the current positions of the others *)
-let cluster_cost hops cg proc_of c p =
+let cluster_cost dc cg proc_of c p =
   List.fold_left
-    (fun acc (d, w) -> if d = c then acc else acc + (w * hops.(p).(proc_of.(d))))
+    (fun acc (d, w) -> if d = c then acc else acc + (w * Distcache.hop dc p proc_of.(d)))
     0 (Ugraph.neighbors cg c)
 
 let improve_embedding ?(max_rounds = 10) cg topo proc_of_cluster =
   let k = Ugraph.node_count cg in
   let p = Topology.node_count topo in
-  let hops = Shortest.all_pairs_hops (Topology.graph topo) in
+  let dc = Distcache.hops topo in
   let proc_of = Array.copy proc_of_cluster in
   let occupant = Array.make p (-1) in
   Array.iteri (fun c pr -> occupant.(pr) <- c) proc_of;
@@ -30,8 +30,8 @@ let improve_embedding ?(max_rounds = 10) cg topo proc_of_cluster =
           match occupant.(target) with
           | -1 ->
             (* move c to a free processor *)
-            let before = cluster_cost hops cg proc_of c pc in
-            let after = cluster_cost hops cg proc_of c target in
+            let before = cluster_cost dc cg proc_of c pc in
+            let after = cluster_cost dc cg proc_of c target in
             if after < before then begin
               occupant.(pc) <- -1;
               occupant.(target) <- c;
@@ -42,12 +42,12 @@ let improve_embedding ?(max_rounds = 10) cg topo proc_of_cluster =
             (* swap clusters c and d; edge c-d keeps its length *)
             let pd = target in
             let before =
-              cluster_cost hops cg proc_of c pc + cluster_cost hops cg proc_of d pd
+              cluster_cost dc cg proc_of c pc + cluster_cost dc cg proc_of d pd
             in
             proc_of.(c) <- pd;
             proc_of.(d) <- pc;
             let after =
-              cluster_cost hops cg proc_of c pd + cluster_cost hops cg proc_of d pc
+              cluster_cost dc cg proc_of c pd + cluster_cost dc cg proc_of d pc
             in
             if after < before then begin
               occupant.(pc) <- d;

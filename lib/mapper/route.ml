@@ -1,38 +1,38 @@
 module Taskgraph = Oregami_taskgraph.Taskgraph
 module Topology = Oregami_topology.Topology
 module Routes = Oregami_topology.Routes
+module Distcache = Oregami_topology.Distcache
 module Digraph = Oregami_graph.Digraph
 module Bipartite = Oregami_matching.Bipartite
 
 type stats = { phases : (string * int) list }
 
+(* A candidate carries its link sequence as an array so committing hop
+   [h] indexes in O(1) instead of List.nth's O(h). *)
+type candidate = { cand_route : Routes.route; cand_links : int array }
+
 type pending = {
   msg_src : int;  (** task *)
   msg_dst : int;
   msg_volume : int;
-  mutable candidates : Routes.route list;  (** share the committed prefix *)
+  mutable candidates : candidate list;  (** share the committed prefix *)
   mutable committed : int;  (** hops fixed so far *)
 }
 
-let route_length r = List.length r.Routes.links
+let candidate r = { cand_route = r; cand_links = Array.of_list r.Routes.links }
 
-let nth_link r h = List.nth r.Routes.links h
+let route_length c = Array.length c.cand_links
 
-let phase_messages topo proc_of_task routes_cache cap (cp : Taskgraph.comm_phase) =
+let nth_link c h = c.cand_links.(h)
+
+let phase_messages topo proc_of_task cap (cp : Taskgraph.comm_phase) =
   Digraph.edges cp.Taskgraph.edges
   |> List.filter (fun (u, v, _) -> u <> v)
   |> List.map (fun (u, v, w) ->
          let pu = proc_of_task.(u) and pv = proc_of_task.(v) in
          let candidates =
-           if pu = pv then [ { Routes.nodes = [ pu ]; links = [] } ]
-           else begin
-             match Hashtbl.find_opt routes_cache (pu, pv) with
-             | Some rs -> rs
-             | None ->
-               let rs = Routes.shortest_routes ~cap topo pu pv in
-               Hashtbl.add routes_cache (pu, pv) rs;
-               rs
-           end
+           if pu = pv then [ candidate { Routes.nodes = [ pu ]; links = [] } ]
+           else List.map candidate (Distcache.routes ~cap topo pu pv)
          in
          { msg_src = u; msg_dst = v; msg_volume = w; candidates; committed = 0 })
 
@@ -98,18 +98,17 @@ let route_phase topo messages =
   (!rounds, messages)
 
 let mm_route ?(cap = 64) tg topo ~proc_of_task =
-  let routes_cache = Hashtbl.create 64 in
   let results =
     List.map
       (fun (cp : Taskgraph.comm_phase) ->
-        let messages = phase_messages topo proc_of_task routes_cache cap cp in
+        let messages = phase_messages topo proc_of_task cap cp in
         let rounds, messages = route_phase topo messages in
         let pr_edges =
           List.map
             (fun m ->
               let route =
                 match m.candidates with
-                | r :: _ -> r
+                | c :: _ -> c.cand_route
                 | [] -> { Routes.nodes = []; links = [] }
               in
               {

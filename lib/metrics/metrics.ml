@@ -3,6 +3,7 @@ module Taskgraph = Oregami_taskgraph.Taskgraph
 module Phase_expr = Oregami_taskgraph.Phase_expr
 module Topology = Oregami_topology.Topology
 module Routes = Oregami_topology.Routes
+module Distcache = Oregami_topology.Distcache
 module Tab = Oregami_prelude.Tab
 
 type load = { tasks_per_proc : int array; exec_per_proc : int array }
@@ -30,6 +31,7 @@ type summary = {
   dilation_avg : float;
   max_link_contention : int;
   completion_time : int;
+  route_stretch : float;
 }
 
 let load_metrics (m : Mapping.t) =
@@ -137,6 +139,28 @@ let completion_time ?(model = default_model) (m : Mapping.t) =
   let trace = Phase_expr.trace m.Mapping.tg.Taskgraph.expr in
   List.fold_left (fun acc slot -> acc + slot_cost model m exec_loads slot) 0 trace
 
+let route_stretch (m : Mapping.t) =
+  let dc = Distcache.hops m.Mapping.topo in
+  let total = ref 0.0 and count = ref 0 in
+  List.iter
+    (fun pr ->
+      List.iter
+        (fun re ->
+          let pu = Mapping.proc_of_task m re.Mapping.re_src in
+          let pv = Mapping.proc_of_task m re.Mapping.re_dst in
+          if pu <> pv then begin
+            let shortest = Distcache.hop dc pu pv in
+            if shortest > 0 && shortest < max_int then begin
+              total :=
+                !total
+                +. (float_of_int (Routes.hops re.Mapping.re_route) /. float_of_int shortest);
+              incr count
+            end
+          end)
+        pr.Mapping.pr_edges)
+    m.Mapping.routings;
+  if !count = 0 then 0.0 else !total /. float_of_int !count
+
 let summary ?(model = default_model) (m : Mapping.t) =
   let tg = m.Mapping.tg in
   let load = load_metrics m in
@@ -170,6 +194,7 @@ let summary ?(model = default_model) (m : Mapping.t) =
     dilation_avg;
     max_link_contention;
     completion_time = completion_time ~model m;
+    route_stretch = route_stretch m;
   }
 
 let print_summary s =

@@ -42,11 +42,19 @@ type summary = {
   max_link_contention : int;
       (** worst per-phase messages on one link *)
   completion_time : int;  (** synchronous phase-by-phase estimate *)
+  route_stretch : float;
+      (** mean route hops ÷ shortest-possible hops over routed
+          inter-processor edges (1.0 when every route is shortest,
+          as MM-Route guarantees; 0 when nothing is routed).
+          Distances come from the topology's {!Oregami_topology.Distcache}. *)
 }
 
 val load_metrics : Oregami_mapper.Mapping.t -> load
 
 val link_metrics : Oregami_mapper.Mapping.t -> link_report
+
+val route_stretch : Oregami_mapper.Mapping.t -> float
+(** See the [route_stretch] field of {!summary}. *)
 
 val completion_time : ?model:model -> Oregami_mapper.Mapping.t -> int
 (** Phase-by-phase synchronous estimate: an execution slot costs the

@@ -1,0 +1,103 @@
+module Csr = Oregami_graph.Csr
+
+type t = {
+  n : int;
+  csr : Csr.t;
+  mutable matrix : int array; (* flat n*n hop matrix; [||] until built *)
+  mutable builds : int; (* how many times the matrix was computed *)
+  route_memo : (int, int * Routes.route list) Hashtbl.t;
+      (* key u*n+v -> (cap the list was computed under, routes) *)
+}
+
+type Topology.cache += Cache of t
+
+let parallel_threshold = ref 256
+
+let state topo =
+  match Topology.get_cache topo with
+  | Some (Cache c) -> c
+  | Some _ | None ->
+    let c =
+      {
+        n = Topology.node_count topo;
+        csr = Csr.of_ugraph (Topology.graph topo);
+        matrix = [||];
+        builds = 0;
+        route_memo = Hashtbl.create 64;
+      }
+    in
+    Topology.set_cache topo (Cache c);
+    c
+
+let csr topo = (state topo).csr
+
+let size c = c.n
+
+let hops topo =
+  let c = state topo in
+  if Array.length c.matrix = 0 && c.n > 0 then begin
+    c.builds <- c.builds + 1;
+    c.matrix <- Csr.all_pairs_hops ~parallel:(c.n >= !parallel_threshold) c.csr
+  end;
+  c
+
+let hop c u v = c.matrix.((u * c.n) + v)
+
+let hop_matrix topo = (hops topo).matrix
+
+let hop_builds topo =
+  match Topology.get_cache topo with Some (Cache c) -> c.builds | Some _ | None -> 0
+
+(* Shortest-route enumeration against the cached hop matrix: walk from
+   [u] towards [v] along edges that decrease the (symmetric) hop
+   distance to [v].  Mirrors Shortest.all_shortest_paths — same
+   lexicographic order, same cap semantics — but spends no BFS per
+   query. *)
+let enumerate c topo ~cap u v =
+  if hop c u v = Csr.unreachable then []
+  else begin
+    let dist_to_v node = hop c node v in
+    let out = ref [] and count = ref 0 in
+    let rec go node acc =
+      if !count < cap then
+        if node = v then begin
+          out := List.rev (v :: acc) :: !out;
+          incr count
+        end
+        else begin
+          let below = dist_to_v node - 1 in
+          let nexts = ref [] in
+          Csr.neighbors_iter c.csr node (fun w _ ->
+              if dist_to_v w = below then nexts := w :: !nexts);
+          List.iter (fun w -> go w (node :: acc)) (List.sort_uniq compare !nexts)
+        end
+    in
+    go u [];
+    (* [!out] holds node paths latest-first; rev_map restores discovery
+       (lexicographic) order while building routes *)
+    List.rev_map (Routes.of_nodes topo) !out
+  end
+
+let rec take k l =
+  match l with [] -> [] | x :: tl -> if k <= 0 then [] else x :: take (k - 1) tl
+
+let routes ?(cap = 64) topo u v =
+  if u = v then [ { Routes.nodes = [ u ]; links = [] } ]
+  else begin
+    let c = hops topo in
+    let key = (u * c.n) + v in
+    let fresh () =
+      let rs = enumerate c topo ~cap u v in
+      Hashtbl.replace c.route_memo key (cap, rs);
+      rs
+    in
+    match Hashtbl.find_opt c.route_memo key with
+    | Some (cap_used, rs) when cap <= cap_used ->
+      (* enumeration order is deterministic, so a smaller cap is a
+         prefix of a larger one *)
+      if cap < cap_used then take cap rs else rs
+    | Some (cap_used, rs) when List.length rs < cap_used ->
+      (* the stored list was not truncated: it is the complete set *)
+      rs
+    | Some _ | None -> fresh ()
+  end

@@ -1,0 +1,58 @@
+(** Topology-resident distance and route cache.
+
+    Every mapping algorithm in this repo — NN-Embed, pairwise
+    refinement, incremental placement, MM-Route, aggregate replanning —
+    is driven by processor hop distances and shortest-route queries on
+    the target topology.  This module materialises those structures
+    lazily, exactly once per topology value, on the {!Topology.cache}
+    slot:
+
+    - a flat all-pairs hop matrix computed over the {!Csr} adjacency
+      (fanned out across OCaml 5 domains for topologies with at least
+      {!parallel_threshold} processors);
+    - a memoised shortest-route table that enumerates routes from the
+      cached matrix instead of running a BFS per processor pair,
+      subsuming the ad-hoc per-call caches that used to live in
+      [Routes.route_table] and [Route.phase_messages].
+
+    All queries agree exactly with the original [Shortest] /
+    [Traverse] list-based computations. *)
+
+type t
+(** Cache handle with the hop matrix guaranteed built. *)
+
+val hops : Topology.t -> t
+(** Builds the all-pairs hop matrix on first use and returns the
+    handle; later calls on the same topology value are O(1). *)
+
+val hop : t -> int -> int -> int
+(** [hop c u v] is the hop distance between processors [u] and [v]
+    ([Csr.unreachable], i.e. [max_int], when disconnected).  O(1). *)
+
+val size : t -> int
+(** Number of processors the handle covers. *)
+
+val hop_matrix : Topology.t -> int array
+(** The underlying flat row-major matrix (entry [u * n + v]); builds it
+    if needed.  Shared, do not mutate. *)
+
+val csr : Topology.t -> Oregami_graph.Csr.t
+(** The topology's CSR adjacency (built on first use, cached). *)
+
+val routes : ?cap:int -> Topology.t -> int -> int -> Routes.route list
+(** Memoised [Routes.shortest_routes]: identical results (same
+    lexicographic order, same [cap] truncation, default 64; the single
+    empty-link route when source equals destination), but enumerated
+    from the cached hop matrix and stored per ordered pair.  A query
+    with a smaller cap than a stored entry reuses its prefix; a larger
+    cap recomputes only if the stored list had been truncated. *)
+
+val hop_builds : Topology.t -> int
+(** How many times this topology's hop matrix has been computed —
+    0 before first use, and 1 forever after unless the cache is
+    externally replaced.  Exposed so tests and benchmarks can assert
+    the matrix is computed at most once per topology per run. *)
+
+val parallel_threshold : int ref
+(** Node count at or above which the all-pairs computation fans out
+    across domains (default 256).  Settable for tests. *)

@@ -11,13 +11,20 @@ type route = { nodes : int list; links : int list }
 (** A route records both the processor path (endpoints included) and
     the link ids traversed, so [List.length links = hops]. *)
 
+val of_nodes : Topology.t -> int list -> route
+(** Route from an explicit node path; computes the traversed link ids.
+    Raises [Invalid_argument] when consecutive nodes are not
+    adjacent. *)
+
 val shortest_routes : ?cap:int -> Topology.t -> int -> int -> route list
 (** All minimum-hop routes between two processors, up to [cap]
     (default 64), lexicographically ordered by node path.  Returns the
     single empty-link route when source equals destination. *)
 
 val route_table : ?cap:int -> Topology.t -> (int * int, route list) Hashtbl.t
-(** Routes for every ordered pair; memoised per pair. *)
+(** Routes for every ordered pair, computed eagerly.  Prefer
+    [Distcache.routes], which enumerates on demand from the cached hop
+    matrix and memoises per pair on the topology itself. *)
 
 val ecube : Topology.t -> int -> int -> route
 (** Deterministic e-cube (dimension-order, lowest bit first) route on a

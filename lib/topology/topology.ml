@@ -17,11 +17,16 @@ type kind =
   | De_bruijn of int
   | Shuffle_exchange of int
 
+type cache = ..
+
 type t = {
   kind : kind;
   graph : Ugraph.t;
   links : (int * int) array;
   link_ids : (int * int, int) Hashtbl.t;
+  mutable cache : cache option;
+      (* populated lazily by Distcache; topologies are immutable after
+         [make], so derived distance/route structures stay valid *)
 }
 
 let positive what n = if n <= 0 then invalid_arg (Printf.sprintf "Topology: %s must be positive" what)
@@ -203,7 +208,11 @@ let make kind =
   let links = Array.of_list (List.map (fun (u, v, _) -> (u, v)) (Ugraph.edges graph)) in
   let link_ids = Hashtbl.create (Array.length links) in
   Array.iteri (fun i uv -> Hashtbl.add link_ids uv i) links;
-  { kind; graph; links; link_ids }
+  { kind; graph; links; link_ids; cache = None }
+
+let get_cache t = t.cache
+
+let set_cache t c = t.cache <- Some c
 
 let kind t = t.kind
 

@@ -80,3 +80,18 @@ val known_kinds : string list
 (** Names accepted by {!parse}, for help messages. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Cache slot}
+
+    A topology's graph is immutable after {!make}, so derived
+    structures (hop matrices, route tables) can live on the value and
+    be computed at most once.  The slot is an extensible variant so
+    {!Distcache} can attach its state without this module depending on
+    it; other code should use the {!Distcache} API rather than these
+    raw accessors. *)
+
+type cache = ..
+
+val get_cache : t -> cache option
+
+val set_cache : t -> cache -> unit
