@@ -72,16 +72,20 @@ let compile ~input ~params =
   let source, bindings = load ~input ~params in
   or_die (Larcs.Compile.compile_source ~bindings source)
 
-let mapping_of ~input ~params ~topo ~routing =
-  let compiled = compile ~input ~params in
-  let kind = or_die (Topology.parse topo) in
-  let topology = Topology.make kind in
-  let options =
+let options_of ~routing ~only ~exclude =
+  let base =
     match routing with
     | "mm" -> Driver.default_options
     | "oblivious" -> { Driver.default_options with Driver.routing = Driver.Oblivious }
     | other -> or_die (Error (Printf.sprintf "unknown routing %S" other))
   in
+  { base with Driver.only; Driver.exclude }
+
+let mapping_of ~input ~params ~topo ~routing =
+  let compiled = compile ~input ~params in
+  let kind = or_die (Topology.parse topo) in
+  let topology = Topology.make kind in
+  let options = options_of ~routing ~only:[] ~exclude:[] in
   (or_die (Driver.map_compiled ~options compiled topology), compiled)
 
 (* subcommands *)
@@ -114,13 +118,50 @@ let analyze_cmd =
     Term.(const run $ input_arg $ params_arg)
 
 let map_cmd =
-  let run input params topo routing =
-    let m, _ = mapping_of ~input ~params ~topo ~routing in
-    Format.printf "%a@.@." Mapping.pp m;
-    Metrics.print_summary (Metrics.summary m)
+  let run input params topo routing only exclude explain =
+    let compiled = compile ~input ~params in
+    let kind = or_die (Topology.parse topo) in
+    let topology = Topology.make kind in
+    let options = options_of ~routing ~only ~exclude in
+    match Driver.report ~options compiled topology with
+    | Error e, stats ->
+      Printf.eprintf "oregami: %s\n" e;
+      List.iter
+        (fun (strategy, reason) ->
+          Printf.eprintf "oregami:   %s: %s\n" strategy reason)
+        (Stats.rejections stats);
+      exit 1
+    | Ok m, stats ->
+      Format.printf "%a@.@." Mapping.pp m;
+      Metrics.print_summary (Metrics.summary m);
+      if explain then begin
+        print_newline ();
+        print_string (Stats.to_table stats);
+        print_newline ();
+        print_endline (Stats.to_sexp stats)
+      end
+  in
+  let only_arg =
+    Arg.(value & opt_all string []
+         & info [ "only" ] ~docv:"STRATEGY"
+             ~doc:"Compete only these registry strategies (repeatable); disables the \
+                   dispatch short-circuit so every named strategy is scored.")
+  in
+  let exclude_arg =
+    Arg.(value & opt_all string []
+         & info [ "exclude" ] ~docv:"STRATEGY"
+             ~doc:"Drop a registry strategy from the selection (repeatable).")
+  in
+  let explain_arg =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"Print the pipeline statistics: strategies tried/rejected with \
+                   reasons and timings, candidate scores, and pass counters, plus an \
+                   s-expression dump.")
   in
   Cmd.v (Cmd.info "map" ~doc:"Map a program onto a topology and report METRICS")
-    Term.(const run $ input_arg $ params_arg $ topo_arg $ routing_arg)
+    Term.(const run $ input_arg $ params_arg $ topo_arg $ routing_arg $ only_arg
+          $ exclude_arg $ explain_arg)
 
 let render_cmd =
   let run input params topo routing svg_path =

@@ -1,16 +1,26 @@
 (** The MAPPER dispatch (paper Fig 3): pick the mapping strategy from
     the LaRCS analyses and produce a complete routed mapping.
 
-    Priority: declared/detected nameable family → canned lookup;
-    affine communication on a lattice + mesh-like target → systolic
-    space-time placement; bijective phases forming a Cayley graph →
-    group-theoretic contraction; otherwise MWM-Contract.  Embedding
-    uses the canned placement or NN-Embed, and routing uses MM-Route
-    (or the oblivious deterministic router on request). *)
+    The dispatch itself lives in the mapper library as a strategy
+    registry composed with embedding/refinement/routing passes
+    ({!Oregami_mapper.Strategy}, {!Oregami_mapper.Pipeline}); this
+    module is the thin orchestrator that builds the shared
+    {!Oregami_mapper.Ctx.t}, selects strategies from the options, and
+    supplies the METRICS completion-time model as the judge for the
+    competing tier.
 
-type routing = Mm_route | Oblivious
+    Priority under default options (identical to the original
+    monolithic driver): declared/detected nameable family → canned
+    lookup; affine communication on a lattice + mesh-like target →
+    systolic space-time placement; bijective phases forming a Cayley
+    graph → group-theoretic contraction; otherwise MWM-Contract,
+    tiling, and block candidates compete under the completion model.
+    Embedding uses the canned placement or NN-Embed, and routing uses
+    MM-Route (or the oblivious deterministic router on request). *)
 
-type options = {
+type routing = Oregami_mapper.Ctx.routing = Mm_route | Oblivious
+
+type options = Oregami_mapper.Ctx.options = {
   b : int option;  (** load-balance bound B for MWM-Contract *)
   routing : routing;
   route_cap : int;  (** candidate shortest routes per pair *)
@@ -18,25 +28,47 @@ type options = {
   allow_group : bool;
   allow_systolic : bool;
   refine : bool;  (** pairwise-interchange improvement of the embedding *)
+  seed : int;  (** RNG seed for randomized strategies *)
+  only : string list;
+      (** restrict to these registry names; all compete on score *)
+  exclude : string list;  (** registry names to drop *)
 }
 
 val default_options : options
+
+val report :
+  ?options:options ->
+  Oregami_larcs.Compile.compiled ->
+  Oregami_topology.Topology.t ->
+  (Oregami_mapper.Mapping.t, string) result * Oregami_mapper.Stats.t
+(** Full pipeline from a compiled LaRCS program, returning the mapping
+    (which always passes [Mapping.validate]) together with the per-pass
+    statistics sink — strategies tried/rejected with reasons, candidate
+    scores, matching rounds, refinement swaps, Distcache builds, wall
+    time.  On [Error] the stats' [rejections] explain why every
+    strategy declined. *)
+
+val report_taskgraph :
+  ?options:options ->
+  Oregami_taskgraph.Taskgraph.t ->
+  Oregami_topology.Topology.t ->
+  (Oregami_mapper.Mapping.t, string) result * Oregami_mapper.Stats.t
+(** Same pipeline for a bare task graph (no AST-level affine analysis;
+    family detection and the group path still apply). *)
 
 val map_compiled :
   ?options:options ->
   Oregami_larcs.Compile.compiled ->
   Oregami_topology.Topology.t ->
   (Oregami_mapper.Mapping.t, string) result
-(** Full pipeline from a compiled LaRCS program.  The produced mapping
-    always passes [Mapping.validate]. *)
+(** [report] without the stats. *)
 
 val map_taskgraph :
   ?options:options ->
   Oregami_taskgraph.Taskgraph.t ->
   Oregami_topology.Topology.t ->
   (Oregami_mapper.Mapping.t, string) result
-(** Same dispatch for a bare task graph (no AST-level affine analysis;
-    family detection and the group path still apply). *)
+(** [report_taskgraph] without the stats. *)
 
 val strategy_preview :
   Oregami_larcs.Compile.compiled -> Oregami_topology.Topology.t -> string

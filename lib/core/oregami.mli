@@ -7,6 +7,8 @@
       compiler, regularity analyses);
     - {!Mapper} — contraction / embedding / routing algorithms
       (canned, group-theoretic, MWM-Contract, NN-Embed, MM-Route);
+    - {!Strategy} / {!Pipeline} / {!Ctx} / {!Stats} — the strategy
+      registry and pass pipeline the dispatch is built from;
     - {!Driver} — the Fig 3 strategy dispatch;
     - {!Metrics} / {!Netsim} / {!Render} / {!Edit} — the METRICS
       analysis, simulation, display and modification loop;
@@ -30,6 +32,24 @@ module Phase_expr = Oregami_taskgraph.Phase_expr
 module Larcs = Oregami_larcs
 module Mapper = Oregami_mapper
 module Mapping = Oregami_mapper.Mapping
+
+module Ctx = Oregami_mapper.Ctx
+(** Shared mapping context (program, analysis, topology, Distcache,
+    RNG, options, stats sink) threaded through every pipeline pass. *)
+
+module Strategy = Oregami_mapper.Strategy
+(** The strategy registry behind the Fig 3 dispatch — every producer
+    (canned, systolic, group, MWM, tiled, blocks, KL, Stone, naive
+    baselines) under one uniform signature. *)
+
+module Pipeline = Oregami_mapper.Pipeline
+(** Strategy competition composed with the embedding / refinement /
+    routing passes. *)
+
+module Stats = Oregami_mapper.Stats
+(** Per-pass instrumentation: attempts, rejection reasons, candidate
+    scores, matching rounds, refine swaps, Distcache builds. *)
+
 module Driver = Driver
 module Remap = Remap
 module Metrics = Oregami_metrics.Metrics

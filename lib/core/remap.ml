@@ -82,12 +82,22 @@ let plan ?options ?(migration_volume = 8) tg topo =
   let regimes = split_regimes tg.Taskgraph.expr in
   let* regime_mappings =
     List.fold_left
-      (fun acc r ->
-        let* l = acc in
-        let* sub = sub_taskgraph tg r.rg_expr in
-        let* m = Driver.map_taskgraph ?options sub topo in
-        Ok ((r, m) :: l))
-      (Ok []) regimes
+      (fun (i, acc) r ->
+        let tagged res =
+          (* say which regime failed: "regime 2 (shift,gather): ..." *)
+          Result.map_error
+            (fun e ->
+              Printf.sprintf "regime %d (%s): %s" i
+                (String.concat "," r.rg_comms) e)
+            res
+        in
+        ( i + 1,
+          let* l = acc in
+          let* sub = tagged (sub_taskgraph tg r.rg_expr) in
+          let* m = tagged (Driver.map_taskgraph ?options sub topo) in
+          Ok ((r, m) :: l) ))
+      (1, Ok []) regimes
+    |> snd
   in
   let regime_mappings = List.rev regime_mappings in
   let regime_makespans =

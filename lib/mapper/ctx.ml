@@ -1,0 +1,86 @@
+module Compile = Oregami_larcs.Compile
+module Analyze = Oregami_larcs.Analyze
+module Taskgraph = Oregami_taskgraph.Taskgraph
+module Topology = Oregami_topology.Topology
+module Distcache = Oregami_topology.Distcache
+module Rng = Oregami_prelude.Rng
+
+type routing = Mm_route | Oblivious
+
+type options = {
+  b : int option;
+  routing : routing;
+  route_cap : int;
+  allow_canned : bool;
+  allow_group : bool;
+  allow_systolic : bool;
+  refine : bool;
+  seed : int;
+  only : string list;
+  exclude : string list;
+}
+
+let default_options =
+  {
+    b = None;
+    routing = Mm_route;
+    route_cap = 64;
+    allow_canned = true;
+    allow_group = true;
+    allow_systolic = true;
+    refine = true;
+    seed = 2026;
+    only = [];
+    exclude = [];
+  }
+
+type t = {
+  compiled : Compile.compiled option;
+  analysis : Analyze.t option Lazy.t;
+  tg : Taskgraph.t;
+  topo : Topology.t;
+  dist : Distcache.t;
+  static : Oregami_graph.Ugraph.t Lazy.t;
+  rng : Rng.t;
+  options : options;
+  stats : Stats.t;
+}
+
+let make ?(options = default_options) ?compiled tg topo =
+  {
+    compiled;
+    analysis = lazy (Option.map Analyze.analyze compiled);
+    tg;
+    topo;
+    (* warm the topology's distance cache up front: every strategy
+       shares the one hop matrix (built in parallel for large
+       networks) instead of racing to build it mid-evaluation *)
+    dist = Distcache.hops topo;
+    static = lazy (Taskgraph.static_graph tg);
+    rng = Rng.create options.seed;
+    options;
+    stats = Stats.create ();
+  }
+
+let of_compiled ?options compiled topo =
+  make ?options ~compiled compiled.Compile.graph topo
+
+let of_taskgraph ?options tg topo = make ?options tg topo
+
+let analysis ctx = Lazy.force ctx.analysis
+let static ctx = Lazy.force ctx.static
+
+let mesh_dims ctx =
+  match ctx.compiled with
+  | None -> None
+  | Some compiled -> begin
+    match compiled.Compile.spaces with
+    | [ space ] -> begin
+      match space.Compile.dims with
+      | [ (l1, h1); (l2, h2) ] -> Some [ h1 - l1 + 1; h2 - l2 + 1 ]
+      | _ -> None
+    end
+    | [] | _ :: _ :: _ -> None
+  end
+
+let procs ctx = Topology.node_count ctx.topo

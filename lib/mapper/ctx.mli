@@ -1,0 +1,76 @@
+(** The shared mapping context: everything a mapping strategy may
+    consult, built once per pipeline run and threaded uniformly through
+    every pass instead of the seed driver's ad-hoc
+    [(tg, topo, options)] argument plumbing.
+
+    Holds the compiled LaRCS program (when mapping started from
+    source), the lazily-computed regularity analysis, the task graph
+    and its static cluster graph, the target topology with its
+    pre-warmed {!Oregami_topology.Distcache} hop matrix, a
+    deterministic RNG for randomized strategies, the option record,
+    and the {!Stats} sink every pass reports into. *)
+
+type routing = Mm_route | Oblivious
+
+type options = {
+  b : int option;  (** load-balance bound B for MWM-Contract *)
+  routing : routing;
+  route_cap : int;  (** candidate shortest routes per pair *)
+  allow_canned : bool;
+  allow_group : bool;
+  allow_systolic : bool;
+  refine : bool;  (** pairwise-interchange improvement of the embedding *)
+  seed : int;
+      (** seed for the context RNG — the only randomness source a
+          registered strategy may draw from *)
+  only : string list;
+      (** when non-empty, restrict the registry to these strategy
+          names and let {e all} of them compete under the completion
+          model (no dispatch short-circuit) *)
+  exclude : string list;  (** strategy names to drop from the registry *)
+}
+
+val default_options : options
+(** Same defaults as the seed driver ([b = None], MM-Route, cap 64,
+    all dispatch paths allowed, refinement on), [seed = 2026], no
+    selection restrictions. *)
+
+type t = {
+  compiled : Oregami_larcs.Compile.compiled option;
+      (** [None] when mapping a bare task graph *)
+  analysis : Oregami_larcs.Analyze.t option Lazy.t;
+      (** forced at most once, by the first strategy that needs it *)
+  tg : Oregami_taskgraph.Taskgraph.t;
+  topo : Oregami_topology.Topology.t;
+  dist : Oregami_topology.Distcache.t;  (** pre-warmed hop matrix *)
+  static : Oregami_graph.Ugraph.t Lazy.t;
+      (** [Taskgraph.static_graph tg], computed at most once *)
+  rng : Oregami_prelude.Rng.t;  (** seeded from [options.seed] *)
+  options : options;
+  stats : Stats.t;
+}
+
+val of_compiled :
+  ?options:options ->
+  Oregami_larcs.Compile.compiled ->
+  Oregami_topology.Topology.t ->
+  t
+
+val of_taskgraph :
+  ?options:options ->
+  Oregami_taskgraph.Taskgraph.t ->
+  Oregami_topology.Topology.t ->
+  t
+
+val analysis : t -> Oregami_larcs.Analyze.t option
+(** Forces the lazy analysis ([None] for bare task graphs). *)
+
+val static : t -> Oregami_graph.Ugraph.t
+
+val mesh_dims : t -> int list option
+(** The task-side 2-D lattice shape when the compiled program declares
+    a single 2-D node space ([None] otherwise or without a compiled
+    program) — the [dims] hint the canned and tiled strategies use. *)
+
+val procs : t -> int
+(** [Topology.node_count topo]. *)

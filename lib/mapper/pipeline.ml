@@ -1,0 +1,162 @@
+module Taskgraph = Oregami_taskgraph.Taskgraph
+module Distcache = Oregami_topology.Distcache
+module Ugraph = Oregami_graph.Ugraph
+
+let now () = Unix.gettimeofday ()
+
+(* embedding pass: candidates that carry no placement get NN-Embed on
+   their cluster graph, then pairwise-interchange refinement *)
+let place ctx (cand : Strategy.candidate) =
+  match cand.Strategy.placement with
+  | Strategy.Placed proc_of_cluster -> proc_of_cluster
+  | Strategy.Embed ->
+    let cg = Ugraph.create cand.Strategy.clusters in
+    List.iter
+      (fun (u, v, w) ->
+        let cu = cand.Strategy.cluster_of.(u) and cv = cand.Strategy.cluster_of.(v) in
+        if cu <> cv then Ugraph.add_edge ~w cg cu cv)
+      (Ugraph.edges (Ctx.static ctx));
+    let proc_of_cluster = Nn_embed.embed cg ctx.Ctx.topo in
+    if ctx.Ctx.options.Ctx.refine then begin
+      let swaps = ref 0 in
+      let refined = Refine.improve_embedding ~swaps cg ctx.Ctx.topo proc_of_cluster in
+      Stats.add_refine_swaps ctx.Ctx.stats !swaps;
+      refined
+    end
+    else proc_of_cluster
+
+(* routing pass + structural validation *)
+let finish ctx (cand : Strategy.candidate) proc_of_cluster =
+  let tg = ctx.Ctx.tg in
+  let n = tg.Taskgraph.n in
+  let cluster_of = cand.Strategy.cluster_of in
+  let proc_of_task = Array.init n (fun t -> proc_of_cluster.(cluster_of.(t))) in
+  let routings =
+    match ctx.Ctx.options.Ctx.routing with
+    | Ctx.Mm_route ->
+      let routings, rstats =
+        Route.mm_route ~cap:ctx.Ctx.options.Ctx.route_cap tg ctx.Ctx.topo ~proc_of_task
+      in
+      Stats.add_matching_rounds ctx.Ctx.stats
+        (List.fold_left (fun acc (_, rounds) -> acc + rounds) 0 rstats.Route.phases);
+      routings
+    | Ctx.Oblivious -> Route.deterministic_route tg ctx.Ctx.topo ~proc_of_task
+  in
+  let m =
+    {
+      Mapping.tg;
+      topo = ctx.Ctx.topo;
+      cluster_of;
+      proc_of_cluster;
+      routings;
+      strategy = cand.Strategy.label;
+    }
+  in
+  match Mapping.validate m with
+  | Ok () -> Ok m
+  | Error e -> Error ("mapping failed validation: " ^ e)
+
+(* run one strategy: availability gate, then timed production; every
+   outcome lands in the stats sink *)
+let run_strategy ctx (s : Strategy.t) =
+  let stats = ctx.Ctx.stats in
+  match s.Strategy.available ctx with
+  | Error reason ->
+    Stats.record_attempt stats ~strategy:s.Strategy.name
+      ~outcome:(Stats.Skipped reason) ~seconds:0.0;
+    []
+  | Ok () -> begin
+    let t0 = now () in
+    let produced = s.Strategy.produce ctx in
+    let dt = now () -. t0 in
+    match produced with
+    | Error reason ->
+      Stats.record_attempt stats ~strategy:s.Strategy.name
+        ~outcome:(Stats.Rejected reason) ~seconds:dt;
+      []
+    | Ok [] ->
+      Stats.record_attempt stats ~strategy:s.Strategy.name
+        ~outcome:(Stats.Rejected "produced no candidates") ~seconds:dt;
+      []
+    | Ok cands ->
+      Stats.record_attempt stats ~strategy:s.Strategy.name
+        ~outcome:(Stats.Produced (List.length cands)) ~seconds:dt;
+      List.map (fun c -> (s.Strategy.name, c)) cands
+  end
+
+let no_strategy_error stats =
+  match Stats.rejections stats with
+  | [] -> "no mapping strategy was selected"
+  | rs ->
+    "no mapping strategy produced a valid candidate: "
+    ^ String.concat "; " (List.map (fun (s, r) -> s ^ ": " ^ r) rs)
+
+let compete ~score ctx strategies =
+  let stats = ctx.Ctx.stats in
+  let t0 = now () in
+  let result =
+    let dispatch, competing =
+      (* --only means a pure portfolio competition: no short-circuit *)
+      if ctx.Ctx.options.Ctx.only <> [] then ([], strategies)
+      else List.partition (fun s -> s.Strategy.tier = Strategy.Dispatch) strategies
+    in
+    let rec first_dispatch = function
+      | [] -> None
+      | s :: rest -> begin
+        match run_strategy ctx s with
+        | [] -> first_dispatch rest
+        | c :: _ -> Some c
+      end
+    in
+    match first_dispatch dispatch with
+    | Some (name, cand) -> begin
+      (* dispatch tier short-circuits: route and validate the winner *)
+      match finish ctx cand (place ctx cand) with
+      | Ok m ->
+        let cr =
+          Stats.record_candidate stats ~strategy:name ~label:cand.Strategy.label
+            ~score:None ~ok:true ~note:""
+        in
+        Stats.mark_winner stats cr;
+        Ok m
+      | Error e ->
+        let (_ : Stats.candidate) =
+          Stats.record_candidate stats ~strategy:name ~label:cand.Strategy.label
+            ~score:None ~ok:false ~note:e
+        in
+        Error e
+    end
+    | None -> begin
+      (* competing tier: embed/route/validate every candidate, judge by
+         the completion model, stable minimum (registry order breaks
+         ties) — the automated form of the paper's §5 loop *)
+      let best = ref None in
+      List.iter
+        (fun (name, cand) ->
+          match finish ctx cand (place ctx cand) with
+          | Error e ->
+            let (_ : Stats.candidate) =
+              Stats.record_candidate stats ~strategy:name ~label:cand.Strategy.label
+                ~score:None ~ok:false ~note:e
+            in
+            ()
+          | Ok m ->
+            let s = score m in
+            let cr =
+              Stats.record_candidate stats ~strategy:name ~label:cand.Strategy.label
+                ~score:(Some s) ~ok:true ~note:""
+            in
+            (match !best with
+            | Some (best_s, _, _) when best_s <= s -> ()
+            | Some _ | None -> best := Some (s, m, cr)))
+        (List.concat_map (run_strategy ctx) competing);
+      match !best with
+      | Some (_, m, cr) ->
+        Stats.mark_winner stats cr;
+        Ok m
+      | None -> Error (no_strategy_error stats)
+    end
+  in
+  Stats.add_seconds stats (now () -. t0);
+  Stats.set_hop_builds stats (Distcache.hop_builds ctx.Ctx.topo);
+  result

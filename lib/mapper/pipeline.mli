@@ -1,0 +1,47 @@
+(** The mapping pipeline: run a strategy selection over a shared
+    {!Ctx.t}, compose each candidate with the embedding, refinement,
+    and routing passes, judge the survivors, and keep the best mapping.
+
+    Semantics (exactly the seed driver's Fig 3 dispatch under default
+    options):
+
+    - [Dispatch]-tier strategies are tried in registry order; the first
+      one that produces a candidate wins outright (no scoring).
+    - Otherwise every [Compete]-tier candidate is embedded
+      (NN-Embed + pairwise-interchange refinement for [Embed]
+      placements), routed (MM-Route or the oblivious router), validated,
+      and scored with [score] (the driver passes the METRICS
+      completion-time model); the best score wins, ties broken by
+      registry order then emission order.
+    - When [ctx.options.only] is non-empty the dispatch tier is
+      disabled and {e all} selected strategies compete on score — the
+      portfolio-ablation mode.
+
+    Every pass reports into [ctx.stats]: attempts with
+    produced/rejected/skipped outcomes and wall time, candidate scores
+    and validity, MM-Route matching rounds, refinement swaps, and the
+    topology's {!Oregami_topology.Distcache} hop-matrix build count.
+
+    The scoring function is a parameter (rather than a call into
+    METRICS) because [oregami_metrics] sits above this library in the
+    dependency order. *)
+
+val place : Ctx.t -> Strategy.candidate -> int array
+(** The embedding pass: a [Placed] candidate's own placement, or
+    NN-Embed over the candidate's cluster graph followed by
+    pairwise-interchange refinement when [ctx.options.refine] — swap
+    counts land in [ctx.stats]. *)
+
+val finish :
+  Ctx.t -> Strategy.candidate -> int array -> (Mapping.t, string) result
+(** The routing pass: route the placed candidate with the configured
+    router (recording matching rounds) and validate the mapping. *)
+
+val compete :
+  score:(Mapping.t -> int) ->
+  Ctx.t ->
+  Strategy.t list ->
+  (Mapping.t, string) result
+(** Run the full pipeline.  [Error] carries an aggregate of every
+    strategy's rejection reason (also available structured via
+    [Stats.rejections ctx.stats]). *)

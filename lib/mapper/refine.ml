@@ -11,7 +11,8 @@ let cluster_cost dc cg proc_of c p =
     (fun acc (d, w) -> if d = c then acc else acc + (w * Distcache.hop dc p proc_of.(d)))
     0 (Ugraph.neighbors cg c)
 
-let improve_embedding ?(max_rounds = 10) cg topo proc_of_cluster =
+let improve_embedding ?(max_rounds = 10) ?swaps cg topo proc_of_cluster =
+  let accepted () = match swaps with Some r -> incr r | None -> () in
   let k = Ugraph.node_count cg in
   let p = Topology.node_count topo in
   let dc = Distcache.hops topo in
@@ -36,7 +37,8 @@ let improve_embedding ?(max_rounds = 10) cg topo proc_of_cluster =
               occupant.(pc) <- -1;
               occupant.(target) <- c;
               proc_of.(c) <- target;
-              improved := true
+              improved := true;
+              accepted ()
             end
           | d ->
             (* swap clusters c and d; edge c-d keeps its length *)
@@ -52,7 +54,8 @@ let improve_embedding ?(max_rounds = 10) cg topo proc_of_cluster =
             if after < before then begin
               occupant.(pc) <- d;
               occupant.(pd) <- c;
-              improved := true
+              improved := true;
+              accepted ()
             end
             else begin
               proc_of.(c) <- pc;

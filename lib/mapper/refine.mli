@@ -9,12 +9,15 @@
 
 val improve_embedding :
   ?max_rounds:int ->
+  ?swaps:int ref ->
   Oregami_graph.Ugraph.t ->
   Oregami_topology.Topology.t ->
   int array ->
   int array
 (** [improve_embedding cg topo proc_of_cluster] returns an embedding
-    with objective ≤ the input's ([max_rounds] defaults to 10). *)
+    with objective ≤ the input's ([max_rounds] defaults to 10).
+    When [swaps] is given it is incremented once per accepted move or
+    swap — the pipeline's per-pass instrumentation. *)
 
 val objective :
   Oregami_graph.Ugraph.t -> Oregami_topology.Topology.t -> int array -> int

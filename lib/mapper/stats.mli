@@ -1,0 +1,98 @@
+(** Per-pass instrumentation for the mapping pipeline — the paper's §5
+    inspect-and-modify loop needs to answer not just {e what} mapping
+    was produced but {e why}: which strategies were tried, which were
+    rejected and for what reason, how long each took, how the
+    candidates scored under the METRICS completion model, and how much
+    work the matching/refinement/distance machinery did.
+
+    One sink is threaded through every pass of a {!Pipeline.compete}
+    run (it lives on the {!Ctx.t}); [oregami map --explain] renders it
+    as a human table plus an s-expression dump.
+
+    All counts are deterministic for a fixed program, topology, and
+    options (including the RNG seed); only the wall-clock times vary
+    between runs — {!counters} deliberately excludes them so tests can
+    assert reproducibility. *)
+
+type outcome =
+  | Produced of int  (** candidates emitted *)
+  | Rejected of string  (** the strategy declined, with its reason *)
+  | Skipped of string  (** filtered before running (options gate) *)
+
+type attempt = {
+  at_strategy : string;  (** registry name *)
+  at_outcome : outcome;
+  at_seconds : float;  (** wall time spent producing (0 when skipped) *)
+}
+
+type candidate = {
+  cd_strategy : string;  (** registry name of the producer *)
+  cd_label : string;  (** mapping strategy label, e.g. ["canned:mesh"] *)
+  cd_score : int option;
+      (** METRICS completion-time model; [None] for dispatch-tier
+          winners, which short-circuit without scoring *)
+  cd_ok : bool;  (** routed and passed [Mapping.validate] *)
+  cd_note : string;  (** validation failure text, [""] otherwise *)
+  mutable cd_winner : bool;
+}
+
+type t
+
+val create : unit -> t
+
+(** {1 Recording (used by the pipeline passes)} *)
+
+val record_attempt :
+  t -> strategy:string -> outcome:outcome -> seconds:float -> unit
+
+val record_candidate :
+  t ->
+  strategy:string ->
+  label:string ->
+  score:int option ->
+  ok:bool ->
+  note:string ->
+  candidate
+(** Returns the (mutable) record so the pipeline can mark the winner. *)
+
+val mark_winner : t -> candidate -> unit
+
+val add_matching_rounds : t -> int -> unit
+val add_refine_swaps : t -> int -> unit
+val set_hop_builds : t -> int -> unit
+val add_seconds : t -> float -> unit
+
+(** {1 Reading} *)
+
+val attempts : t -> attempt list
+(** Chronological. *)
+
+val candidates : t -> candidate list
+(** Chronological. *)
+
+val winner : t -> (string * string) option
+(** [(registry name, mapping label)] of the winning candidate. *)
+
+val rejections : t -> (string * string) list
+(** [(strategy, reason)] for every rejected or skipped attempt and
+    every candidate that failed validation, chronological — the
+    payload for a "no strategy applies" error. *)
+
+val matching_rounds : t -> int
+val refine_swaps : t -> int
+val hop_builds : t -> int
+val total_seconds : t -> float
+
+val counters : t -> (string * int) list
+(** Every deterministic counter as labelled pairs (attempt/candidate
+    tallies, matching rounds, refine swaps, Distcache hop builds) —
+    the reproducibility surface for the determinism test. *)
+
+(** {1 Rendering} *)
+
+val to_table : t -> string
+(** Human-readable tables: attempts (strategy, outcome, time, reason),
+    candidates (label, score, validity, winner), then the counters. *)
+
+val to_sexp : t -> string
+(** The whole sink as one s-expression, for tooling. *)

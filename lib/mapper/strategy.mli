@@ -1,0 +1,66 @@
+(** The strategy registry behind the MAPPER dispatch (paper Fig 3).
+
+    Every mapping-producing algorithm in the repository is registered
+    here with a uniform shape: a name, a tier, a cheap availability
+    gate, and a producer over the shared {!Ctx.t}.  A producer either
+    declines with a reason (recorded by the pipeline in {!Stats}) or
+    emits one or more {e candidates} — contractions with either a
+    strategy-supplied placement or a request for the shared
+    NN-Embed/refine pass.  Most strategies emit exactly one candidate;
+    [tiled] emits one per feasible processor-grid factorization, which
+    is why producers return a list.
+
+    Tiers reproduce the seed dispatch exactly: [Dispatch] strategies
+    (canned, systolic, group) short-circuit — the first one that
+    produces wins without scoring — while [Compete] strategies are all
+    routed and judged under the METRICS completion model.  When
+    [options.only] is non-empty the tiers are ignored and every
+    selected strategy competes on score. *)
+
+type placement =
+  | Placed of int array
+      (** the strategy supplies [proc_of_cluster] itself (canned
+          entries, systolic projections, naive baselines) *)
+  | Embed
+      (** the pipeline's embedding pass places the clusters with
+          NN-Embed (+ pairwise-interchange refinement when enabled) *)
+
+type candidate = {
+  label : string;  (** becomes [Mapping.strategy], e.g. ["mwm+nn"] *)
+  clusters : int;  (** dense cluster count *)
+  cluster_of : int array;  (** task → cluster *)
+  placement : placement;
+}
+
+type tier = Dispatch | Compete
+
+type t = {
+  name : string;  (** registry key, used by [--only] / [--exclude] *)
+  tier : tier;
+  default_on : bool;
+      (** participates without [--only]; the Kl, Stone, and naive
+          baseline entries are off by default so the seed's E8/E11
+          outputs are unchanged *)
+  doc : string;  (** one-line description *)
+  available : Ctx.t -> (unit, string) result;
+      (** cheap applicability/option gate, checked before [produce] *)
+  produce : Ctx.t -> (candidate list, string) result;
+      (** [Error reason] when the strategy declines; [Ok] lists are
+          non-empty *)
+}
+
+val registry : unit -> t list
+(** All strategies in dispatch-priority order: canned, systolic,
+    group (dispatch tier); mwm, tiled, blocks (competing, on by
+    default); kl, stone, random, naive-block, round-robin (competing,
+    off by default).  The order is also the stable tie-break for equal
+    completion scores. *)
+
+val names : unit -> string list
+
+val find : string -> t option
+
+val select : Ctx.options -> (t list, string) result
+(** The registry filtered by [options.only] / [options.exclude]
+    (validating the names), defaulting to the [default_on] entries.
+    Errors when a name is unknown or the selection is empty. *)

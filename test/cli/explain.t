@@ -1,0 +1,84 @@
+The --explain flag dumps the pipeline statistics after the mapping:
+which strategies were tried, why the others were rejected, candidate
+scores under the completion model, and the pass counters.  Wall-clock
+columns vary between runs, so every decimal is filtered.
+
+  $ oregami map voting -t hypercube:2 --explain | sed -E 's/[0-9]+\.[0-9]+/*/g'
+  mapping "voting" onto hypercube(2) via group-theoretic
+    8 tasks -> 4 clusters -> 4 processors
+    routed edges: 16, dilation max 2 avg *
+  
+  metric                             value
+  -----------------------  ---------------
+  strategy                 group-theoretic
+  tasks                                  8
+  clusters                               4
+  processors                             4
+  max tasks/proc                         2
+  load imbalance                     *
+  total IPC volume                      16
+  dilation (max)                         2
+  dilation (avg)                     *
+  max link contention                    5
+  completion time (model)               24
+  
+  strategy attempts:
+  strategy     outcome     ms                                           detail
+  --------  ----------  -----  -----------------------------------------------
+  canned      rejected  *             no declared or detected graph family
+  systolic    rejected  *  communication is not affine on a single lattice
+  group     produced 1  *
+  candidates (score = METRICS completion-time model):
+  strategy          mapping  score  valid
+  --------  ---------------  -----  -----  ----------
+  group     group-theoretic      -    yes  <-- winner
+  pipeline counters:
+  counter               value
+  --------------------  -----
+  attempts                  3
+  produced                  1
+  rejected                  2
+  skipped                   0
+  candidates                1
+  valid candidates          1
+  matching rounds           9
+  refine swaps              0
+  distcache hop builds      1
+  total pipeline time: * ms
+  
+  (pipeline-stats
+   (attempts
+    ((strategy canned) (outcome (rejected "no declared or detected graph family")) (seconds *))
+    ((strategy systolic) (outcome (rejected "communication is not affine on a single lattice")) (seconds *))
+    ((strategy group) (outcome (produced 1)) (seconds *)))
+   (candidates
+    ((strategy group) (mapping "group-theoretic") (score ()) (valid true) (winner true)))
+   (counters (attempts 3) (produced 1) (rejected 2) (skipped 0) (candidates 1) (valid-candidates 1) (matching-rounds 9) (refine-swaps 0) (distcache-hop-builds 1))
+   (winner ((strategy group) (mapping "group-theoretic")))
+   (seconds *))
+
+Restricting the registry turns the dispatch into a scored portfolio:
+
+  $ oregami map nbody -t hypercube:3 --only mwm | head -3
+  mapping "nbody" onto hypercube(3) via mwm+nn
+    15 tasks -> 8 clusters -> 8 processors
+    routed edges: 23, dilation max 3 avg 1.652
+
+Excluding a strategy removes it from the selection:
+
+  $ oregami map fft -p d=3 -t hypercube:3 --exclude canned | head -1
+  mapping "fft" onto hypercube(3) via group-theoretic
+
+When no selected strategy applies, the exit is non-zero and stderr
+carries the per-strategy rejection reasons:
+
+  $ oregami map nbody -t ring:8 --only canned
+  oregami: no mapping strategy produced a valid candidate: canned: no declared or detected graph family
+  oregami:   canned: no declared or detected graph family
+  [1]
+
+Unknown strategy names are rejected up front:
+
+  $ oregami map nbody -t ring:8 --only nosuch
+  oregami: unknown strategies: nosuch (known: canned, systolic, group, mwm, tiled, blocks, kl, stone, random, naive-block, round-robin)
+  [1]
