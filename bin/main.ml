@@ -35,11 +35,11 @@ let collect_bindings raw =
       | _, (Error _ as e) -> (match e with Ok _ -> assert false | Error m -> Error m))
     (Ok []) raw
 
-let or_die = function
-  | Ok v -> v
-  | Error m ->
-    Printf.eprintf "oregami: %s\n" m;
-    exit 1
+let die ?(code = 1) m =
+  Printf.eprintf "oregami: %s\n" m;
+  exit code
+
+let or_die = function Ok v -> v | Error m -> die m
 
 (* common args *)
 let input_arg =
@@ -60,8 +60,66 @@ let routing_arg =
   let doc = "Routing algorithm: $(b,mm) (MM-Route) or $(b,oblivious)." in
   Arg.(value & opt string "mm" & info [ "routing" ] ~docv:"ALG" ~doc)
 
+(* fault injection *)
+let kill_procs_arg =
+  let doc =
+    "Kill these processors (comma-separated ids).  With $(b,--fault-seed) the \
+     value is instead a $(i,count) of randomly drawn dead processors."
+  in
+  Arg.(value & opt (some string) None & info [ "kill-procs" ] ~docv:"IDS|N" ~doc)
+
+let kill_links_arg =
+  let doc =
+    "Kill these links (comma-separated ids, see $(b,topo) for the numbering).  \
+     With $(b,--fault-seed) the value is instead a $(i,count) of randomly drawn \
+     dead links."
+  in
+  Arg.(value & opt (some string) None & info [ "kill-links" ] ~docv:"IDS|N" ~doc)
+
+let fault_seed_arg =
+  let doc =
+    "Draw the $(b,--kill-procs)/$(b,--kill-links) faults at random from this \
+     seed instead of reading them as explicit ids."
+  in
+  Arg.(value & opt (some int) None & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+
+let fault_set ~kill_procs ~kill_links ~fault_seed topology =
+  match (kill_procs, kill_links, fault_seed) with
+  | None, None, None -> Faults.none
+  | _, _, Some seed ->
+    let count flag = function
+      | None -> 0
+      | Some s -> begin
+        match int_of_string_opt s with
+        | Some n when n >= 0 -> n
+        | Some _ | None ->
+          die (Printf.sprintf "with --fault-seed, %s wants a count, got %S" flag s)
+      end
+    in
+    or_die
+      (Faults.random (Prelude.Rng.create seed)
+         ~procs:(count "--kill-procs" kill_procs)
+         ~links:(count "--kill-links" kill_links)
+         topology)
+  | _, _, None ->
+    let ids = function None -> [] | Some s -> or_die (Faults.parse_ids s) in
+    or_die (Faults.make ~procs:(ids kill_procs) ~links:(ids kill_links) topology)
+
+(* degrade the target topology, or_die-ing on disconnection (with the
+   surviving partitions named) *)
+let degraded_target topology faults =
+  if Faults.is_empty faults then (topology, faults)
+  else begin
+    let view = or_die (Faults.degrade topology faults) in
+    Printf.printf "injected faults: %s\n\n" (Faults.describe faults);
+    (view.Faults.topo, faults)
+  end
+
 let load ~input ~params =
-  let source, default_bindings = or_die (read_source input) in
+  (* a missing or unreadable program file is a usage error: exit 2 *)
+  let source, default_bindings =
+    match read_source input with Ok v -> v | Error m -> die ~code:2 m
+  in
   let bindings = or_die (collect_bindings params) in
   let bindings =
     bindings @ List.filter (fun (k, _) -> not (List.mem_assoc k bindings)) default_bindings
@@ -91,7 +149,9 @@ let mapping_of ~input ~params ~topo ~routing =
 (* subcommands *)
 let parse_cmd =
   let run input =
-    let source, _ = or_die (read_source input) in
+    let source, _ =
+      match read_source input with Ok v -> v | Error m -> die ~code:2 m
+    in
     let p = or_die (Larcs.Parser.parse source) in
     print_string (Larcs.Pretty.program p)
   in
@@ -118,12 +178,15 @@ let analyze_cmd =
     Term.(const run $ input_arg $ params_arg)
 
 let map_cmd =
-  let run input params topo routing only exclude explain =
+  let run input params topo routing only exclude explain kill_procs kill_links
+      fault_seed =
     let compiled = compile ~input ~params in
     let kind = or_die (Topology.parse topo) in
     let topology = Topology.make kind in
+    let faults = fault_set ~kill_procs ~kill_links ~fault_seed topology in
+    let topology, faults = degraded_target topology faults in
     let options = options_of ~routing ~only ~exclude in
-    match Driver.report ~options compiled topology with
+    match Driver.report ~options ~faults compiled topology with
     | Error e, stats ->
       Printf.eprintf "oregami: %s\n" e;
       List.iter
@@ -161,7 +224,8 @@ let map_cmd =
   in
   Cmd.v (Cmd.info "map" ~doc:"Map a program onto a topology and report METRICS")
     Term.(const run $ input_arg $ params_arg $ topo_arg $ routing_arg $ only_arg
-          $ exclude_arg $ explain_arg)
+          $ exclude_arg $ explain_arg $ kill_procs_arg $ kill_links_arg
+          $ fault_seed_arg)
 
 let render_cmd =
   let run input params topo routing svg_path =
@@ -202,22 +266,50 @@ let routes_cmd =
           $ timeline_arg)
 
 let simulate_cmd =
-  let run input params topo routing =
+  let run input params topo routing fault_at kill_procs kill_links fault_seed =
     let m, _ = mapping_of ~input ~params ~topo ~routing in
-    let r = Netsim.run m in
-    Prelude.Tab.print
-      ~header:[ "metric"; "value" ]
-      [
-        [ "simulated makespan"; string_of_int r.Netsim.makespan ];
-        [ "communication time"; string_of_int r.Netsim.comm_time ];
-        [ "execution time"; string_of_int r.Netsim.exec_time ];
-        [ "trace slots"; string_of_int (List.length r.Netsim.slot_times) ];
-        [ "deepest channel queue"; string_of_int r.Netsim.max_queue ];
-      ]
+    match fault_at with
+    | None ->
+      let r = Netsim.run m in
+      Prelude.Tab.print
+        ~header:[ "metric"; "value" ]
+        [
+          [ "simulated makespan"; string_of_int r.Netsim.makespan ];
+          [ "communication time"; string_of_int r.Netsim.comm_time ];
+          [ "execution time"; string_of_int r.Netsim.exec_time ];
+          [ "trace slots"; string_of_int (List.length r.Netsim.slot_times) ];
+          [ "deepest channel queue"; string_of_int r.Netsim.max_queue ];
+        ]
+    | Some at_slot ->
+      let faults = fault_set ~kill_procs ~kill_links ~fault_seed m.Mapping.topo in
+      let event =
+        { Netsim.at_slot; kill_procs = faults.Faults.procs; kill_links = faults.Faults.links }
+      in
+      let r = or_die (Netsim.run_with_fault m event) in
+      Printf.printf "fault at slot %d: %s\n\n" at_slot (Faults.describe faults);
+      Prelude.Tab.print
+        ~header:[ "metric"; "value" ]
+        [
+          [ "fault-free makespan"; string_of_int r.Netsim.rv_fault_free.Netsim.makespan ];
+          [ "pre-fault time"; string_of_int r.Netsim.rv_pre_time ];
+          [ "evacuation (migration)"; string_of_int r.Netsim.rv_migration_time ];
+          [ "post-repair time"; string_of_int r.Netsim.rv_post_time ];
+          [ "makespan with recovery"; string_of_int r.Netsim.rv_makespan ];
+          [ "recovery overhead"; string_of_int r.Netsim.rv_delta ];
+          [ "tasks evacuated"; string_of_int (Repair.moved r.Netsim.rv_repair) ];
+        ]
+  in
+  let fault_at_arg =
+    Arg.(value & opt (some int) None
+         & info [ "fault-at" ] ~docv:"SLOT"
+             ~doc:"Inject the $(b,--kill-procs)/$(b,--kill-links) faults after \
+                   this trace slot, repair the mapping, and report the recovery \
+                   cost against the fault-free run.")
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the store-and-forward network simulation of the mapping")
-    Term.(const run $ input_arg $ params_arg $ topo_arg $ routing_arg)
+    Term.(const run $ input_arg $ params_arg $ topo_arg $ routing_arg $ fault_at_arg
+          $ kill_procs_arg $ kill_links_arg $ fault_seed_arg)
 
 let aggregate_cmd =
   let run input params topo routing phase =
@@ -285,6 +377,51 @@ remapping %s
     (Cmd.info "remap"
        ~doc:"Compare one static mapping against per-regime mappings with migration")
     Term.(const run $ input_arg $ params_arg $ topo_arg)
+
+let repair_cmd =
+  let run input params topo kill_procs kill_links fault_seed =
+    let compiled = compile ~input ~params in
+    let kind = or_die (Topology.parse topo) in
+    let topology = Topology.make kind in
+    let faults = fault_set ~kill_procs ~kill_links ~fault_seed topology in
+    if Faults.is_empty faults then
+      die "nothing to repair (give --kill-procs and/or --kill-links)";
+    let r =
+      or_die (Remap.recover ~compiled compiled.Larcs.Compile.graph topology faults)
+    in
+    Printf.printf "faults: %s\n\n" (Faults.describe faults);
+    Prelude.Tab.print
+      ~header:[ "plan"; "tasks moved"; "migration"; "makespan" ]
+      [
+        [
+          Printf.sprintf "before faults (%s)" r.Remap.rc_base.Mapping.strategy;
+          "-"; "-";
+          string_of_int r.Remap.rc_base_makespan;
+        ];
+        [
+          "minimum-disruption repair";
+          string_of_int (Repair.moved r.Remap.rc_repair);
+          string_of_int r.Remap.rc_repair_migration;
+          string_of_int r.Remap.rc_repair_makespan;
+        ];
+        [
+          Printf.sprintf "from-scratch remap (%s)" r.Remap.rc_remap.Mapping.strategy;
+          string_of_int r.Remap.rc_remap_moved;
+          string_of_int r.Remap.rc_remap_migration;
+          string_of_int r.Remap.rc_remap_makespan;
+        ];
+      ];
+    Printf.printf "\n%s\n"
+      (if r.Remap.rc_repair_wins then
+         "repair wins: migration + steady state beats the from-scratch remap"
+       else "full remap wins: its better steady state repays the migration")
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:"Recover an existing mapping from processor/link failures and compare \
+             minimum-disruption repair against a from-scratch remap")
+    Term.(const run $ input_arg $ params_arg $ topo_arg $ kill_procs_arg
+          $ kill_links_arg $ fault_seed_arg)
 
 let systolic_cmd =
   let run spec max_pes =
@@ -379,6 +516,6 @@ let () =
        (Cmd.group ~default info
           [
             parse_cmd; dump_cmd; analyze_cmd; map_cmd; render_cmd; routes_cmd;
-            simulate_cmd; aggregate_cmd; remap_cmd; systolic_cmd; topo_cmd;
+            simulate_cmd; aggregate_cmd; remap_cmd; repair_cmd; systolic_cmd; topo_cmd;
             workloads_cmd;
           ]))

@@ -30,16 +30,16 @@ let run ctx =
   | Error e -> Error e
   | Ok selection -> Pipeline.compete ~score:Metrics.completion_time ctx selection
 
-let report ?(options = default_options) compiled topo =
-  let ctx = Ctx.of_compiled ~options compiled topo in
+let report ?(options = default_options) ?faults compiled topo =
+  let ctx = Ctx.of_compiled ~options ?faults compiled topo in
   (run ctx, ctx.Ctx.stats)
 
-let report_taskgraph ?(options = default_options) tg topo =
-  let ctx = Ctx.of_taskgraph ~options tg topo in
+let report_taskgraph ?(options = default_options) ?faults tg topo =
+  let ctx = Ctx.of_taskgraph ~options ?faults tg topo in
   (run ctx, ctx.Ctx.stats)
 
-let map_compiled ?options compiled topo = fst (report ?options compiled topo)
-let map_taskgraph ?options tg topo = fst (report_taskgraph ?options tg topo)
+let map_compiled ?options ?faults compiled topo = fst (report ?options ?faults compiled topo)
+let map_taskgraph ?options ?faults tg topo = fst (report_taskgraph ?options ?faults tg topo)
 
 let strategy_preview compiled topo =
   match map_compiled compiled topo with

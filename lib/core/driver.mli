@@ -38,6 +38,7 @@ val default_options : options
 
 val report :
   ?options:options ->
+  ?faults:Oregami_topology.Faults.t ->
   Oregami_larcs.Compile.compiled ->
   Oregami_topology.Topology.t ->
   (Oregami_mapper.Mapping.t, string) result * Oregami_mapper.Stats.t
@@ -46,10 +47,17 @@ val report :
     statistics sink — strategies tried/rejected with reasons, candidate
     scores, matching rounds, refinement swaps, Distcache builds, wall
     time.  On [Error] the stats' [rejections] explain why every
-    strategy declined. *)
+    strategy declined.
+
+    When targeting a degraded machine, pass the {e degraded} topology
+    (from {!Oregami_topology.Faults.degrade}) and its fault set via
+    [?faults]: every produced mapping avoids dead processors and dead
+    links, and the symmetry strategies (canned/systolic/group) decline
+    with a named reason. *)
 
 val report_taskgraph :
   ?options:options ->
+  ?faults:Oregami_topology.Faults.t ->
   Oregami_taskgraph.Taskgraph.t ->
   Oregami_topology.Topology.t ->
   (Oregami_mapper.Mapping.t, string) result * Oregami_mapper.Stats.t
@@ -58,6 +66,7 @@ val report_taskgraph :
 
 val map_compiled :
   ?options:options ->
+  ?faults:Oregami_topology.Faults.t ->
   Oregami_larcs.Compile.compiled ->
   Oregami_topology.Topology.t ->
   (Oregami_mapper.Mapping.t, string) result
@@ -65,6 +74,7 @@ val map_compiled :
 
 val map_taskgraph :
   ?options:options ->
+  ?faults:Oregami_topology.Faults.t ->
   Oregami_taskgraph.Taskgraph.t ->
   Oregami_topology.Topology.t ->
   (Oregami_mapper.Mapping.t, string) result

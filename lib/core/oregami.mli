@@ -22,6 +22,11 @@ module Graph = Oregami_graph
 module Topology = Oregami_topology.Topology
 module Routes = Oregami_topology.Routes
 module Distcache = Oregami_topology.Distcache
+
+module Faults = Oregami_topology.Faults
+(** Fault sets and degraded topology views: dead processors/links,
+    partition reporting, link-id translation. *)
+
 module Gray = Oregami_topology.Gray
 module Perm = Oregami_perm.Perm
 module Group = Oregami_perm.Group
@@ -32,6 +37,11 @@ module Phase_expr = Oregami_taskgraph.Phase_expr
 module Larcs = Oregami_larcs
 module Mapper = Oregami_mapper
 module Mapping = Oregami_mapper.Mapping
+
+module Repair = Oregami_mapper.Repair
+(** Minimum-disruption repair of an existing mapping after faults:
+    evacuate the dead processors' tasks, freeze the survivors,
+    re-route everything around dead links. *)
 
 module Ctx = Oregami_mapper.Ctx
 (** Shared mapping context (program, analysis, topology, Distcache,

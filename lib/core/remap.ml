@@ -1,8 +1,9 @@
 module Taskgraph = Oregami_taskgraph.Taskgraph
 module Phase_expr = Oregami_taskgraph.Phase_expr
 module Topology = Oregami_topology.Topology
-module Routes = Oregami_topology.Routes
+module Faults = Oregami_topology.Faults
 module Mapping = Oregami_mapper.Mapping
+module Repair = Oregami_mapper.Repair
 module Netsim = Oregami_metrics.Netsim
 
 type regime = { rg_expr : Phase_expr.t; rg_comms : string list }
@@ -64,16 +65,10 @@ type plan = {
 }
 
 let migration_step topo migration_volume before after =
-  (* every task that moves ships its state in one synchronous step *)
-  let messages = ref [] in
-  Array.iteri
-    (fun t p ->
-      let q = after.(t) in
-      if p <> q then
-        messages := (Routes.deterministic topo p q, migration_volume, 0) :: !messages)
-    before;
-  if !messages = [] then 0
-  else fst (Netsim.simulate_released Netsim.default_params topo !messages)
+  (* every task that moves ships its state in one synchronous step;
+     the simulation itself lives in Netsim so fault recovery can price
+     evacuations with the same model *)
+  Netsim.migration_time ~volume:migration_volume topo before after
 
 let plan ?options ?(migration_volume = 8) tg topo =
   let ( let* ) = Result.bind in
@@ -120,4 +115,73 @@ let plan ?options ?(migration_volume = 8) tg topo =
       migration_time;
       remap_makespan;
       worthwhile = List.length regime_mappings > 1 && remap_makespan < static_makespan;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* fault recovery: minimum-disruption repair vs. from-scratch remap   *)
+
+type recovery = {
+  rc_faults : Faults.t;
+  rc_base : Mapping.t;
+  rc_base_makespan : int;
+  rc_repair : Repair.t;
+  rc_repair_migration : int;
+  rc_repair_makespan : int;
+  rc_remap : Mapping.t;
+  rc_remap_moved : int;
+  rc_remap_migration : int;
+  rc_remap_makespan : int;
+  rc_repair_wins : bool;
+}
+
+let moved_between before after =
+  let n = Array.length before in
+  let count = ref 0 in
+  for t = 0 to n - 1 do
+    if before.(t) <> after.(t) then incr count
+  done;
+  !count
+
+let recover ?options ?(migration_volume = 8) ?compiled tg topo faults =
+  let ( let* ) = Result.bind in
+  let* () =
+    if Faults.is_empty faults then Error "no faults to recover from" else Ok ()
+  in
+  let* view = Faults.degrade topo faults in
+  let* rc_base =
+    match compiled with
+    | Some c -> Driver.map_compiled ?options c topo
+    | None -> Driver.map_taskgraph ?options tg topo
+  in
+  let rc_base_makespan = (Netsim.run rc_base).Netsim.makespan in
+  let* rc_repair = Repair.repair rc_base view.Faults.topo in
+  let* rc_remap =
+    Result.map_error
+      (fun e -> "from-scratch remap on the degraded topology failed: " ^ e)
+      (match compiled with
+      | Some c -> Driver.map_compiled ?options ~faults c view.Faults.topo
+      | None -> Driver.map_taskgraph ?options ~faults tg view.Faults.topo)
+  in
+  let before = Mapping.assignment rc_base in
+  let repaired = Mapping.assignment rc_repair.Repair.rp_mapping in
+  let remapped = Mapping.assignment rc_remap in
+  let price = Netsim.migration_time ~volume:migration_volume view.Faults.topo in
+  let rc_repair_migration = price before repaired in
+  let rc_remap_migration = price before remapped in
+  let rc_repair_makespan = (Netsim.run rc_repair.Repair.rp_mapping).Netsim.makespan in
+  let rc_remap_makespan = (Netsim.run rc_remap).Netsim.makespan in
+  Ok
+    {
+      rc_faults = faults;
+      rc_base;
+      rc_base_makespan;
+      rc_repair;
+      rc_repair_migration;
+      rc_repair_makespan;
+      rc_remap;
+      rc_remap_moved = moved_between before remapped;
+      rc_remap_migration;
+      rc_remap_makespan;
+      rc_repair_wins =
+        rc_repair_migration + rc_repair_makespan <= rc_remap_migration + rc_remap_makespan;
     }

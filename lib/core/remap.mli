@@ -40,3 +40,41 @@ val plan :
 (** [migration_volume] defaults to 8 units per moved task.  Makespans
     come from the {!Oregami_metrics.Netsim} simulator; migrations are
     simulated as one synchronous message step between regimes. *)
+
+(** {2 Fault recovery}
+
+    The same migration machinery prices recovery from processor/link
+    failures: repair the existing mapping with minimum disruption
+    ({!Oregami_mapper.Repair}) or remap from scratch on the degraded
+    machine, and compare. *)
+
+type recovery = {
+  rc_faults : Oregami_topology.Faults.t;
+  rc_base : Oregami_mapper.Mapping.t;  (** mapping on the pristine machine *)
+  rc_base_makespan : int;
+  rc_repair : Oregami_mapper.Repair.t;  (** minimum-disruption repair *)
+  rc_repair_migration : int;  (** evacuation traffic, Remap cost model *)
+  rc_repair_makespan : int;  (** steady-state makespan after repair *)
+  rc_remap : Oregami_mapper.Mapping.t;  (** from-scratch mapping on the degraded view *)
+  rc_remap_moved : int;  (** tasks whose processor changes under the remap *)
+  rc_remap_migration : int;
+  rc_remap_makespan : int;
+  rc_repair_wins : bool;
+      (** migration + steady-state cost favours (or ties) the repair *)
+}
+
+val recover :
+  ?options:Driver.options ->
+  ?migration_volume:int ->
+  ?compiled:Oregami_larcs.Compile.compiled ->
+  Oregami_taskgraph.Taskgraph.t ->
+  Oregami_topology.Topology.t ->
+  Oregami_topology.Faults.t ->
+  (recovery, string) result
+(** [recover tg topo faults] maps on the pristine [topo], applies the
+    fault set, repairs, remaps from scratch on the degraded view, and
+    prices both transitions as migration traffic.  Pass [?compiled]
+    when the task graph came from a LaRCS program so both mappings use
+    the full dispatch.  Errors on an empty fault set, invalid ids, and
+    faults that disconnect the surviving processors (with the
+    partitions named). *)

@@ -22,6 +22,23 @@ let ( let* ) = Result.bind
 let space_size dims =
   List.fold_left (fun acc (lo, hi) -> acc * max 0 (hi - lo + 1)) 1 dims
 
+(* Hard ceiling on task counts: parameter bindings come from the
+   command line, and a huge or overflowing node space must be a
+   compile Error, never an [Array.make] crash or an OOM. *)
+let max_tasks = 1_000_000
+
+(* [space_size] with an overflow-safe cap: [None] when the product
+   exceeds [max_tasks]. *)
+let checked_space_size dims =
+  List.fold_left
+    (fun acc (lo, hi) ->
+      match acc with
+      | None -> None
+      | Some a ->
+        let d = max 0 (hi - lo + 1) in
+        if d = 0 then Some 0 else if a > max_tasks / d then None else Some (a * d))
+    (Some 1) dims
+
 (* Mixed-radix rank of a label tuple within its space, row-major. *)
 let rank_of dims values =
   let rec go dims values acc =
@@ -79,7 +96,14 @@ let build_spaces env nodetypes =
             (Ok []) nt.Ast.nt_ranges
         in
         let dims = List.rev dims in
-        let count = space_size dims in
+        let* count =
+          match checked_space_size dims with
+          | Some c when offset <= max_tasks - c -> Ok c
+          | Some _ | None ->
+            Error
+              (Printf.sprintf "nodetype %S: node space exceeds %d tasks"
+                 nt.Ast.nt_name max_tasks)
+        in
         let space = { type_name = nt.Ast.nt_name; dims; offset; count } in
         Ok (space :: spaces, offset + count))
       (Ok ([], 0))
@@ -261,6 +285,11 @@ let compile ?(bindings = []) (program : Ast.program) =
         let* l = acc in
         let* d = Eval.expr env sp.Ast.sp_depth in
         if d < 0 then Error (Printf.sprintf "spawntree %S: negative depth" sp.Ast.sp_name)
+        else if d > 19 then
+          (* 2^(d+1)-1 tasks: anything deeper blows the task ceiling
+             (and [lsl] past the word size is meaningless anyway) *)
+          Error
+            (Printf.sprintf "spawntree %S: depth %d too deep (max 19)" sp.Ast.sp_name d)
         else begin
           let count = (1 lsl (d + 1)) - 1 in
           Ok

@@ -69,8 +69,14 @@ let tokenize src =
       while !i < n && is_digit src.[!i] do
         advance 1
       done;
-      let tok = INT (int_of_string (String.sub src start (!i - start))) in
-      out := { tok; line = l0; col = c0 } :: !out
+      (match int_of_string_opt (String.sub src start (!i - start)) with
+      | Some v -> out := { tok = INT v; line = l0; col = c0 } :: !out
+      | None ->
+        error :=
+          Some
+            (Printf.sprintf "line %d, col %d: integer literal %s does not fit in an int"
+               l0 c0
+               (String.sub src start (!i - start))))
     end
     else if is_alpha c then begin
       let start = !i and l0 = !line and c0 = !col in

@@ -466,7 +466,12 @@ let run source entry =
       let result = entry st in
       expect st EOF;
       Ok result
-    with Parse_error msg -> Error msg
+    with
+    | Parse_error msg -> Error msg
+    | Stack_overflow ->
+      (* recursive descent: absurdly nested input must still be an
+         Error, not a crash *)
+      Error "program nesting too deep"
   end
 
 let parse source = run source parse_program

@@ -3,6 +3,7 @@ module Analyze = Oregami_larcs.Analyze
 module Taskgraph = Oregami_taskgraph.Taskgraph
 module Topology = Oregami_topology.Topology
 module Distcache = Oregami_topology.Distcache
+module Faults = Oregami_topology.Faults
 module Rng = Oregami_prelude.Rng
 
 type routing = Mm_route | Oblivious
@@ -44,9 +45,11 @@ type t = {
   rng : Rng.t;
   options : options;
   stats : Stats.t;
+  faults : Faults.t;
+  alive : int array;
 }
 
-let make ?(options = default_options) ?compiled tg topo =
+let make ?(options = default_options) ?(faults = Faults.none) ?compiled tg topo =
   {
     compiled;
     analysis = lazy (Option.map Analyze.analyze compiled);
@@ -54,18 +57,24 @@ let make ?(options = default_options) ?compiled tg topo =
     topo;
     (* warm the topology's distance cache up front: every strategy
        shares the one hop matrix (built in parallel for large
-       networks) instead of racing to build it mid-evaluation *)
+       networks) instead of racing to build it mid-evaluation.  For a
+       degraded topology this builds against the surviving graph (the
+       degraded value starts with an empty cache slot). *)
     dist = Distcache.hops topo;
     static = lazy (Taskgraph.static_graph tg);
     rng = Rng.create options.seed;
     options;
     stats = Stats.create ();
+    faults;
+    alive = Array.of_list (Topology.alive_procs topo);
   }
 
-let of_compiled ?options compiled topo =
-  make ?options ~compiled compiled.Compile.graph topo
+let of_compiled ?options ?faults compiled topo =
+  make ?options ?faults ~compiled compiled.Compile.graph topo
 
-let of_taskgraph ?options tg topo = make ?options tg topo
+let of_taskgraph ?options ?faults tg topo = make ?options ?faults tg topo
+
+let degraded ctx = Topology.is_degraded ctx.topo || not (Faults.is_empty ctx.faults)
 
 let analysis ctx = Lazy.force ctx.analysis
 let static ctx = Lazy.force ctx.static
@@ -83,4 +92,6 @@ let mesh_dims ctx =
     | [] | _ :: _ :: _ -> None
   end
 
-let procs ctx = Topology.node_count ctx.topo
+(* processors a strategy may actually use: on a degraded topology the
+   dead ones are not placement targets *)
+let procs ctx = Array.length ctx.alive

@@ -42,25 +42,38 @@ type t = {
       (** forced at most once, by the first strategy that needs it *)
   tg : Oregami_taskgraph.Taskgraph.t;
   topo : Oregami_topology.Topology.t;
+      (** the mapping target — a degraded view when faults are present *)
   dist : Oregami_topology.Distcache.t;  (** pre-warmed hop matrix *)
   static : Oregami_graph.Ugraph.t Lazy.t;
       (** [Taskgraph.static_graph tg], computed at most once *)
   rng : Oregami_prelude.Rng.t;  (** seeded from [options.seed] *)
   options : options;
   stats : Stats.t;
+  faults : Oregami_topology.Faults.t;
+      (** the fault set behind a degraded [topo] (for reporting);
+          [Faults.none] when mapping a pristine machine *)
+  alive : int array;
+      (** alive processor ids, increasing — the only valid placement
+          targets.  Equals [0 .. node_count-1] on a pristine topology. *)
 }
 
 val of_compiled :
   ?options:options ->
+  ?faults:Oregami_topology.Faults.t ->
   Oregami_larcs.Compile.compiled ->
   Oregami_topology.Topology.t ->
   t
 
 val of_taskgraph :
   ?options:options ->
+  ?faults:Oregami_topology.Faults.t ->
   Oregami_taskgraph.Taskgraph.t ->
   Oregami_topology.Topology.t ->
   t
+
+val degraded : t -> bool
+(** Whether the context targets a degraded machine (its topology is a
+    degraded view or it carries a non-empty fault set). *)
 
 val analysis : t -> Oregami_larcs.Analyze.t option
 (** Forces the lazy analysis ([None] for bare task graphs). *)
@@ -73,4 +86,6 @@ val mesh_dims : t -> int list option
     program) — the [dims] hint the canned and tiled strategies use. *)
 
 val procs : t -> int
-(** [Topology.node_count topo]. *)
+(** Number of processors a strategy may place clusters on:
+    [Topology.alive_count topo] — the full node count on a pristine
+    topology, the survivors on a degraded one. *)

@@ -15,8 +15,10 @@ let generations activation =
 let place static ~activation ~cap topo =
   let n = Ugraph.node_count static in
   let procs = Topology.node_count topo in
+  let alive = Topology.alive topo in
   if Array.length activation <> n then invalid_arg "Incremental.place: activation length";
-  if cap * procs < n then invalid_arg "Incremental.place: capacity too small";
+  if cap * Topology.alive_count topo < n then
+    invalid_arg "Incremental.place: capacity too small";
   let dc = Distcache.hops topo in
   let proc_of = Array.make n (-1) in
   let load = Array.make procs 0 in
@@ -37,7 +39,7 @@ let place static ~activation ~cap topo =
           in
           let best = ref (-1) and best_key = ref (max_int, max_int, max_int) in
           for p = 0 to procs - 1 do
-            if load.(p) < cap then begin
+            if alive p && load.(p) < cap then begin
               let key = (cost p, load.(p), p) in
               if key < !best_key then begin
                 best_key := key;

@@ -67,6 +67,11 @@ let validate m =
     else Error "processor id out of range"
   in
   let* () =
+    match Array.find_opt (fun p -> not (Topology.alive m.topo p)) m.proc_of_cluster with
+    | None -> Ok ()
+    | Some p -> Error (Printf.sprintf "cluster placed on dead processor %d" p)
+  in
+  let* () =
     let used = Array.make procs false in
     let dup = ref false in
     Array.iter

@@ -12,13 +12,21 @@ let weighted_hops cg topo proc_of_cluster =
 let embed cg topo =
   let k = Ugraph.node_count cg in
   let p = Topology.node_count topo in
-  if k > p then invalid_arg "Nn_embed: more clusters than processors";
+  (* dead processors of a degraded topology are not placement targets *)
+  let alive = Topology.alive topo in
+  if k > Topology.alive_count topo then
+    invalid_arg "Nn_embed: more clusters than alive processors";
   let dc = Distcache.hops topo in
   let proc_of = Array.make k (-1) in
   let proc_used = Array.make p false in
   let place cluster proc =
     proc_of.(cluster) <- proc;
     proc_used.(proc) <- true
+  in
+  let first_alive () =
+    let v = ref 0 in
+    while not (alive !v) do incr v done;
+    !v
   in
   (* seed: heaviest edge on a max-degree processor and its neighbour *)
   let heaviest =
@@ -33,20 +41,25 @@ let embed cg topo =
   (match heaviest with
   | Some (_, a, b) ->
     let seed_proc =
-      let best = ref 0 in
-      for v = 1 to p - 1 do
-        if Ugraph.degree tg v > Ugraph.degree tg !best then best := v
+      let best = ref (first_alive ()) in
+      for v = !best + 1 to p - 1 do
+        if alive v && Ugraph.degree tg v > Ugraph.degree tg !best then best := v
       done;
       !best
     in
     place a seed_proc;
     let neighbour =
+      (* on a degraded topology every neighbour of an alive processor
+         is alive (dead nodes keep no links) *)
       match Ugraph.neighbors tg seed_proc with
       | (v, _) :: _ -> v
-      | [] -> if p > 1 then (seed_proc + 1) mod p else seed_proc
+      | [] ->
+        let v = ref ((seed_proc + 1) mod p) in
+        while not (alive !v) do v := (!v + 1) mod p done;
+        !v
     in
     if k > 1 then place b neighbour
-  | None -> if k > 0 then place 0 0);
+  | None -> if k > 0 then place 0 (first_alive ()));
   (* grow: most-communicating unplaced cluster onto the cheapest free
      processor *)
   let remaining () =
@@ -85,7 +98,7 @@ let embed cg topo =
         in
         let best = ref (-1) and best_cost = ref max_int in
         for proc = 0 to p - 1 do
-          if not proc_used.(proc) then begin
+          if alive proc && not proc_used.(proc) then begin
             let cost = cost proc in
             if cost < !best_cost then begin
               best_cost := cost;

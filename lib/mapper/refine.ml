@@ -27,7 +27,10 @@ let improve_embedding ?(max_rounds = 10) ?swaps cg topo proc_of_cluster =
     for c = 0 to k - 1 do
       for target = 0 to p - 1 do
         let pc = proc_of.(c) in
-        if target <> pc then begin
+        (* never move a cluster onto a dead processor of a degraded
+           topology (swaps with an occupant are fine: occupied
+           processors are alive by construction) *)
+        if target <> pc && Topology.alive topo target then begin
           match occupant.(target) with
           | -1 ->
             (* move c to a free processor *)

@@ -1,0 +1,118 @@
+module Taskgraph = Oregami_taskgraph.Taskgraph
+module Topology = Oregami_topology.Topology
+module Distcache = Oregami_topology.Distcache
+module Ugraph = Oregami_graph.Ugraph
+
+type move = { mv_task : int; mv_from : int; mv_to : int }
+
+type t = { rp_mapping : Mapping.t; rp_moves : move list; rp_frozen : int }
+
+let moved r = List.length r.rp_moves
+
+(* Incremental-placer cost rule (see Incremental.place): hop-weighted
+   communication from a candidate processor to the task's already-placed
+   neighbours; ties broken by lighter load, then smaller id. *)
+let evacuate static dc degraded proc_of load cap_load t =
+  let cost p =
+    List.fold_left
+      (fun acc (u, w) ->
+        if proc_of.(u) >= 0 then acc + (w * Distcache.hop dc p proc_of.(u)) else acc)
+      0 (Ugraph.neighbors static t)
+  in
+  let pick ~capped =
+    let best = ref (-1) and best_key = ref (max_int, max_int, max_int) in
+    for p = 0 to Topology.node_count degraded - 1 do
+      if Topology.alive degraded p && ((not capped) || load.(p) < cap_load) then begin
+        let key = (cost p, load.(p), p) in
+        if key < !best_key then begin
+          best_key := key;
+          best := p
+        end
+      end
+    done;
+    !best
+  in
+  match pick ~capped:true with -1 -> pick ~capped:false | p -> p
+
+let repair ?(cap = 64) (m : Mapping.t) degraded =
+  let tg = m.Mapping.tg in
+  let n = tg.Taskgraph.n in
+  if Topology.node_count degraded <> Topology.node_count m.Mapping.topo then
+    Error
+      (Printf.sprintf "degraded topology has %d processors but the mapping targets %d"
+         (Topology.node_count degraded)
+         (Topology.node_count m.Mapping.topo))
+  else begin
+    let alive_count = Topology.alive_count degraded in
+    if alive_count = 0 then Error "no processor survives the faults"
+    else begin
+      let before = Mapping.assignment m in
+      let static = Taskgraph.static_graph tg in
+      let dc = Distcache.hops degraded in
+      (* surviving placements are frozen; only tasks stranded on a dead
+         processor are evacuated *)
+      let proc_of =
+        Array.map (fun p -> if Topology.alive degraded p then p else -1) before
+      in
+      let load = Array.make (Topology.node_count degraded) 0 in
+      Array.iter (fun p -> if p >= 0 then load.(p) <- load.(p) + 1) proc_of;
+      let weight t =
+        List.fold_left (fun acc (_, w) -> acc + w) 0 (Ugraph.neighbors static t)
+      in
+      let evacuees =
+        Array.to_list (Array.init n (fun t -> t))
+        |> List.filter (fun t -> proc_of.(t) = -1)
+        (* heaviest communicators first: they anchor near their
+           neighbours before the cheap seats fill up *)
+        |> List.sort (fun a b -> compare (-weight a, a) (-weight b, b))
+      in
+      let cap_load = max 1 ((n + alive_count - 1) / alive_count) in
+      List.iter
+        (fun t ->
+          let p = evacuate static dc degraded proc_of load cap_load t in
+          proc_of.(t) <- p;
+          load.(p) <- load.(p) + 1)
+        evacuees;
+      (* dense clusters rebuilt from the processor assignment (evacuees
+         may merge into surviving clusters when no processor is free) *)
+      let ids = Hashtbl.create 16 in
+      let cluster_of =
+        Array.map
+          (fun p ->
+            match Hashtbl.find_opt ids p with
+            | Some c -> c
+            | None ->
+              let c = Hashtbl.length ids in
+              Hashtbl.add ids p c;
+              c)
+          proc_of
+      in
+      let proc_of_cluster = Array.make (Hashtbl.length ids) 0 in
+      Hashtbl.iter (fun p c -> proc_of_cluster.(c) <- p) ids;
+      (* re-route every phase on the degraded view with MM-Route: even
+         unmoved traffic may have crossed a now-dead link *)
+      let routings, _ = Route.mm_route ~cap tg degraded ~proc_of_task:proc_of in
+      let mapping =
+        {
+          Mapping.tg;
+          topo = degraded;
+          cluster_of;
+          proc_of_cluster;
+          routings;
+          strategy = Printf.sprintf "repair(%s)" m.Mapping.strategy;
+        }
+      in
+      match Mapping.validate mapping with
+      | Error e -> Error ("repaired mapping failed validation: " ^ e)
+      | Ok () ->
+        let rp_moves =
+          List.filter_map
+            (fun t ->
+              if before.(t) <> proc_of.(t) then
+                Some { mv_task = t; mv_from = before.(t); mv_to = proc_of.(t) }
+              else None)
+            (List.init n Fun.id)
+        in
+        Ok { rp_mapping = mapping; rp_moves; rp_frozen = n - List.length rp_moves }
+    end
+  end

@@ -1,0 +1,36 @@
+(** Minimum-disruption repair of an existing mapping after faults.
+
+    Given a mapping computed on the pristine machine and the degraded
+    view of its topology ({!Oregami_topology.Faults.degrade}), repair
+
+    - freezes every placement that survived (tasks on alive processors
+      do not move — the running computation keeps its state);
+    - evacuates the tasks stranded on dead processors with the
+      incremental placer's greedy rule (hop-weighted communication to
+      already-placed neighbours, ties by load then id), preferring
+      processors below the balanced-capacity bound and merging into
+      occupied ones only when the machine is full;
+    - re-routes {e every} phase with MM-Route on the degraded topology,
+      since even unmoved traffic may have crossed a now-dead link;
+    - revalidates the result (no dead placements, consistent routes).
+
+    Pricing the recovery as migration traffic lives one layer up, in
+    [Remap] / [Netsim], which can simulate the move messages. *)
+
+type move = { mv_task : int; mv_from : int; mv_to : int }
+
+type t = {
+  rp_mapping : Mapping.t;  (** repaired mapping, on the degraded topology *)
+  rp_moves : move list;  (** tasks evacuated, in task order *)
+  rp_frozen : int;  (** tasks whose placement survived untouched *)
+}
+
+val moved : t -> int
+
+val repair : ?cap:int -> Mapping.t -> Oregami_topology.Topology.t -> (t, string) result
+(** [repair m degraded] repairs [m] against the degraded view of its
+    topology.  [cap] bounds candidate routes per processor pair for
+    MM-Route (default 64).  Errors when the processor counts disagree,
+    when nothing survives, or when the repaired mapping fails
+    validation (e.g. the surviving machine is partitioned and a phase
+    cannot be routed). *)

@@ -41,7 +41,15 @@ let route_phase topo messages =
   let nlinks = Topology.link_count topo in
   let rounds = ref 0 in
   let unfinished () =
-    List.filter (fun m -> m.committed < route_length (List.hd m.candidates)) messages
+    (* a message with no candidates at all (unreachable destination on a
+       partitioned machine) is left unrouted; validation downstream
+       rejects the mapping with a named error instead of crashing here *)
+    List.filter
+      (fun m ->
+        match m.candidates with
+        | [] -> false
+        | c :: _ -> m.committed < route_length c)
+      messages
   in
   let rec hop () =
     match unfinished () with

@@ -29,6 +29,19 @@ let always _ = Ok ()
 
 let gate flag name ctx = if flag ctx.Ctx.options then Ok () else Error ("disabled (" ^ name ^ " = false)")
 
+(* canned tables, lattice placement and coset contraction all assume the
+   intact network symmetry; on a degraded machine they would place onto
+   dead processors or assert structure that no longer holds *)
+let intact what ctx =
+  if not (Ctx.degraded ctx) then Ok ()
+  else begin
+    let detail =
+      if Oregami_topology.Faults.is_empty ctx.Ctx.faults then Topology.name ctx.Ctx.topo
+      else Oregami_topology.Faults.describe ctx.Ctx.faults
+    in
+    Error (Printf.sprintf "degraded topology (%s): %s requires the intact network" detail what)
+  end
+
 (* ------------------------------------------------------------------ *)
 (* canned: nameable families via the (family, topology) lookup table  *)
 
@@ -335,6 +348,9 @@ let stone_produce ctx =
 let baseline label make ctx =
   let n = ctx.Ctx.tg.Taskgraph.n in
   let cluster_of, proc_of_cluster = make ctx ~n ~procs:(Ctx.procs ctx) in
+  (* the identity embedding is over alive-processor ranks; translate to
+     real processor ids (the identity on a pristine topology) *)
+  let proc_of_cluster = Array.map (fun c -> ctx.Ctx.alive.(c)) proc_of_cluster in
   Ok
     [
       {
@@ -352,7 +368,11 @@ let registry () =
       tier = Dispatch;
       default_on = true;
       doc = "canned contraction/embedding for nameable families (\u{00a7}4.1)";
-      available = gate (fun o -> o.Ctx.allow_canned) "allow_canned";
+      available =
+        (fun ctx ->
+          match gate (fun o -> o.Ctx.allow_canned) "allow_canned" ctx with
+          | Error _ as e -> e
+          | Ok () -> intact "canned" ctx);
       produce = canned_produce;
     };
     {
@@ -365,7 +385,7 @@ let registry () =
           if not ctx.Ctx.options.Ctx.allow_systolic then
             Error "disabled (allow_systolic = false)"
           else if ctx.Ctx.compiled = None then Error "no compiled program (bare task graph)"
-          else Ok ());
+          else intact "systolic" ctx);
       produce = systolic_produce;
     };
     {
@@ -373,7 +393,11 @@ let registry () =
       tier = Dispatch;
       default_on = true;
       doc = "Cayley-graph coset contraction (\u{00a7}4.2.2)";
-      available = gate (fun o -> o.Ctx.allow_group) "allow_group";
+      available =
+        (fun ctx ->
+          match gate (fun o -> o.Ctx.allow_group) "allow_group" ctx with
+          | Error _ as e -> e
+          | Ok () -> intact "group" ctx);
       produce = group_produce;
     };
     {

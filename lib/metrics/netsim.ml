@@ -1,7 +1,9 @@
 module Mapping = Oregami_mapper.Mapping
+module Repair = Oregami_mapper.Repair
 module Taskgraph = Oregami_taskgraph.Taskgraph
 module Phase_expr = Oregami_taskgraph.Phase_expr
 module Topology = Oregami_topology.Topology
+module Faults = Oregami_topology.Faults
 module Routes = Oregami_topology.Routes
 module Pqueue = Oregami_prelude.Pqueue
 
@@ -221,6 +223,91 @@ let run ?(params = default_params) (m : Mapping.t) =
     slot_times;
     max_queue = !max_queue;
   }
+
+(* ------------------------------------------------------------------ *)
+(* migration pricing and mid-trace fault events                       *)
+
+let migration_time ?(params = default_params) ?(volume = 8) topo before after =
+  if Array.length before <> Array.length after then
+    invalid_arg "Netsim.migration_time: assignment lengths differ";
+  (* every task that moves ships its state in one synchronous step over
+     the topology's deterministic routes — the Remap cost model.  A task
+     stranded on a dead processor cannot ship from there (the node has
+     no links); its state is restored from the lowest-numbered alive
+     processor, standing in for the checkpoint / stable-storage host. *)
+  let host =
+    let rec go u =
+      if u >= Topology.node_count topo then invalid_arg "Netsim.migration_time: no alive processor"
+      else if Topology.alive topo u then u
+      else go (u + 1)
+    in
+    go 0
+  in
+  let messages = ref [] in
+  Array.iteri
+    (fun t p ->
+      let q = after.(t) in
+      if p <> q then begin
+        let src = if Topology.alive topo p then p else host in
+        messages := (Routes.deterministic topo src q, volume, 0) :: !messages
+      end)
+    before;
+  if !messages = [] then 0 else fst (simulate_released params topo !messages)
+
+type fault_event = { at_slot : int; kill_procs : int list; kill_links : int list }
+
+type recovery = {
+  rv_fault_free : report;  (** the run as it would have gone, no faults *)
+  rv_pre_time : int;  (** slots completed before the fault, original mapping *)
+  rv_migration_time : int;  (** evacuation traffic on the degraded network *)
+  rv_post_time : int;  (** remaining slots, repaired mapping *)
+  rv_makespan : int;  (** pre + migration + post *)
+  rv_delta : int;  (** recovery overhead vs. the fault-free makespan *)
+  rv_repair : Repair.t;
+}
+
+let slot_time params loads (m : Mapping.t) slot =
+  let e = exec_slot_time loads slot in
+  let c, _ = simulate_messages params m.Mapping.topo (slot_messages m slot) in
+  e + c
+
+let run_with_fault ?(params = default_params) ?(migration_volume = 8) (m : Mapping.t)
+    event =
+  let ( let* ) = Result.bind in
+  let* faults =
+    Faults.make ~procs:event.kill_procs ~links:event.kill_links m.Mapping.topo
+  in
+  let* () =
+    if Faults.is_empty faults then Error "fault event kills nothing" else Ok ()
+  in
+  let* view = Faults.degrade m.Mapping.topo faults in
+  let* rep = Repair.repair m view.Faults.topo in
+  let repaired = rep.Repair.rp_mapping in
+  let trace = Phase_expr.trace m.Mapping.tg.Taskgraph.expr in
+  let at = max 0 (min event.at_slot (List.length trace)) in
+  let loads_before = exec_loads m and loads_after = exec_loads repaired in
+  let pre = ref 0 and post = ref 0 in
+  List.iteri
+    (fun i slot ->
+      if i < at then pre := !pre + slot_time params loads_before m slot
+      else post := !post + slot_time params loads_after repaired slot)
+    trace;
+  let rv_migration_time =
+    migration_time ~params ~volume:migration_volume view.Faults.topo
+      (Mapping.assignment m) (Mapping.assignment repaired)
+  in
+  let rv_fault_free = run ~params m in
+  let rv_makespan = !pre + rv_migration_time + !post in
+  Ok
+    {
+      rv_fault_free;
+      rv_pre_time = !pre;
+      rv_migration_time;
+      rv_post_time = !post;
+      rv_makespan;
+      rv_delta = rv_makespan - rv_fault_free.makespan;
+      rv_repair = rep;
+    }
 
 let phase_duration ?(params = default_params) (m : Mapping.t) name =
   let slot = { Phase_expr.comms = [ name ]; execs = [] } in

@@ -71,3 +71,48 @@ val simulate_released :
     time)] and return [(finish time of the last message, deepest
     queue)].  Used by the scheduling extension, where local task
     ordering staggers message release. *)
+
+(** {2 Migration pricing and mid-trace fault events} *)
+
+val migration_time :
+  ?params:params -> ?volume:int -> Oregami_topology.Topology.t -> int array -> int array -> int
+(** [migration_time topo before after] is the simulated cost of one
+    synchronous migration step between two task assignments: every task
+    whose processor changes ships [volume] units (default 8) over the
+    topology's deterministic route — the [Remap] cost model.  On a
+    degraded topology, a task moving {e off a dead processor} restores
+    its state from the lowest-numbered alive processor (the
+    checkpoint-host stand-in), since a dead node has no links to ship
+    over.  Raises [Invalid_argument] if the assignment lengths differ
+    or no processor is alive. *)
+
+type fault_event = {
+  at_slot : int;  (** trace slot index at which the faults strike *)
+  kill_procs : int list;
+  kill_links : int list;  (** link ids of the mapping's topology *)
+}
+
+type recovery = {
+  rv_fault_free : report;  (** the run as it would have gone, no faults *)
+  rv_pre_time : int;  (** slots completed before the fault, original mapping *)
+  rv_migration_time : int;  (** evacuation traffic on the degraded network *)
+  rv_post_time : int;  (** remaining slots, repaired mapping *)
+  rv_makespan : int;  (** pre + migration + post *)
+  rv_delta : int;  (** recovery overhead vs. the fault-free makespan *)
+  rv_repair : Oregami_mapper.Repair.t;
+}
+
+val run_with_fault :
+  ?params:params ->
+  ?migration_volume:int ->
+  Oregami_mapper.Mapping.t ->
+  fault_event ->
+  (recovery, string) result
+(** Simulates the mapping's trace with a mid-run fault: slots before
+    [at_slot] run on the original mapping, then the named processors
+    and links die, the mapping is repaired
+    ({!Oregami_mapper.Repair.repair}), the evacuation is priced as
+    migration traffic on the degraded network, and the remaining slots
+    run on the repaired mapping.  Errors (never crashes) on invalid
+    fault ids, an empty fault set, faults that disconnect the
+    survivors, or an unrepairable mapping. *)

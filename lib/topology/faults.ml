@@ -1,0 +1,115 @@
+module Traverse = Oregami_graph.Traverse
+module Rng = Oregami_prelude.Rng
+
+type t = { procs : int list; links : int list }
+
+let none = { procs = []; links = [] }
+
+let is_empty f = f.procs = [] && f.links = []
+
+let make ?(procs = []) ?(links = []) topo =
+  let n = Topology.node_count topo and nl = Topology.link_count topo in
+  match
+    ( List.find_opt (fun p -> p < 0 || p >= n) procs,
+      List.find_opt (fun l -> l < 0 || l >= nl) links )
+  with
+  | Some p, _ ->
+    Error
+      (Printf.sprintf "dead processor %d out of range (%s has %d processors)" p
+         (Topology.name topo) n)
+  | None, Some l ->
+    Error
+      (Printf.sprintf "dead link %d out of range (%s has %d links)" l (Topology.name topo)
+         nl)
+  | None, None ->
+    let procs = List.sort_uniq compare procs and links = List.sort_uniq compare links in
+    if List.length procs >= n then
+      Error (Printf.sprintf "faults kill every processor of %s" (Topology.name topo))
+    else Ok { procs; links }
+
+let random rng ~procs ~links topo =
+  let n = Topology.node_count topo and nl = Topology.link_count topo in
+  if procs < 0 || links < 0 then Error "fault counts must be non-negative"
+  else if procs >= n then
+    Error
+      (Printf.sprintf "cannot kill %d of %d processors (at least one must survive)" procs n)
+  else if links > nl then
+    Error (Printf.sprintf "cannot kill %d of %d links" links nl)
+  else Ok { procs = Rng.sample rng n procs; links = Rng.sample rng nl links }
+
+let ids l = String.concat "," (List.map string_of_int l)
+
+let describe f =
+  if is_empty f then "no faults"
+  else begin
+    let part noun = function
+      | [] -> None
+      | xs ->
+        Some
+          (Printf.sprintf "%d dead %s%s (%s)" (List.length xs) noun
+             (if List.length xs = 1 then "" else "s")
+             (ids xs))
+    in
+    String.concat ", "
+      (List.filter_map Fun.id [ part "processor" f.procs; part "link" f.links ])
+  end
+
+let parse_ids s =
+  let parts = String.split_on_char ',' (String.trim s) in
+  List.fold_left
+    (fun acc part ->
+      Result.bind acc (fun l ->
+          match int_of_string_opt (String.trim part) with
+          | Some i -> Ok (i :: l)
+          | None -> Error (Printf.sprintf "bad id %S (want comma-separated integers)" part)))
+    (Ok []) parts
+  |> Result.map List.rev
+
+type view = {
+  base : Topology.t;
+  faults : t;
+  topo : Topology.t;
+  link_to_base : int array;
+  link_of_base : int option array;
+}
+
+let partitions topo =
+  (* connected components of the surviving processors: every dead
+     processor is an isolated node of the degraded graph, so a component
+     is "alive" iff it contains an alive processor *)
+  Traverse.components (Topology.graph topo)
+  |> List.filter (List.exists (Topology.alive topo))
+
+let pp_partitions parts =
+  let pp_part p =
+    let n = List.length p in
+    let shown = List.filteri (fun i _ -> i < 6) p in
+    Printf.sprintf "{%s%s}" (ids shown) (if n > 6 then Printf.sprintf ",... %d total" n else "")
+  in
+  let shown = List.filteri (fun i _ -> i < 4) parts in
+  String.concat " / " (List.map pp_part shown)
+  ^ if List.length parts > 4 then " / ..." else ""
+
+let degrade base f =
+  let ( let* ) = Result.bind in
+  (* re-validate so a fault set built against one topology cannot be
+     silently applied to a smaller one *)
+  let* f = make ~procs:f.procs ~links:f.links base in
+  let* topo = Topology.degrade base ~dead_procs:f.procs ~dead_links:f.links in
+  match partitions topo with
+  | ([] | [ _ ]) ->
+    let link_to_base =
+      Array.init (Topology.link_count topo) (fun i ->
+          let u, v = Topology.link_endpoints topo i in
+          match Topology.link_between base u v with
+          | Some b -> b
+          | None -> assert false (* every surviving link existed in the base *))
+    in
+    let link_of_base = Array.make (Topology.link_count base) None in
+    Array.iteri (fun i b -> link_of_base.(b) <- Some i) link_to_base;
+    Ok { base; faults = f; topo; link_to_base; link_of_base }
+  | parts ->
+    Error
+      (Printf.sprintf
+         "faults disconnect %s: surviving processors split into %d partitions %s"
+         (Topology.name base) (List.length parts) (pp_partitions parts))

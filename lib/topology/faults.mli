@@ -1,0 +1,58 @@
+(** Fault sets and degraded topology views.
+
+    OREGAMI's model assumes a pristine regular network, but the machines
+    it targeted (iPSC/2, NCUBE, Transputer arrays) lost processors and
+    links in the field.  A fault set names dead processors and dead
+    links of a base {!Topology.t}; {!degrade} turns it into a working
+    view: the surviving subgraph with link ids remapped, processor ids
+    preserved, a fresh cache slot (so {!Distcache} rebuilds distances
+    against the degraded graph), and translation tables between base and
+    degraded link ids.  Faults that disconnect the surviving processors
+    are reported as a named [Error] listing the partitions — never a
+    crash, never a silent route through a dead link. *)
+
+type t = { procs : int list; links : int list }
+(** Dead processor ids and dead link ids (both in terms of the base
+    topology), each sorted and duplicate-free when built by {!make} /
+    {!random}. *)
+
+val none : t
+
+val is_empty : t -> bool
+
+val make : ?procs:int list -> ?links:int list -> Topology.t -> (t, string) result
+(** Validates ids against the topology: errors on out-of-range ids and
+    on fault sets that kill every processor.  Sorts and de-duplicates. *)
+
+val random :
+  Oregami_prelude.Rng.t -> procs:int -> links:int -> Topology.t -> (t, string) result
+(** [random rng ~procs ~links topo] draws [procs] distinct dead
+    processors and [links] distinct dead links uniformly from the
+    seeded generator — reproducible fault injection for experiments. *)
+
+val describe : t -> string
+(** E.g. ["2 dead processors (3,7), 1 dead link (5)"]. *)
+
+val parse_ids : string -> (int list, string) result
+(** CLI helper: parses ["3,7,12"]. *)
+
+type view = {
+  base : Topology.t;
+  faults : t;
+  topo : Topology.t;  (** the degraded view; processor ids preserved *)
+  link_to_base : int array;  (** degraded link id -> base link id *)
+  link_of_base : int option array;
+      (** base link id -> surviving degraded id, [None] if dead *)
+}
+
+val degrade : Topology.t -> t -> (view, string) result
+(** Applies the fault set.  Errors (with the partition contents) when
+    the surviving processors are disconnected, since no mapping can
+    route across a partition; errors on invalid ids or a fully-dead
+    machine.  With an empty fault set the view's [topo] is [base]
+    itself. *)
+
+val partitions : Topology.t -> int list list
+(** Connected components of the surviving (alive) processors of a
+    possibly-degraded topology, each sorted, ordered by smallest
+    member.  A healthy machine has exactly one. *)

@@ -19,6 +19,8 @@ let route_table ?cap topo =
   tbl
 
 let ecube topo u v =
+  if Topology.is_degraded topo then
+    invalid_arg "Routes.ecube: degraded topology (e-cube routes may cross dead links)";
   match Topology.kind topo with
   | Topology.Hypercube d ->
     let rec go cur acc =
@@ -40,6 +42,10 @@ let ecube topo u v =
     invalid_arg "Routes.ecube: not a hypercube"
 
 let dimension_order topo u v =
+  if Topology.is_degraded topo then
+    invalid_arg
+      "Routes.dimension_order: degraded topology (dimension-order routes may cross dead \
+       links)";
   let step_towards wrap size cur dst =
     (* one step along a single dimension, the short way around if wrapped *)
     if cur = dst then cur
@@ -71,17 +77,23 @@ let dimension_order topo u v =
   | Topology.De_bruijn _ | Topology.Shuffle_exchange _ ->
     invalid_arg "Routes.dimension_order: not a mesh or torus"
 
+let first_shortest topo u v =
+  match shortest_routes ~cap:1 topo u v with
+  | r :: _ -> r
+  | [] -> invalid_arg "Routes.deterministic: destination unreachable"
+
 let deterministic topo u v =
-  match Topology.kind topo with
-  | Topology.Hypercube _ -> ecube topo u v
-  | Topology.Mesh _ | Topology.Torus _ -> dimension_order topo u v
-  | Topology.Line _ | Topology.Ring _ | Topology.Complete _ | Topology.Binary_tree _
-  | Topology.Binomial_tree _ | Topology.Butterfly _ | Topology.Cube_connected_cycles _
-  | Topology.Hex_mesh _ | Topology.Star_graph _ | Topology.De_bruijn _
-  | Topology.Shuffle_exchange _ -> begin
-    match shortest_routes ~cap:1 topo u v with
-    | r :: _ -> r
-    | [] -> invalid_arg "Routes.deterministic: destination unreachable"
-  end
+  (* the kind-specific schemes assume the intact network: on a degraded
+     view they would happily route across dead links, so fall back to a
+     shortest route on the surviving graph *)
+  if Topology.is_degraded topo then first_shortest topo u v
+  else
+    match Topology.kind topo with
+    | Topology.Hypercube _ -> ecube topo u v
+    | Topology.Mesh _ | Topology.Torus _ -> dimension_order topo u v
+    | Topology.Line _ | Topology.Ring _ | Topology.Complete _ | Topology.Binary_tree _
+    | Topology.Binomial_tree _ | Topology.Butterfly _ | Topology.Cube_connected_cycles _
+    | Topology.Hex_mesh _ | Topology.Star_graph _ | Topology.De_bruijn _
+    | Topology.Shuffle_exchange _ -> first_shortest topo u v
 
 let hops r = List.length r.links

@@ -28,15 +28,21 @@ val route_table : ?cap:int -> Topology.t -> (int * int, route list) Hashtbl.t
 
 val ecube : Topology.t -> int -> int -> route
 (** Deterministic e-cube (dimension-order, lowest bit first) route on a
-    hypercube.  Raises [Invalid_argument] on other topologies. *)
+    hypercube.  Raises [Invalid_argument] on other topologies and on
+    degraded views (the scheme assumes every cube link is up). *)
 
 val dimension_order : Topology.t -> int -> int -> route
 (** Deterministic row-then-column route on a mesh or torus (tori route
-    the short way around).  Raises [Invalid_argument] otherwise. *)
+    the short way around).  Raises [Invalid_argument] otherwise, and on
+    degraded views. *)
 
 val deterministic : Topology.t -> int -> int -> route
 (** The natural deterministic route for the topology: {!ecube} on
     hypercubes, {!dimension_order} on meshes and tori, and the unique
-    first shortest route otherwise. *)
+    first shortest route otherwise.  On a degraded view the
+    kind-specific schemes are unsafe (they may cross dead links), so
+    this always takes the first shortest route on the surviving
+    graph; raises [Invalid_argument] if the destination is
+    unreachable. *)
 
 val hops : route -> int

@@ -24,9 +24,15 @@ type t = {
   graph : Ugraph.t;
   links : (int * int) array;
   link_ids : (int * int, int) Hashtbl.t;
+  dead : bool array;
+      (* dead.(u) marks a failed processor; its links are absent from
+         [graph]/[links].  All-false for pristine topologies. *)
+  cut_links : int;
+      (* links removed beyond those implied by dead processors *)
   mutable cache : cache option;
       (* populated lazily by Distcache; topologies are immutable after
-         [make], so derived distance/route structures stay valid *)
+         [make] / [degrade], so derived distance/route structures stay
+         valid *)
 }
 
 let positive what n = if n <= 0 then invalid_arg (Printf.sprintf "Topology: %s must be positive" what)
@@ -203,12 +209,15 @@ let build_graph kind =
       perms;
     g
 
+let of_graph kind graph dead cut_links =
+  let links = Array.of_list (List.map (fun (u, v, _) -> (u, v)) (Ugraph.edges graph)) in
+  let link_ids = Hashtbl.create (max 16 (Array.length links)) in
+  Array.iteri (fun i uv -> Hashtbl.add link_ids uv i) links;
+  { kind; graph; links; link_ids; dead; cut_links; cache = None }
+
 let make kind =
   let graph = build_graph kind in
-  let links = Array.of_list (List.map (fun (u, v, _) -> (u, v)) (Ugraph.edges graph)) in
-  let link_ids = Hashtbl.create (Array.length links) in
-  Array.iteri (fun i uv -> Hashtbl.add link_ids uv i) links;
-  { kind; graph; links; link_ids; cache = None }
+  of_graph kind graph (Array.make (Ugraph.node_count graph) false) 0
 
 let get_cache t = t.cache
 
@@ -216,7 +225,30 @@ let set_cache t c = t.cache <- Some c
 
 let kind t = t.kind
 
-let name t =
+let is_degraded t = Array.exists Fun.id t.dead || t.cut_links > 0
+
+let alive t u = u >= 0 && u < Array.length t.dead && not t.dead.(u)
+
+let dead_procs t =
+  let out = ref [] in
+  for u = Array.length t.dead - 1 downto 0 do
+    if t.dead.(u) then out := u :: !out
+  done;
+  !out
+
+let alive_count t =
+  let n = ref 0 in
+  Array.iter (fun d -> if not d then incr n) t.dead;
+  !n
+
+let alive_procs t =
+  let out = ref [] in
+  for u = Array.length t.dead - 1 downto 0 do
+    if not t.dead.(u) then out := u :: !out
+  done;
+  !out
+
+let base_name t =
   match t.kind with
   | Line n -> Printf.sprintf "line(%d)" n
   | Ring n -> Printf.sprintf "ring(%d)" n
@@ -232,6 +264,13 @@ let name t =
   | Star_graph n -> Printf.sprintf "star(%d)" n
   | De_bruijn k -> Printf.sprintf "debruijn(%d)" k
   | Shuffle_exchange k -> Printf.sprintf "shuffle(%d)" k
+
+let name t =
+  if not (is_degraded t) then base_name t
+  else
+    Printf.sprintf "%s[-%dp,-%dl]" (base_name t)
+      (List.length (dead_procs t))
+      t.cut_links
 
 let graph t = t.graph
 
@@ -260,6 +299,43 @@ let links_of_path t path =
 let degree t u = Ugraph.degree t.graph u
 
 let diameter t = Traverse.diameter t.graph
+
+let degrade t ~dead_procs:dp ~dead_links:dl =
+  let n = Ugraph.node_count t.graph in
+  let nl = Array.length t.links in
+  match
+    ( List.find_opt (fun p -> p < 0 || p >= n) dp,
+      List.find_opt (fun l -> l < 0 || l >= nl) dl )
+  with
+  | Some p, _ ->
+    Error
+      (Printf.sprintf "dead processor %d out of range (%s has %d processors)" p (name t) n)
+  | None, Some l ->
+    Error (Printf.sprintf "dead link %d out of range (%s has %d links)" l (name t) nl)
+  | None, None ->
+    if dp = [] && dl = [] then Ok t
+    else begin
+      let dead = Array.copy t.dead in
+      List.iter (fun p -> dead.(p) <- true) dp;
+      if Array.for_all Fun.id dead then
+        Error (Printf.sprintf "faults kill every processor of %s" (name t))
+      else begin
+        let dead_link = Array.make nl false in
+        List.iter (fun l -> dead_link.(l) <- true) dl;
+        (* count links cut beyond those lost to a dead endpoint, so the
+           degraded name reflects explicit link faults only *)
+        let cut = ref t.cut_links in
+        Array.iteri
+          (fun i (u, v) -> if dead_link.(i) && not (dead.(u) || dead.(v)) then incr cut)
+          t.links;
+        let g = Ugraph.create n in
+        List.iteri
+          (fun i (u, v, w) ->
+            if not (dead_link.(i) || dead.(u) || dead.(v)) then Ugraph.add_edge ~w g u v)
+          (Ugraph.edges t.graph);
+        Ok (of_graph t.kind g dead !cut)
+      end
+    end
 
 let split_bits d v =
   (* interleave: even-indexed bits -> x, odd-indexed -> y *)

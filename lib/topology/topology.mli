@@ -31,9 +31,14 @@ type t
 val make : kind -> t
 
 val kind : t -> kind
+(** The kind the topology was built from.  A {!degrade}d topology keeps
+    its base kind for reporting and geometry ({!layout}, {!mesh_coords})
+    but no longer satisfies the kind's symmetry: consult
+    {!is_degraded} before using kind-specific routing. *)
 
 val name : t -> string
-(** Short printable name, e.g. ["hypercube(3)"]. *)
+(** Short printable name, e.g. ["hypercube(3)"]; degraded views carry a
+    fault suffix, e.g. ["hypercube(3)[-1p,-2l]"]. *)
 
 val graph : t -> Oregami_graph.Ugraph.t
 
@@ -54,6 +59,39 @@ val links_of_path : t -> int list -> int list
 val degree : t -> int -> int
 
 val diameter : t -> int
+
+(** {2 Degraded views}
+
+    Real machines lose processors and links in the field.  A degraded
+    view keeps the processor numbering of its base (dead processors
+    become isolated nodes, so mappings and routes stay expressed in the
+    same ids) but removes every link that is explicitly dead or incident
+    to a dead processor.  Link ids are renumbered over the surviving
+    links in the usual lexicographic endpoint order, and the view starts
+    with an empty {!cache} slot, so {!Distcache} structures are rebuilt
+    against the degraded graph instead of leaking pristine distances.
+    Higher-level fault bookkeeping (random fault sets, partition
+    reporting, link-id translation) lives in {!Faults}. *)
+
+val degrade : t -> dead_procs:int list -> dead_links:int list -> (t, string) result
+(** [degrade t ~dead_procs ~dead_links] is the degraded view of [t]
+    ([dead_links] are link ids of [t]; faults compose, so [t] may itself
+    be degraded).  Errors on out-of-range ids and when every processor
+    would be dead.  Does {e not} check connectivity — use
+    {!Faults.degrade} to get partition reporting.  Returns [t] itself
+    when both fault lists are empty. *)
+
+val is_degraded : t -> bool
+
+val alive : t -> int -> bool
+(** Whether a processor id is in range and not dead. *)
+
+val dead_procs : t -> int list
+(** Dead processor ids, increasing (empty for pristine topologies). *)
+
+val alive_procs : t -> int list
+
+val alive_count : t -> int
 
 val layout : t -> (float * float) array
 (** 2-D positions for rendering: meshes/tori on a grid, rings on a

@@ -1,0 +1,66 @@
+A missing program file is a usage error: one line on stderr, exit 2:
+
+  $ oregami map ./no-such-file.larcs -t ring:4
+  oregami: ./no-such-file.larcs: No such file or directory
+  [2]
+
+  $ oregami parse ./no-such-file.larcs
+  oregami: ./no-such-file.larcs: No such file or directory
+  [2]
+
+Mapping around dead processors and links (the degraded name records
+the faults):
+
+  $ oregami map nbody -p n=14 -t hypercube:4 --kill-procs 3,7 --kill-links 0 | head -4
+  injected faults: 2 dead processors (3,7), 1 dead link (0)
+  
+  mapping "nbody" onto hypercube(4)[-2p,-1l] via mwm+nn
+    14 tasks -> 14 clusters -> 16 processors
+
+
+Symmetry strategies decline degraded machines with a named reason:
+
+  $ oregami map nbody -p n=14 -t hypercube:4 --kill-procs 3 --only canned
+  injected faults: 1 dead processor (3)
+  
+  oregami: no mapping strategy produced a valid candidate: canned: degraded topology (1 dead processor (3)): canned requires the intact network
+  oregami:   canned: degraded topology (1 dead processor (3)): canned requires the intact network
+  [1]
+
+
+Bad fault ids are named errors, not crashes:
+
+  $ oregami map nbody -p n=14 -t hypercube:4 --kill-procs 99
+  oregami: dead processor 99 out of range (hypercube(4) has 16 processors)
+  [1]
+
+  $ oregami map nbody -p n=14 -t ring:8 --kill-procs 0,1,2,3,4,5,6,7
+  oregami: faults kill every processor of ring(8)
+  [1]
+
+Faults that disconnect the machine report the surviving partitions:
+
+  $ oregami map nbody -p n=4 -t line:4 --kill-procs 1
+  oregami: faults disconnect line(4): surviving processors split into 2 partitions {0} / {2,3}
+  [1]
+
+Seeded random faults draw counts instead of ids:
+
+  $ oregami map nbody -p n=14 -t hypercube:4 --fault-seed 7 --kill-procs 2 | head -1
+  injected faults: 2 dead processors (3,5)
+
+Repair compares minimum-disruption evacuation against a from-scratch
+remap:
+
+  $ oregami repair nbody -p n=16 -t hypercube:4 --kill-procs 3,7 | head -6
+  faults: 2 dead processors (3,7)
+  
+  plan                             tasks moved  migration  makespan
+  -------------------------------  -----------  ---------  --------
+  before faults (group-theoretic)            -          -       304
+  minimum-disruption repair                  2         36       472
+
+
+  $ oregami repair nbody -p n=16 -t hypercube:4
+  oregami: nothing to repair (give --kill-procs and/or --kill-links)
+  [1]

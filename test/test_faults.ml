@@ -1,0 +1,267 @@
+(* Fault injection, degraded-topology mapping, and repair (the
+   robustness acceptance scenarios: hypercube(4) with 2 dead processors
+   and 1 dead link must map cleanly; repair must move strictly fewer
+   tasks than a from-scratch remap; disconnecting faults must be a
+   named Error). *)
+
+open Oregami
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let topo_of s = Topology.make (Result.get_ok (Topology.parse s))
+
+let get = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let expect_error what pred = function
+  | Ok _ -> Alcotest.failf "%s: expected an Error" what
+  | Error e ->
+    Alcotest.(check bool) (Printf.sprintf "%s: error names the cause (%s)" what e) true (pred e)
+
+(* hypercube(4) with processors 3 and 7 dead plus one alive-alive link
+   cut: the shared acceptance scenario *)
+let acceptance_view () =
+  let base = topo_of "hypercube:4" in
+  let dead_link =
+    match Topology.link_between base 0 1 with
+    | Some l -> l
+    | None -> Alcotest.fail "hypercube(4) must have link 0-1"
+  in
+  let faults = get (Faults.make ~procs:[ 3; 7 ] ~links:[ dead_link ] base) in
+  (base, faults, get (Faults.degrade base faults))
+
+let test_degrade_structure () =
+  let base, faults, view = acceptance_view () in
+  let d = view.Faults.topo in
+  Alcotest.(check bool) "degraded flag" true (Topology.is_degraded d);
+  Alcotest.(check bool) "base stays pristine" false (Topology.is_degraded base);
+  Alcotest.(check int) "node ids preserved" 16 (Topology.node_count d);
+  Alcotest.(check int) "14 alive" 14 (Topology.alive_count d);
+  Alcotest.(check (list int)) "dead procs" [ 3; 7 ] (Topology.dead_procs d);
+  Alcotest.(check bool) "3 is dead" false (Topology.alive d 3);
+  Alcotest.(check bool) "0 is alive" true (Topology.alive d 0);
+  (* hypercube(4): 32 links; procs 3 and 7 share one link and have
+     degree 4 each, so 4 + 4 - 1 = 7 incident links die, plus the cut
+     0-1 link *)
+  Alcotest.(check int) "surviving links" (32 - 7 - 1) (Topology.link_count d);
+  Alcotest.(check int) "dead procs keep no links" 0 (Topology.degree d 3);
+  Alcotest.(check (option int)) "cut link absent" None (Topology.link_between d 0 1);
+  Alcotest.(check string) "name shows faults" "hypercube(4)[-2p,-1l]" (Topology.name d);
+  (* remapped link ids translate back to base ids over the same endpoints *)
+  Array.iteri
+    (fun i b ->
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "link %d endpoints" i)
+        (Topology.link_endpoints base b) (Topology.link_endpoints d i))
+    view.Faults.link_to_base;
+  Array.iteri
+    (fun b d_id ->
+      match d_id with
+      | Some i -> Alcotest.(check int) "round trip" b view.Faults.link_to_base.(i)
+      | None -> ())
+    view.Faults.link_of_base;
+  Alcotest.(check bool) "cut base link is dead" true
+    (List.for_all (fun l -> view.Faults.link_of_base.(l) = None) faults.Faults.links);
+  (* the degraded view rebuilds its own distance cache and leaves the
+     base's untouched *)
+  let before = Distcache.hop_builds base in
+  let dc = Distcache.hops d in
+  Alcotest.(check int) "fresh cache slot" 1 (Distcache.hop_builds d);
+  Alcotest.(check int) "base cache untouched" before (Distcache.hop_builds base);
+  (* distances follow the degraded graph: 0-1 now takes a detour *)
+  Alcotest.(check int) "0->1 detours" 3 (Distcache.hop dc 0 1)
+
+let test_fault_validation () =
+  let base = topo_of "hypercube:3" in
+  expect_error "proc out of range" (fun e -> contains e "out of range")
+    (Faults.make ~procs:[ 8 ] base);
+  expect_error "link out of range" (fun e -> contains e "out of range")
+    (Faults.make ~links:[ 99 ] base);
+  expect_error "all dead" (fun e -> contains e "every processor")
+    (Faults.make ~procs:(List.init 8 Fun.id) base);
+  (* random fault sets are reproducible and in range *)
+  let rng = Prelude.Rng.create 42 in
+  let f = get (Faults.random rng ~procs:2 ~links:3 base) in
+  Alcotest.(check int) "2 random procs" 2 (List.length f.Faults.procs);
+  Alcotest.(check int) "3 random links" 3 (List.length f.Faults.links);
+  let rng' = Prelude.Rng.create 42 in
+  let f' = get (Faults.random rng' ~procs:2 ~links:3 base) in
+  Alcotest.(check bool) "seeded draw is deterministic" true (f = f');
+  expect_error "too many random procs" (fun e -> contains e "at least one")
+    (Faults.random rng ~procs:8 ~links:0 base)
+
+let test_partition_errors () =
+  (* killing the middle of a line splits it *)
+  let line = topo_of "line:4" in
+  expect_error "line split" (fun e -> contains e "partition")
+    (Faults.degrade line (get (Faults.make ~procs:[ 1 ] line)));
+  (* cutting two ring links splits the ring *)
+  let ring = topo_of "ring:6" in
+  let l a b = Option.get (Topology.link_between ring a b) in
+  expect_error "ring split" (fun e -> contains e "partitions")
+    (Faults.degrade ring (get (Faults.make ~links:[ l 0 1; l 3 4 ] ring)));
+  (* an isolated-but-alive processor is its own partition *)
+  let star = topo_of "bintree:1" in
+  expect_error "isolated leaf" (fun e -> contains e "partition")
+    (Faults.degrade star (get (Faults.make ~procs:[ 0 ] star)));
+  (* one cut that keeps the ring connected is fine *)
+  let view = get (Faults.degrade ring (get (Faults.make ~links:[ l 0 1 ] ring))) in
+  Alcotest.(check int) "one partition" 1 (List.length (Faults.partitions view.Faults.topo))
+
+let route_links_in_base view (m : Mapping.t) =
+  List.concat_map
+    (fun pr ->
+      List.concat_map
+        (fun re -> List.map (fun l -> view.Faults.link_to_base.(l)) re.Mapping.re_route.Routes.links)
+        pr.Mapping.pr_edges)
+    m.Mapping.routings
+
+let test_map_on_degraded () =
+  let _, faults, view = acceptance_view () in
+  let spec = Workloads.nbody ~n:14 ~s:2 in
+  let compiled = Workloads.compile_exn spec in
+  let result, stats = Driver.report ~faults compiled view.Faults.topo in
+  let m = get result in
+  (* acceptance: no task on a dead processor *)
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) (Printf.sprintf "proc %d alive" p) true
+        (Topology.alive view.Faults.topo p))
+    (Mapping.assignment m);
+  (* acceptance: no phase routed over a dead link (translate surviving
+     link ids back to base ids and compare against the fault set) *)
+  List.iter
+    (fun bl ->
+      Alcotest.(check bool) "route avoids dead links" false (List.mem bl faults.Faults.links))
+    (route_links_in_base view m);
+  (* the symmetry strategies reject with a named reason *)
+  let rejections = Stats.rejections stats in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name rejections with
+      | Some reason ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s names degradation (%s)" name reason)
+          true (contains reason "degraded topology")
+      | None -> Alcotest.failf "strategy %s should have been rejected" name)
+    [ "canned"; "group" ];
+  Alcotest.(check bool) "mapping still validates" true (Mapping.validate m = Ok ())
+
+let test_baselines_on_degraded () =
+  let _, faults, view = acceptance_view () in
+  let compiled = Workloads.compile_exn (Workloads.nbody ~n:14 ~s:1) in
+  List.iter
+    (fun only ->
+      let options = { Driver.default_options with Driver.only = [ only ] } in
+      let m = get (Driver.map_compiled ~options ~faults compiled view.Faults.topo) in
+      Array.iter
+        (fun p ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: proc %d alive" only p)
+            true
+            (Topology.alive view.Faults.topo p))
+        (Mapping.assignment m))
+    [ "random"; "naive-block"; "round-robin"; "mwm"; "blocks" ]
+
+let test_repair_vs_remap () =
+  let base, faults, _ = acceptance_view () in
+  let spec = Workloads.nbody ~n:16 ~s:2 in
+  let compiled = Workloads.compile_exn spec in
+  let tg = compiled.Larcs.Compile.graph in
+  let r = get (Remap.recover ~compiled tg base faults) in
+  let repair = r.Remap.rc_repair in
+  let degraded = repair.Repair.rp_mapping.Mapping.topo in
+  (* every surviving placement is frozen: only dead-processor tasks move *)
+  List.iter
+    (fun mv ->
+      Alcotest.(check bool) "move starts on a dead proc" false
+        (Topology.alive degraded mv.Repair.mv_from);
+      Alcotest.(check bool) "move ends on an alive proc" true
+        (Topology.alive degraded mv.Repair.mv_to))
+    repair.Repair.rp_moves;
+  Alcotest.(check int) "frozen + moved = tasks" tg.Taskgraph.n
+    (repair.Repair.rp_frozen + Repair.moved repair);
+  Alcotest.(check bool) "repaired mapping validates" true
+    (Mapping.validate repair.Repair.rp_mapping = Ok ());
+  (* acceptance: minimum-disruption repair moves strictly fewer tasks
+     than mapping the degraded machine from scratch *)
+  Alcotest.(check bool)
+    (Printf.sprintf "repair moves %d < remap moves %d" (Repair.moved repair)
+       r.Remap.rc_remap_moved)
+    true
+    (Repair.moved repair < r.Remap.rc_remap_moved);
+  Alcotest.(check bool) "repair moved someone" true (Repair.moved repair > 0);
+  (* both transitions are priced with the same migration model; moving
+     anything costs network time *)
+  Alcotest.(check bool) "repair migration priced" true (r.Remap.rc_repair_migration > 0);
+  Alcotest.(check bool) "remap migration priced" true (r.Remap.rc_remap_migration > 0)
+
+let test_netsim_fault_event () =
+  let base, _, _ = acceptance_view () in
+  let compiled = Workloads.compile_exn (Workloads.nbody ~n:16 ~s:2) in
+  let m = get (Driver.map_compiled compiled base) in
+  let event = { Netsim.at_slot = 2; kill_procs = [ 3; 7 ]; kill_links = [] } in
+  let r = get (Netsim.run_with_fault m event) in
+  Alcotest.(check int) "makespan = pre + migration + post" r.Netsim.rv_makespan
+    (r.Netsim.rv_pre_time + r.Netsim.rv_migration_time + r.Netsim.rv_post_time);
+  Alcotest.(check int) "delta vs fault-free" r.Netsim.rv_delta
+    (r.Netsim.rv_makespan - r.Netsim.rv_fault_free.Netsim.makespan);
+  Alcotest.(check bool) "evacuation costs something" true (r.Netsim.rv_migration_time > 0);
+  let repaired = r.Netsim.rv_repair.Repair.rp_mapping in
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "post-fault placement alive" true
+        (Topology.alive repaired.Mapping.topo p))
+    (Mapping.assignment repaired);
+  (* an empty fault set and a disconnecting one are named errors *)
+  expect_error "empty faults" (fun e -> contains e "nothing")
+    (Netsim.run_with_fault m { Netsim.at_slot = 0; kill_procs = []; kill_links = [] });
+  let line = topo_of "line:4" in
+  let lm = get (Driver.map_taskgraph (Workloads.compile_exn (Workloads.nbody ~n:4 ~s:1)).Larcs.Compile.graph line) in
+  expect_error "disconnecting fault" (fun e -> contains e "partition")
+    (Netsim.run_with_fault lm { Netsim.at_slot = 0; kill_procs = [ 1 ]; kill_links = [] })
+
+let test_incremental_and_routes_degraded () =
+  let base = topo_of "hypercube:3" in
+  let view = get (Faults.degrade base (get (Faults.make ~procs:[ 5 ] base))) in
+  let d = view.Faults.topo in
+  (* deterministic routing falls back to surviving shortest routes *)
+  let r = Routes.deterministic d 1 7 in
+  Alcotest.(check bool) "route avoids the dead proc" true
+    (List.for_all (Topology.alive d) r.Routes.nodes);
+  (match Routes.ecube d 1 7 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ecube must refuse degraded topologies");
+  (* the incremental placer never lands on a dead processor *)
+  let g = Graph.Ugraph.create 6 in
+  List.iter (fun (u, v) -> Graph.Ugraph.add_edge g u v) [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5) ];
+  let placed = Mapper.Incremental.place g ~activation:(Array.make 6 0) ~cap:1 d in
+  Array.iter
+    (fun p -> Alcotest.(check bool) "placement alive" true (Topology.alive d p))
+    placed
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "degrade",
+        [
+          Alcotest.test_case "structure" `Quick test_degrade_structure;
+          Alcotest.test_case "validation" `Quick test_fault_validation;
+          Alcotest.test_case "partitions" `Quick test_partition_errors;
+        ] );
+      ( "mapping",
+        [
+          Alcotest.test_case "map on degraded" `Quick test_map_on_degraded;
+          Alcotest.test_case "baselines avoid dead procs" `Quick test_baselines_on_degraded;
+          Alcotest.test_case "incremental and routes" `Quick test_incremental_and_routes_degraded;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "repair vs remap" `Quick test_repair_vs_remap;
+          Alcotest.test_case "mid-trace fault event" `Quick test_netsim_fault_event;
+        ] );
+    ]

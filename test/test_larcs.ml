@@ -340,6 +340,69 @@ let gen_pexpr =
                  (self (size / 2)) (int_range 0 4);
              ])
 
+(* malformed-input corpus: every broken variant of a real program must
+   come back as [Error] with a position, never an escaped exception *)
+let compile_broken src =
+  match Larcs.Compile.compile_source ~bindings:[ ("n", 8); ("s", 2) ] src with
+  | Ok _ -> None
+  | Error m ->
+    if m = "" then Alcotest.fail "empty error message";
+    Some m
+  | exception e ->
+    Alcotest.failf "exception escaped Compile: %s" (Printexc.to_string e)
+
+let test_malformed_corpus () =
+  (* every truncation of the running example *)
+  for len = 0 to String.length nbody_source - 1 do
+    ignore (compile_broken (String.sub nbody_source 0 len))
+  done;
+  (* garbling one character at a time with junk bytes *)
+  List.iter
+    (fun junk ->
+      for pos = 0 to String.length nbody_source - 1 do
+        let b = Bytes.of_string nbody_source in
+        Bytes.set b pos junk;
+        ignore (compile_broken (Bytes.to_string b))
+      done)
+    [ '\255'; '@'; '$'; '?' ];
+  (* specific defects get positioned messages *)
+  let positioned what src =
+    match compile_broken src with
+    | Some m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s reports a position (%s)" what m)
+        true (contains m "line")
+    | None -> Alcotest.failf "%s: expected an Error" what
+  in
+  positioned "truncated mid-keyword" (String.sub nbody_source 0 60);
+  positioned "junk byte" "algorithm q();\n\255";
+  positioned "huge int literal"
+    "algorithm q();\nnodetype t : 0 .. 99999999999999999999;\nphases t;";
+  (* binary garbage *)
+  ignore (compile_broken (String.init 64 (fun i -> Char.chr (i * 4 mod 256))));
+  (* pathological nesting must not blow the stack *)
+  let deep =
+    "algorithm q(); exphase a cost 1; phases "
+    ^ String.concat "" (List.init 200_000 (fun _ -> "("))
+    ^ "a"
+  in
+  ignore (compile_broken deep);
+  (* resource-exhaustion programs are semantic errors, not OOM crashes *)
+  let named what needle src =
+    match compile_broken src with
+    | Some m ->
+      Alcotest.(check bool) (Printf.sprintf "%s names the limit (%s)" what m) true
+        (contains m needle)
+    | None -> Alcotest.failf "%s: expected an Error" what
+  in
+  named "huge node space" "exceeds"
+    "algorithm q();\nnodetype t : 0 .. 123456789123;\nexphase a cost 1;\nphases a;";
+  named "overflowing 2d space" "exceeds"
+    "algorithm q();\nnodetype t : (0 .. 4611686018427387902, 0 .. 4611686018427387902);\n\
+     exphase a cost 1;\nphases a;";
+  named "spawn tree too deep" "too deep"
+    "algorithm q();\nspawntree t : depth 60;\nphases t_spawn;"
+
 let qcheck_pexpr_roundtrip =
   (* sequences re-associate during parsing, so require idempotence of
      pretty . parse rather than structural equality *)
@@ -377,6 +440,7 @@ let () =
           Alcotest.test_case "2d node space" `Quick test_compile_2d;
           Alcotest.test_case "volumes and multiple types" `Quick test_volume_and_multi_type;
           Alcotest.test_case "s-expression dump" `Quick test_dump;
+          Alcotest.test_case "malformed corpus" `Quick test_malformed_corpus;
         ] );
       ( "analyze",
         [

@@ -218,6 +218,119 @@ let test_route_table () =
   let rs = Hashtbl.find table (0, 2) in
   Alcotest.(check int) "unique shortest on odd ring" 1 (List.length rs)
 
+(* Property tests: the link table (link ids <-> endpoints <-> paths)
+   must agree with the underlying graph on every topology family, and
+   on degraded views of each family. *)
+
+module Faults = Oregami_topology.Faults
+
+let all_kinds =
+  [
+    Topology.Line 6; Topology.Ring 7; Topology.Mesh (3, 4); Topology.Torus (3, 4);
+    Topology.Hypercube 3; Topology.Complete 5; Topology.Binary_tree 3;
+    Topology.Binomial_tree 3; Topology.Butterfly 2; Topology.Cube_connected_cycles 3;
+    Topology.Hex_mesh (3, 3); Topology.Star_graph 3; Topology.De_bruijn 3;
+    Topology.Shuffle_exchange 3;
+  ]
+
+let test_topologies =
+  let pristine = List.map t all_kinds in
+  (* degraded variants: kill the highest-numbered processor where that
+     leaves the survivors connected *)
+  let degraded =
+    List.filter_map
+      (fun topo ->
+        match Faults.make ~procs:[ Topology.node_count topo - 1 ] topo with
+        | Error _ -> None
+        | Ok f -> begin
+          match Faults.degrade topo f with
+          | Ok v -> Some v.Faults.topo
+          | Error _ -> None
+        end)
+      pristine
+  in
+  pristine @ degraded
+
+let check_link_table_consistency topo =
+  let name = Topology.name topo in
+  let g = Topology.graph topo in
+  (* every link id round-trips through its ordered endpoints *)
+  for l = 0 to Topology.link_count topo - 1 do
+    let u, v = Topology.link_endpoints topo l in
+    if not (u < v) then
+      QCheck.Test.fail_reportf "%s: link %d endpoints (%d,%d) not ordered" name l u v;
+    if Topology.link_between topo u v <> Some l then
+      QCheck.Test.fail_reportf "%s: link_between %d %d lost link %d" name u v l;
+    if Topology.link_between topo v u <> Some l then
+      QCheck.Test.fail_reportf "%s: link_between not order-insensitive on link %d" name l
+  done;
+  (* and the table covers exactly the graph's adjacency *)
+  let n = Topology.node_count topo in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      match Topology.link_between topo u v with
+      | Some l ->
+        let a, b = Topology.link_endpoints topo l in
+        if (a, b) <> (min u v, max u v) then
+          QCheck.Test.fail_reportf "%s: link %d is %d-%d, not %d-%d" name l a b u v
+      | None ->
+        if u <> v && Ugraph.mem_edge g u v then
+          QCheck.Test.fail_reportf "%s: edge %d-%d has no link id" name u v
+    done
+  done;
+  true
+
+let qcheck_link_table =
+  QCheck.Test.make ~name:"link table agrees with the graph on every family" ~count:28
+    (QCheck.make (QCheck.Gen.oneofl test_topologies) ~print:Topology.name)
+    check_link_table_consistency
+
+let qcheck_links_of_path =
+  (* a deterministic route's node path converts back to exactly its
+     link list, on pristine and degraded machines alike *)
+  let gen =
+    QCheck.Gen.(
+      let* topo = oneofl test_topologies in
+      let alive = Array.of_list (Topology.alive_procs topo) in
+      let* u = oneofl (Array.to_list alive) in
+      let* v = oneofl (Array.to_list alive) in
+      return (topo, u, v))
+  in
+  let print (topo, u, v) = Printf.sprintf "%s: %d -> %d" (Topology.name topo) u v in
+  QCheck.Test.make ~name:"links_of_path inverts deterministic routes" ~count:500
+    (QCheck.make gen ~print) (fun (topo, u, v) ->
+      let r = Routes.deterministic topo u v in
+      let relinked = Topology.links_of_path topo r.Routes.nodes in
+      if relinked <> r.Routes.links then
+        QCheck.Test.fail_reportf "route links %s but path converts to %s"
+          (String.concat "," (List.map string_of_int r.Routes.links))
+          (String.concat "," (List.map string_of_int relinked));
+      (* each traversed link joins the consecutive nodes it claims to *)
+      List.iteri
+        (fun i l ->
+          let a = List.nth r.Routes.nodes i and b = List.nth r.Routes.nodes (i + 1) in
+          let x, y = Topology.link_endpoints topo l in
+          if (x, y) <> (min a b, max a b) then
+            QCheck.Test.fail_reportf "hop %d uses link %d (%d-%d) between %d and %d" i l
+              x y a b)
+        r.Routes.links;
+      List.length r.Routes.links = max 0 (List.length r.Routes.nodes - 1))
+
+let qcheck_nonadjacent_no_link =
+  let gen =
+    QCheck.Gen.(
+      let* topo = oneofl test_topologies in
+      let n = Topology.node_count topo in
+      let* u = int_range 0 (n - 1) in
+      let* v = int_range 0 (n - 1) in
+      return (topo, u, v))
+  in
+  let print (topo, u, v) = Printf.sprintf "%s: %d ? %d" (Topology.name topo) u v in
+  QCheck.Test.make ~name:"link_between is None exactly off the graph" ~count:500
+    (QCheck.make gen ~print) (fun (topo, u, v) ->
+      let adjacent = u <> v && Ugraph.mem_edge (Topology.graph topo) u v in
+      adjacent = Option.is_some (Topology.link_between topo u v))
+
 let () =
   Alcotest.run "topology"
     [
@@ -240,5 +353,11 @@ let () =
           Alcotest.test_case "dimension order" `Quick test_dimension_order;
           Alcotest.test_case "deterministic everywhere" `Quick test_deterministic;
           Alcotest.test_case "route table" `Quick test_route_table;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_link_table;
+          QCheck_alcotest.to_alcotest qcheck_links_of_path;
+          QCheck_alcotest.to_alcotest qcheck_nonadjacent_no_link;
         ] );
     ]
