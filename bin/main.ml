@@ -4,18 +4,7 @@
 open Cmdliner
 open Oregami
 
-let read_source path_or_workload =
-  match List.find_opt (fun s -> s.Workloads.w_name = path_or_workload) (Workloads.all ()) with
-  | Some spec -> Ok (spec.Workloads.source, spec.Workloads.bindings)
-  | None -> begin
-    try
-      let ic = open_in path_or_workload in
-      let len = in_channel_length ic in
-      let s = really_input_string ic len in
-      close_in ic;
-      Ok (s, [])
-    with Sys_error m -> Error m
-  end
+let read_source = Service.load_program
 
 let parse_binding s =
   match String.split_on_char '=' s with
@@ -146,6 +135,29 @@ let mapping_of ~input ~params ~topo ~routing =
   let options = options_of ~routing ~only:[] ~exclude:[] in
   (or_die (Driver.map_compiled ~options compiled topology), compiled)
 
+(* budget / anytime args *)
+let fuel_arg =
+  let doc =
+    "Abstract work-unit budget for the whole pipeline run (deterministic \
+     across machines).  When it runs out the passes stop early and the best \
+     partial mapping is returned, tagged as degraded."
+  in
+  Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"UNITS" ~doc)
+
+let deadline_arg =
+  let doc =
+    "Monotonic wall-clock deadline in milliseconds, measured from the start \
+     of the run.  Like $(b,--fuel), expiry yields the best partial mapping."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let fallback_arg =
+  let doc =
+    "Place a cheap baseline mapping instead of erroring when every strategy \
+     declines.  Implied by $(b,--fuel) / $(b,--deadline-ms)."
+  in
+  Arg.(value & flag & info [ "fallback" ] ~doc)
+
 (* subcommands *)
 let parse_cmd =
   let run input =
@@ -179,13 +191,20 @@ let analyze_cmd =
 
 let map_cmd =
   let run input params topo routing only exclude explain kill_procs kill_links
-      fault_seed =
+      fault_seed fuel deadline_ms fallback =
     let compiled = compile ~input ~params in
     let kind = or_die (Topology.parse topo) in
     let topology = Topology.make kind in
     let faults = fault_set ~kill_procs ~kill_links ~fault_seed topology in
     let topology, faults = degraded_target topology faults in
-    let options = options_of ~routing ~only ~exclude in
+    let options =
+      { (options_of ~routing ~only ~exclude) with
+        Driver.fuel;
+        Driver.deadline_ms;
+        (* any budget implies the anytime contract: always answer *)
+        Driver.fallback = fallback || fuel <> None || deadline_ms <> None;
+      }
+    in
     match Driver.report ~options ~faults compiled topology with
     | Error e, stats ->
       Printf.eprintf "oregami: %s\n" e;
@@ -196,7 +215,12 @@ let map_cmd =
       exit 1
     | Ok m, stats ->
       Format.printf "%a@.@." Mapping.pp m;
-      Metrics.print_summary (Metrics.summary m);
+      let degradation =
+        match Stats.degradation stats with
+        | Stats.Full -> None
+        | d -> Some d
+      in
+      Metrics.print_summary ?degradation (Metrics.summary m);
       if explain then begin
         print_newline ();
         print_string (Stats.to_table stats);
@@ -225,7 +249,7 @@ let map_cmd =
   Cmd.v (Cmd.info "map" ~doc:"Map a program onto a topology and report METRICS")
     Term.(const run $ input_arg $ params_arg $ topo_arg $ routing_arg $ only_arg
           $ exclude_arg $ explain_arg $ kill_procs_arg $ kill_links_arg
-          $ fault_seed_arg)
+          $ fault_seed_arg $ fuel_arg $ deadline_arg $ fallback_arg)
 
 let render_cmd =
   let run input params topo routing svg_path =
@@ -414,7 +438,10 @@ let repair_cmd =
     Printf.printf "\n%s\n"
       (if r.Remap.rc_repair_wins then
          "repair wins: migration + steady state beats the from-scratch remap"
-       else "full remap wins: its better steady state repays the migration")
+       else "full remap wins: its better steady state repays the migration");
+    Printf.printf
+      "\nphase wall-clock: base %.3f ms, repair %.3f ms, remap %.3f ms\n"
+      r.Remap.rc_base_ms r.Remap.rc_repair_ms r.Remap.rc_remap_ms
   in
   Cmd.v
     (Cmd.info "repair"
@@ -493,6 +520,45 @@ let topo_cmd =
   let arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"TOPO" ~doc:"Topology spec.") in
   Cmd.v (Cmd.info "topo" ~doc:"Describe a network topology") Term.(const run $ arg)
 
+(* batch mapping service: one request per line in, one result line out *)
+let serve_batch file sexp =
+  let format = if sexp then Service.Sexp else Service.Tsv in
+  let ic =
+    match file with
+    | None | Some "-" -> stdin
+    | Some f -> ( try open_in f with Sys_error m -> die ~code:2 m)
+  in
+  let code = Service.serve ~format ic stdout in
+  if ic != stdin then close_in ic;
+  exit code
+
+let sexp_arg =
+  Arg.(value & flag
+       & info [ "sexp" ]
+           ~doc:"Emit one s-expression per request instead of the TSV line.")
+
+let serve_cmd =
+  let run sexp = serve_batch None sexp in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Read mapping requests from stdin (PROGRAM TOPOLOGY [key=value \
+             ...] per line) and answer each with one result line; exit 1 if \
+             any request failed")
+    Term.(const run $ sexp_arg)
+
+let batch_cmd =
+  let run file sexp = serve_batch (Some file) sexp in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE"
+             ~doc:"Request file, one request per line ($(b,-) for stdin).")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Run a file of mapping requests through the batch service \
+             (identical to $(b,serve) reading the file)")
+    Term.(const run $ file_arg $ sexp_arg)
+
 let workloads_cmd =
   let run () =
     Prelude.Tab.print
@@ -516,6 +582,6 @@ let () =
        (Cmd.group ~default info
           [
             parse_cmd; dump_cmd; analyze_cmd; map_cmd; render_cmd; routes_cmd;
-            simulate_cmd; aggregate_cmd; remap_cmd; repair_cmd; systolic_cmd; topo_cmd;
-            workloads_cmd;
+            simulate_cmd; aggregate_cmd; remap_cmd; repair_cmd; serve_cmd;
+            batch_cmd; systolic_cmd; topo_cmd; workloads_cmd;
           ]))

@@ -18,6 +18,9 @@ type options = Ctx.options = {
   seed : int;
   only : string list;
   exclude : string list;
+  fuel : int option;
+  deadline_ms : float option;
+  fallback : bool;
 }
 
 let default_options = Ctx.default_options
@@ -30,13 +33,15 @@ let run ctx =
   | Error e -> Error e
   | Ok selection -> Pipeline.compete ~score:Metrics.completion_time ctx selection
 
+let drop_degradation = Result.map (fun (m, _) -> m)
+
 let report ?(options = default_options) ?faults compiled topo =
   let ctx = Ctx.of_compiled ~options ?faults compiled topo in
-  (run ctx, ctx.Ctx.stats)
+  (drop_degradation (run ctx), ctx.Ctx.stats)
 
 let report_taskgraph ?(options = default_options) ?faults tg topo =
   let ctx = Ctx.of_taskgraph ~options ?faults tg topo in
-  (run ctx, ctx.Ctx.stats)
+  (drop_degradation (run ctx), ctx.Ctx.stats)
 
 let map_compiled ?options ?faults compiled topo = fst (report ?options ?faults compiled topo)
 let map_taskgraph ?options ?faults tg topo = fst (report_taskgraph ?options ?faults tg topo)

@@ -32,9 +32,23 @@ type options = Oregami_mapper.Ctx.options = {
   only : string list;
       (** restrict to these registry names; all compete on score *)
   exclude : string list;  (** registry names to drop *)
+  fuel : int option;  (** work-unit budget; [None] unlimited *)
+  deadline_ms : float option;  (** wall-clock budget; [None] unlimited *)
+  fallback : bool;
+      (** baseline placement instead of an error when every strategy
+          declines (implied by any budget) *)
 }
 
 val default_options : options
+
+val run :
+  Oregami_mapper.Ctx.t ->
+  (Oregami_mapper.Mapping.t * Oregami_mapper.Stats.degradation, string) result
+(** The pipeline over a prebuilt context — the anytime entry point:
+    the mapping comes tagged with how complete the run was
+    ([Full]/[Truncated]/[Fallback]).  The batch service uses this to
+    share a circuit breaker and per-request budgets across requests;
+    [report] below is the legacy shape. *)
 
 val report :
   ?options:options ->

@@ -60,8 +60,22 @@ module Stats = Oregami_mapper.Stats
 (** Per-pass instrumentation: attempts, rejection reasons, candidate
     scores, matching rounds, refine swaps, Distcache builds. *)
 
+module Budget = Oregami_mapper.Budget
+(** Fuel/deadline meter behind the anytime contract: hot pipeline
+    loops poll it and stop early with their best partial result. *)
+
+module Isolate = Oregami_mapper.Isolate
+(** Exception barrier and per-strategy circuit breaker around the
+    strategy producers. *)
+
 module Driver = Driver
 module Remap = Remap
+
+module Service = Service
+(** Batch mapping service: one request per input line, one structured
+    result line (TSV or s-expression) out, retry-with-reduced-scope on
+    budget exhaustion, and a shared circuit breaker across requests. *)
+
 module Metrics = Oregami_metrics.Metrics
 module Netsim = Oregami_metrics.Netsim
 module Render = Oregami_metrics.Render

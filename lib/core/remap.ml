@@ -124,13 +124,16 @@ type recovery = {
   rc_faults : Faults.t;
   rc_base : Mapping.t;
   rc_base_makespan : int;
+  rc_base_ms : float;
   rc_repair : Repair.t;
   rc_repair_migration : int;
   rc_repair_makespan : int;
+  rc_repair_ms : float;
   rc_remap : Mapping.t;
   rc_remap_moved : int;
   rc_remap_migration : int;
   rc_remap_makespan : int;
+  rc_remap_ms : float;
   rc_repair_wins : bool;
 }
 
@@ -148,19 +151,35 @@ let recover ?options ?(migration_volume = 8) ?compiled tg topo faults =
     if Faults.is_empty faults then Error "no faults to recover from" else Ok ()
   in
   let* view = Faults.degrade topo faults in
-  let* rc_base =
-    match compiled with
-    | Some c -> Driver.map_compiled ?options c topo
-    | None -> Driver.map_taskgraph ?options tg topo
+  (* per-phase wall-clock: how long the initial mapping, the repair,
+     and the from-scratch remap each took — the operational question
+     during recovery is whether repair is cheap enough to run inline *)
+  let timed f =
+    let r, s = Oregami_prelude.Clock.time f in
+    (r, s *. 1e3)
   in
+  let base_r, rc_base_ms =
+    timed (fun () ->
+        match compiled with
+        | Some c -> Driver.map_compiled ?options c topo
+        | None -> Driver.map_taskgraph ?options tg topo)
+  in
+  let* rc_base = base_r in
   let rc_base_makespan = (Netsim.run rc_base).Netsim.makespan in
-  let* rc_repair = Repair.repair rc_base view.Faults.topo in
+  let repair_r, rc_repair_ms =
+    timed (fun () -> Repair.repair rc_base view.Faults.topo)
+  in
+  let* rc_repair = repair_r in
+  let remap_r, rc_remap_ms =
+    timed (fun () ->
+        match compiled with
+        | Some c -> Driver.map_compiled ?options ~faults c view.Faults.topo
+        | None -> Driver.map_taskgraph ?options ~faults tg view.Faults.topo)
+  in
   let* rc_remap =
     Result.map_error
       (fun e -> "from-scratch remap on the degraded topology failed: " ^ e)
-      (match compiled with
-      | Some c -> Driver.map_compiled ?options ~faults c view.Faults.topo
-      | None -> Driver.map_taskgraph ?options ~faults tg view.Faults.topo)
+      remap_r
   in
   let before = Mapping.assignment rc_base in
   let repaired = Mapping.assignment rc_repair.Repair.rp_mapping in
@@ -175,13 +194,16 @@ let recover ?options ?(migration_volume = 8) ?compiled tg topo faults =
       rc_faults = faults;
       rc_base;
       rc_base_makespan;
+      rc_base_ms;
       rc_repair;
       rc_repair_migration;
       rc_repair_makespan;
+      rc_repair_ms;
       rc_remap;
       rc_remap_moved = moved_between before remapped;
       rc_remap_migration;
       rc_remap_makespan;
+      rc_remap_ms;
       rc_repair_wins =
         rc_repair_migration + rc_repair_makespan <= rc_remap_migration + rc_remap_makespan;
     }

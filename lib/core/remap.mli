@@ -52,13 +52,16 @@ type recovery = {
   rc_faults : Oregami_topology.Faults.t;
   rc_base : Oregami_mapper.Mapping.t;  (** mapping on the pristine machine *)
   rc_base_makespan : int;
+  rc_base_ms : float;  (** wall-clock spent on the initial mapping *)
   rc_repair : Oregami_mapper.Repair.t;  (** minimum-disruption repair *)
   rc_repair_migration : int;  (** evacuation traffic, Remap cost model *)
   rc_repair_makespan : int;  (** steady-state makespan after repair *)
+  rc_repair_ms : float;  (** wall-clock spent on the repair *)
   rc_remap : Oregami_mapper.Mapping.t;  (** from-scratch mapping on the degraded view *)
   rc_remap_moved : int;  (** tasks whose processor changes under the remap *)
   rc_remap_migration : int;
   rc_remap_makespan : int;
+  rc_remap_ms : float;  (** wall-clock spent on the from-scratch remap *)
   rc_repair_wins : bool;
       (** migration + steady-state cost favours (or ties) the repair *)
 }

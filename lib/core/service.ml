@@ -1,0 +1,345 @@
+module Topology = Oregami_topology.Topology
+module Ctx = Oregami_mapper.Ctx
+module Budget = Oregami_mapper.Budget
+module Isolate = Oregami_mapper.Isolate
+module Strategy = Oregami_mapper.Strategy
+module Stats = Oregami_mapper.Stats
+module Mapping = Oregami_mapper.Mapping
+module Metrics = Oregami_metrics.Metrics
+module Workloads = Oregami_workloads.Workloads
+module Clock = Oregami_prelude.Clock
+
+type format = Tsv | Sexp
+
+type request = {
+  rq_id : int;
+  rq_program : string;
+  rq_topology : string;
+  rq_bindings : (string * int) list;
+  rq_options : Ctx.options;
+  rq_retries : int;
+}
+
+type outcome = {
+  r_id : int;
+  r_program : string;
+  r_topology : string;
+  r_ok : bool;
+  r_strategy : string;
+  r_degradation : Stats.degradation option;
+  r_completion : int option;
+  r_elapsed_ms : float;
+  r_attempts : int;
+  r_fuel_used : int;
+  r_error : string;
+}
+
+let load_program path_or_workload =
+  match
+    List.find_opt
+      (fun s -> s.Workloads.w_name = path_or_workload)
+      (Workloads.all ())
+  with
+  | Some spec -> Ok (spec.Workloads.source, spec.Workloads.bindings)
+  | None -> begin
+    try
+      let ic = open_in path_or_workload in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      Ok (s, [])
+    with Sys_error m -> Error m
+  end
+
+(* ------------------------------------------------------------------ *)
+(* request parsing                                                    *)
+
+let tokens line =
+  String.split_on_char '\t' line
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.filter (fun t -> t <> "")
+
+let default_retries = 2
+
+let parse_request ~id line =
+  let ( let* ) = Result.bind in
+  match tokens line with
+  | [] -> Ok None
+  | t :: _ when t.[0] = '#' -> Ok None
+  | [ _ ] -> Error "want: PROGRAM TOPOLOGY [key=value ...]"
+  | program :: topology :: opts ->
+    let with_options req f = { req with rq_options = f req.rq_options } in
+    let* req =
+      List.fold_left
+        (fun acc tok ->
+          let* req = acc in
+          match String.index_opt tok '=' with
+          | None | Some 0 ->
+            Error (Printf.sprintf "bad token %S (want key=value)" tok)
+          | Some i ->
+            let k = String.sub tok 0 i in
+            let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+            let non_negative what =
+              match int_of_string_opt v with
+              | Some n when n >= 0 -> Ok n
+              | Some _ | None ->
+                Error
+                  (Printf.sprintf "%s wants a non-negative integer, got %S"
+                     what v)
+            in
+            let names () =
+              String.split_on_char ',' v |> List.filter (fun n -> n <> "")
+            in
+            (match k with
+            | "fuel" ->
+              let* n = non_negative "fuel" in
+              Ok (with_options req (fun o -> { o with Ctx.fuel = Some n }))
+            | "deadline-ms" -> begin
+              match float_of_string_opt v with
+              | Some f when f >= 0.0 ->
+                Ok
+                  (with_options req (fun o ->
+                       { o with Ctx.deadline_ms = Some f }))
+              | Some _ | None ->
+                Error
+                  (Printf.sprintf
+                     "deadline-ms wants a non-negative number, got %S" v)
+            end
+            | "retries" ->
+              let* n = non_negative "retries" in
+              Ok { req with rq_retries = n }
+            | "seed" ->
+              let* n = non_negative "seed" in
+              Ok (with_options req (fun o -> { o with Ctx.seed = n }))
+            | "routing" -> begin
+              match v with
+              | "mm" ->
+                Ok
+                  (with_options req (fun o -> { o with Ctx.routing = Ctx.Mm_route }))
+              | "oblivious" ->
+                Ok
+                  (with_options req (fun o ->
+                       { o with Ctx.routing = Ctx.Oblivious }))
+              | other -> Error (Printf.sprintf "unknown routing %S" other)
+            end
+            | "only" ->
+              Ok (with_options req (fun o -> { o with Ctx.only = names () }))
+            | "exclude" ->
+              Ok (with_options req (fun o -> { o with Ctx.exclude = names () }))
+            | _ -> begin
+              (* anything else is a program parameter binding *)
+              match int_of_string_opt v with
+              | Some n -> Ok { req with rq_bindings = (k, n) :: req.rq_bindings }
+              | None ->
+                Error
+                  (Printf.sprintf "bad parameter %S (want an integer value)" tok)
+            end))
+        (Ok
+           {
+             rq_id = id;
+             rq_program = program;
+             rq_topology = topology;
+             rq_bindings = [];
+             rq_options = { Ctx.default_options with Ctx.fallback = true };
+             rq_retries = default_retries;
+           })
+        opts
+    in
+    Ok (Some { req with rq_bindings = List.rev req.rq_bindings })
+
+(* ------------------------------------------------------------------ *)
+(* the attempt schedule                                               *)
+
+let compete_names () =
+  List.filter_map
+    (fun (s : Strategy.t) ->
+      if s.Strategy.tier = Strategy.Compete then Some s.Strategy.name else None)
+    (Strategy.registry ())
+
+(* reduced scope per retry: first drop refinement, then drop the whole
+   competing tier so only the cheap dispatch paths (and the baseline
+   fallback) remain *)
+let attempt_options base = function
+  | 0 -> base
+  | 1 -> { base with Ctx.refine = false }
+  | _ ->
+    {
+      base with
+      Ctx.refine = false;
+      Ctx.only = [];
+      Ctx.exclude = List.sort_uniq compare (base.Ctx.exclude @ compete_names ());
+    }
+
+(* preference across attempts; retry only while something better is
+   still reachable *)
+let rank = function
+  | Error _ -> 0
+  | Ok (_, Stats.Fallback) -> 1
+  | Ok (_, Stats.Truncated _) -> 2
+  | Ok (_, Stats.Full) -> 3
+
+let setup req =
+  let ( let* ) = Result.bind in
+  match
+    Isolate.protect (fun () ->
+        let* kind = Topology.parse req.rq_topology in
+        let* source, defaults = load_program req.rq_program in
+        let bindings =
+          req.rq_bindings
+          @ List.filter
+              (fun (k, _) -> not (List.mem_assoc k req.rq_bindings))
+              defaults
+        in
+        let* compiled = Oregami_larcs.Compile.compile_source ~bindings source in
+        Ok (compiled, Topology.make kind))
+  with
+  | Error exn -> Error ("internal crash: " ^ exn)
+  | Ok r -> r
+
+let run_request ?breaker req =
+  let breaker =
+    match breaker with Some b -> b | None -> Isolate.breaker ()
+  in
+  let attempts = ref 0 in
+  let fuel = ref 0 in
+  let result, seconds =
+    Clock.time (fun () ->
+        match setup req with
+        | Error e -> Error e
+        | Ok (compiled, topo) ->
+          let best = ref (Error "not attempted") in
+          let n = ref 0 in
+          let continue = ref true in
+          while !continue && !n <= req.rq_retries do
+            let options = attempt_options req.rq_options !n in
+            let r, used =
+              match
+                Isolate.protect (fun () ->
+                    let ctx = Ctx.of_compiled ~options ~breaker compiled topo in
+                    let r = Driver.run ctx in
+                    (r, Budget.fuel_used ctx.Ctx.budget))
+              with
+              | Error exn -> (Error ("internal crash: " ^ exn), 0)
+              | Ok (r, used) -> (r, used)
+            in
+            incr n;
+            fuel := !fuel + used;
+            if rank r > rank !best then best := r;
+            (* 3 = Ok Full: nothing better is reachable *)
+            if rank !best >= 3 then continue := false
+          done;
+          attempts := !n;
+          !best)
+  in
+  let elapsed_ms = seconds *. 1e3 in
+  match result with
+  | Ok (m, deg) ->
+    {
+      r_id = req.rq_id;
+      r_program = req.rq_program;
+      r_topology = req.rq_topology;
+      r_ok = true;
+      r_strategy = m.Mapping.strategy;
+      r_degradation = Some deg;
+      r_completion = Some (Metrics.completion_time m);
+      r_elapsed_ms = elapsed_ms;
+      r_attempts = !attempts;
+      r_fuel_used = !fuel;
+      r_error = "";
+    }
+  | Error e ->
+    {
+      r_id = req.rq_id;
+      r_program = req.rq_program;
+      r_topology = req.rq_topology;
+      r_ok = false;
+      r_strategy = "-";
+      r_degradation = None;
+      r_completion = None;
+      r_elapsed_ms = elapsed_ms;
+      r_attempts = !attempts;
+      r_fuel_used = !fuel;
+      r_error = e;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* rendering                                                          *)
+
+let sanitize s =
+  String.map (fun c -> if c = '\t' || c = '\n' || c = '\r' then ' ' else c) s
+
+let degradation_field o =
+  match o.r_degradation with
+  | None -> "-"
+  | Some d -> Stats.degradation_string d
+
+let render fmt o =
+  match fmt with
+  | Tsv ->
+    Printf.sprintf "%d\t%s\t%s\t%s\t%s\t%s\t%s\t%.3f\t%d\t%d\t%s" o.r_id
+      (sanitize o.r_program) (sanitize o.r_topology)
+      (if o.r_ok then "ok" else "error")
+      o.r_strategy (degradation_field o)
+      (match o.r_completion with None -> "-" | Some c -> string_of_int c)
+      o.r_elapsed_ms o.r_attempts o.r_fuel_used
+      (if o.r_error = "" then "-" else sanitize o.r_error)
+  | Sexp ->
+    Printf.sprintf
+      "(result (id %d) (program %S) (topology %S) (status %s) (strategy %S) \
+       (degradation %S) (completion %s) (elapsed-ms %.3f) (attempts %d) \
+       (fuel %d)%s)"
+      o.r_id o.r_program o.r_topology
+      (if o.r_ok then "ok" else "error")
+      o.r_strategy (degradation_field o)
+      (match o.r_completion with None -> "-" | Some c -> string_of_int c)
+      o.r_elapsed_ms o.r_attempts o.r_fuel_used
+      (if o.r_error = "" then "" else Printf.sprintf " (error %S)" o.r_error)
+
+(* ------------------------------------------------------------------ *)
+(* the serve loop                                                     *)
+
+let serve ?(format = Tsv) ?breaker ic oc =
+  let breaker =
+    match breaker with Some b -> b | None -> Isolate.breaker ()
+  in
+  let failed = ref false in
+  let next_id = ref 0 in
+  let emit o =
+    if not o.r_ok then failed := true;
+    output_string oc (render format o);
+    output_char oc '\n';
+    flush oc
+  in
+  (try
+     while true do
+       let line = input_line ic in
+       match parse_request ~id:(!next_id + 1) line with
+       | Ok None -> ()
+       | Ok (Some req) ->
+         incr next_id;
+         emit (run_request ~breaker req)
+       | Error e ->
+         incr next_id;
+         let program, topology =
+           match tokens line with
+           | p :: t :: _ -> (p, t)
+           | [ p ] -> (p, "-")
+           | [] -> ("-", "-")
+         in
+         emit
+           {
+             r_id = !next_id;
+             r_program = program;
+             r_topology = topology;
+             r_ok = false;
+             r_strategy = "-";
+             r_degradation = None;
+             r_completion = None;
+             r_elapsed_ms = 0.0;
+             r_attempts = 0;
+             r_fuel_used = 0;
+             r_error = e;
+           }
+     done
+   with End_of_file -> ());
+  if !failed then 1 else 0

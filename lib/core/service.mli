@@ -1,0 +1,85 @@
+(** Batch mapping service: a stream of mapping requests in, one
+    structured result line per request out, never aborting the batch on
+    a poisoned request.
+
+    Each input line is a request:
+
+    {v PROGRAM TOPOLOGY [key=value ...] v}
+
+    [PROGRAM] is a LaRCS source file or a built-in workload name,
+    [TOPOLOGY] a topology spec ([torus:8x8], [hypercube:4], ...).
+    Blank lines and lines whose first token starts with [#] are
+    skipped.  Recognised option keys: [fuel=N] and [deadline-ms=X]
+    (per-attempt budget), [retries=N] (extra reduced-scope attempts,
+    default 2), [seed=N], [routing=mm|oblivious], [only=a,b] /
+    [exclude=a,b] (strategy selection).  Any other [key=value] with an
+    integer value is passed to the program as a parameter binding
+    (like [oregami map -p key=value]).
+
+    Every request runs with [fallback] enabled, so a budgeted request
+    always yields {e some} valid mapping whenever the machine is
+    connected.  When an attempt fails outright or lands degraded
+    (not [Full]) and retries remain, the request is retried with
+    reduced scope: attempt 1 drops refinement, attempt 2 additionally
+    drops the competing tier (dispatch strategies + baseline fallback
+    only).  Each attempt gets a fresh budget; the best result across
+    attempts is reported ([Full] > [Truncated] > [Fallback] > error).
+
+    All requests of one {!serve} run share a single {!Isolate.breaker},
+    so a strategy that keeps crashing across requests gets benched for
+    the rest of the batch. *)
+
+type format = Tsv | Sexp
+
+type request = {
+  rq_id : int;  (** 1-based request ordinal within the batch *)
+  rq_program : string;
+  rq_topology : string;
+  rq_bindings : (string * int) list;
+  rq_options : Oregami_mapper.Ctx.options;
+      (** always has [fallback = true]; budgets from the request line *)
+  rq_retries : int;
+}
+
+type outcome = {
+  r_id : int;
+  r_program : string;
+  r_topology : string;
+  r_ok : bool;
+  r_strategy : string;  (** winning mapping label; ["-"] on error *)
+  r_degradation : Oregami_mapper.Stats.degradation option;
+      (** [None] on error *)
+  r_completion : int option;  (** METRICS completion-time model *)
+  r_elapsed_ms : float;  (** wall-clock over every attempt *)
+  r_attempts : int;  (** pipeline attempts actually run *)
+  r_fuel_used : int;  (** summed over attempts *)
+  r_error : string;  (** [""] when ok *)
+}
+
+val load_program : string -> (string * (string * int) list, string) result
+(** Resolve a program argument: a built-in workload name (returning
+    its source and default parameter bindings) or a readable file. *)
+
+val parse_request : id:int -> string -> (request option, string) result
+(** [Ok None] for blank/comment lines. *)
+
+val run_request :
+  ?breaker:Oregami_mapper.Isolate.breaker -> request -> outcome
+(** Runs the request's attempt schedule.  Never raises: setup crashes
+    and strategy crashes both become an error outcome (the latter via
+    the pipeline's own {!Oregami_mapper.Isolate} barrier). *)
+
+val render : format -> outcome -> string
+(** One line, no trailing newline.  [Tsv] column order: id, program,
+    topology, status, strategy, degradation, completion, elapsed-ms,
+    attempts, fuel, error (["-"] for empty fields). *)
+
+val serve :
+  ?format:format ->
+  ?breaker:Oregami_mapper.Isolate.breaker ->
+  in_channel ->
+  out_channel ->
+  int
+(** Process requests line by line, emitting (and flushing) one result
+    line each, continuing past failures.  Returns the batch exit code:
+    0 when every request succeeded, 1 when any failed. *)

@@ -19,6 +19,9 @@ type options = {
   seed : int;
   only : string list;
   exclude : string list;
+  fuel : int option;
+  deadline_ms : float option;
+  fallback : bool;
 }
 
 let default_options =
@@ -33,6 +36,9 @@ let default_options =
     seed = 2026;
     only = [];
     exclude = [];
+    fuel = None;
+    deadline_ms = None;
+    fallback = false;
   }
 
 type t = {
@@ -47,32 +53,48 @@ type t = {
   stats : Stats.t;
   faults : Faults.t;
   alive : int array;
+  budget : Budget.t;
+  breaker : Isolate.breaker;
 }
 
-let make ?(options = default_options) ?(faults = Faults.none) ?compiled tg topo =
+let make ?(options = default_options) ?(faults = Faults.none) ?breaker
+    ?compiled tg topo =
+  let stats = Stats.create () in
+  (* The deadline clock starts here, so cache warm-up counts against
+     the request's budget like any other work. *)
+  let budget =
+    if options.fuel = None && options.deadline_ms = None then
+      Budget.unlimited ()
+    else Budget.create ?fuel:options.fuel ?deadline_ms:options.deadline_ms ()
+  in
+  (* warm the topology's distance cache up front: every strategy
+     shares the one hop matrix (built in parallel for large
+     networks) instead of racing to build it mid-evaluation.  For a
+     degraded topology this builds against the surviving graph (the
+     degraded value starts with an empty cache slot). *)
+  let dist, dist_s = Oregami_prelude.Clock.time (fun () -> Distcache.hops topo) in
+  Stats.add_phase_seconds stats "distcache" dist_s;
   {
     compiled;
     analysis = lazy (Option.map Analyze.analyze compiled);
     tg;
     topo;
-    (* warm the topology's distance cache up front: every strategy
-       shares the one hop matrix (built in parallel for large
-       networks) instead of racing to build it mid-evaluation.  For a
-       degraded topology this builds against the surviving graph (the
-       degraded value starts with an empty cache slot). *)
-    dist = Distcache.hops topo;
+    dist;
     static = lazy (Taskgraph.static_graph tg);
     rng = Rng.create options.seed;
     options;
-    stats = Stats.create ();
+    stats;
     faults;
     alive = Array.of_list (Topology.alive_procs topo);
+    budget;
+    breaker = (match breaker with Some b -> b | None -> Isolate.breaker ());
   }
 
-let of_compiled ?options ?faults compiled topo =
-  make ?options ?faults ~compiled compiled.Compile.graph topo
+let of_compiled ?options ?faults ?breaker compiled topo =
+  make ?options ?faults ?breaker ~compiled compiled.Compile.graph topo
 
-let of_taskgraph ?options ?faults tg topo = make ?options ?faults tg topo
+let of_taskgraph ?options ?faults ?breaker tg topo =
+  make ?options ?faults ?breaker tg topo
 
 let degraded ctx = Topology.is_degraded ctx.topo || not (Faults.is_empty ctx.faults)
 

@@ -28,6 +28,16 @@ type options = {
           names and let {e all} of them compete under the completion
           model (no dispatch short-circuit) *)
   exclude : string list;  (** strategy names to drop from the registry *)
+  fuel : int option;
+      (** abstract work-unit cap for the whole pipeline run; [None] is
+          unlimited.  Deterministic across machines. *)
+  deadline_ms : float option;
+      (** monotonic wall-clock deadline for the run, measured from
+          context construction; [None] is unlimited *)
+  fallback : bool;
+      (** when every selected strategy declines (or the budget dies
+          before any candidate lands), place a cheap baseline mapping
+          instead of returning an error.  Budgeted runs imply it. *)
 }
 
 val default_options : options
@@ -55,11 +65,20 @@ type t = {
   alive : int array;
       (** alive processor ids, increasing — the only valid placement
           targets.  Equals [0 .. node_count-1] on a pristine topology. *)
+  budget : Budget.t;
+      (** the run's fuel/deadline meter, built from [options.fuel] /
+          [options.deadline_ms] at context construction (which is when
+          the deadline clock starts) *)
+  breaker : Isolate.breaker;
+      (** per-strategy circuit breaker.  Fresh by default; a batch
+          service passes one shared breaker across requests so a
+          repeatedly-crashing strategy gets benched. *)
 }
 
 val of_compiled :
   ?options:options ->
   ?faults:Oregami_topology.Faults.t ->
+  ?breaker:Isolate.breaker ->
   Oregami_larcs.Compile.compiled ->
   Oregami_topology.Topology.t ->
   t
@@ -67,6 +86,7 @@ val of_compiled :
 val of_taskgraph :
   ?options:options ->
   ?faults:Oregami_topology.Faults.t ->
+  ?breaker:Isolate.breaker ->
   Oregami_taskgraph.Taskgraph.t ->
   Oregami_topology.Topology.t ->
   t

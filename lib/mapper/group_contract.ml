@@ -49,8 +49,14 @@ let coset_internalized group cosets gens =
     (fun acc (_, g) -> acc + Cayley.internalized_per_block group cosets g)
     0 gens
 
-let contract tg ~procs =
+let contract ?budget tg ~procs =
   let n = tg.Taskgraph.n in
+  (* each poll covers one subgroup closure: O(n · |sub|) products, each
+     an O(n) compose + hash, so n fuel units per closure keeps the
+     group search on the same fuel scale as the per-task passes *)
+  let poll () =
+    match budget with None -> true | Some b -> Budget.poll b ~cost:n
+  in
   let ( let* ) = Result.bind in
   let* gens =
     match generators_of tg with
@@ -61,6 +67,7 @@ let contract tg ~procs =
     if procs > 0 && n mod procs = 0 then Ok ()
     else Error (Printf.sprintf "%d tasks do not divide evenly over %d processors" n procs)
   in
+  let* () = if poll () then Ok () else Error "mapping budget exhausted" in
   let* group =
     match Group.generate ~bound:n (List.map snd gens) with
     | Some g -> Ok g
@@ -79,9 +86,11 @@ let contract tg ~procs =
     else Error "group action is not transitive"
   in
   let target = n / procs in
-  let candidates = Group.subgroups_of_order group target in
+  let candidates = Group.subgroups_of_order ~poll group target in
+  let dead () = match budget with Some b -> Budget.exhausted b | None -> false in
   let* () =
     if candidates <> [] then Ok ()
+    else if dead () then Error "mapping budget exhausted during subgroup search"
     else
       Error
         (Printf.sprintf "no subgroup of order %d found%s" target
@@ -90,16 +99,28 @@ let contract tg ~procs =
             else ""))
   in
   (* score candidates: internalized messages first, normality as
-     tie-break (a normal H makes the quotient a Cayley graph again) *)
+     tie-break (a normal H makes the quotient a Cayley graph again).
+     Scoring a candidate (cosets + conjugation check) costs another
+     O(n · |sub|) round of products, so the budget is polled before
+     each one; the first candidate is always scored so an exhausted
+     budget still yields a usable coset partition. *)
   let scored =
-    List.map
-      (fun sub ->
-        let cosets = Group.left_cosets group sub in
-        let internal = coset_internalized group cosets gens in
-        let normal = Group.is_normal group sub in
-        (internal, normal, sub, cosets))
-      candidates
+    let rec go acc first = function
+      | [] -> List.rev acc
+      | sub :: rest ->
+        if first || poll () then begin
+          let cosets = Group.left_cosets group sub in
+          let internal = coset_internalized group cosets gens in
+          let normal = Group.is_normal group sub in
+          go ((internal, normal, sub, cosets) :: acc) false rest
+        end
+        else List.rev acc
+    in
+    go [] true candidates
   in
+  (match budget with
+  | Some b when Budget.exhausted b -> Budget.note b "group-contract"
+  | Some _ | None -> ());
   let best =
     List.fold_left
       (fun acc (i, nrm, sub, cosets) ->

@@ -27,13 +27,21 @@ val generators_of : Oregami_taskgraph.Taskgraph.t -> (string * Oregami_perm.Perm
     bijection on tasks; [None] otherwise. *)
 
 val contract :
-  Oregami_taskgraph.Taskgraph.t -> procs:int -> (t, string) result
+  ?budget:Budget.t -> Oregami_taskgraph.Taskgraph.t -> procs:int -> (t, string) result
 (** Full pipeline: extract generators, close the group with the
     paper's [|G| ≤ |X|] halting bound, verify the Cayley conditions,
     search subgroups of order [n/procs] (preferring normal subgroups,
     then maximal internalized traffic), and return the coset
     contraction.  Fails with a diagnostic when any condition breaks
-    (caller falls back to MWM-Contract). *)
+    (caller falls back to MWM-Contract).
+
+    The subgroup search and candidate scoring dominate the cost on
+    large groups, so both poll [budget] (n fuel units per subgroup
+    closure).  An exhausted budget stops the search at the candidates
+    found so far — the first is always scored, so the strategy still
+    returns a valid coset contraction ([note]d as ["group-contract"]) —
+    or fails with ["mapping budget exhausted"] when it trips before any
+    candidate emerges. *)
 
 val balanced_contraction_exists : n:int -> procs:int -> bool
 (** The Sylow-corollary sufficient condition: [n mod procs = 0] and

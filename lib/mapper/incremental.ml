@@ -12,7 +12,8 @@ let generations activation =
               (Array.to_seqi activation))))
   |> List.filter (fun g -> g <> [])
 
-let place static ~activation ~cap topo =
+let place ?budget static ~activation ~cap topo =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let n = Ugraph.node_count static in
   let procs = Topology.node_count topo in
   let alive = Topology.alive topo in
@@ -26,10 +27,22 @@ let place static ~activation ~cap topo =
     proc_of.(t) <- p;
     load.(p) <- load.(p) + 1
   in
+  (* anytime completion once the budget dies: first alive processor
+     with room, skipping the per-processor cost scan *)
+  let assign_cheap t =
+    let p = ref 0 in
+    while not (alive !p) || load.(!p) >= cap do incr p done;
+    assign t !p
+  in
   List.iter
     (fun generation ->
       List.iter
         (fun t ->
+          if not (Budget.poll budget ~cost:procs) then begin
+            Budget.note budget "incremental";
+            assign_cheap t
+          end
+          else begin
           let cost p =
             List.fold_left
               (fun acc (u, w) ->
@@ -47,7 +60,8 @@ let place static ~activation ~cap topo =
               end
             end
           done;
-          assign t !best)
+          assign t !best
+          end)
         generation)
     (generations activation);
   proc_of

@@ -9,6 +9,7 @@
     (the paper's motivation for describing spawning in LaRCS). *)
 
 val place :
+  ?budget:Budget.t ->
   Oregami_graph.Ugraph.t ->
   activation:int array ->
   cap:int ->
@@ -19,7 +20,12 @@ val place :
     processor minimising the hop-weighted communication to its
     already-placed neighbours, among processors with fewer than [cap]
     tasks (ties: lightest load, then smallest id).  Requires
-    [cap × processors ≥ tasks]. *)
+    [cap × processors ≥ tasks].
+
+    An exhausted [budget] places the remaining tasks on the first
+    alive processor with room instead of scanning costs — the
+    capacity invariant still holds, recorded as an ["incremental"]
+    truncation. *)
 
 val generations : int array -> int list list
 (** Task ids grouped by activation level, levels ascending. *)

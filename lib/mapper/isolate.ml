@@ -1,0 +1,30 @@
+let protect f =
+  try Ok (f ())
+  with e ->
+    (* Match-all with-handler: Stack_overflow and Out_of_memory are
+       ordinary exceptions in OCaml and land here too. *)
+    Error (Printexc.to_string e)
+
+type breaker = { threshold : int; fails : (string, int) Hashtbl.t }
+
+let breaker ?(threshold = 3) () = { threshold; fails = Hashtbl.create 7 }
+
+let count br name = Option.value ~default:0 (Hashtbl.find_opt br.fails name)
+
+let admit br name =
+  let n = count br name in
+  if n >= br.threshold then
+    Error
+      (Printf.sprintf "circuit open: %d consecutive crashes (threshold %d)" n
+         br.threshold)
+  else Ok ()
+
+let succeed br name = Hashtbl.remove br.fails name
+
+let fail br name = Hashtbl.replace br.fails name (count br name + 1)
+
+let tripped br =
+  Hashtbl.fold
+    (fun name n acc -> if n >= br.threshold then name :: acc else acc)
+    br.fails []
+  |> List.sort String.compare

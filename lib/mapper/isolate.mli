@@ -1,0 +1,37 @@
+(** Exception barriers and a per-strategy circuit breaker.
+
+    Every strategy producer runs under {!protect}: any raise — a
+    library bug, [Stack_overflow] from a pathological input,
+    [Out_of_memory] where the runtime makes it catchable — becomes a
+    named failure the pipeline records in {!Stats} instead of a crash
+    that aborts the whole batch.
+
+    The {!type-breaker} guards long batches: a strategy that keeps
+    crashing is skipped (with a named reason) after a threshold of
+    consecutive failures, so one poisoned code path cannot tax every
+    subsequent request.  Declines (a strategy judging itself
+    inapplicable) are healthy and reset nothing; only crashes count. *)
+
+val protect : (unit -> 'a) -> ('a, string) result
+(** [protect f] is [Ok (f ())], or [Error msg] naming the exception if
+    [f] raises.  Never lets an exception escape. *)
+
+type breaker
+
+val breaker : ?threshold:int -> unit -> breaker
+(** A fresh breaker.  [threshold] (default 3) is the number of
+    {e consecutive} crashes after which a strategy is skipped. *)
+
+val admit : breaker -> string -> (unit, string) result
+(** [admit br name] is [Ok ()] if strategy [name] may run, or
+    [Error reason] if its circuit is open. *)
+
+val succeed : breaker -> string -> unit
+(** Record a clean run (produced or declined); resets the strategy's
+    consecutive-failure count. *)
+
+val fail : breaker -> string -> unit
+(** Record a crash for the strategy. *)
+
+val tripped : breaker -> string list
+(** Names whose circuits are currently open, sorted. *)

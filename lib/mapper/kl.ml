@@ -6,7 +6,8 @@ let cut_weight g side =
     0 (Ugraph.edges g)
 
 (* one Kernighan-Lin pass: returns true if it improved the split *)
-let kl_pass g side =
+let kl_pass ?budget g side =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let n = Ugraph.node_count g in
   let d = Array.make n 0 in
   let weight u v = Ugraph.weight g u v in
@@ -26,7 +27,21 @@ let kl_pass g side =
     !out
   in
   let steps = min (List.length (candidates 0)) (List.length (candidates 1)) in
+  (* each KL step is a quadratic best-pair scan; an exhausted budget
+     cuts the pass short — the best-prefix unwind below still applies
+     whatever swaps were found, so the split stays balanced *)
+  let dead = ref false in
   for _ = 1 to steps do
+    let c0 = candidates 0 and c1 = candidates 1 in
+    if
+      (not !dead)
+      && not (Budget.poll budget ~cost:(List.length c0 * List.length c1))
+    then begin
+      Budget.note budget "kl";
+      dead := true
+    end;
+    if !dead then ()
+    else begin
     let best = ref None in
     List.iter
       (fun a ->
@@ -36,8 +51,8 @@ let kl_pass g side =
             match !best with
             | Some (bg, _, _) when bg >= gain -> ()
             | Some _ | None -> best := Some (gain, a, b))
-          (candidates 1))
-      (candidates 0);
+          c1)
+      c0;
     match !best with
     | None -> ()
     | Some (gain, a, b) ->
@@ -53,6 +68,7 @@ let kl_pass g side =
           else d.(x) <- d.(x) + (2 * wxb) - (2 * wxa)
         end
       done
+    end
   done;
   let swaps = Array.of_list (List.rev !swaps) in
   let gains = Array.of_list (List.rev !gains) in
@@ -77,14 +93,16 @@ let kl_pass g side =
   end
   else false
 
-let bipartition g =
+let bipartition ?budget g =
   let n = Ugraph.node_count g in
   let side = Array.init n (fun u -> if u < (n + 1) / 2 then 0 else 1) in
-  let rec improve rounds = if rounds > 0 && kl_pass g side then improve (rounds - 1) in
+  let rec improve rounds =
+    if rounds > 0 && kl_pass ?budget g side then improve (rounds - 1)
+  in
   improve 16;
   side
 
-let partition g ~parts =
+let partition ?budget g ~parts =
   if parts < 1 then invalid_arg "Kl.partition: need at least one part";
   let n = Ugraph.node_count g in
   let cluster_of = Array.make n 0 in
@@ -106,7 +124,7 @@ let partition g ~parts =
           | Some iu, Some iv -> Ugraph.add_edge ~w sub iu iv
           | (Some _ | None), _ -> ())
         (Ugraph.edges g);
-      let side = bipartition sub in
+      let side = bipartition ?budget sub in
       let arr = Array.of_list nodes in
       let left = ref [] and right = ref [] in
       Array.iteri

@@ -5,7 +5,7 @@
     Balanced bipartitioning by pass-based pair swapping; multiway
     partitions by recursive bisection. *)
 
-val bipartition : Oregami_graph.Ugraph.t -> int array
+val bipartition : ?budget:Budget.t -> Oregami_graph.Ugraph.t -> int array
 (** [bipartition g] splits the nodes into two halves (sizes differing
     by at most one) with locally minimal cut weight; result is a 0/1
     side array.  Deterministic (initial split by node id). *)
@@ -13,7 +13,12 @@ val bipartition : Oregami_graph.Ugraph.t -> int array
 val cut_weight : Oregami_graph.Ugraph.t -> int array -> int
 (** Total weight of edges whose endpoints carry different values. *)
 
-val partition : Oregami_graph.Ugraph.t -> parts:int -> int array
+val partition :
+  ?budget:Budget.t -> Oregami_graph.Ugraph.t -> parts:int -> int array
 (** Recursive bisection into [parts] clusters ([parts ≥ 1]; non-powers
     of two are handled by uneven recursion).  Cluster ids are dense,
-    numbered by smallest member. *)
+    numbered by smallest member.
+
+    An exhausted [budget] skips the remaining KL improvement passes
+    (recorded as a ["kl"] truncation); the recursion still yields a
+    balanced, dense partition — the initial even splits. *)

@@ -44,7 +44,16 @@ let inter_weight g members_a members_b =
         acc (Ugraph.neighbors g v))
     0 members_a
 
-let contract ?b g ~procs =
+let contract ?b ?budget g ~procs =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  (* charge [cost] work units; on exhaustion mark this site truncated *)
+  let check cost =
+    Budget.poll budget ~cost
+    || begin
+         Budget.note budget "mwm-contract";
+         false
+       end
+  in
   let n = Ugraph.node_count g in
   if procs <= 0 then Error "need at least one processor"
   else begin
@@ -68,7 +77,8 @@ let contract ?b g ~procs =
         List.iter
           (fun (u, v, _) ->
             if
-              Union_find.count_sets uf > 2 * procs
+              check 1
+              && Union_find.count_sets uf > 2 * procs
               && (not (Union_find.same uf u v))
               && Union_find.size uf u + Union_find.size uf v <= half
             then begin
@@ -93,11 +103,15 @@ let contract ?b g ~procs =
         let k = Array.length arr in
         let size c = List.length arr.(c) in
         let edges = ref [] in
+        let dead = ref false in
         for a = 0 to k - 1 do
           for c = a + 1 to k - 1 do
-            if size a + size c <= b then begin
-              let w = inter_weight g arr.(a) arr.(c) in
-              if w > 0 then edges := (a, c, w) :: !edges
+            if (not !dead) && size a + size c <= b then begin
+              if not (check (size a + size c)) then dead := true
+              else begin
+                let w = inter_weight g arr.(a) arr.(c) in
+                if w > 0 then edges := (a, c, w) :: !edges
+              end
             end
           done
         done;
@@ -126,13 +140,17 @@ let contract ?b g ~procs =
         let k = Array.length arr in
         let size c = List.length arr.(c) in
         let best = ref None in
+        let dead = ref false in
         for a = 0 to k - 1 do
           for c = a + 1 to k - 1 do
-            if size a + size c <= b then begin
-              let w = inter_weight g arr.(a) arr.(c) in
-              match !best with
-              | Some (bw, _, _) when bw >= w -> ()
-              | Some _ | None -> best := Some (w, a, c)
+            if (not !dead) && size a + size c <= b then begin
+              if not (check (size a + size c)) then dead := true
+              else begin
+                let w = inter_weight g arr.(a) arr.(c) in
+                match !best with
+                | Some (bw, _, _) when bw >= w -> ()
+                | Some _ | None -> best := Some (w, a, c)
+              end
             end
           done
         done;
@@ -182,10 +200,56 @@ let contract ?b g ~procs =
           true
         end
       in
+      (* anytime path: when the budget dies mid-reduction, pack the
+         current clusters into [procs] bins directly — first-fit
+         decreasing, then dissolving whatever does not fit whole,
+         task by task, into spare slots.  Always succeeds because the
+         feasibility check above guarantees [b * procs >= n]. *)
+      let force_pack cs =
+        let sorted =
+          List.sort (fun a c -> compare (List.length c) (List.length a)) cs
+        in
+        let bins = Array.make procs [] in
+        let bin_size = Array.make procs 0 in
+        let overflow = ref [] in
+        List.iter
+          (fun members ->
+            let len = List.length members in
+            let rec find i =
+              if i >= procs then None
+              else if bin_size.(i) + len <= b then Some i
+              else find (i + 1)
+            in
+            match find 0 with
+            | Some i ->
+              bins.(i) <- members :: bins.(i);
+              bin_size.(i) <- bin_size.(i) + len
+            | None -> overflow := members :: !overflow)
+          sorted;
+        List.iter
+          (fun task ->
+            let rec find i =
+              if i >= procs then raise Stuck
+              else if bin_size.(i) < b then begin
+                bins.(i) <- [ task ] :: bins.(i);
+                bin_size.(i) <- bin_size.(i) + 1
+              end
+              else find (i + 1)
+            in
+            find 0)
+          (List.concat !overflow);
+        Array.to_list bins
+        |> List.filter_map (fun pieces ->
+               match List.concat pieces with
+               | [] -> None
+               | members -> Some (List.sort compare members))
+      in
       let result =
         try
           while List.length !clusters > procs do
-            if not (merge_pass ()) then
+            if not (check (List.length !clusters)) then
+              clusters := force_pack !clusters
+            else if not (merge_pass ()) then
               if not (zero_merge ()) then
                 if not (dissolve_smallest ()) then raise Stuck
           done;

@@ -20,7 +20,16 @@ type t = {
 }
 
 val contract :
-  ?b:int -> Oregami_graph.Ugraph.t -> procs:int -> (t, string) result
+  ?b:int ->
+  ?budget:Budget.t ->
+  Oregami_graph.Ugraph.t ->
+  procs:int ->
+  (t, string) result
 (** [contract g ~procs] with [b] defaulting to the smallest even bound
     that can fit ([2·⌈⌈n/procs⌉/2⌉]).  Fails when [b·procs < n].
-    Clusters are numbered by smallest task id.  Deterministic. *)
+    Clusters are numbered by smallest task id.  Deterministic.
+
+    When [budget] (default unlimited) trips mid-contraction, the
+    remaining clusters are first-fit packed into [procs] capacity-[b]
+    bins instead of matched — a valid but lower-quality partition,
+    recorded as a ["mwm-contract"] truncation on the budget. *)

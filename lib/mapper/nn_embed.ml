@@ -9,7 +9,8 @@ let weighted_hops cg topo proc_of_cluster =
       acc + (w * Distcache.hop dc proc_of_cluster.(a) proc_of_cluster.(b)))
     0 (Ugraph.edges cg)
 
-let embed cg topo =
+let embed ?budget cg topo =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let k = Ugraph.node_count cg in
   let p = Topology.node_count topo in
   (* dead processors of a degraded topology are not placement targets *)
@@ -72,6 +73,16 @@ let embed cg topo =
   let rec grow () =
     match remaining () with
     | [] -> ()
+    | unplaced when not (Budget.poll budget ~cost:(List.length unplaced + p)) ->
+      (* anytime completion: drop the attraction/cost scans and stream
+         the remaining clusters onto the first free alive processors *)
+      Budget.note budget "nn-embed";
+      let proc = ref 0 in
+      List.iter
+        (fun c ->
+          while not (alive !proc) || proc_used.(!proc) do incr proc done;
+          place c !proc)
+        unplaced
     | unplaced ->
       let attraction c =
         List.fold_left

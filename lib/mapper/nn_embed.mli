@@ -3,7 +3,10 @@
     clusters on adjacent processors. *)
 
 val embed :
-  Oregami_graph.Ugraph.t -> Oregami_topology.Topology.t -> int array
+  ?budget:Budget.t ->
+  Oregami_graph.Ugraph.t ->
+  Oregami_topology.Topology.t ->
+  int array
 (** [embed cg topo] returns an injective cluster → processor map
     (requires [node_count cg ≤ node_count topo]).
 
@@ -12,7 +15,11 @@ val embed :
     cluster with the largest total communication to placed clusters
     goes to the free processor minimizing the hop-weighted
     communication distance to its placed neighbours.  Deterministic
-    (ties by smallest id). *)
+    (ties by smallest id).
+
+    When [budget] (default unlimited) trips, the remaining clusters
+    are streamed onto the first free alive processors — still
+    injective and alive-only, recorded as an ["nn-embed"] truncation. *)
 
 val weighted_hops :
   Oregami_graph.Ugraph.t -> Oregami_topology.Topology.t -> int array -> int

@@ -1,8 +1,9 @@
 module Taskgraph = Oregami_taskgraph.Taskgraph
 module Distcache = Oregami_topology.Distcache
 module Ugraph = Oregami_graph.Ugraph
+module Clock = Oregami_prelude.Clock
 
-let now () = Unix.gettimeofday ()
+let now () = Clock.now ()
 
 (* embedding pass: candidates that carry no placement get NN-Embed on
    their cluster graph, then pairwise-interchange refinement *)
@@ -10,20 +11,28 @@ let place ctx (cand : Strategy.candidate) =
   match cand.Strategy.placement with
   | Strategy.Placed proc_of_cluster -> proc_of_cluster
   | Strategy.Embed ->
+    let t0 = now () in
     let cg = Ugraph.create cand.Strategy.clusters in
     List.iter
       (fun (u, v, w) ->
         let cu = cand.Strategy.cluster_of.(u) and cv = cand.Strategy.cluster_of.(v) in
         if cu <> cv then Ugraph.add_edge ~w cg cu cv)
       (Ugraph.edges (Ctx.static ctx));
-    let proc_of_cluster = Nn_embed.embed cg ctx.Ctx.topo in
-    if ctx.Ctx.options.Ctx.refine then begin
-      let swaps = ref 0 in
-      let refined = Refine.improve_embedding ~swaps cg ctx.Ctx.topo proc_of_cluster in
-      Stats.add_refine_swaps ctx.Ctx.stats !swaps;
-      refined
-    end
-    else proc_of_cluster
+    let budget = ctx.Ctx.budget in
+    let proc_of_cluster = Nn_embed.embed ~budget cg ctx.Ctx.topo in
+    let result =
+      if ctx.Ctx.options.Ctx.refine then begin
+        let swaps = ref 0 in
+        let refined =
+          Refine.improve_embedding ~budget ~swaps cg ctx.Ctx.topo proc_of_cluster
+        in
+        Stats.add_refine_swaps ctx.Ctx.stats !swaps;
+        refined
+      end
+      else proc_of_cluster
+    in
+    Stats.add_phase_seconds ctx.Ctx.stats "embed" (now () -. t0);
+    result
 
 (* routing pass + structural validation *)
 let finish ctx (cand : Strategy.candidate) proc_of_cluster =
@@ -31,17 +40,20 @@ let finish ctx (cand : Strategy.candidate) proc_of_cluster =
   let n = tg.Taskgraph.n in
   let cluster_of = cand.Strategy.cluster_of in
   let proc_of_task = Array.init n (fun t -> proc_of_cluster.(cluster_of.(t))) in
+  let t0 = now () in
   let routings =
     match ctx.Ctx.options.Ctx.routing with
     | Ctx.Mm_route ->
       let routings, rstats =
-        Route.mm_route ~cap:ctx.Ctx.options.Ctx.route_cap tg ctx.Ctx.topo ~proc_of_task
+        Route.mm_route ~budget:ctx.Ctx.budget ~cap:ctx.Ctx.options.Ctx.route_cap tg
+          ctx.Ctx.topo ~proc_of_task
       in
       Stats.add_matching_rounds ctx.Ctx.stats
         (List.fold_left (fun acc (_, rounds) -> acc + rounds) 0 rstats.Route.phases);
       routings
     | Ctx.Oblivious -> Route.deterministic_route tg ctx.Ctx.topo ~proc_of_task
   in
+  Stats.add_phase_seconds ctx.Ctx.stats "route" (now () -. t0);
   let m =
     {
       Mapping.tg;
@@ -56,33 +68,56 @@ let finish ctx (cand : Strategy.candidate) proc_of_cluster =
   | Ok () -> Ok m
   | Error e -> Error ("mapping failed validation: " ^ e)
 
-(* run one strategy: availability gate, then timed production; every
-   outcome lands in the stats sink *)
+(* run one strategy: circuit breaker, budget, and availability gates,
+   then timed production under the exception barrier; every outcome —
+   including a crash — lands in the stats sink *)
 let run_strategy ctx (s : Strategy.t) =
   let stats = ctx.Ctx.stats in
-  match s.Strategy.available ctx with
-  | Error reason ->
-    Stats.record_attempt stats ~strategy:s.Strategy.name
-      ~outcome:(Stats.Skipped reason) ~seconds:0.0;
+  let name = s.Strategy.name in
+  let skip reason =
+    Stats.record_attempt stats ~strategy:name ~outcome:(Stats.Skipped reason)
+      ~seconds:0.0;
     []
-  | Ok () -> begin
-    let t0 = now () in
-    let produced = s.Strategy.produce ctx in
-    let dt = now () -. t0 in
-    match produced with
-    | Error reason ->
-      Stats.record_attempt stats ~strategy:s.Strategy.name
-        ~outcome:(Stats.Rejected reason) ~seconds:dt;
-      []
-    | Ok [] ->
-      Stats.record_attempt stats ~strategy:s.Strategy.name
-        ~outcome:(Stats.Rejected "produced no candidates") ~seconds:dt;
-      []
-    | Ok cands ->
-      Stats.record_attempt stats ~strategy:s.Strategy.name
-        ~outcome:(Stats.Produced (List.length cands)) ~seconds:dt;
-      List.map (fun c -> (s.Strategy.name, c)) cands
-  end
+  in
+  match Isolate.admit ctx.Ctx.breaker name with
+  | Error reason -> skip reason
+  | Ok () ->
+    if Budget.exhausted ctx.Ctx.budget then
+      skip
+        (Printf.sprintf "budget exhausted (%s)"
+           (Option.value ~default:"?" (Budget.reason ctx.Ctx.budget)))
+    else begin
+      match s.Strategy.available ctx with
+      | Error reason -> skip reason
+      | Ok () -> begin
+        let t0 = now () in
+        let produced = Isolate.protect (fun () -> s.Strategy.produce ctx) in
+        let dt = now () -. t0 in
+        Stats.add_phase_seconds stats "produce" dt;
+        match produced with
+        | Error exn ->
+          Isolate.fail ctx.Ctx.breaker name;
+          Stats.record_attempt stats ~strategy:name ~outcome:(Stats.Crashed exn)
+            ~seconds:dt;
+          []
+        | Ok produced -> begin
+          Isolate.succeed ctx.Ctx.breaker name;
+          match produced with
+          | Error reason ->
+            Stats.record_attempt stats ~strategy:name
+              ~outcome:(Stats.Rejected reason) ~seconds:dt;
+            []
+          | Ok [] ->
+            Stats.record_attempt stats ~strategy:name
+              ~outcome:(Stats.Rejected "produced no candidates") ~seconds:dt;
+            []
+          | Ok cands ->
+            Stats.record_attempt stats ~strategy:name
+              ~outcome:(Stats.Produced (List.length cands)) ~seconds:dt;
+            List.map (fun c -> (s.Strategy.name, c)) cands
+        end
+      end
+    end
 
 let no_strategy_error stats =
   match Stats.rejections stats with
@@ -91,9 +126,35 @@ let no_strategy_error stats =
     "no mapping strategy produced a valid candidate: "
     ^ String.concat "; " (List.map (fun (s, r) -> s ^ ": " ^ r) rs)
 
+(* the last-resort placement: balanced consecutive blocks on the alive
+   processors — O(n), needs no analysis, valid whenever the (possibly
+   degraded) machine is still connected *)
+let fallback_candidate ctx =
+  let n = ctx.Ctx.tg.Taskgraph.n in
+  let cluster_of, proc_of_cluster = Baselines.block ~n ~procs:(Ctx.procs ctx) in
+  let proc_of_cluster = Array.map (fun c -> ctx.Ctx.alive.(c)) proc_of_cluster in
+  {
+    Strategy.label = "fallback:block";
+    clusters = Array.length proc_of_cluster;
+    cluster_of;
+    placement = Strategy.Placed proc_of_cluster;
+  }
+
 let compete ~score ctx strategies =
   let stats = ctx.Ctx.stats in
+  let budget = ctx.Ctx.budget in
   let t0 = now () in
+  (* embedding/routing can crash on a malformed candidate just like
+     production can; the barrier turns that into an invalid candidate
+     instead of a torn-down pipeline *)
+  let crashed_pass = ref false in
+  let finish_protected cand =
+    match Isolate.protect (fun () -> finish ctx cand (place ctx cand)) with
+    | Ok r -> r
+    | Error exn ->
+      crashed_pass := true;
+      Error ("crashed: " ^ exn)
+  in
   let result =
     let dispatch, competing =
       (* --only means a pure portfolio competition: no short-circuit *)
@@ -111,7 +172,7 @@ let compete ~score ctx strategies =
     match first_dispatch dispatch with
     | Some (name, cand) -> begin
       (* dispatch tier short-circuits: route and validate the winner *)
-      match finish ctx cand (place ctx cand) with
+      match finish_protected cand with
       | Ok m ->
         let cr =
           Stats.record_candidate stats ~strategy:name ~label:cand.Strategy.label
@@ -133,7 +194,7 @@ let compete ~score ctx strategies =
       let best = ref None in
       List.iter
         (fun (name, cand) ->
-          match finish ctx cand (place ctx cand) with
+          match finish_protected cand with
           | Error e ->
             let (_ : Stats.candidate) =
               Stats.record_candidate stats ~strategy:name ~label:cand.Strategy.label
@@ -157,6 +218,64 @@ let compete ~score ctx strategies =
       | None -> Error (no_strategy_error stats)
     end
   in
+  (* fallback tier: a mapping request on a connected machine should
+     come back with *some* valid mapping even when every strategy
+     declined, crashed, or ran out of budget.  Gated so that plain
+     unbudgeted runs keep their precise error reporting. *)
+  let crashed_produce =
+    List.exists
+      (fun (a : Stats.attempt) ->
+        match a.Stats.at_outcome with Stats.Crashed _ -> true | _ -> false)
+      (Stats.attempts stats)
+  in
+  let fallback_wanted =
+    ctx.Ctx.options.Ctx.fallback || Budget.exhausted budget || crashed_produce
+    || !crashed_pass
+  in
+  let fallback_used = ref false in
+  let result =
+    match result with
+    | Ok _ -> result
+    | Error _ when fallback_wanted -> begin
+      let tf = now () in
+      let fb = fallback_candidate ctx in
+      let finished = finish_protected fb in
+      let dt = now () -. tf in
+      Stats.add_phase_seconds stats "fallback" dt;
+      match finished with
+      | Ok m ->
+        Stats.record_attempt stats ~strategy:"fallback"
+          ~outcome:(Stats.Produced 1) ~seconds:dt;
+        let cr =
+          Stats.record_candidate stats ~strategy:"fallback"
+            ~label:fb.Strategy.label ~score:None ~ok:true ~note:""
+        in
+        Stats.mark_winner stats cr;
+        fallback_used := true;
+        Ok m
+      | Error e ->
+        Stats.record_attempt stats ~strategy:"fallback"
+          ~outcome:(Stats.Rejected e) ~seconds:dt;
+        let (_ : Stats.candidate) =
+          Stats.record_candidate stats ~strategy:"fallback"
+            ~label:fb.Strategy.label ~score:None ~ok:false ~note:e
+        in
+        Error (no_strategy_error stats)
+    end
+    | Error _ -> result
+  in
+  let degradation =
+    if !fallback_used then Stats.Fallback
+    else
+      match Budget.truncations budget with
+      | [] ->
+        if Budget.exhausted budget then
+          Stats.Truncated
+            [ Option.value ~default:"budget" (Budget.reason budget) ]
+        else Stats.Full
+      | sites -> Stats.Truncated sites
+  in
+  Stats.set_degradation stats degradation;
   Stats.add_seconds stats (now () -. t0);
   Stats.set_hop_builds stats (Distcache.hop_builds ctx.Ctx.topo);
-  result
+  Result.map (fun m -> (m, degradation)) result

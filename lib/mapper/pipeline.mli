@@ -18,9 +18,26 @@
       portfolio-ablation mode.
 
     Every pass reports into [ctx.stats]: attempts with
-    produced/rejected/skipped outcomes and wall time, candidate scores
-    and validity, MM-Route matching rounds, refinement swaps, and the
-    topology's {!Oregami_topology.Distcache} hop-matrix build count.
+    produced/rejected/skipped/crashed outcomes and wall time, candidate
+    scores and validity, MM-Route matching rounds, refinement swaps,
+    per-phase wall-clock, and the topology's
+    {!Oregami_topology.Distcache} hop-matrix build count.
+
+    {2 Budgets, isolation, and the anytime contract}
+
+    The run is governed by [ctx.budget]: strategies left to try once
+    the budget trips are skipped (with a named reason), and the hot
+    loops inside production, embedding, and routing stop early with
+    their best partial result, so the pipeline always terminates
+    promptly and tags its answer with a {!Stats.degradation} level.
+    Every producer and every embed/route pass runs under the
+    {!Isolate} barrier: a raise is recorded as a [Crashed] attempt (or
+    an invalid candidate) instead of aborting the run, and the
+    per-strategy circuit breaker on [ctx.breaker] benches a strategy
+    after repeated crashes.  When no candidate lands and a fallback is
+    warranted — [ctx.options.fallback], an exhausted budget, or a
+    crash — a balanced-blocks baseline placement is routed and
+    returned, so a connected machine always gets a valid mapping.
 
     The scoring function is a parameter (rather than a call into
     METRICS) because [oregami_metrics] sits above this library in the
@@ -41,7 +58,12 @@ val compete :
   score:(Mapping.t -> int) ->
   Ctx.t ->
   Strategy.t list ->
-  (Mapping.t, string) result
-(** Run the full pipeline.  [Error] carries an aggregate of every
+  (Mapping.t * Stats.degradation, string) result
+(** Run the full pipeline.  The mapping always passes
+    [Mapping.validate]; the degradation level says whether the run was
+    complete, budget-truncated (with the sites that stopped early), or
+    a fallback placement.  [Error] carries an aggregate of every
     strategy's rejection reason (also available structured via
-    [Stats.rejections ctx.stats]). *)
+    [Stats.rejections ctx.stats]) and only occurs when no fallback was
+    warranted or even the fallback could not be routed (disconnected
+    machine). *)

@@ -11,7 +11,8 @@ let cluster_cost dc cg proc_of c p =
     (fun acc (d, w) -> if d = c then acc else acc + (w * Distcache.hop dc p proc_of.(d)))
     0 (Ugraph.neighbors cg c)
 
-let improve_embedding ?(max_rounds = 10) ?swaps cg topo proc_of_cluster =
+let improve_embedding ?(max_rounds = 10) ?budget ?swaps cg topo proc_of_cluster =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let accepted () = match swaps with Some r -> incr r | None -> () in
   let k = Ugraph.node_count cg in
   let p = Topology.node_count topo in
@@ -21,10 +22,18 @@ let improve_embedding ?(max_rounds = 10) ?swaps cg topo proc_of_cluster =
   Array.iteri (fun c pr -> occupant.(pr) <- c) proc_of;
   let improved = ref true in
   let rounds = ref 0 in
-  while !improved && !rounds < max_rounds do
+  (* hill climbing is the definitional anytime pass: the embedding is
+     valid after every accepted move, so on exhaustion we just stop *)
+  let dead = ref false in
+  while !improved && (not !dead) && !rounds < max_rounds do
     improved := false;
     incr rounds;
     for c = 0 to k - 1 do
+      if (not !dead) && not (Budget.poll budget ~cost:p) then begin
+        dead := true;
+        Budget.note budget "refine"
+      end;
+      if not !dead then
       for target = 0 to p - 1 do
         let pc = proc_of.(c) in
         (* never move a cluster onto a dead processor of a degraded

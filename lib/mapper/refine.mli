@@ -9,6 +9,7 @@
 
 val improve_embedding :
   ?max_rounds:int ->
+  ?budget:Budget.t ->
   ?swaps:int ref ->
   Oregami_graph.Ugraph.t ->
   Oregami_topology.Topology.t ->
@@ -17,7 +18,9 @@ val improve_embedding :
 (** [improve_embedding cg topo proc_of_cluster] returns an embedding
     with objective ≤ the input's ([max_rounds] defaults to 10).
     When [swaps] is given it is incremented once per accepted move or
-    swap — the pipeline's per-pass instrumentation. *)
+    swap — the pipeline's per-pass instrumentation.  An exhausted
+    [budget] stops the sweep at the current (always-valid) embedding,
+    recorded as a ["refine"] truncation. *)
 
 val objective :
   Oregami_graph.Ugraph.t -> Oregami_topology.Topology.t -> int array -> int

@@ -36,8 +36,20 @@ let phase_messages topo proc_of_task cap (cp : Taskgraph.comm_phase) =
          in
          { msg_src = u; msg_dst = v; msg_volume = w; candidates; committed = 0 })
 
+(* An exhausted budget stops contention-aware routing: every message
+   still in flight commits its first remaining candidate wholesale.
+   The candidate list is always filtered to routes sharing the
+   committed prefix, so the result is a complete, link-consistent
+   route — just not a congestion-minimizing one. *)
+let commit_first m =
+  match m.candidates with
+  | [] -> ()
+  | c :: _ ->
+    m.candidates <- [ c ];
+    m.committed <- route_length c
+
 (* One phase: commit links hop by hop with maximal-matching rounds. *)
-let route_phase topo messages =
+let route_phase ~budget topo messages =
   let nlinks = Topology.link_count topo in
   let rounds = ref 0 in
   let unfinished () =
@@ -54,6 +66,9 @@ let route_phase topo messages =
   let rec hop () =
     match unfinished () with
     | [] -> ()
+    | pending when not (Budget.poll budget ~cost:(List.length pending)) ->
+      Budget.note budget "mm-route";
+      List.iter commit_first pending
     | pending ->
       (* all messages at the same committed depth: those with the
          shortest remaining work still appear; we advance every
@@ -62,6 +77,12 @@ let route_phase topo messages =
       let unassigned = ref (Array.to_list (Array.init (Array.length arr) (fun i -> i))) in
       while !unassigned <> [] do
         incr rounds;
+        if not (Budget.poll budget ~cost:(List.length !unassigned)) then begin
+          Budget.note budget "mm-route";
+          List.iter (fun mi -> commit_first arr.(mi)) !unassigned;
+          unassigned := []
+        end
+        else begin
         let xs = Array.of_list !unassigned in
         let edges = ref [] in
         Array.iteri
@@ -99,18 +120,29 @@ let route_phase topo messages =
               m.committed <- m.committed + 1)
           xs;
         unassigned := List.rev !next_unassigned
+        end
       done;
       hop ()
   in
   hop ();
   (!rounds, messages)
 
-let mm_route ?(cap = 64) tg topo ~proc_of_task =
+let mm_route ?budget ?(cap = 64) tg topo ~proc_of_task =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let results =
     List.map
       (fun (cp : Taskgraph.comm_phase) ->
+        (* once the budget is dead, skip multi-route enumeration too:
+           one shortest route per pair is all the commit path needs *)
+        let cap =
+          if Budget.exhausted budget then begin
+            Budget.note budget "mm-route";
+            1
+          end
+          else cap
+        in
         let messages = phase_messages topo proc_of_task cap cp in
-        let rounds, messages = route_phase topo messages in
+        let rounds, messages = route_phase ~budget topo messages in
         let pr_edges =
           List.map
             (fun m ->

@@ -17,6 +17,7 @@ type stats = {
 }
 
 val mm_route :
+  ?budget:Budget.t ->
   ?cap:int ->
   Oregami_taskgraph.Taskgraph.t ->
   Oregami_topology.Topology.t ->
@@ -24,7 +25,14 @@ val mm_route :
   Mapping.phase_routing list * stats
 (** [cap] bounds the candidate shortest routes enumerated per
     processor pair (default 64).  Co-located edges get empty routes.
-    Deterministic. *)
+    Deterministic.
+
+    When [budget] (default unlimited) trips, the remaining matching
+    rounds are skipped: each in-flight message commits its first
+    remaining candidate wholesale (complete shortest routes, no
+    contention spreading) and later phases enumerate a single route
+    per pair — recorded as an ["mm-route"] truncation.  Reachable
+    pairs always end up fully routed. *)
 
 val deterministic_route :
   Oregami_taskgraph.Taskgraph.t ->

@@ -1,6 +1,12 @@
 module Tab = Oregami_prelude.Tab
 
-type outcome = Produced of int | Rejected of string | Skipped of string
+type outcome =
+  | Produced of int
+  | Rejected of string
+  | Skipped of string
+  | Crashed of string
+
+type degradation = Full | Truncated of string list | Fallback
 
 type attempt = { at_strategy : string; at_outcome : outcome; at_seconds : float }
 
@@ -21,6 +27,8 @@ type t = {
   mutable hop_builds : int;
   mutable seconds : float;
   mutable winner : (string * string) option;
+  mutable degradation : degradation;
+  mutable phases : (string * float) list; (* aggregated by name *)
 }
 
 let create () =
@@ -32,6 +40,8 @@ let create () =
     hop_builds = 0;
     seconds = 0.0;
     winner = None;
+    degradation = Full;
+    phases = [];
   }
 
 let record_attempt t ~strategy ~outcome ~seconds =
@@ -57,6 +67,24 @@ let mark_winner t c =
   c.cd_winner <- true;
   t.winner <- Some (c.cd_strategy, c.cd_label)
 
+let set_degradation t d = t.degradation <- d
+let degradation t = t.degradation
+
+let degradation_string = function
+  | Full -> "full"
+  | Truncated sites -> Printf.sprintf "truncated(%s)" (String.concat "," sites)
+  | Fallback -> "fallback"
+
+let add_phase_seconds t name s =
+  let rec bump = function
+    | [] -> [ (name, s) ]
+    | (n, acc) :: rest when n = name -> (n, acc +. s) :: rest
+    | kv :: rest -> kv :: bump rest
+  in
+  t.phases <- bump t.phases
+
+let phase_seconds t = t.phases
+
 let add_matching_rounds t n = t.matching_rounds <- t.matching_rounds + n
 let add_refine_swaps t n = t.refine_swaps <- t.refine_swaps + n
 let set_hop_builds t n = t.hop_builds <- n
@@ -71,6 +99,7 @@ let rejections t =
     (fun a ->
       match a.at_outcome with
       | Rejected r | Skipped r -> Some (a.at_strategy, r)
+      | Crashed e -> Some (a.at_strategy, "crashed: " ^ e)
       | Produced _ -> None)
     (attempts t)
   @ List.filter_map
@@ -91,6 +120,7 @@ let counters t =
     ("produced", tally (fun a -> match a.at_outcome with Produced _ -> true | _ -> false));
     ("rejected", tally (fun a -> match a.at_outcome with Rejected _ -> true | _ -> false));
     ("skipped", tally (fun a -> match a.at_outcome with Skipped _ -> true | _ -> false));
+    ("crashed", tally (fun a -> match a.at_outcome with Crashed _ -> true | _ -> false));
     ("candidates", List.length t.cands_rev);
     ( "valid candidates",
       List.length (List.filter (fun c -> c.cd_ok) (candidates t)) );
@@ -110,6 +140,7 @@ let to_table t =
           | Produced n -> (Printf.sprintf "produced %d" n, "")
           | Rejected r -> ("rejected", r)
           | Skipped r -> ("skipped", r)
+          | Crashed e -> ("CRASHED", e)
         in
         [ a.at_strategy; outcome; ms a.at_seconds; detail ])
       (attempts t)
@@ -135,6 +166,10 @@ let to_table t =
       Tab.render ~header:[ "strategy"; "mapping"; "score"; "valid"; "" ] cand_rows;
       "pipeline counters:";
       Tab.render ~header:[ "counter"; "value" ] counter_rows;
+      "phase wall-clock:";
+      Tab.render ~header:[ "phase"; "ms" ]
+        (List.map (fun (n, s) -> [ n; ms s ]) (phase_seconds t));
+      Printf.sprintf "degradation: %s" (degradation_string t.degradation);
       Printf.sprintf "total pipeline time: %s ms" (ms t.seconds);
       "";
     ]
@@ -150,6 +185,7 @@ let to_sexp t =
         | Produced n -> Printf.sprintf "(produced %d)" n
         | Rejected r -> Printf.sprintf "(rejected %S)" r
         | Skipped r -> Printf.sprintf "(skipped %S)" r
+        | Crashed e -> Printf.sprintf "(crashed %S)" e
       in
       pf "\n  ((strategy %s) (outcome %s) (seconds %.6f))" a.at_strategy outcome
         a.at_seconds)
@@ -165,9 +201,18 @@ let to_sexp t =
     (candidates t);
   pf ")\n (counters";
   List.iter (fun (k, v) -> pf " (%s %d)" (String.map (fun ch -> if ch = ' ' then '-' else ch) k) v) (counters t);
+  pf ")\n (phases";
+  List.iter (fun (n, s) -> pf " (%s %.6f)" n s) (phase_seconds t);
   pf ")\n (winner %s)"
     (match t.winner with
     | Some (s, l) -> Printf.sprintf "((strategy %s) (mapping %S))" s l
     | None -> "()");
+  pf "\n (degradation %s)"
+    (match t.degradation with
+    | Full -> "full"
+    | Fallback -> "fallback"
+    | Truncated sites ->
+        Printf.sprintf "(truncated%s)"
+          (String.concat "" (List.map (fun s -> " " ^ s) sites)));
   pf "\n (seconds %.6f))" t.seconds;
   Buffer.contents buf

@@ -17,7 +17,21 @@
 type outcome =
   | Produced of int  (** candidates emitted *)
   | Rejected of string  (** the strategy declined, with its reason *)
-  | Skipped of string  (** filtered before running (options gate) *)
+  | Skipped of string
+      (** filtered before running (options gate, exhausted budget, or
+          an open circuit breaker) *)
+  | Crashed of string
+      (** the producer raised; the exception text, captured by the
+          {!Isolate} barrier instead of aborting the pipeline *)
+
+type degradation =
+  | Full  (** every pass ran to completion *)
+  | Truncated of string list
+      (** the budget expired mid-run; the sites that stopped early
+          (e.g. ["mwm-contract"], ["refine"]), in order *)
+  | Fallback
+      (** no competing candidate landed; the mapping is a cheap
+          baseline placement *)
 
 type attempt = {
   at_strategy : string;  (** registry name *)
@@ -62,6 +76,11 @@ val add_refine_swaps : t -> int -> unit
 val set_hop_builds : t -> int -> unit
 val add_seconds : t -> float -> unit
 
+val set_degradation : t -> degradation -> unit
+val add_phase_seconds : t -> string -> float -> unit
+(** Accumulate wall-clock onto a named phase ("distcache", "produce",
+    "embed", "route", …); repeated names aggregate. *)
+
 (** {1 Reading} *)
 
 val attempts : t -> attempt list
@@ -82,6 +101,16 @@ val matching_rounds : t -> int
 val refine_swaps : t -> int
 val hop_builds : t -> int
 val total_seconds : t -> float
+
+val degradation : t -> degradation
+(** [Full] unless the pipeline set otherwise. *)
+
+val degradation_string : degradation -> string
+(** Compact one-token rendering: ["full"], ["truncated(a,b)"],
+    ["fallback"]. *)
+
+val phase_seconds : t -> (string * float) list
+(** Aggregated per-phase wall-clock, in first-recorded order. *)
 
 val counters : t -> (string * int) list
 (** Every deterministic counter as labelled pairs (attempt/candidate

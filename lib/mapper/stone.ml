@@ -18,43 +18,58 @@ let two_processor ~cost_a ~cost_b ~comm =
   let side = Maxflow.min_cut_side net ~src in
   (Array.init n (fun t -> if side.(t) = 1 then 0 else 1), total)
 
-let recursive_bisection ~procs ~cost ~comm =
+let recursive_bisection ?budget ~procs ~cost ~comm () =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   if procs < 1 || procs land (procs - 1) <> 0 then
     invalid_arg "Stone.recursive_bisection: procs must be a power of two";
   let n = Ugraph.node_count comm in
   let assignment = Array.make n 0 in
   let rec split tasks base count =
     if count > 1 && List.length tasks > 1 then begin
-      (* restrict the communication graph to this task set *)
-      let index = Hashtbl.create 16 in
-      List.iteri (fun i t -> Hashtbl.add index t i) tasks;
       let m = List.length tasks in
-      let sub = Ugraph.create m in
-      List.iter
-        (fun (u, v, w) ->
-          match (Hashtbl.find_opt index u, Hashtbl.find_opt index v) with
-          | Some iu, Some iv -> Ugraph.add_edge ~w sub iu iv
-          | _, _ -> ())
-        (Ugraph.edges comm);
-      (* symmetric execution costs push toward a balanced cut: a task
-         is free on either side, so only communication drives the cut;
-         a tiny per-task bias keeps the cut from putting everything on
-         one side *)
-      let bias = Array.of_list (List.map (fun t -> 1 + (cost.(t) / max 1 m)) tasks) in
-      let side, _ = two_processor ~cost_a:bias ~cost_b:bias ~comm:sub in
-      let left = ref [] and right = ref [] in
-      List.iteri
-        (fun i t -> if side.(i) = 0 then left := t :: !left else right := t :: !right)
-        tasks;
-      (* degenerate cuts: fall back to an even split *)
+      (* the max-flow cut is the expensive step (O(m^2) and up); an
+         exhausted budget replaces it with the same even split already
+         used for degenerate cuts *)
+      let afford = Budget.poll budget ~cost:(m * m) in
+      if not afford then Budget.note budget "stone";
       let left, right =
-        if !left = [] || !right = [] then begin
+        if not afford then ([], [])
+        else begin
+          (* restrict the communication graph to this task set *)
+          let index = Hashtbl.create 16 in
+          List.iteri (fun i t -> Hashtbl.add index t i) tasks;
+          let sub = Ugraph.create m in
+          List.iter
+            (fun (u, v, w) ->
+              match (Hashtbl.find_opt index u, Hashtbl.find_opt index v) with
+              | Some iu, Some iv -> Ugraph.add_edge ~w sub iu iv
+              | _, _ -> ())
+            (Ugraph.edges comm);
+          (* symmetric execution costs push toward a balanced cut: a task
+             is free on either side, so only communication drives the cut;
+             a tiny per-task bias keeps the cut from putting everything on
+             one side *)
+          let bias =
+            Array.of_list (List.map (fun t -> 1 + (cost.(t) / max 1 m)) tasks)
+          in
+          let side, _ = two_processor ~cost_a:bias ~cost_b:bias ~comm:sub in
+          let left = ref [] and right = ref [] in
+          List.iteri
+            (fun i t ->
+              if side.(i) = 0 then left := t :: !left else right := t :: !right)
+            tasks;
+          (!left, !right)
+        end
+      in
+      (* degenerate (or budget-skipped) cuts: fall back to an even split *)
+      let left, right =
+        if left = [] || right = [] then begin
           let arr = Array.of_list tasks in
           let half = m / 2 in
           ( Array.to_list (Array.sub arr 0 half),
             Array.to_list (Array.sub arr half (m - half)) )
         end
-        else (List.rev !left, List.rev !right)
+        else (List.rev left, List.rev right)
       in
       split left base (count / 2);
       split right (base + (count / 2)) (count / 2)

@@ -19,8 +19,16 @@ val two_processor :
     optimal cost (min-cut value). *)
 
 val recursive_bisection :
-  procs:int -> cost:int array -> comm:Oregami_graph.Ugraph.t -> int array
+  ?budget:Budget.t ->
+  procs:int ->
+  cost:int array ->
+  comm:Oregami_graph.Ugraph.t ->
+  unit ->
+  int array
 (** Heuristic extension to [procs = 2^k] processors: repeated
     two-processor cuts with a balance-encouraging cost split.  Returns
     task → processor (processors may be empty; no balance guarantee —
-    Stone's formulation has none). *)
+    Stone's formulation has none).
+
+    An exhausted [budget] replaces each remaining max-flow cut with an
+    even split (recorded as a ["stone"] truncation). *)

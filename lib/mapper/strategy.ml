@@ -246,7 +246,7 @@ let systolic_produce ctx =
 let group_produce ctx =
   let tg = ctx.Ctx.tg in
   let procs = min (Ctx.procs ctx) tg.Taskgraph.n in
-  match Group_contract.contract tg ~procs with
+  match Group_contract.contract ~budget:ctx.Ctx.budget tg ~procs with
   | Error e -> Error e
   | Ok g ->
     Ok
@@ -263,7 +263,10 @@ let group_produce ctx =
 (* general-path contractions, embedded by the shared NN-Embed pass    *)
 
 let mwm_produce ctx =
-  match Mwm_contract.contract ?b:ctx.Ctx.options.Ctx.b (Ctx.static ctx) ~procs:(Ctx.procs ctx) with
+  match
+    Mwm_contract.contract ?b:ctx.Ctx.options.Ctx.b ~budget:ctx.Ctx.budget
+      (Ctx.static ctx) ~procs:(Ctx.procs ctx)
+  with
   | Error e -> Error e
   | Ok r ->
     Ok
@@ -300,7 +303,7 @@ let blocks_produce ctx =
 let kl_produce ctx =
   let n = ctx.Ctx.tg.Taskgraph.n in
   let parts = min (Ctx.procs ctx) n in
-  let cluster_of = Kl.partition (Ctx.static ctx) ~parts in
+  let cluster_of = Kl.partition ~budget:ctx.Ctx.budget (Ctx.static ctx) ~parts in
   let k = 1 + Array.fold_left max (-1) cluster_of in
   Ok [ { label = "kl+nn"; clusters = k; cluster_of; placement = Embed } ]
 
@@ -316,7 +319,10 @@ let stone_produce ctx =
       (fun (ep : Taskgraph.exec_phase) ->
         Array.iteri (fun t c -> cost.(t) <- cost.(t) + c) ep.Taskgraph.costs)
       tg.Taskgraph.exec_phases;
-    let proc_of_task = Stone.recursive_bisection ~procs ~cost ~comm:(Ctx.static ctx) in
+    let proc_of_task =
+      Stone.recursive_bisection ~budget:ctx.Ctx.budget ~procs ~cost
+        ~comm:(Ctx.static ctx) ()
+    in
     (* dense cluster ids, numbered by smallest member *)
     let ids = Hashtbl.create 16 in
     let cluster_of =

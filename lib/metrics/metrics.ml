@@ -197,19 +197,24 @@ let summary ?(model = default_model) (m : Mapping.t) =
     route_stretch = route_stretch m;
   }
 
-let print_summary s =
+let print_summary ?degradation s =
   Tab.print
     ~header:[ "metric"; "value" ]
-    [
-      [ "strategy"; s.strategy ];
-      [ "tasks"; string_of_int s.tasks ];
-      [ "clusters"; string_of_int s.clusters ];
-      [ "processors"; string_of_int s.procs ];
-      [ "max tasks/proc"; string_of_int (Array.fold_left max 0 s.load.tasks_per_proc) ];
-      [ "load imbalance"; Tab.fixed 3 s.load_imbalance ];
-      [ "total IPC volume"; string_of_int s.total_ipc ];
-      [ "dilation (max)"; string_of_int s.dilation_max ];
-      [ "dilation (avg)"; Tab.fixed 3 s.dilation_avg ];
-      [ "max link contention"; string_of_int s.max_link_contention ];
-      [ "completion time (model)"; string_of_int s.completion_time ];
-    ]
+    ([
+       [ "strategy"; s.strategy ];
+       [ "tasks"; string_of_int s.tasks ];
+       [ "clusters"; string_of_int s.clusters ];
+       [ "processors"; string_of_int s.procs ];
+       [ "max tasks/proc"; string_of_int (Array.fold_left max 0 s.load.tasks_per_proc) ];
+       [ "load imbalance"; Tab.fixed 3 s.load_imbalance ];
+       [ "total IPC volume"; string_of_int s.total_ipc ];
+       [ "dilation (max)"; string_of_int s.dilation_max ];
+       [ "dilation (avg)"; Tab.fixed 3 s.dilation_avg ];
+       [ "max link contention"; string_of_int s.max_link_contention ];
+       [ "completion time (model)"; string_of_int s.completion_time ];
+     ]
+    @
+    match degradation with
+    | None -> []
+    | Some d ->
+      [ [ "degradation"; Oregami_mapper.Stats.degradation_string d ] ])

@@ -65,5 +65,8 @@ val completion_time : ?model:model -> Oregami_mapper.Mapping.t -> int
 
 val summary : ?model:model -> Oregami_mapper.Mapping.t -> summary
 
-val print_summary : summary -> unit
-(** Tabular report on stdout. *)
+val print_summary :
+  ?degradation:Oregami_mapper.Stats.degradation -> summary -> unit
+(** Tabular report on stdout.  [degradation] appends a row saying how
+    complete the producing pipeline run was (budgeted runs); omitted
+    entirely when [None] so unbudgeted output is unchanged. *)

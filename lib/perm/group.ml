@@ -148,20 +148,22 @@ let left_cosets g idxs =
   done;
   List.rev !cosets
 
-let cyclic_subgroups g =
+let cyclic_subgroups ?(poll = fun () -> true) g =
   let n = order g in
   let seen = Hashtbl.create 16 in
   let out = ref [] in
-  for i = 0 to n - 1 do
-    let sub = subgroup_generated g [ i ] in
+  let i = ref 0 in
+  while !i < n && poll () do
+    let sub = subgroup_generated g [ !i ] in
     if not (Hashtbl.mem seen sub) then begin
       Hashtbl.add seen sub ();
       out := sub :: !out
-    end
+    end;
+    incr i
   done;
   List.sort (fun a b -> compare (List.length a, a) (List.length b, b)) !out
 
-let subgroups_of_order ?(max_seed = 2000) g target =
+let subgroups_of_order ?(max_seed = 2000) ?(poll = fun () -> true) g target =
   if target < 1 || order g mod target <> 0 then []
   else begin
     let seen = Hashtbl.create 16 in
@@ -172,7 +174,7 @@ let subgroups_of_order ?(max_seed = 2000) g target =
         out := sub :: !out
       end
     in
-    let cyclics = cyclic_subgroups g in
+    let cyclics = cyclic_subgroups ~poll g in
     List.iter consider cyclics;
     (* closures of pairs of cyclic subgroups whose orders divide target *)
     let small =
@@ -184,7 +186,7 @@ let subgroups_of_order ?(max_seed = 2000) g target =
       | a :: rest ->
         List.iter
           (fun b ->
-            if !tried < max_seed then begin
+            if !tried < max_seed && poll () then begin
               incr tried;
               let sub = subgroup_generated g (a @ b) in
               if List.length sub = target then consider sub
@@ -202,7 +204,7 @@ let subgroups_of_order ?(max_seed = 2000) g target =
           | b :: rest' ->
             List.iter
               (fun c ->
-                if !tried < max_seed then begin
+                if !tried < max_seed && poll () then begin
                   incr tried;
                   let sub = subgroup_generated g (a @ b @ c) in
                   if List.length sub = target then consider sub

@@ -39,11 +39,20 @@ columns vary between runs, so every decimal is filtered.
   produced                  1
   rejected                  2
   skipped                   0
+  crashed                   0
   candidates                1
   valid candidates          1
   matching rounds           9
   refine swaps              0
   distcache hop builds      1
+  phase wall-clock:
+  phase         ms
+  ---------  -----
+  distcache  *
+  produce    *
+  embed      *
+  route      *
+  degradation: full
   total pipeline time: * ms
   
   (pipeline-stats
@@ -53,8 +62,10 @@ columns vary between runs, so every decimal is filtered.
     ((strategy group) (outcome (produced 1)) (seconds *)))
    (candidates
     ((strategy group) (mapping "group-theoretic") (score ()) (valid true) (winner true)))
-   (counters (attempts 3) (produced 1) (rejected 2) (skipped 0) (candidates 1) (valid-candidates 1) (matching-rounds 9) (refine-swaps 0) (distcache-hop-builds 1))
+   (counters (attempts 3) (produced 1) (rejected 2) (skipped 0) (crashed 0) (candidates 1) (valid-candidates 1) (matching-rounds 9) (refine-swaps 0) (distcache-hop-builds 1))
+   (phases (distcache *) (produce *) (embed *) (route *))
    (winner ((strategy group) (mapping "group-theoretic")))
+   (degradation full)
    (seconds *))
 
 Restricting the registry turns the dispatch into a scored portfolio:

@@ -1,0 +1,50 @@
+The batch mapping service: one request per line in, one result line
+per request out, and the batch never aborts on a poisoned request.
+
+  $ cat > requests.txt <<'EOF'
+  > # comments and blank lines are skipped
+  > 
+  > voting hypercube:2
+  > ./no-such.larcs ring:4
+  > nbody ring:8 deadline-ms=0
+  > EOF
+
+Three requests, three result lines (wall-clock milliseconds filtered);
+the missing file fails but the deadline-0 request still yields a valid
+(degraded) mapping, and the exit code reflects the partial failure.
+
+  $ oregami batch requests.txt | sed -E 's/[0-9]+\.[0-9]+/*/g'
+  1	voting	hypercube:2	ok	group-theoretic	full	24	*	1	159	-
+  2	./no-such.larcs	ring:4	error	-	-	-	*	0	0	./no-such.larcs: No such file or directory
+  3	nbody	ring:8	ok	mwm+nn	truncated(mwm-contract,nn-embed,refine,mm-route)	460	*	3	135	-
+
+The exit code (laundered by the sed pipe above) is 1 when any request
+failed, 0 when all succeeded:
+
+  $ oregami batch requests.txt > /dev/null
+  [1]
+
+  $ echo 'voting hypercube:2' | oregami serve > /dev/null
+
+serve is the same loop reading stdin:
+
+  $ echo 'voting hypercube:2' | oregami serve | sed -E 's/[0-9]+\.[0-9]+/*/g'
+  1	voting	hypercube:2	ok	group-theoretic	full	24	*	1	159	-
+
+s-expression output for tooling:
+
+  $ echo 'voting hypercube:2' | oregami serve --sexp | sed -E 's/[0-9]+\.[0-9]+/*/g'
+  (result (id 1) (program "voting") (topology "hypercube:2") (status ok) (strategy "group-theoretic") (degradation "full") (completion 24) (elapsed-ms *) (attempts 1) (fuel 159))
+
+A malformed request line is reported on its own result line, and the
+rest of the batch still runs:
+
+  $ printf 'lonely\nvoting hypercube:2\n' | oregami serve | sed -E 's/[0-9]+\.[0-9]+/*/g'
+  1	lonely	-	error	-	-	-	*	0	0	want: PROGRAM TOPOLOGY [key=value ...]
+  2	voting	hypercube:2	ok	group-theoretic	full	24	*	1	159	-
+
+A missing request file is a usage error:
+
+  $ oregami batch ./missing-requests.txt
+  oregami: ./missing-requests.txt: No such file or directory
+  [2]

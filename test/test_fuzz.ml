@@ -1,0 +1,171 @@
+(* Fuzzing the compile → pipeline → metrics chain.
+
+   Two generators: well-formed random LaRCS programs (template-based:
+   random 1-D node space, shift/ring/tree communication rules, random
+   phase expressions), and byte-level mutations of those programs.
+   Well-formed programs must compile and, under a small fuel budget
+   with the fallback enabled, must map to a valid mapping without ever
+   raising and without burning more than bounded fuel past the cap.
+   Mutated programs may fail to compile, but the compiler must return
+   [Error] rather than raise, and whenever it accepts the source the
+   pipeline contract above must still hold. *)
+
+open Oregami
+module Rng = Prelude.Rng
+module Budget = Mapper.Budget
+module Isolate = Mapper.Isolate
+
+let topo s = Topology.make (Result.get_ok (Topology.parse s))
+
+let topologies =
+  [| "hypercube:3"; "mesh:3x3"; "ring:6"; "torus:4x4"; "line:7"; "bintree:2" |]
+
+(* --- generator: well-formed programs ------------------------------ *)
+
+let comm_rule rng n i =
+  let d = 1 + Rng.int rng 3 in
+  let volume =
+    if Rng.int rng 2 = 0 then "" else Printf.sprintf " volume %d" (1 + Rng.int rng 4)
+  in
+  let body =
+    match Rng.int rng 4 with
+    | 0 -> Printf.sprintf "t i -> t ((i+%d) mod n)%s;" d volume
+    | 1 -> Printf.sprintf "t i -> t (i+%d)%s when i < n-%d;" d volume d
+    | 2 -> Printf.sprintf "t i -> t (i-%d)%s when i > %d;" d volume (d - 1)
+    | _ -> Printf.sprintf "t i -> t ((i - 1) / 2)%s when i > 0;" volume
+  in
+  ignore n;
+  Printf.sprintf "comphase c%d { %s }" i body
+
+let phase_expr rng comms execs =
+  let exec () = List.nth execs (Rng.int rng (List.length execs)) in
+  let k = 1 + Rng.int rng 3 in
+  match Rng.int rng 3 with
+  | 0 -> Printf.sprintf "(%s; %s)^%d" (String.concat " || " comms) (exec ()) k
+  | 1 -> Printf.sprintf "(%s; %s)^%d" (String.concat "; " comms) (exec ()) k
+  | _ ->
+    String.concat "; "
+      (List.map (fun c -> Printf.sprintf "%s; %s" c (exec ())) comms)
+
+let generate rng =
+  let n = 4 + Rng.int rng 9 in
+  let ncomms = 1 + Rng.int rng 3 in
+  let nexecs = 1 + Rng.int rng 2 in
+  let comms = List.init ncomms (fun i -> Printf.sprintf "c%d" i) in
+  let execs = List.init nexecs (fun i -> Printf.sprintf "e%d" i) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "algorithm fuzz(n);\n";
+  Buffer.add_string buf "nodetype t : 0 .. n-1;\n";
+  List.iteri
+    (fun i _ -> Buffer.add_string buf (comm_rule rng n i ^ "\n"))
+    comms;
+  List.iteri
+    (fun i _ ->
+      Buffer.add_string buf
+        (Printf.sprintf "exphase e%d cost %d;\n" i (1 + Rng.int rng 9)))
+    execs;
+  Buffer.add_string buf
+    (Printf.sprintf "phases %s;\n" (phase_expr rng comms execs));
+  (Buffer.contents buf, n)
+
+let mutate rng source =
+  let s = Bytes.of_string source in
+  let len = Bytes.length s in
+  match Rng.int rng 4 with
+  | 0 -> Bytes.sub_string s 0 (Rng.int rng len) (* truncate *)
+  | 1 ->
+    (* delete one char *)
+    let i = Rng.int rng len in
+    Bytes.sub_string s 0 i ^ Bytes.sub_string s (i + 1) (len - i - 1)
+  | 2 ->
+    (* insert a structural char *)
+    let junk = "(){};->|^." in
+    let i = Rng.int rng len in
+    Bytes.sub_string s 0 i
+    ^ String.make 1 junk.[Rng.int rng (String.length junk)]
+    ^ Bytes.sub_string s i (len - i)
+  | _ ->
+    (* overwrite one char *)
+    let i = Rng.int rng len in
+    Bytes.set s i 'q';
+    Bytes.to_string s
+
+(* --- the contract under test -------------------------------------- *)
+
+let fuel_cap = 200
+
+(* sticky-dead polls still charge their cost while loops unwind, so a
+   budgeted run may overshoot the cap by a bounded amount; far past
+   that means some loop is ignoring the dead budget *)
+let fuel_slack = 20_000
+
+let check_pipeline seed compiled =
+  let rng = Rng.create (seed lxor 0x5eed) in
+  let t = topo topologies.(Rng.int rng (Array.length topologies)) in
+  let options =
+    {
+      Driver.default_options with
+      Driver.fuel = Some fuel_cap;
+      Driver.fallback = true;
+    }
+  in
+  match
+    Isolate.protect (fun () ->
+        let ctx = Ctx.of_compiled ~options compiled t in
+        (Driver.run ctx, Budget.fuel_used ctx.Ctx.budget))
+  with
+  | Error e -> QCheck.Test.fail_reportf "pipeline raised: %s" e
+  | Ok (Error e, _) -> QCheck.Test.fail_reportf "no mapping: %s" e
+  | Ok (Ok (m, _deg), used) ->
+    (match Mapping.validate m with
+    | Ok () -> ()
+    | Error e -> QCheck.Test.fail_reportf "invalid mapping: %s" e);
+    if used > fuel_cap + fuel_slack then
+      QCheck.Test.fail_reportf "budget ignored: %d fuel used against cap %d"
+        used fuel_cap;
+    true
+
+let well_formed =
+  QCheck.Test.make ~name:"well-formed programs map validly under budget"
+    ~count:30
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let source, n = generate rng in
+      match
+        Isolate.protect (fun () ->
+            Larcs.Compile.compile_source ~bindings:[ ("n", n) ] source)
+      with
+      | Error e -> QCheck.Test.fail_reportf "compiler raised on:\n%s\n%s" source e
+      | Ok (Error e) ->
+        QCheck.Test.fail_reportf "generator produced invalid LaRCS:\n%s\n%s"
+          source e
+      | Ok (Ok compiled) -> check_pipeline seed compiled)
+
+let mutated =
+  QCheck.Test.make ~name:"mutated programs never crash the compiler"
+    ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let source, n = generate rng in
+      let source = mutate rng source in
+      match
+        Isolate.protect (fun () ->
+            Larcs.Compile.compile_source ~bindings:[ ("n", n) ] source)
+      with
+      | Error e ->
+        QCheck.Test.fail_reportf "compiler raised on mutated input:\n%s\n%s"
+          source e
+      | Ok (Error _) -> true (* a clean rejection is the expected outcome *)
+      | Ok (Ok compiled) -> check_pipeline seed compiled)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "fuzz",
+        [
+          QCheck_alcotest.to_alcotest well_formed;
+          QCheck_alcotest.to_alcotest mutated;
+        ] );
+    ]

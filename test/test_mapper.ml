@@ -476,7 +476,7 @@ let test_stone_bisection () =
     Ugraph.add_edge ~w:5 comm i ((i + 1) mod 8)
   done;
   let cost = Array.make 8 1 in
-  let a = Stone.recursive_bisection ~procs:4 ~cost ~comm in
+  let a = Stone.recursive_bisection ~procs:4 ~cost ~comm () in
   Alcotest.(check int) "uses 8 tasks" 8 (Array.length a);
   Array.iter (fun p -> Alcotest.(check bool) "proc in range" true (p >= 0 && p < 4)) a
 
