@@ -521,14 +521,15 @@ let topo_cmd =
   Cmd.v (Cmd.info "topo" ~doc:"Describe a network topology") Term.(const run $ arg)
 
 (* batch mapping service: one request per line in, one result line out *)
-let serve_batch file sexp =
+let serve_batch file sexp jobs =
+  if jobs < 1 then die ~code:2 "--jobs must be at least 1";
   let format = if sexp then Service.Sexp else Service.Tsv in
   let ic =
     match file with
     | None | Some "-" -> stdin
     | Some f -> ( try open_in f with Sys_error m -> die ~code:2 m)
   in
-  let code = Service.serve ~format ic stdout in
+  let code = Service.serve ~format ~jobs ic stdout in
   if ic != stdin then close_in ic;
   exit code
 
@@ -537,17 +538,28 @@ let sexp_arg =
        & info [ "sexp" ]
            ~doc:"Emit one s-expression per request instead of the TSV line.")
 
+let jobs_arg =
+  Arg.(value
+       & opt int (Prelude.Pool.default_jobs ())
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Serve the batch on $(docv) domains sharing compiled-program \
+                 and topology caches (results still come out in request \
+                 order, byte-identical to $(b,--jobs 1) for fixed seeds, \
+                 wall-clock aside).  $(b,--jobs 1) streams request by \
+                 request with no caches.  Defaults to the number of \
+                 available cores.")
+
 let serve_cmd =
-  let run sexp = serve_batch None sexp in
+  let run sexp jobs = serve_batch None sexp jobs in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Read mapping requests from stdin (PROGRAM TOPOLOGY [key=value \
              ...] per line) and answer each with one result line; exit 1 if \
              any request failed")
-    Term.(const run $ sexp_arg)
+    Term.(const run $ sexp_arg $ jobs_arg)
 
 let batch_cmd =
-  let run file sexp = serve_batch (Some file) sexp in
+  let run file sexp jobs = serve_batch (Some file) sexp jobs in
   let file_arg =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"FILE"
@@ -557,7 +569,7 @@ let batch_cmd =
     (Cmd.info "batch"
        ~doc:"Run a file of mapping requests through the batch service \
              (identical to $(b,serve) reading the file)")
-    Term.(const run $ file_arg $ sexp_arg)
+    Term.(const run $ file_arg $ sexp_arg $ jobs_arg)
 
 let workloads_cmd =
   let run () =

@@ -8,6 +8,8 @@ module Mapping = Oregami_mapper.Mapping
 module Metrics = Oregami_metrics.Metrics
 module Workloads = Oregami_workloads.Workloads
 module Clock = Oregami_prelude.Clock
+module Memo = Oregami_prelude.Memo
+module Pool = Oregami_prelude.Pool
 
 type format = Tsv | Sexp
 
@@ -178,11 +180,37 @@ let rank = function
   | Ok (_, Stats.Truncated _) -> 2
   | Ok (_, Stats.Full) -> 3
 
-let setup req =
+(* ------------------------------------------------------------------ *)
+(* shared artifact caches                                             *)
+
+(* The two per-request setup costs worth amortising across a batch:
+   compiling the LaRCS program and building the topology (with its hop
+   matrix).  Both artifacts are immutable once built — a compiled
+   program is never mutated by the pipeline, and a topology's
+   Distcache state is domain-safe — so one copy can be shared
+   read-only by every pool domain.  Error values are cached too: a
+   missing program file fails once, not once per request naming it. *)
+type caches = {
+  c_programs :
+    (string, (Oregami_larcs.Compile.compiled, string) result) Memo.t;
+      (* key: program path/name + sorted bindings *)
+  c_topologies : (string, (Topology.t, string) result) Memo.t;
+      (* key: the topology spec string *)
+}
+
+let caches () = { c_programs = Memo.create (); c_topologies = Memo.create () }
+
+let program_key req =
+  String.concat " "
+    (req.rq_program
+    :: List.map
+         (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+         (List.sort compare req.rq_bindings))
+
+let compile_program req =
   let ( let* ) = Result.bind in
   match
     Isolate.protect (fun () ->
-        let* kind = Topology.parse req.rq_topology in
         let* source, defaults = load_program req.rq_program in
         let bindings =
           req.rq_bindings
@@ -190,13 +218,58 @@ let setup req =
               (fun (k, _) -> not (List.mem_assoc k req.rq_bindings))
               defaults
         in
-        let* compiled = Oregami_larcs.Compile.compile_source ~bindings source in
-        Ok (compiled, Topology.make kind))
+        Oregami_larcs.Compile.compile_source ~bindings source)
   with
   | Error exn -> Error ("internal crash: " ^ exn)
   | Ok r -> r
 
-let run_request ?breaker req =
+let build_topology spec =
+  match
+    Isolate.protect (fun () ->
+        Result.map
+          (fun kind ->
+            let t = Topology.make kind in
+            (* pre-warm the hop matrix once, here, so every request on
+               this topology (from any domain) finds it published *)
+            ignore (Oregami_topology.Distcache.hops t);
+            t)
+          (Topology.parse spec))
+  with
+  | Error exn -> Error ("internal crash: " ^ exn)
+  | Ok r -> r
+
+let setup ?caches req =
+  let ( let* ) = Result.bind in
+  match caches with
+  | Some c ->
+    (* same error precedence as the uncached path: topology first *)
+    let* topo =
+      Memo.get c.c_topologies req.rq_topology (fun () ->
+          build_topology req.rq_topology)
+    in
+    let* compiled =
+      Memo.get c.c_programs (program_key req) (fun () -> compile_program req)
+    in
+    Ok (compiled, topo)
+  | None -> begin
+    match
+      Isolate.protect (fun () ->
+          let* kind = Topology.parse req.rq_topology in
+          let* source, defaults = load_program req.rq_program in
+          let bindings =
+            req.rq_bindings
+            @ List.filter
+                (fun (k, _) -> not (List.mem_assoc k req.rq_bindings))
+                defaults
+          in
+          let* compiled = Oregami_larcs.Compile.compile_source ~bindings source in
+          Ok (compiled, Topology.make kind))
+    with
+    | Error exn -> Error ("internal crash: " ^ exn)
+    | Ok r -> r
+  end
+
+let run_request ?breaker ?caches req =
   let breaker =
     match breaker with Some b -> b | None -> Isolate.breaker ()
   in
@@ -204,7 +277,7 @@ let run_request ?breaker req =
   let fuel = ref 0 in
   let result, seconds =
     Clock.time (fun () ->
-        match setup req with
+        match setup ?caches req with
         | Error e -> Error e
         | Ok (compiled, topo) ->
           let best = ref (Error "not attempted") in
@@ -298,18 +371,52 @@ let render fmt o =
 (* ------------------------------------------------------------------ *)
 (* the serve loop                                                     *)
 
-let serve ?(format = Tsv) ?breaker ic oc =
-  let breaker =
-    match breaker with Some b -> b | None -> Isolate.breaker ()
+let malformed ~id ~line e =
+  let program, topology =
+    match tokens line with
+    | p :: t :: _ -> (p, t)
+    | [ p ] -> (p, "-")
+    | [] -> ("-", "-")
   in
-  let failed = ref false in
+  {
+    r_id = id;
+    r_program = program;
+    r_topology = topology;
+    r_ok = false;
+    r_strategy = "-";
+    r_degradation = None;
+    r_completion = None;
+    r_elapsed_ms = 0.0;
+    r_attempts = 0;
+    r_fuel_used = 0;
+    r_error = e;
+  }
+
+(* jobs = 1: the original streaming loop, request by request, no
+   caches — bit-identical to the pre-pool service. *)
+let serve_sequential ~breaker ~emit ic =
   let next_id = ref 0 in
-  let emit o =
-    if not o.r_ok then failed := true;
-    output_string oc (render format o);
-    output_char oc '\n';
-    flush oc
-  in
+  try
+    while true do
+      let line = input_line ic in
+      match parse_request ~id:(!next_id + 1) line with
+      | Ok None -> ()
+      | Ok (Some req) ->
+        incr next_id;
+        emit (run_request ~breaker req)
+      | Error e ->
+        incr next_id;
+        emit (malformed ~id:!next_id ~line e)
+    done
+  with End_of_file -> ()
+
+(* jobs > 1: read the whole batch up front (the work-queue needs
+   random access), fan the requests out over a domain pool sharing the
+   artifact caches and the breaker, and emit results in request order
+   as each prefix completes. *)
+let serve_parallel ~jobs ~breaker ~emit ic =
+  let caches = caches () in
+  let work = ref [] and next_id = ref 0 in
   (try
      while true do
        let line = input_line ic in
@@ -317,29 +424,31 @@ let serve ?(format = Tsv) ?breaker ic oc =
        | Ok None -> ()
        | Ok (Some req) ->
          incr next_id;
-         emit (run_request ~breaker req)
+         work := `Run req :: !work
        | Error e ->
          incr next_id;
-         let program, topology =
-           match tokens line with
-           | p :: t :: _ -> (p, t)
-           | [ p ] -> (p, "-")
-           | [] -> ("-", "-")
-         in
-         emit
-           {
-             r_id = !next_id;
-             r_program = program;
-             r_topology = topology;
-             r_ok = false;
-             r_strategy = "-";
-             r_degradation = None;
-             r_completion = None;
-             r_elapsed_ms = 0.0;
-             r_attempts = 0;
-             r_fuel_used = 0;
-             r_error = e;
-           }
+         work := `Malformed (malformed ~id:!next_id ~line e) :: !work
      done
    with End_of_file -> ());
+  let work = Array.of_list (List.rev !work) in
+  Pool.run ~jobs ~n:(Array.length work)
+    ~task:(fun i ->
+      match work.(i) with
+      | `Malformed o -> o
+      | `Run req -> run_request ~breaker ~caches req)
+    ~emit:(fun _ o -> emit o)
+
+let serve ?(format = Tsv) ?breaker ?(jobs = 1) ic oc =
+  let breaker =
+    match breaker with Some b -> b | None -> Isolate.breaker ()
+  in
+  let failed = ref false in
+  let emit o =
+    if not o.r_ok then failed := true;
+    output_string oc (render format o);
+    output_char oc '\n';
+    flush oc
+  in
+  if jobs <= 1 then serve_sequential ~breaker ~emit ic
+  else serve_parallel ~jobs ~breaker ~emit ic;
   if !failed then 1 else 0

@@ -27,7 +27,22 @@
 
     All requests of one {!serve} run share a single {!Isolate.breaker},
     so a strategy that keeps crashing across requests gets benched for
-    the rest of the batch. *)
+    the rest of the batch.
+
+    {2 Parallel serving}
+
+    With [jobs > 1] the batch is processed on a pool of OCaml 5
+    domains ({!Oregami_prelude.Pool}) sharing two build-once artifact
+    {!type-caches} — compiled programs keyed by program + bindings,
+    and topologies (hop matrix pre-warmed) keyed by spec string — so a
+    batch that names the same program/topology pairs repeatedly pays
+    each setup once instead of once per request.  Results are still
+    emitted strictly in request order (the pool's ordered collector),
+    and every request gets its own context, RNG, stats, and budget, so
+    for fixed seeds the output is byte-identical to a sequential run
+    except for the wall-clock column.  [jobs = 1] (the default) is the
+    original streaming loop: request by request, no caches, nothing
+    spawned. *)
 
 type format = Tsv | Sexp
 
@@ -63,11 +78,31 @@ val load_program : string -> (string * (string * int) list, string) result
 val parse_request : id:int -> string -> (request option, string) result
 (** [Ok None] for blank/comment lines. *)
 
+type caches = {
+  c_programs :
+    (string, (Oregami_larcs.Compile.compiled, string) result) Oregami_prelude.Memo.t;
+  c_topologies :
+    (string, (Oregami_topology.Topology.t, string) result) Oregami_prelude.Memo.t;
+}
+(** Shared build-once artifact caches (see {!section-"parallel-serving"}
+    above).  Cached values — including cached {e errors}, e.g. a
+    missing program file — are immutable and safe to share across
+    domains. *)
+
+val caches : unit -> caches
+(** Fresh, empty caches. *)
+
 val run_request :
-  ?breaker:Oregami_mapper.Isolate.breaker -> request -> outcome
+  ?breaker:Oregami_mapper.Isolate.breaker ->
+  ?caches:caches ->
+  request ->
+  outcome
 (** Runs the request's attempt schedule.  Never raises: setup crashes
     and strategy crashes both become an error outcome (the latter via
-    the pipeline's own {!Oregami_mapper.Isolate} barrier). *)
+    the pipeline's own {!Oregami_mapper.Isolate} barrier).  With
+    [caches], program compilation and topology construction go through
+    the shared tables (and their results are identical to a cold
+    setup, wall-clock aside). *)
 
 val render : format -> outcome -> string
 (** One line, no trailing newline.  [Tsv] column order: id, program,
@@ -77,9 +112,16 @@ val render : format -> outcome -> string
 val serve :
   ?format:format ->
   ?breaker:Oregami_mapper.Isolate.breaker ->
+  ?jobs:int ->
   in_channel ->
   out_channel ->
   int
-(** Process requests line by line, emitting (and flushing) one result
-    line each, continuing past failures.  Returns the batch exit code:
-    0 when every request succeeded, 1 when any failed. *)
+(** Process requests, emitting (and flushing) one result line each in
+    request order, continuing past failures.  Returns the batch exit
+    code: 0 when every request succeeded, 1 when any failed.
+
+    [jobs] (default 1) is the domain-pool width.  [jobs = 1] streams
+    request by request with no caches, exactly as before; [jobs > 1]
+    reads the whole input to end-of-file first, then maps requests on
+    the pool with the shared artifact caches, emitting each result as
+    soon as all earlier results are out. *)

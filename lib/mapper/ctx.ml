@@ -1,3 +1,13 @@
+(* The per-run mapping context.  Everything mutable in here — the RNG,
+   the stats sink, the budget meter — is created fresh by [make] and
+   owned by exactly one pipeline run, so a pool of domains can each
+   build their own Ctx against {e shared} read-only inputs (one
+   compiled program, one topology whose Distcache publishes its hop
+   matrix once) and still get per-request determinism: same seed, same
+   mapping, under any number of concurrent runs.  The only cross-run
+   mutable state a Ctx carries is the circuit [breaker], which is
+   domain-safe by construction (atomic counters). *)
+
 module Compile = Oregami_larcs.Compile
 module Analyze = Oregami_larcs.Analyze
 module Taskgraph = Oregami_taskgraph.Taskgraph

@@ -5,11 +5,31 @@ let protect f =
        ordinary exceptions in OCaml and land here too. *)
     Error (Printexc.to_string e)
 
-type breaker = { threshold : int; fails : (string, int) Hashtbl.t }
+(* One breaker is shared by every request of a batch — under the
+   parallel service that means every pool domain increments and resets
+   these counters concurrently.  Each strategy's consecutive-crash
+   count lives in an [Atomic.t] (so increments never lose updates);
+   the table that hands out the cells is guarded by a mutex because
+   Hashtbl itself is not domain-safe. *)
+type breaker = {
+  threshold : int;
+  lock : Mutex.t;
+  fails : (string, int Atomic.t) Hashtbl.t;
+}
 
-let breaker ?(threshold = 3) () = { threshold; fails = Hashtbl.create 7 }
+let breaker ?(threshold = 3) () =
+  { threshold; lock = Mutex.create (); fails = Hashtbl.create 7 }
 
-let count br name = Option.value ~default:0 (Hashtbl.find_opt br.fails name)
+let cell br name =
+  Mutex.protect br.lock (fun () ->
+      match Hashtbl.find_opt br.fails name with
+      | Some c -> c
+      | None ->
+        let c = Atomic.make 0 in
+        Hashtbl.add br.fails name c;
+        c)
+
+let count br name = Atomic.get (cell br name)
 
 let admit br name =
   let n = count br name in
@@ -19,12 +39,13 @@ let admit br name =
          br.threshold)
   else Ok ()
 
-let succeed br name = Hashtbl.remove br.fails name
+let succeed br name = Atomic.set (cell br name) 0
 
-let fail br name = Hashtbl.replace br.fails name (count br name + 1)
+let fail br name = Atomic.incr (cell br name)
 
 let tripped br =
-  Hashtbl.fold
-    (fun name n acc -> if n >= br.threshold then name :: acc else acc)
-    br.fails []
+  Mutex.protect br.lock (fun () ->
+      Hashtbl.fold
+        (fun name c acc -> if Atomic.get c >= br.threshold then name :: acc else acc)
+        br.fails [])
   |> List.sort String.compare

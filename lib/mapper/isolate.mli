@@ -10,7 +10,15 @@
     crashing is skipped (with a named reason) after a threshold of
     consecutive failures, so one poisoned code path cannot tax every
     subsequent request.  Declines (a strategy judging itself
-    inapplicable) are healthy and reset nothing; only crashes count. *)
+    inapplicable) are healthy and reset nothing; only crashes count.
+
+    A breaker is domain-safe: the per-strategy crash counters are
+    [Atomic.t] cells (increments from concurrent pool domains never
+    lose updates) and the cell table is mutex-guarded, so one breaker
+    can be shared across a parallel batch.  Note that under a parallel
+    serve the {e order} in which requests observe an opening circuit
+    depends on scheduling; the breaker is a crash-containment
+    mechanism, not part of the per-request determinism contract. *)
 
 val protect : (unit -> 'a) -> ('a, string) result
 (** [protect f] is [Ok (f ())], or [Error msg] naming the exception if

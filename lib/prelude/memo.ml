@@ -1,0 +1,59 @@
+type 'v entry = Ready of 'v | Building
+
+type ('k, 'v) t = {
+  lock : Mutex.t;
+  changed : Condition.t;
+  tbl : ('k, 'v entry) Hashtbl.t;
+}
+
+let create ?(size = 16) () =
+  { lock = Mutex.create (); changed = Condition.create (); tbl = Hashtbl.create size }
+
+let get t key build =
+  Mutex.lock t.lock;
+  let rec claim () =
+    match Hashtbl.find_opt t.tbl key with
+    | Some (Ready v) ->
+      Mutex.unlock t.lock;
+      v
+    | Some Building ->
+      (* someone else is building this key; sleep until the table
+         changes rather than duplicating the work *)
+      Condition.wait t.changed t.lock;
+      claim ()
+    | None ->
+      Hashtbl.replace t.tbl key Building;
+      Mutex.unlock t.lock;
+      (match build () with
+      | v ->
+        Mutex.lock t.lock;
+        Hashtbl.replace t.tbl key (Ready v);
+        Condition.broadcast t.changed;
+        Mutex.unlock t.lock;
+        v
+      | exception e ->
+        (* never leave a Building tombstone behind: drop the claim so a
+           waiter can retry (or fail) on its own *)
+        Mutex.lock t.lock;
+        Hashtbl.remove t.tbl key;
+        Condition.broadcast t.changed;
+        Mutex.unlock t.lock;
+        raise e)
+  in
+  claim ()
+
+let find_opt t key =
+  Mutex.lock t.lock;
+  let r =
+    match Hashtbl.find_opt t.tbl key with
+    | Some (Ready v) -> Some v
+    | Some Building | None -> None
+  in
+  Mutex.unlock t.lock;
+  r
+
+let length t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.tbl in
+  Mutex.unlock t.lock;
+  n

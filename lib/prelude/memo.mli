@@ -1,0 +1,26 @@
+(** Domain-safe build-once table.
+
+    A [('k, 'v) t] maps keys to values that are expensive to build and
+    immutable once built (compiled programs, topologies with warmed
+    distance caches).  {!get} guarantees the build function runs {e at
+    most once per key} even when many domains race on the same key:
+    the first claimant installs a pending marker and builds outside the
+    lock; latecomers block on a condition variable until the value is
+    published.  If the build raises, the claim is released, the
+    exception propagates to the builder, and a waiting domain retries
+    the build itself. *)
+
+type ('k, 'v) t
+
+val create : ?size:int -> unit -> ('k, 'v) t
+
+val get : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** [get t key build] returns the cached value for [key], building and
+    publishing it with [build ()] on first use.  [build] runs outside
+    the table lock, so independent keys build concurrently. *)
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+(** The cached value, if already published ([None] while building). *)
+
+val length : ('k, 'v) t -> int
+(** Number of keys present (published or building). *)

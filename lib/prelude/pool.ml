@@ -1,0 +1,77 @@
+(* Bounded domain pool with a work-queue and an ordered collector.
+
+   Workers pull task indices from a shared atomic dispenser (so a slow
+   task never stalls the queue behind it) and publish results under a
+   mutex; the calling domain replays the results to [emit] strictly in
+   index order, whatever order they completed in.  With [jobs <= 1] no
+   domain is spawned and the tasks run sequentially in the caller,
+   which keeps single-job runs bit-identical to the pre-pool code
+   path. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let sequential ~n ~task ~emit =
+  for i = 0 to n - 1 do
+    emit i (task i)
+  done
+
+let run ~jobs ~n ~task ~emit =
+  if n <= 0 then ()
+  else if jobs <= 1 || n = 1 then sequential ~n ~task ~emit
+  else begin
+    let jobs = min jobs n in
+    let next = Atomic.make 0 in
+    let stop = Atomic.make false in
+    let lock = Mutex.create () in
+    let ready = Condition.create () in
+    (* slot i holds task i's result (or its exception) until the
+       collector consumes it; publishing under [lock] gives the
+       happens-before edge the collector needs *)
+    let slots = Array.make n None in
+    let worker () =
+      let running = ref true in
+      while !running do
+        if Atomic.get stop then running := false
+        else begin
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n then running := false
+          else begin
+            let r = match task i with v -> Ok v | exception e -> Error e in
+            Mutex.lock lock;
+            slots.(i) <- Some r;
+            Condition.broadcast ready;
+            Mutex.unlock lock
+          end
+        end
+      done
+    in
+    let domains = List.init jobs (fun _ -> Domain.spawn worker) in
+    let failure = ref None in
+    (try
+       for i = 0 to n - 1 do
+         Mutex.lock lock;
+         while slots.(i) = None do
+           Condition.wait ready lock
+         done;
+         let r = Option.get slots.(i) in
+         slots.(i) <- None;
+         Mutex.unlock lock;
+         match r with
+         | Ok v -> emit i v
+         | Error e ->
+           failure := Some e;
+           raise Exit
+       done
+     with e ->
+       if !failure = None then failure := Some e;
+       Atomic.set stop true);
+    List.iter Domain.join domains;
+    match !failure with Some e -> raise e | None -> ()
+  end
+
+let map ~jobs f arr =
+  let out = Array.map (fun _ -> None) arr in
+  run ~jobs ~n:(Array.length arr)
+    ~task:(fun i -> f arr.(i))
+    ~emit:(fun i v -> out.(i) <- Some v);
+  Array.map Option.get out

@@ -1,0 +1,34 @@
+(** Bounded OCaml 5 domain pool with deterministic, in-order result
+    delivery.
+
+    The batch mapping service (and anything else with an indexed bag
+    of independent jobs) fans work out over a fixed set of domains:
+    each worker repeatedly claims the next unclaimed task index from a
+    shared atomic dispenser, so the queue drains in work-stealing
+    fashion with no per-item spawn cost.  Results flow back through an
+    {e ordered collector}: the calling domain hands them to [emit] in
+    strict index order regardless of completion order, which is what
+    makes parallel output byte-identical to a sequential run. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the pool width to use when
+    the caller expressed no preference. *)
+
+val run : jobs:int -> n:int -> task:(int -> 'a) -> emit:(int -> 'a -> unit) -> unit
+(** [run ~jobs ~n ~task ~emit] evaluates [task i] for every
+    [0 <= i < n] on at most [jobs] worker domains and calls [emit i
+    (task i)] from the {e calling} domain in increasing [i], as soon as
+    each prefix is complete (so emission streams, it does not wait for
+    the whole batch).  With [jobs <= 1] everything runs sequentially in
+    the caller and no domain is spawned.
+
+    [task] runs on a worker domain and must only touch domain-safe
+    state; [emit] always runs on the calling domain.  If a task or
+    [emit] raises, the pool stops handing out new indices, waits for
+    in-flight tasks, joins every worker, and re-raises the first
+    failure in index order — matching where a sequential run would
+    have stopped (later tasks may or may not have executed). *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f arr] is [Array.map f arr] computed on the pool, in
+    input order. *)

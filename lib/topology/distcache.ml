@@ -1,52 +1,96 @@
 module Csr = Oregami_graph.Csr
 
-type t = {
+(* Per-topology shared state.  One value is installed on the
+   topology's cache slot and then shared by every domain mapping onto
+   that topology, so every mutation follows a publish-once or
+   mutex-guarded discipline:
+
+   - [matrix] is built at most once, under [lock], and published
+     through an [Atomic.t] (plain mutable fields carry no
+     happens-before edge in the OCaml 5 memory model, so a reader on
+     another domain could otherwise see the pointer without the
+     initialised rows behind it);
+   - [route_memo] is only ever touched while holding [lock];
+   - [builds] is an atomic counter so tests can assert "built exactly
+     once" even under a racing pool. *)
+type state = {
   n : int;
   csr : Csr.t;
-  mutable matrix : int array; (* flat n*n hop matrix; [||] until built *)
-  mutable builds : int; (* how many times the matrix was computed *)
+  matrix : int array Atomic.t; (* flat n*n hop matrix; [||] until built *)
+  builds : int Atomic.t; (* how many times the matrix was computed *)
+  lock : Mutex.t;
   route_memo : (int, int * Routes.route list) Hashtbl.t;
       (* key u*n+v -> (cap the list was computed under, routes) *)
 }
 
-type Topology.cache += Cache of t
+(* Handle with the matrix guaranteed built: [hop] stays a plain O(1)
+   array read with no per-query synchronisation. *)
+type t = { n : int; mat : int array; st : state }
+
+type Topology.cache += Cache of state
 
 let parallel_threshold = ref 256
+
+(* Guards installation into the topology's cache slot, so two domains
+   racing on a cold topology agree on one shared state value. *)
+let slot_lock = Mutex.create ()
+
+let fresh_state topo =
+  {
+    n = Topology.node_count topo;
+    csr = Csr.of_ugraph (Topology.graph topo);
+    matrix = Atomic.make [||];
+    builds = Atomic.make 0;
+    lock = Mutex.create ();
+    route_memo = Hashtbl.create 64;
+  }
 
 let state topo =
   match Topology.get_cache topo with
   | Some (Cache c) -> c
   | Some _ | None ->
-    let c =
-      {
-        n = Topology.node_count topo;
-        csr = Csr.of_ugraph (Topology.graph topo);
-        matrix = [||];
-        builds = 0;
-        route_memo = Hashtbl.create 64;
-      }
-    in
-    Topology.set_cache topo (Cache c);
-    c
+    Mutex.protect slot_lock (fun () ->
+        (* double-check: another domain may have installed while we
+           waited on the lock *)
+        match Topology.get_cache topo with
+        | Some (Cache c) -> c
+        | Some _ | None ->
+          let c = fresh_state topo in
+          Topology.set_cache topo (Cache c);
+          c)
 
 let csr topo = (state topo).csr
 
 let size c = c.n
 
 let hops topo =
-  let c = state topo in
-  if Array.length c.matrix = 0 && c.n > 0 then begin
-    c.builds <- c.builds + 1;
-    c.matrix <- Csr.all_pairs_hops ~parallel:(c.n >= !parallel_threshold) c.csr
-  end;
-  c
+  let st = state topo in
+  let mat =
+    let m = Atomic.get st.matrix in
+    if Array.length m > 0 || st.n = 0 then m
+    else
+      Mutex.protect st.lock (fun () ->
+          let m = Atomic.get st.matrix in
+          if Array.length m > 0 then m
+          else begin
+            Atomic.incr st.builds;
+            let m =
+              Csr.all_pairs_hops ~parallel:(st.n >= !parallel_threshold) st.csr
+            in
+            Atomic.set st.matrix m;
+            m
+          end)
+  in
+  { n = st.n; mat; st }
 
-let hop c u v = c.matrix.((u * c.n) + v)
+let hop c u v = c.mat.((u * c.n) + v)
 
-let hop_matrix topo = (hops topo).matrix
+let hop_matrix topo = (hops topo).mat
 
 let hop_builds topo =
-  match Topology.get_cache topo with Some (Cache c) -> c.builds | Some _ | None -> 0
+  match Topology.get_cache topo with
+  | Some (Cache st) -> Atomic.get st.builds
+  | Some _ | None -> 0
 
 (* Shortest-route enumeration against the cached hop matrix: walk from
    [u] towards [v] along edges that decrease the (symmetric) hop
@@ -67,7 +111,7 @@ let enumerate c topo ~cap u v =
         else begin
           let below = dist_to_v node - 1 in
           let nexts = ref [] in
-          Csr.neighbors_iter c.csr node (fun w _ ->
+          Csr.neighbors_iter c.st.csr node (fun w _ ->
               if dist_to_v w = below then nexts := w :: !nexts);
           List.iter (fun w -> go w (node :: acc)) (List.sort_uniq compare !nexts)
         end
@@ -86,18 +130,20 @@ let routes ?(cap = 64) topo u v =
   else begin
     let c = hops topo in
     let key = (u * c.n) + v in
-    let fresh () =
-      let rs = enumerate c topo ~cap u v in
-      Hashtbl.replace c.route_memo key (cap, rs);
-      rs
-    in
-    match Hashtbl.find_opt c.route_memo key with
-    | Some (cap_used, rs) when cap <= cap_used ->
-      (* enumeration order is deterministic, so a smaller cap is a
-         prefix of a larger one *)
-      if cap < cap_used then take cap rs else rs
-    | Some (cap_used, rs) when List.length rs < cap_used ->
-      (* the stored list was not truncated: it is the complete set *)
-      rs
-    | Some _ | None -> fresh ()
+    (* memo lookups and inserts share the state lock; the enumeration
+       itself runs under it too, which serialises route queries for one
+       (u, v) pair across domains but keeps the table coherent *)
+    Mutex.protect c.st.lock (fun () ->
+        match Hashtbl.find_opt c.st.route_memo key with
+        | Some (cap_used, rs) when cap <= cap_used ->
+          (* enumeration order is deterministic, so a smaller cap is a
+             prefix of a larger one *)
+          if cap < cap_used then take cap rs else rs
+        | Some (cap_used, rs) when List.length rs < cap_used ->
+          (* the stored list was not truncated: it is the complete set *)
+          rs
+        | Some _ | None ->
+          let rs = enumerate c topo ~cap u v in
+          Hashtbl.replace c.st.route_memo key (cap, rs);
+          rs)
   end

@@ -16,7 +16,16 @@
       [Routes.route_table] and [Route.phase_messages].
 
     All queries agree exactly with the original [Shortest] /
-    [Traverse] list-based computations. *)
+    [Traverse] list-based computations.
+
+    The cache is {e domain-safe}: one topology value may be shared by a
+    whole pool of mapping domains (the batch service does exactly
+    that).  The hop matrix is built at most once — mutual exclusion by
+    a per-topology mutex, publication through an [Atomic.t] so readers
+    on other domains see the initialised rows — and the route memo
+    table is only touched under the same mutex.  {!hop} itself stays a
+    plain array read on an already-published matrix, with no per-query
+    locking. *)
 
 type t
 (** Cache handle with the hop matrix guaranteed built. *)
@@ -50,8 +59,9 @@ val routes : ?cap:int -> Topology.t -> int -> int -> Routes.route list
 val hop_builds : Topology.t -> int
 (** How many times this topology's hop matrix has been computed —
     0 before first use, and 1 forever after unless the cache is
-    externally replaced.  Exposed so tests and benchmarks can assert
-    the matrix is computed at most once per topology per run. *)
+    externally replaced, {e including} when many domains race on a
+    cold topology.  Exposed so tests and benchmarks can assert the
+    matrix is computed at most once per topology per run. *)
 
 val parallel_threshold : int ref
 (** Node count at or above which the all-pairs computation fans out

@@ -29,10 +29,12 @@ type t = {
          [graph]/[links].  All-false for pristine topologies. *)
   cut_links : int;
       (* links removed beyond those implied by dead processors *)
-  mutable cache : cache option;
+  cache : cache option Atomic.t;
       (* populated lazily by Distcache; topologies are immutable after
          [make] / [degrade], so derived distance/route structures stay
-         valid *)
+         valid.  Atomic so one domain's installation is published to
+         every other domain sharing the value (the batch service hands
+         one topology to a whole pool). *)
 }
 
 let positive what n = if n <= 0 then invalid_arg (Printf.sprintf "Topology: %s must be positive" what)
@@ -213,15 +215,15 @@ let of_graph kind graph dead cut_links =
   let links = Array.of_list (List.map (fun (u, v, _) -> (u, v)) (Ugraph.edges graph)) in
   let link_ids = Hashtbl.create (max 16 (Array.length links)) in
   Array.iteri (fun i uv -> Hashtbl.add link_ids uv i) links;
-  { kind; graph; links; link_ids; dead; cut_links; cache = None }
+  { kind; graph; links; link_ids; dead; cut_links; cache = Atomic.make None }
 
 let make kind =
   let graph = build_graph kind in
   of_graph kind graph (Array.make (Ugraph.node_count graph) false) 0
 
-let get_cache t = t.cache
+let get_cache t = Atomic.get t.cache
 
-let set_cache t c = t.cache <- Some c
+let set_cache t c = Atomic.set t.cache (Some c)
 
 let kind t = t.kind
 

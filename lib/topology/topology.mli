@@ -126,7 +126,13 @@ val pp : Format.formatter -> t -> unit
     be computed at most once.  The slot is an extensible variant so
     {!Distcache} can attach its state without this module depending on
     it; other code should use the {!Distcache} API rather than these
-    raw accessors. *)
+    raw accessors.
+
+    The slot itself is an [Atomic.t], so an installation by one domain
+    is safely published to every other domain sharing the topology
+    value; mutual exclusion of {e who} installs (and of any mutation
+    inside the attached state) is the attacher's job — {!Distcache}
+    guards both with its own locks. *)
 
 type cache = ..
 

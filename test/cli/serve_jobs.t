@@ -1,0 +1,48 @@
+Parallel batch service: --jobs N processes the batch on a domain pool
+with shared compiled-program and topology caches, but the output is
+byte-identical to --jobs 1 (wall-clock milliseconds aside) and still
+arrives in request order.
+
+  $ cat > requests.txt <<'EOF'
+  > # repeated program x topology pairs: the caches' home turf
+  > voting hypercube:2
+  > nbody ring:8 seed=5
+  > voting hypercube:2 seed=7
+  > ./no-such.larcs ring:4
+  > nbody ring:8 seed=5
+  > voting hypercube:2
+  > nbody torus:4x4 fuel=100
+  > voting hypercube:2 deadline-ms=0
+  > EOF
+
+  $ oregami batch requests.txt --jobs 1 | sed -E 's/[0-9]+\.[0-9]+/*/g' > sequential.out
+  $ oregami batch requests.txt --jobs 4 | sed -E 's/[0-9]+\.[0-9]+/*/g' > parallel.out
+  $ cmp sequential.out parallel.out && echo identical
+  identical
+
+  $ cat parallel.out
+  1	voting	hypercube:2	ok	group-theoretic	full	24	*	1	159	-
+  2	nbody	ring:8	ok	mwm+nn	full	454	*	1	795	-
+  3	voting	hypercube:2	ok	group-theoretic	full	24	*	1	159	-
+  4	./no-such.larcs	ring:4	error	-	-	-	*	0	0	./no-such.larcs: No such file or directory
+  5	nbody	ring:8	ok	mwm+nn	full	454	*	1	795	-
+  6	voting	hypercube:2	ok	group-theoretic	full	24	*	1	159	-
+  7	nbody	torus:4x4	ok	group-theoretic	truncated(group-contract,nn-embed,refine,mm-route)	338	*	3	508	-
+  8	voting	hypercube:2	ok	fallback:block	fallback	30	*	3	84	-
+
+The poisoned request (line 4) failed without aborting the batch, and
+the exit code reports the partial failure under any pool width:
+
+  $ oregami batch requests.txt --jobs 4 > /dev/null
+  [1]
+
+The short flag and a width larger than the batch both work:
+
+  $ echo 'voting hypercube:2' | oregami serve -j 16 | sed -E 's/[0-9]+\.[0-9]+/*/g'
+  1	voting	hypercube:2	ok	group-theoretic	full	24	*	1	159	-
+
+A non-positive width is a usage error:
+
+  $ oregami serve --jobs 0 < requests.txt
+  oregami: --jobs must be at least 1
+  [2]

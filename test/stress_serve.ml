@@ -1,0 +1,81 @@
+(* Parallel-serve determinism stress (`dune build @stress`).
+
+   Runs one mixed batch — healthy, seeded, budgeted, and poisoned
+   requests over repeated program/topology pairs — through the service
+   at jobs=1 and jobs=4, over and over, and demands byte-identical
+   output (elapsed-ms column masked) and the same exit code every
+   time.  Scheduling differs between iterations, so repetition is the
+   point: a publication race or an order bug in the pool's collector
+   shows up as a one-off mismatch long before it would in a single
+   run. *)
+
+open Oregami
+
+let requests =
+  [
+    "voting hypercube:2";
+    "nbody ring:8 seed=5";
+    "voting hypercube:2 seed=7";
+    "nbody torus:4x4 fuel=100";
+    "./no-such-file.larcs ring:4";
+    "nbody ring:8 seed=5";
+    "voting hypercube:2 deadline-ms=0";
+    "jacobi mesh:4x4 iters=1";
+    "nbody torus:4x4 fuel=100 retries=0";
+    "voting hypercube:3";
+    "# a comment line, skipped but not renumbered";
+    "nbody ring:8";
+  ]
+
+(* mask the wall-clock elapsed-ms column (index 7) *)
+let mask line =
+  String.split_on_char '\t' line
+  |> List.mapi (fun i col -> if i = 7 then "*" else col)
+  |> String.concat "\t"
+
+let run_batch ~jobs =
+  let req_file = Filename.temp_file "oregami-stress" ".req" in
+  let out_file = Filename.temp_file "oregami-stress" ".out" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove req_file;
+      Sys.remove out_file)
+    (fun () ->
+      Out_channel.with_open_text req_file (fun oc ->
+          List.iter (fun r -> output_string oc (r ^ "\n")) requests);
+      let code =
+        In_channel.with_open_text req_file (fun ic ->
+            Out_channel.with_open_text out_file (fun oc ->
+                Service.serve ~jobs ic oc))
+      in
+      let lines =
+        In_channel.with_open_text out_file In_channel.input_lines
+        |> List.map mask
+      in
+      (code, lines))
+
+let () =
+  let iterations =
+    match Sys.argv with
+    | [| _; n |] -> int_of_string n
+    | _ -> 12
+  in
+  for i = 1 to iterations do
+    let code1, out1 = run_batch ~jobs:1 in
+    let code4, out4 = run_batch ~jobs:4 in
+    if code1 <> 1 || code4 <> 1 then begin
+      Printf.eprintf
+        "stress: iteration %d: poisoned batch should exit 1 (got %d / %d)\n" i
+        code1 code4;
+      exit 1
+    end;
+    if out1 <> out4 then begin
+      Printf.eprintf "stress: iteration %d: jobs=4 diverged from jobs=1\n" i;
+      List.iter2
+        (fun a b -> if a <> b then Printf.eprintf "  jobs=1: %s\n  jobs=4: %s\n" a b)
+        out1 out4;
+      exit 1
+    end
+  done;
+  Printf.printf "stress: %d iterations, jobs=4 output identical to jobs=1\n"
+    iterations

@@ -287,6 +287,68 @@ let test_service_full_request () =
     (Some r.Service.r_attempts);
   Alcotest.(check bool) "full" true (r.Service.r_degradation = Some Stats.Full)
 
+(* --- the shared artifact caches ----------------------------------- *)
+
+(* elapsed wall-clock aside, a cached run must report exactly what a
+   cold run reports *)
+let masked r = { r with Service.r_elapsed_ms = 0.0 }
+
+let test_service_cached_matches_uncached () =
+  let caches = Service.caches () in
+  List.iter
+    (fun line ->
+      let req = parse_ok line in
+      let cold = Service.run_request req in
+      let warm = Service.run_request ~caches req in
+      let again = Service.run_request ~caches req in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S: cached = uncached" line)
+        true
+        (masked warm = masked cold);
+      Alcotest.(check bool)
+        (Printf.sprintf "%S: cache hit = cache miss" line)
+        true
+        (masked again = masked cold))
+    [
+      "voting hypercube:2"; "nbody ring:8 seed=5"; "nbody torus:4x4 fuel=100";
+      "voting hypercube:2 deadline-ms=0";
+    ]
+
+let test_service_caches_errors_too () =
+  let caches = Service.caches () in
+  let req = parse_ok "./no-such-file.larcs ring:4" in
+  let r1 = Service.run_request ~caches req in
+  let r2 = Service.run_request ~caches req in
+  Alcotest.(check bool) "failed" false r1.Service.r_ok;
+  Alcotest.(check string) "same error from the cache" r1.Service.r_error
+    r2.Service.r_error;
+  (* bad topology specs are cached under their own key as well *)
+  let r3 = Service.run_request ~caches (parse_ok "voting notatopo:9") in
+  Alcotest.(check bool) "bad topology failed" false r3.Service.r_ok
+
+let test_service_cache_shares_topology () =
+  let caches = Service.caches () in
+  (* two different programs on one topology: the hop matrix must be
+     built once, by the topology-cache build, and then shared *)
+  ignore (Service.run_request ~caches (parse_ok "voting hypercube:3"));
+  ignore (Service.run_request ~caches (parse_ok "nbody hypercube:3 seed=3"));
+  match Oregami_prelude.Memo.find_opt caches.Service.c_topologies "hypercube:3" with
+  | None | Some (Error _) -> Alcotest.fail "topology not cached"
+  | Some (Ok t) ->
+    Alcotest.(check int) "hop matrix built exactly once" 1
+      (Oregami_topology.Distcache.hop_builds t)
+
+(* distinct bindings must land under distinct program-cache keys *)
+let test_service_cache_program_keys () =
+  let caches = Service.caches () in
+  ignore (Service.run_request ~caches (parse_ok "nbody ring:8 n=15"));
+  ignore (Service.run_request ~caches (parse_ok "nbody ring:8 n=31"));
+  ignore (Service.run_request ~caches (parse_ok "nbody ring:8 seed=9 n=15"));
+  Alcotest.(check int) "two compiled programs" 2
+    (Oregami_prelude.Memo.length caches.Service.c_programs);
+  Alcotest.(check int) "one topology" 1
+    (Oregami_prelude.Memo.length caches.Service.c_topologies)
+
 let () =
   Alcotest.run "budget"
     [
@@ -326,5 +388,13 @@ let () =
           Alcotest.test_case "budgeted request" `Quick
             test_service_budgeted_request;
           Alcotest.test_case "full request" `Quick test_service_full_request;
+          Alcotest.test_case "cached matches uncached" `Quick
+            test_service_cached_matches_uncached;
+          Alcotest.test_case "errors cached" `Quick
+            test_service_caches_errors_too;
+          Alcotest.test_case "topology shared" `Quick
+            test_service_cache_shares_topology;
+          Alcotest.test_case "program keys" `Quick
+            test_service_cache_program_keys;
         ] );
     ]

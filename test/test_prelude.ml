@@ -1,11 +1,13 @@
 (* Tests for the prelude: priority queue, union-find, bitset, RNG,
-   table rendering. *)
+   table rendering, domain pool, build-once memo table. *)
 
 module Pqueue = Oregami_prelude.Pqueue
 module Union_find = Oregami_prelude.Union_find
 module Bitset = Oregami_prelude.Bitset
 module Rng = Oregami_prelude.Rng
 module Tab = Oregami_prelude.Tab
+module Pool = Oregami_prelude.Pool
+module Memo = Oregami_prelude.Memo
 
 (* ------------------------------------------------------------------ *)
 
@@ -194,6 +196,119 @@ let test_tab_bar () =
 
 let test_tab_fixed () = Alcotest.(check string) "fixed" "3.14" (Tab.fixed 2 3.14159)
 
+(* ------------------------------------------------------------------ *)
+
+(* results must reach emit in index order at every pool width, and the
+   sequential jobs=1 path must agree with the parallel one *)
+let test_pool_ordered_emission () =
+  let n = 50 in
+  List.iter
+    (fun jobs ->
+      let emitted = ref [] in
+      Pool.run ~jobs ~n
+        ~task:(fun i -> i * i)
+        ~emit:(fun i v -> emitted := (i, v) :: !emitted);
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "in order at jobs=%d" jobs)
+        (List.init n (fun i -> (i, i * i)))
+        (List.rev !emitted))
+    [ 1; 2; 4; 7 ]
+
+let test_pool_every_task_once () =
+  let n = 40 in
+  let hits = Array.make n 0 in
+  let lock = Mutex.create () in
+  Pool.run ~jobs:4 ~n
+    ~task:(fun i ->
+      Mutex.protect lock (fun () -> hits.(i) <- hits.(i) + 1);
+      i)
+    ~emit:(fun _ _ -> ());
+  Alcotest.(check (list int)) "each index claimed exactly once"
+    (List.init n (fun _ -> 1))
+    (Array.to_list hits)
+
+let test_pool_map () =
+  let arr = Array.init 31 (fun i -> i) in
+  Alcotest.(check (list int)) "map ~jobs:3"
+    (Array.to_list (Array.map (fun x -> x + 100) arr))
+    (Array.to_list (Pool.map ~jobs:3 (fun x -> x + 100) arr))
+
+(* a raising task must re-raise in the caller at the index where a
+   sequential run would have stopped, after joining every worker *)
+let test_pool_task_exception () =
+  List.iter
+    (fun jobs ->
+      let emitted = ref [] in
+      match
+        Pool.run ~jobs ~n:20
+          ~task:(fun i -> if i = 7 then failwith "boom" else i)
+          ~emit:(fun i _ -> emitted := i :: !emitted)
+      with
+      | () -> Alcotest.failf "jobs=%d: expected Failure" jobs
+      | exception Failure msg ->
+        Alcotest.(check string) "first failure in index order" "boom" msg;
+        (* everything before the failing index was emitted, in order *)
+        Alcotest.(check (list int))
+          (Printf.sprintf "prefix emitted at jobs=%d" jobs)
+          [ 0; 1; 2; 3; 4; 5; 6 ]
+          (List.rev !emitted))
+    [ 1; 4 ]
+
+let test_pool_emit_exception () =
+  match
+    Pool.run ~jobs:3 ~n:10
+      ~task:(fun i -> i)
+      ~emit:(fun i _ -> if i = 4 then failwith "sink full")
+  with
+  | () -> Alcotest.fail "expected the emit failure to propagate"
+  | exception Failure msg -> Alcotest.(check string) "emit error" "sink full" msg
+
+let test_pool_empty_and_single () =
+  Pool.run ~jobs:4 ~n:0 ~task:(fun _ -> assert false) ~emit:(fun _ _ -> assert false);
+  let got = ref None in
+  Pool.run ~jobs:4 ~n:1 ~task:(fun i -> i + 41) ~emit:(fun _ v -> got := Some v);
+  Alcotest.(check (option int)) "single task" (Some 41) !got
+
+(* ------------------------------------------------------------------ *)
+
+let test_memo_builds_once () =
+  let m = Memo.create () in
+  let builds = ref 0 in
+  let build () = incr builds; 42 in
+  Alcotest.(check int) "first get builds" 42 (Memo.get m "k" build);
+  Alcotest.(check int) "second get cached" 42 (Memo.get m "k" build);
+  Alcotest.(check int) "one build" 1 !builds;
+  Alcotest.(check (option int)) "find_opt" (Some 42) (Memo.find_opt m "k");
+  Alcotest.(check (option int)) "absent" None (Memo.find_opt m "other");
+  Alcotest.(check int) "length" 1 (Memo.length m)
+
+let test_memo_builder_exception_releases_claim () =
+  let m = Memo.create () in
+  (match Memo.get m "k" (fun () -> failwith "build failed") with
+  | _ -> Alcotest.fail "expected the build failure to propagate"
+  | exception Failure _ -> ());
+  Alcotest.(check (option int)) "claim released" None (Memo.find_opt m "k");
+  Alcotest.(check int) "retry builds fresh" 7 (Memo.get m "k" (fun () -> 7))
+
+(* many domains racing on one key: the builder must run exactly once
+   and everyone must observe the published value *)
+let test_memo_single_build_under_race () =
+  let m = Memo.create () in
+  let builds = Atomic.make 0 in
+  let build () =
+    Atomic.incr builds;
+    (* widen the race window so latecomers land in the Building state *)
+    ignore (Sys.opaque_identity (Array.init 10_000 (fun i -> i)));
+    "value"
+  in
+  let domains =
+    List.init 4 (fun _ -> Domain.spawn (fun () -> Memo.get m "key" build))
+  in
+  let results = List.map Domain.join domains in
+  Alcotest.(check (list string)) "all see the published value"
+    [ "value"; "value"; "value"; "value" ] results;
+  Alcotest.(check int) "built exactly once" 1 (Atomic.get builds)
+
 let () =
   Alcotest.run "prelude"
     [
@@ -230,5 +345,22 @@ let () =
           Alcotest.test_case "ragged rows" `Quick test_tab_ragged;
           Alcotest.test_case "bar" `Quick test_tab_bar;
           Alcotest.test_case "fixed" `Quick test_tab_fixed;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "ordered emission" `Quick test_pool_ordered_emission;
+          Alcotest.test_case "every task once" `Quick test_pool_every_task_once;
+          Alcotest.test_case "map" `Quick test_pool_map;
+          Alcotest.test_case "task exception" `Quick test_pool_task_exception;
+          Alcotest.test_case "emit exception" `Quick test_pool_emit_exception;
+          Alcotest.test_case "empty and single" `Quick test_pool_empty_and_single;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "builds once" `Quick test_memo_builds_once;
+          Alcotest.test_case "build failure releases claim" `Quick
+            test_memo_builder_exception_releases_claim;
+          Alcotest.test_case "single build under race" `Quick
+            test_memo_single_build_under_race;
         ] );
     ]
