@@ -78,7 +78,65 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* [--json FILE] merges with an existing FILE instead of truncating
+   it: a partial run (--smoke, --only E19) used to silently wipe every
+   record of the full suite.  Records are keyed by (experiment, case);
+   fresh records win, all others are carried over verbatim. *)
+
+let json_string_field line key =
+  let pat = Printf.sprintf {|"%s": "|} key in
+  let plen = String.length pat and len = String.length line in
+  let rec find i =
+    if i + plen > len then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    (* value kept in escaped form, for comparison against [json_escape]
+       output of the fresh records *)
+    let b = Buffer.create 16 in
+    let rec scan j =
+      if j >= len then None
+      else
+        match line.[j] with
+        | '"' -> Some (Buffer.contents b)
+        | '\\' when j + 1 < len ->
+          Buffer.add_char b '\\';
+          Buffer.add_char b line.[j + 1];
+          scan (j + 2)
+        | c ->
+          Buffer.add_char b c;
+          scan (j + 1)
+    in
+    scan start
+
+let carried_records file fresh_keys =
+  if not (Sys.file_exists file) then []
+  else
+    In_channel.with_open_text file In_channel.input_lines
+    |> List.filter_map (fun line ->
+           let line = String.trim line in
+           let line =
+             if String.length line > 0 && line.[String.length line - 1] = ',' then
+               String.sub line 0 (String.length line - 1)
+             else line
+           in
+           if String.length line > 0 && line.[0] = '{' then
+             match
+               (json_string_field line "experiment", json_string_field line "case")
+             with
+             | Some e, Some c when not (List.mem (e, c) fresh_keys) -> Some line
+             | _ -> None
+           else None)
+
 let write_json file =
+  let fresh = List.rev !records in
+  let fresh_keys =
+    List.map (fun r -> (json_escape r.rec_experiment, json_escape r.rec_case)) fresh
+  in
+  let kept = carried_records file fresh_keys in
   let oc = open_out file in
   let fields r =
     [
@@ -94,15 +152,19 @@ let write_json file =
     | Some s -> [ Printf.sprintf {|"speedup": %.3f|} s ]
     | None -> []
   in
+  let lines =
+    kept @ List.map (fun r -> "{ " ^ String.concat ", " (fields r) ^ " }") fresh
+  in
   output_string oc "[\n";
   List.iteri
-    (fun i r ->
+    (fun i line ->
       if i > 0 then output_string oc ",\n";
-      output_string oc ("  { " ^ String.concat ", " (fields r) ^ " }"))
-    (List.rev !records);
+      output_string oc ("  " ^ line))
+    lines;
   output_string oc "\n]\n";
   close_out oc;
-  Printf.printf "\nwrote %d record(s) to %s\n" (List.length !records) file
+  Printf.printf "\nwrote %d record(s) to %s (%d carried over from the previous file)\n"
+    (List.length lines) file (List.length kept)
 
 (* ================================================================== *)
 
@@ -1352,6 +1414,84 @@ let e18_batch_throughput () =
     ~speedup t4
 
 (* ================================================================== *)
+(* E19: the multilevel tier vs the flat strategies at scale            *)
+
+let e19_multilevel ~large () =
+  Tab.section
+    "E19  Multilevel tier: quality and wall-clock vs the flat strategies";
+  (* synthetic grids (Synth.generate, seed 1) at sizes the LaRCS
+     workloads cannot reach; processor counts scale with the instance.
+     KL is quadratic-ish and infeasible beyond n=10^3 (>5 min at
+     n=10^4), so it only appears on the smallest instance; MWM-Contract
+     holds on until n=10^5.  n=10^6 runs with --large only. *)
+  let cases =
+    [
+      (Synth.Grid, 1_000, "torus:8x8", [ "multilevel"; "mwm"; "kl" ]);
+      (Synth.Grid, 10_000, "torus:16x16", [ "multilevel"; "mwm" ]);
+      (* power-law degrees break the flat tier much earlier: MWM
+         exceeds 3 min on this instance, KL 5 min at a tenth the size *)
+      (Synth.Rmat, 10_000, "torus:16x16", [ "multilevel" ]);
+      (Synth.Grid, 100_000, "torus:32x32", [ "multilevel"; "mwm" ]);
+    ]
+    @ if large then [ (Synth.Grid, 1_000_000, "torus:32x32", [ "multilevel" ]) ] else []
+  in
+  let rows = ref [] in
+  List.iter
+    (fun (family, n, topo_s, strategies) ->
+      let tg = Synth.generate family ~n ~seed:1 in
+      let fam = Synth.string_of_family family in
+      let t = topo topo_s in
+      let best_flat = ref None in
+      List.iter
+        (fun s ->
+          let options = { Driver.default_options with Driver.only = [ s ] } in
+          let result, seconds =
+            Prelude.Clock.time (fun () -> Driver.map_taskgraph ~options tg t)
+          in
+          match result with
+          | Error e ->
+            rows := [ fam; string_of_int n; topo_s; s; "error: " ^ e; "-"; "-" ] :: !rows
+          | Ok m ->
+            let completion = (Metrics.summary m).Metrics.completion_time in
+            if s <> "multilevel" then
+              best_flat :=
+                Some
+                  (match !best_flat with
+                  | None -> completion
+                  | Some b -> min b completion);
+            let vs_flat =
+              match (s, !best_flat) with
+              | "multilevel", Some b ->
+                Printf.sprintf "%+.1f%%"
+                  (100.0 *. float_of_int (completion - b) /. float_of_int b)
+              | _ -> "-"
+            in
+            record ~experiment:"E19"
+              ~case:(Printf.sprintf "%s n=%d on %s via %s" fam n topo_s s)
+              ~completion seconds;
+            rows :=
+              [
+                fam; string_of_int n; topo_s; s; string_of_int completion;
+                Tab.fixed 3 seconds; vs_flat;
+              ]
+              :: !rows)
+        (* flat strategies first so the multilevel row can quote the
+           quality gap against the best flat completion time *)
+        (List.filter (fun s -> s <> "multilevel") strategies
+        @ List.filter (fun s -> s = "multilevel") strategies))
+    cases;
+  Tab.print
+    ~header:
+      [ "family"; "tasks"; "topology"; "strategy"; "completion"; "seconds";
+        "vs best flat" ]
+    (List.rev !rows);
+  print_endline
+    "(absent flat rows are infeasible: KL >5 min at grid n=10^4, MWM >3 min at";
+  print_endline
+    (if large then " rmat n=10^4)"
+     else " rmat n=10^4; rerun with --large for the n=10^6 instance)")
+
+(* ================================================================== *)
 (* Smoke mode: a fast end-to-end slice wired into `dune runtest`       *)
 
 let smoke () =
@@ -1481,10 +1621,75 @@ let smoke () =
      failwith "smoke: --jobs 3 batch output differs from --jobs 1";
    Printf.printf "serve smoke: %d-request batch identical at jobs=1 and jobs=3\n"
      (List.length requests));
+  (* multilevel tier: a 10^4-task synthetic grid onto 4096 processors —
+     far beyond the flat sweet spot, exercising coarsening, the
+     identity coarsest placement, and projected refinement *)
+  (let tg = Synth.generate Synth.Grid ~n:10_000 ~seed:1 in
+   let t = topo "torus:64x64" in
+   let options = { Driver.default_options with Driver.only = [ "multilevel" ] } in
+   match Driver.report_taskgraph ~options tg t with
+   | Error e, _ -> failwith ("smoke: multilevel failed: " ^ e)
+   | Ok m, stats ->
+     (match Mapping.validate m with
+     | Ok () -> ()
+     | Error e -> failwith ("smoke: multilevel mapping invalid: " ^ e));
+     if m.Mapping.strategy <> "multilevel" then
+       failwith
+         (Printf.sprintf "smoke: expected the multilevel strategy, got %s"
+            m.Mapping.strategy);
+     let levels =
+       Option.value ~default:0
+         (List.assoc_opt "multilevel levels" (Stats.extra_counters stats))
+     in
+     if levels < 2 then
+       failwith (Printf.sprintf "smoke: multilevel recorded %d level(s)" levels);
+     Printf.printf
+       "multilevel smoke: grid(10000) on torus:64x64 -> %d clusters, %d levels, completion %d\n"
+       (Array.length m.Mapping.proc_of_cluster) levels
+       (Metrics.summary m).Metrics.completion_time);
   print_endline "smoke ok"
 
+let experiments ~large =
+  [
+    ("E1", e1_nbody_larcs);
+    ("E2", e2_group_contraction);
+    ("E3", e3_mwm_contract);
+    ("E4", e4_mm_route);
+    ("E5", e5_binomial_mesh);
+    ("E6", e6_mwm_optimality);
+    ("E8", e8_end_to_end);
+    ("E9", e9_systolic);
+    ("E10", e10_canned_dilation);
+    ("E11", e11_dispatch);
+    ("E12", e12_metrics);
+    ("E13", e13_synchrony);
+    ("E14", e14_distcache);
+    ("E15", e15_strategy_wins);
+    ("E16", e16_fault_recovery);
+    ("E17", e17_budget_curve);
+    ("E18", e18_batch_throughput);
+    ("E19", e19_multilevel ~large);
+    ("ablation-refinement", ablation_refinement);
+    ("ablation-routing", ablation_routing);
+    ("ablation-route-cap", ablation_route_cap);
+    ("ablation-aggregate", ablation_aggregate);
+    ("ablation-switching", ablation_switching);
+    ("extension-remap", extension_remap);
+    ("extension-spawning", extension_spawning);
+    ("ablation-contraction-engines", ablation_contraction_engines);
+    ("extension-syntactic-cayley", extension_syntactic_cayley);
+    ("extension-partition", extension_partition);
+    ("extension-lsgp-lpgs", extension_lsgp_lpgs);
+    ("E7", timing_suite);
+  ]
+
 let usage () =
-  prerr_endline "usage: main.exe [--smoke] [--json FILE]";
+  prerr_endline
+    "usage: main.exe [--smoke] [--json FILE] [--only ID]... [--large]";
+  prerr_endline
+    "  --only ID   run one experiment (repeatable; E1..E19, ablation-*, extension-*)";
+  prerr_endline "  --large     include the n=10^6 instances in E19";
+  prerr_endline "  --json FILE merge machine-readable records into FILE";
   exit 2
 
 let () =
@@ -1493,46 +1698,38 @@ let () =
   | [ _; "--e18-serve"; jobs; req_file; out_file ] ->
     e18_serve (int_of_string jobs) req_file out_file
   | _ -> ());
-  let smoke_mode = ref false and json_file = ref None in
+  let smoke_mode = ref false
+  and json_file = ref None
+  and only = ref []
+  and large = ref false in
   let rec parse = function
     | [] -> ()
     | "--smoke" :: rest -> smoke_mode := true; parse rest
     | "--json" :: file :: rest -> json_file := Some file; parse rest
+    | "--only" :: id :: rest -> only := !only @ [ id ]; parse rest
+    | "--large" :: rest -> large := true; parse rest
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
   if !smoke_mode then smoke ()
   else begin
+    let all = experiments ~large:!large in
+    let selected =
+      match !only with
+      | [] -> all
+      | ids ->
+        List.iter
+          (fun id ->
+            if not (List.mem_assoc id all) then begin
+              Printf.eprintf "unknown experiment %S (known: %s)\n" id
+                (String.concat ", " (List.map fst all));
+              exit 2
+            end)
+          ids;
+        List.filter (fun (id, _) -> List.mem id ids) all
+    in
     print_endline "OREGAMI experiment harness (DESIGN.md maps E-ids to paper sections)";
-  e1_nbody_larcs ();
-  e2_group_contraction ();
-  e3_mwm_contract ();
-  e4_mm_route ();
-  e5_binomial_mesh ();
-  e6_mwm_optimality ();
-  e8_end_to_end ();
-  e9_systolic ();
-  e10_canned_dilation ();
-  e11_dispatch ();
-  e12_metrics ();
-  e13_synchrony ();
-  e14_distcache ();
-  e15_strategy_wins ();
-  e16_fault_recovery ();
-  e17_budget_curve ();
-  e18_batch_throughput ();
-  ablation_refinement ();
-  ablation_routing ();
-  ablation_route_cap ();
-  ablation_aggregate ();
-  ablation_switching ();
-  extension_remap ();
-  extension_spawning ();
-  ablation_contraction_engines ();
-  extension_syntactic_cayley ();
-  extension_partition ();
-  extension_lsgp_lpgs ();
-    timing_suite ();
+    List.iter (fun (_, run) -> run ()) selected;
     print_endline "\nall experiments complete"
   end;
   match !json_file with None -> () | Some file -> write_json file

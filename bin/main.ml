@@ -192,7 +192,6 @@ let analyze_cmd =
 let map_cmd =
   let run input params topo routing only exclude explain kill_procs kill_links
       fault_seed fuel deadline_ms fallback =
-    let compiled = compile ~input ~params in
     let kind = or_die (Topology.parse topo) in
     let topology = Topology.make kind in
     let faults = fault_set ~kill_procs ~kill_links ~fault_seed topology in
@@ -205,7 +204,18 @@ let map_cmd =
         Driver.fallback = fallback || fuel <> None || deadline_ms <> None;
       }
     in
-    match Driver.report ~options ~faults compiled topology with
+    let outcome =
+      if Synth.is_spec input then begin
+        (* synthetic instances skip LaRCS entirely: build the task
+           graph directly, at sizes the parser could never reach *)
+        let tg = match Synth.build input with Ok tg -> tg | Error m -> die ~code:2 m in
+        Driver.report_taskgraph ~options ~faults tg topology
+      end
+      else
+        let compiled = compile ~input ~params in
+        Driver.report ~options ~faults compiled topology
+    in
+    match outcome with
     | Error e, stats ->
       Printf.eprintf "oregami: %s\n" e;
       List.iter
@@ -579,7 +589,12 @@ let workloads_cmd =
          (fun spec ->
            let tg = Workloads.task_graph_exn spec in
            [ spec.Workloads.w_name; string_of_int tg.Taskgraph.n; spec.Workloads.description ])
-         (Workloads.all ()))
+         (Workloads.all ()));
+    print_newline ();
+    Printf.printf
+      "synthetic instances: synth:FAMILY:N[:SEED] (any size), families:\n";
+    List.iter (fun (name, doc) -> Printf.printf "  %-6s %s\n" name doc)
+      Synth.families
   in
   Cmd.v (Cmd.info "workloads" ~doc:"List the built-in workload programs")
     Term.(const run $ const ())

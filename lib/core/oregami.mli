@@ -34,6 +34,12 @@ module Cayley = Oregami_perm.Cayley
 module Matching = Oregami_matching
 module Taskgraph = Oregami_taskgraph.Taskgraph
 module Phase_expr = Oregami_taskgraph.Phase_expr
+
+module Coarsen = Oregami_taskgraph.Coarsen
+(** Heavy-edge-matching coarsening hierarchies for the multilevel
+    mapping tier: contracted CSR levels with aggregated node weights
+    and summed edge traffic, plus coarse → fine projection. *)
+
 module Larcs = Oregami_larcs
 module Mapper = Oregami_mapper
 module Mapping = Oregami_mapper.Mapping
@@ -85,6 +91,11 @@ module Systolic = Oregami_systolic
 module Sched = Oregami_sched.Synchrony
 module Vm = Oregami_exec.Vm
 module Workloads = Oregami_workloads.Workloads
+
+module Synth = Oregami_workloads.Synth
+(** Synthetic large-graph generators ([synth:FAMILY:N[:SEED]] specs):
+    grids, rings, trees and R-MAT graphs at sizes the LaRCS workloads
+    cannot reach, for the multilevel tier's benchmarks. *)
 
 val map_source :
   ?bindings:(string * int) list ->

@@ -1,0 +1,44 @@
+(** The multilevel coarsen → map → refine tier.
+
+    The flat strategies (MWM-Contract, KL, Stone, tiled/blocks + NN-
+    Embed) are quadratic-ish in the task count; they top out around a
+    few thousand tasks.  This tier makes graph size a non-issue the
+    standard way (Glantz/Meyerhenke/Noe; Predari et al.): contract
+    heavy-edge matchings ({!Oregami_taskgraph.Coarsen}) until at most
+    one node per alive processor remains, place the coarsest graph
+    (NN-Embed plus pairwise refinement when small enough, the identity
+    embedding on the alive processors otherwise), then uncoarsen level
+    by level, each time running a delta-evaluated projected refinement:
+    every level node considers only the processors its neighbours sit
+    on, with O(degree) gain evaluation against the O(1) CSR hop matrix
+    of {!Oregami_topology.Distcache}, under a load cap that protects
+    the balance the matching weight caps established.
+
+    Budget-aware at every stage (coarsening, placement, refinement all
+    poll the {!Budget} and stop early with their best partial answer),
+    so the anytime Full/Truncated/Fallback contract holds unchanged.
+    Deterministic for a fixed seed: the only randomness is the heavy-
+    edge-matching visit order, drawn from the per-run Ctx RNG.
+
+    Registered as ["multilevel"] in {!Strategy.registry}: default-on,
+    but it declines graphs that fit the flat sweet spot
+    ({!flat_sweet_spot} tasks) unless forced with [--only multilevel],
+    so small-graph behaviour (and every golden test) is unchanged. *)
+
+val flat_sweet_spot : int
+(** Largest task count the flat strategies handle comfortably (2048);
+    at or below it the tier declines unless explicitly selected. *)
+
+type t = {
+  ml_cluster_of : int array;  (** task → dense cluster id *)
+  ml_proc_of_cluster : int array;  (** cluster → processor, injective *)
+  ml_levels : int;  (** hierarchy depth, finest included *)
+}
+
+val available : Ctx.t -> (unit, string) result
+
+val run : Ctx.t -> (t, string) result
+(** Records per-level node counts, matching rounds, and refinement
+    moves/gains on the Ctx stats sink ({!Stats.bump});
+    [Strategy.registry] wraps the result into a [Placed] candidate
+    labelled ["multilevel"]. *)

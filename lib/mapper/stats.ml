@@ -29,6 +29,7 @@ type t = {
   mutable winner : (string * string) option;
   mutable degradation : degradation;
   mutable phases : (string * float) list; (* aggregated by name *)
+  mutable extras : (string * int) list; (* named counters, aggregated by name *)
 }
 
 let create () =
@@ -42,6 +43,7 @@ let create () =
     winner = None;
     degradation = Full;
     phases = [];
+    extras = [];
   }
 
 let record_attempt t ~strategy ~outcome ~seconds =
@@ -84,6 +86,16 @@ let add_phase_seconds t name s =
   t.phases <- bump t.phases
 
 let phase_seconds t = t.phases
+
+let bump t name n =
+  let rec add = function
+    | [] -> [ (name, n) ]
+    | (k, acc) :: rest when k = name -> (k, acc + n) :: rest
+    | kv :: rest -> kv :: add rest
+  in
+  t.extras <- add t.extras
+
+let extra_counters t = t.extras
 
 let add_matching_rounds t n = t.matching_rounds <- t.matching_rounds + n
 let add_refine_swaps t n = t.refine_swaps <- t.refine_swaps + n
@@ -128,6 +140,7 @@ let counters t =
     ("refine swaps", t.refine_swaps);
     ("distcache hop builds", t.hop_builds);
   ]
+  @ t.extras
 
 let ms s = Printf.sprintf "%.3f" (1000.0 *. s)
 

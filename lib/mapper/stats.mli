@@ -71,6 +71,17 @@ val record_candidate :
 
 val mark_winner : t -> candidate -> unit
 
+val bump : t -> string -> int -> unit
+(** [bump t name n] accumulates [n] onto the named counter, creating it
+    on first use (insertion order preserved).  Strategies use this for
+    pass-specific instrumentation — e.g. the multilevel tier's
+    per-level node counts and refinement gains — without widening the
+    record for every new counter.  Named counters are part of
+    {!counters}, so they share the determinism contract. *)
+
+val extra_counters : t -> (string * int) list
+(** Counters recorded via {!bump}, in first-bump order. *)
+
 val add_matching_rounds : t -> int -> unit
 val add_refine_swaps : t -> int -> unit
 val set_hop_builds : t -> int -> unit

@@ -27,6 +27,20 @@ type t = {
 
 let always _ = Ok ()
 
+(* mirror image of Multilevel.available: the quadratic-ish flat
+   contractions stand aside on graphs beyond their sweet spot — at
+   10^5 tasks MWM-Contract takes minutes and KL/Stone hours — unless
+   the user forces them by name *)
+let fits_flat name ctx =
+  let n = ctx.Ctx.tg.Taskgraph.n in
+  if n <= Multilevel.flat_sweet_spot then Ok ()
+  else if List.mem name ctx.Ctx.options.Ctx.only then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "graph exceeds the flat sweet spot (%d > %d tasks), multilevel territory; force with --only %s"
+         n Multilevel.flat_sweet_spot name)
+
 let gate flag name ctx = if flag ctx.Ctx.options then Ok () else Error ("disabled (" ^ name ^ " = false)")
 
 (* canned tables, lattice placement and coset contraction all assume the
@@ -300,6 +314,20 @@ let blocks_produce ctx =
   let cluster_of = Array.init n (fun i -> i * k / n) in
   Ok [ { label = "blocks+nn"; clusters = k; cluster_of; placement = Embed } ]
 
+let multilevel_produce ctx =
+  match Multilevel.run ctx with
+  | Error e -> Error e
+  | Ok r ->
+    Ok
+      [
+        {
+          label = "multilevel";
+          clusters = Array.length r.Multilevel.ml_proc_of_cluster;
+          cluster_of = r.Multilevel.ml_cluster_of;
+          placement = Placed r.Multilevel.ml_proc_of_cluster;
+        };
+      ]
+
 let kl_produce ctx =
   let n = ctx.Ctx.tg.Taskgraph.n in
   let parts = min (Ctx.procs ctx) n in
@@ -411,7 +439,7 @@ let registry () =
       tier = Compete;
       default_on = true;
       doc = "Algorithm MWM-Contract: greedy merge + maximum-weight matching (\u{00a7}4.3)";
-      available = always;
+      available = fits_flat "mwm";
       produce = mwm_produce;
     };
     {
@@ -436,11 +464,19 @@ let registry () =
       produce = blocks_produce;
     };
     {
+      name = "multilevel";
+      tier = Compete;
+      default_on = true;
+      doc = "multilevel coarsen/map/refine tier for graphs beyond the flat sweet spot";
+      available = Multilevel.available;
+      produce = multilevel_produce;
+    };
+    {
       name = "kl";
       tier = Compete;
       default_on = false;
       doc = "Kernighan-Lin recursive bisection (ablation contraction engine)";
-      available = always;
+      available = fits_flat "kl";
       produce = kl_produce;
     };
     {
@@ -448,7 +484,7 @@ let registry () =
       tier = Compete;
       default_on = false;
       doc = "Stone-style max-flow assignment, recursive bisection extension";
-      available = always;
+      available = fits_flat "stone";
       produce = stone_produce;
     };
     {

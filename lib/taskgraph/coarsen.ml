@@ -1,0 +1,301 @@
+module Ugraph = Oregami_graph.Ugraph
+module Rng = Oregami_prelude.Rng
+module Blossom = Oregami_matching.Blossom
+
+type level = {
+  lv_n : int;
+  lv_xadj : int array;
+  lv_adj : int array;
+  lv_ew : int array;
+  lv_node_w : int array;
+  lv_edge_total : int;
+  lv_internalized : int;
+  lv_rounds : int;
+}
+
+type hierarchy = {
+  levels : level array;
+  maps : int array array;
+  truncated : bool;
+}
+
+let total_node_weight lv = Array.fold_left ( + ) 0 lv.lv_node_w
+
+let csr_of_edges ~n ~node_w ~internalized ~rounds edges =
+  let deg = Array.make n 0 in
+  List.iter
+    (fun (u, v, _) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let xadj = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    xadj.(i + 1) <- xadj.(i) + deg.(i)
+  done;
+  let m = xadj.(n) in
+  let adj = Array.make m 0 and ew = Array.make m 0 in
+  let fill = Array.make n 0 in
+  let total = ref 0 in
+  List.iter
+    (fun (u, v, w) ->
+      total := !total + w;
+      let iu = xadj.(u) + fill.(u) in
+      adj.(iu) <- v;
+      ew.(iu) <- w;
+      fill.(u) <- fill.(u) + 1;
+      let iv = xadj.(v) + fill.(v) in
+      adj.(iv) <- u;
+      ew.(iv) <- w;
+      fill.(v) <- fill.(v) + 1)
+    edges;
+  {
+    lv_n = n;
+    lv_xadj = xadj;
+    lv_adj = adj;
+    lv_ew = ew;
+    lv_node_w = node_w;
+    lv_edge_total = !total;
+    lv_internalized = internalized;
+    lv_rounds = rounds;
+  }
+
+let of_ugraph ~node_weight g =
+  let n = Ugraph.node_count g in
+  if Array.length node_weight <> n then
+    invalid_arg "Coarsen.of_ugraph: node_weight length mismatch";
+  csr_of_edges ~n ~node_w:(Array.copy node_weight) ~internalized:0 ~rounds:0
+    (Ugraph.edges g)
+
+let level_ugraph lv =
+  let g = Ugraph.create lv.lv_n in
+  for u = 0 to lv.lv_n - 1 do
+    for i = lv.lv_xadj.(u) to lv.lv_xadj.(u + 1) - 1 do
+      let v = lv.lv_adj.(i) in
+      if u < v then Ugraph.add_edge ~w:lv.lv_ew.(i) g u v
+    done
+  done;
+  g
+
+(* dense coarse ids numbered by smallest fine member, so the node
+   numbering keeps whatever locality the fine numbering had *)
+let ids_of_mate n mate =
+  let map = Array.make n (-1) in
+  let next = ref 0 in
+  for v = 0 to n - 1 do
+    if map.(v) < 0 then begin
+      map.(v) <- !next;
+      let m = mate.(v) in
+      if m >= 0 && map.(m) < 0 then map.(m) <- !next;
+      incr next
+    end
+  done;
+  (map, !next)
+
+(* aggregate the fine CSR under a node map; self-loops are dropped and
+   their weight accounted as internalized traffic *)
+let contract lv map coarse_n ~rounds =
+  let node_w = Array.make coarse_n 0 in
+  for v = 0 to lv.lv_n - 1 do
+    node_w.(map.(v)) <- node_w.(map.(v)) + lv.lv_node_w.(v)
+  done;
+  let agg = Hashtbl.create (max 16 (Array.length lv.lv_adj / 2)) in
+  let internal = ref 0 in
+  for u = 0 to lv.lv_n - 1 do
+    for i = lv.lv_xadj.(u) to lv.lv_xadj.(u + 1) - 1 do
+      let v = lv.lv_adj.(i) in
+      if u < v then begin
+        let cu = map.(u) and cv = map.(v) in
+        if cu = cv then internal := !internal + lv.lv_ew.(i)
+        else begin
+          let a = min cu cv and b = max cu cv in
+          let key = (a * coarse_n) + b in
+          match Hashtbl.find_opt agg key with
+          | Some r -> r := !r + lv.lv_ew.(i)
+          | None -> Hashtbl.add agg key (ref lv.lv_ew.(i))
+        end
+      end
+    done
+  done;
+  let edges =
+    Hashtbl.fold
+      (fun key r acc -> (key / coarse_n, key mod coarse_n, !r) :: acc)
+      agg []
+    |> List.sort compare
+  in
+  csr_of_edges ~n:coarse_n ~node_w ~internalized:!internal ~rounds edges
+
+(* exact maximum-weight matching for small levels; the weight cap is
+   honoured by dropping too-heavy edges before matching *)
+let blossom_matching lv ~wcap =
+  let edges = ref [] in
+  for u = 0 to lv.lv_n - 1 do
+    for i = lv.lv_xadj.(u) to lv.lv_xadj.(u + 1) - 1 do
+      let v = lv.lv_adj.(i) in
+      if u < v && lv.lv_node_w.(u) + lv.lv_node_w.(v) <= wcap then
+        edges := (u, v, lv.lv_ew.(i)) :: !edges
+    done
+  done;
+  Blossom.max_weight_matching ~n:lv.lv_n (List.rev !edges)
+
+(* randomized heavy-edge matching: visit nodes in a shuffled order,
+   each unmatched node pairing with its heaviest unmatched neighbour
+   under the weight cap (ties to the smaller id) *)
+let hem_matching lv ~wcap ~rng ~poll ~dead =
+  let n = lv.lv_n in
+  let mate = Array.make n (-1) in
+  let order = Array.init n (fun i -> i) in
+  Rng.shuffle rng order;
+  (try
+     Array.iter
+       (fun u ->
+         let d = lv.lv_xadj.(u + 1) - lv.lv_xadj.(u) in
+         if not (poll (d + 1)) then begin
+           dead := true;
+           raise Exit
+         end;
+         if mate.(u) < 0 then begin
+           let best = ref (-1) and bw = ref min_int in
+           for i = lv.lv_xadj.(u) to lv.lv_xadj.(u + 1) - 1 do
+             let v = lv.lv_adj.(i) in
+             if
+               mate.(v) < 0 && v <> u
+               && lv.lv_node_w.(u) + lv.lv_node_w.(v) <= wcap
+               && (lv.lv_ew.(i) > !bw || (lv.lv_ew.(i) = !bw && v < !best))
+             then begin
+               best := v;
+               bw := lv.lv_ew.(i)
+             end
+           done;
+           if !best >= 0 then begin
+             mate.(u) <- !best;
+             mate.(!best) <- u
+           end
+         end)
+       order
+   with Exit -> ());
+  mate
+
+let count_pairs mate =
+  let pairs = ref 0 in
+  Array.iteri (fun v m -> if m > v then incr pairs) mate;
+  !pairs
+
+(* never contract below the target: unmatch the lightest excess pairs *)
+let trim_pairs lv mate ~keep =
+  let pairs = ref [] in
+  Array.iteri
+    (fun v m -> if m > v then pairs := (lv.lv_node_w.(v) + lv.lv_node_w.(m), v) :: !pairs)
+    mate;
+  let sorted = List.sort compare !pairs in
+  (* heaviest pairs are the most valuable merges under the balance cap,
+     but for contraction we keep the *heaviest-edge* pairs; dropping by
+     combined node weight keeps the coarse weights flat.  Keep the
+     first [keep] after sorting by weight (lightest kept first). *)
+  let rec drop i = function
+    | [] -> ()
+    | (_, v) :: rest ->
+      if i >= keep then begin
+        let m = mate.(v) in
+        mate.(v) <- -1;
+        if m >= 0 then mate.(m) <- -1
+      end;
+      drop (i + 1) rest
+  in
+  drop 0 sorted
+
+(* forced pairing of unmatched nodes (lightest first) to guarantee
+   progress when the matching stalls above the target *)
+let force_pairs lv mate ~needed =
+  let unmatched = ref [] in
+  for v = lv.lv_n - 1 downto 0 do
+    if mate.(v) < 0 then unmatched := (lv.lv_node_w.(v), v) :: !unmatched
+  done;
+  let sorted = List.sort compare !unmatched in
+  let rec pair made = function
+    | (_, a) :: (_, b) :: rest when made < needed ->
+      mate.(a) <- b;
+      mate.(b) <- a;
+      pair (made + 1) rest
+    | _ -> ()
+  in
+  pair 0 sorted
+
+(* the last-resort collapse: consecutive blocks along the node
+   numbering, exactly [target] coarse nodes *)
+let collapse_map n target = Array.init n (fun v -> v * target / n)
+
+let coarsen ?(max_levels = 40) ?(blossom_limit = 256) ?(poll = fun _ -> true)
+    ~rng ~target finest =
+  if target < 1 then invalid_arg "Coarsen.coarsen: target must be >= 1";
+  let total_w = total_node_weight finest in
+  (* allow coarse nodes up to ~2x the average final weight, so the
+     matching can't produce monsters the balance pass cannot fix *)
+  let wcap = max 2 ((2 * total_w / target) + 1) in
+  let levels = ref [ finest ] in
+  let maps = ref [] in
+  let truncated = ref false in
+  let rec go lv depth =
+    if lv.lv_n <= target then ()
+    else if depth >= max_levels || !truncated then begin
+      (* forced block collapse keeps the contract: <= target nodes *)
+      let map = collapse_map lv.lv_n target in
+      let coarse = contract lv map target ~rounds:0 in
+      levels := coarse :: !levels;
+      maps := map :: !maps
+    end
+    else begin
+      let dead = ref false in
+      let mate =
+        if lv.lv_n <= blossom_limit then begin
+          if not (poll (lv.lv_n * lv.lv_n)) then dead := true;
+          if !dead then Array.make lv.lv_n (-1) else blossom_matching lv ~wcap
+        end
+        else hem_matching lv ~wcap ~rng ~poll ~dead
+      in
+      let rounds = ref 1 in
+      let excess = lv.lv_n - target in
+      if count_pairs mate > excess then trim_pairs lv mate ~keep:excess;
+      (* stalled above the target (weight caps or disconnected dust):
+         force-pair the lightest unmatched nodes *)
+      let pairs = count_pairs mate in
+      if (not !dead) && lv.lv_n - pairs > target && pairs * 10 < lv.lv_n then begin
+        incr rounds;
+        force_pairs lv mate ~needed:(min (excess - pairs) ((lv.lv_n - pairs) / 2))
+      end;
+      if !dead then truncated := true;
+      let pairs = count_pairs mate in
+      if pairs = 0 then
+        (* no progress possible at this level: collapse and stop *)
+        go lv max_levels
+      else begin
+        let map, coarse_n = ids_of_mate lv.lv_n mate in
+        if not (poll (lv.lv_xadj.(lv.lv_n) + coarse_n)) then truncated := true;
+        let coarse = contract lv map coarse_n ~rounds:!rounds in
+        levels := coarse :: !levels;
+        maps := map :: !maps;
+        go coarse (depth + 1)
+      end
+    end
+  in
+  go finest 0;
+  {
+    levels = Array.of_list (List.rev !levels);
+    maps = Array.of_list (List.rev !maps);
+    truncated = !truncated;
+  }
+
+let project h coarse_assign =
+  let nl = Array.length h.levels in
+  let coarsest = h.levels.(nl - 1) in
+  if Array.length coarse_assign <> coarsest.lv_n then
+    invalid_arg "Coarsen.project: assignment length mismatch";
+  if nl = 1 then Array.copy coarse_assign
+  else begin
+    (* compose the maps from coarse to fine *)
+    let assign = ref coarse_assign in
+    for i = nl - 2 downto 0 do
+      let map = h.maps.(i) in
+      assign := Array.init h.levels.(i).lv_n (fun v -> !assign.(map.(v)))
+    done;
+    !assign
+  end

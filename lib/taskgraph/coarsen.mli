@@ -1,0 +1,83 @@
+(** Multilevel coarsening of static task graphs by heavy-edge matching.
+
+    The flat contraction strategies (MWM-Contract, KL, Stone) are
+    quadratic-ish in the task count and top out around a few thousand
+    tasks.  The standard escape is the multilevel paradigm: contract a
+    heavy-edge matching level by level until the graph is small, map
+    the coarsest graph, then project the mapping back up.  This module
+    owns the first leg — building the level hierarchy — keeping
+    aggregated node weights and summed edge traffic per level so the
+    finer levels can be refined against the real objective.
+
+    Invariants (property-tested):
+    - total node weight is identical at every level;
+    - total edge weight at level [i] equals total edge weight at level
+      [i+1] plus the weight internalized (self-loops dropped) when
+      contracting into level [i+1];
+    - every level map is a surjection onto dense coarse ids numbered by
+      smallest fine member, so projections compose.
+
+    Matching is Blossom maximum-weight matching on small levels (exact,
+    O(V³)) and a randomized heavy-edge matching above — node visit
+    order drawn from the caller's seeded {!Oregami_prelude.Rng}, each
+    node grabbing its heaviest unmatched neighbour subject to a weight
+    cap that protects load balance.  The module has no budget
+    dependency of its own; callers meter work through the [poll]
+    callback (the mapper passes [Budget.poll]). *)
+
+type level = {
+  lv_n : int;  (** node count *)
+  lv_xadj : int array;  (** CSR row pointers, length [lv_n + 1] *)
+  lv_adj : int array;  (** neighbour node ids *)
+  lv_ew : int array;  (** edge weights, aligned with [lv_adj] *)
+  lv_node_w : int array;  (** aggregated node weights *)
+  lv_edge_total : int;  (** total weight over undirected edges *)
+  lv_internalized : int;
+      (** edge weight internalized (dropped as self-loops) when this
+          level was contracted from the finer one; 0 at the finest *)
+  lv_rounds : int;
+      (** matching rounds spent building this level; 0 at the finest *)
+}
+
+type hierarchy = {
+  levels : level array;  (** finest first; last entry is the coarsest *)
+  maps : int array array;
+      (** [maps.(i).(v)] is the level-[i+1] node containing level-[i]
+          node [v]; length [Array.length levels - 1] *)
+  truncated : bool;  (** the [poll] callback tripped mid-coarsening *)
+}
+
+val of_ugraph : node_weight:int array -> Oregami_graph.Ugraph.t -> level
+(** Converts an undirected static graph to a finest level.
+    [node_weight] must have one entry per node; weights should be
+    positive so the balance caps are meaningful. *)
+
+val level_ugraph : level -> Oregami_graph.Ugraph.t
+(** Back-conversion for passes that want the {!Oregami_graph.Ugraph}
+    view of a level (e.g. NN-Embed on the coarsest graph). *)
+
+val coarsen :
+  ?max_levels:int ->
+  ?blossom_limit:int ->
+  ?poll:(int -> bool) ->
+  rng:Oregami_prelude.Rng.t ->
+  target:int ->
+  level ->
+  hierarchy
+(** [coarsen ~rng ~target finest] contracts heavy-edge matchings until
+    at most [target] nodes remain (or [max_levels], default 40, is
+    hit — then a final block-collapse level forces the node count down
+    to [target]).  Deterministic for a fixed rng state.  [blossom_limit]
+    (default 256) switches between exact Blossom matching and the
+    randomized heavy-edge matching.  When [poll] (called with the cost
+    of the work about to be done) returns [false], coarsening stops
+    early with the same forced collapse, and the hierarchy is marked
+    [truncated] — the anytime contract. *)
+
+val project : hierarchy -> int array -> int array
+(** [project h coarse_assign] composes the level maps: the finest-level
+    assignment obtained by giving every finest node the value of its
+    coarsest ancestor.  [coarse_assign] must have length
+    [h.levels.(Array.length h.levels - 1).lv_n]. *)
+
+val total_node_weight : level -> int

@@ -91,5 +91,5 @@ carries the per-strategy rejection reasons:
 Unknown strategy names are rejected up front:
 
   $ oregami map nbody -t ring:8 --only nosuch
-  oregami: unknown strategies: nosuch (known: canned, systolic, group, mwm, tiled, blocks, kl, stone, random, naive-block, round-robin)
+  oregami: unknown strategies: nosuch (known: canned, systolic, group, mwm, tiled, blocks, multilevel, kl, stone, random, naive-block, round-robin)
   [1]

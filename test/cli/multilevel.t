@@ -1,0 +1,106 @@
+The multilevel tier declines graphs that fit the flat strategies, and
+`--only multilevel` forces it.  Synthetic specs (synth:FAMILY:N[:SEED])
+build the large instances directly, skipping the LaRCS front-end.
+Wall-clock columns vary between runs, so every decimal is filtered.
+
+A small graph is not multilevel territory — the dispatch skips the
+tier with a named reason:
+
+  $ oregami map synth:rmat:100 -t torus:4x4 --explain | grep -E '^multilevel +skipped' | sed -E 's/ +/ /g;s/[0-9]+\.[0-9]+/*/g'
+  multilevel skipped * graph fits the flat strategies (100 <= 2048 tasks); force with --only multilevel
+
+but `--only multilevel` forces it anyway:
+
+  $ oregami map synth:grid:64 -t torus:4x4 --only multilevel --explain | sed -E 's/[0-9]+\.[0-9]+/*/g' | head -8
+  mapping "synth:grid:64" onto torus(4x4) via multilevel
+    64 tasks -> 16 clusters -> 16 processors
+    routed edges: 48, dilation max 1 avg *
+  
+  metric                        value
+  -----------------------  ----------
+  strategy                 multilevel
+  tasks                            64
+
+A 4096-task grid exceeds the flat sweet spot, so the plain dispatch
+already picks the multilevel tier:
+
+  $ oregami map synth:grid:4096 -t torus:8x8 --only multilevel --explain | sed -E 's/[0-9]+\.[0-9]+/*/g'
+  mapping "synth:grid:4096" onto torus(8x8) via multilevel
+    4096 tasks -> 64 clusters -> 64 processors
+    routed edges: 1214, dilation max 5 avg *
+  
+  metric                        value
+  -----------------------  ----------
+  strategy                 multilevel
+  tasks                          4096
+  clusters                         64
+  processors                       64
+  max tasks/proc                   68
+  load imbalance                *
+  total IPC volume               1214
+  dilation (max)                    5
+  dilation (avg)                *
+  max link contention              33
+  completion time (model)         106
+  
+  strategy attempts:
+  strategy       outcome      ms  detail
+  ----------  ----------  ------  ------
+  multilevel  produced 1  *
+  candidates (score = METRICS completion-time model):
+  strategy       mapping  score  valid
+  ----------  ----------  -----  -----  ----------
+  multilevel  multilevel    106    yes  <-- winner
+  pipeline counters:
+  counter                    value
+  -------------------------  -----
+  attempts                       1
+  produced                       1
+  rejected                       0
+  skipped                        0
+  crashed                        0
+  candidates                     1
+  valid candidates               1
+  matching rounds               76
+  refine swaps                  10
+  distcache hop builds           1
+  multilevel levels              8
+  multilevel level 0 nodes    4096
+  multilevel level 1 nodes    2238
+  multilevel level 2 nodes    1214
+  multilevel level 3 nodes     665
+  multilevel level 4 nodes     361
+  multilevel level 5 nodes     194
+  multilevel level 6 nodes      99
+  multilevel level 7 nodes      64
+  multilevel coarsest nodes     64
+  multilevel refine moves      676
+  multilevel refine gain       294
+  phase wall-clock:
+  phase          ms
+  ---------  ------
+  distcache   *
+  produce    *
+  route       *
+  degradation: full
+  total pipeline time: * ms
+  
+  (pipeline-stats
+   (attempts
+    ((strategy multilevel) (outcome (produced 1)) (seconds *)))
+   (candidates
+    ((strategy multilevel) (mapping "multilevel") (score 106) (valid true) (winner true)))
+   (counters (attempts 1) (produced 1) (rejected 0) (skipped 0) (crashed 0) (candidates 1) (valid-candidates 1) (matching-rounds 76) (refine-swaps 10) (distcache-hop-builds 1) (multilevel-levels 8) (multilevel-level-0-nodes 4096) (multilevel-level-1-nodes 2238) (multilevel-level-2-nodes 1214) (multilevel-level-3-nodes 665) (multilevel-level-4-nodes 361) (multilevel-level-5-nodes 194) (multilevel-level-6-nodes 99) (multilevel-level-7-nodes 64) (multilevel-coarsest-nodes 64) (multilevel-refine-moves 676) (multilevel-refine-gain 294))
+   (phases (distcache *) (produce *) (route *))
+   (winner ((strategy multilevel) (mapping "multilevel")))
+   (degradation full)
+   (seconds *))
+
+A malformed spec is a usage error:
+
+  $ oregami map synth:grid:zero -t torus:4x4
+  oregami: bad synthetic spec "synth:grid:zero" (want synth:FAMILY:N[:SEED], families: grid, ring, tree, rmat)
+  [2]
+  $ oregami map synth:mobius:100 -t torus:4x4
+  oregami: bad synthetic spec "synth:mobius:100" (want synth:FAMILY:N[:SEED], families: grid, ring, tree, rmat)
+  [2]
