@@ -1492,6 +1492,77 @@ let e19_multilevel ~large () =
      else " rmat n=10^4; rerun with --large for the n=10^6 instance)")
 
 (* ================================================================== *)
+(* E20: the price of placement constraints                             *)
+
+let e20_constraints () =
+  Tab.section
+    "E20  Placement constraints: completion premium over the unconstrained map";
+  (* a classed torus (processors 0-3 carry the mem tag) and one fixed
+     rule set per workload: pin task 0 to processor 5, keep task 2 off
+     processor 5, and require task 1 to land on a mem processor.  The
+     constrained run competes with fallback enabled so a workload whose
+     only feasible producer is the greedy-feasible baseline still
+     yields a row; validate-drc re-checks every rule on the result *)
+  let t = Result.get_ok (Topology.of_string "torus:4x4:classes=mem@0-3") in
+  let spec_rules =
+    {
+      Mapper.Constraints.pins = [ (0, 5) ];
+      forbids = [ (2, 5) ];
+      requires = [ (1, "mem") ];
+      skip_classes = [];
+    }
+  in
+  let rows = ref [] in
+  List.iter
+    (fun spec ->
+      let compiled = Workloads.compile_exn spec in
+      let name = spec.Workloads.w_name in
+      let base = Driver.map_compiled compiled t in
+      let constrained_r, seconds =
+        let options =
+          { Driver.default_options with
+            Driver.constraints = spec_rules;
+            Driver.fallback = true;
+          }
+        in
+        Prelude.Clock.time (fun () -> Driver.map_compiled ~options compiled t)
+      in
+      match (base, constrained_r) with
+      | Error e, _ | _, Error e ->
+        rows := [ name; "-"; "-"; "-"; "-"; "error: " ^ e ] :: !rows
+      | Ok b, Ok c ->
+        let bc = (Metrics.summary b).Metrics.completion_time in
+        let cc = (Metrics.summary c).Metrics.completion_time in
+        let cons = Mapper.Constraints.compile spec_rules c.Mapping.tg t in
+        let drc =
+          match Mapper.Constraints.drc cons (Mapping.assignment c) with
+          | [] -> "clean"
+          | v -> Printf.sprintf "%d violation(s)" (List.length v)
+        in
+        record ~experiment:"E20"
+          ~case:(Printf.sprintf "%s constrained on torus:4x4+classes" name)
+          ~completion:cc seconds;
+        rows :=
+          [
+            name; string_of_int bc; string_of_int cc;
+            Printf.sprintf "%+.1f%%"
+              (100.0 *. float_of_int (cc - bc) /. float_of_int bc);
+            c.Mapping.strategy; drc;
+          ]
+          :: !rows)
+    (Workloads.all ());
+  Tab.print
+    ~header:
+      [ "workload"; "unconstrained"; "constrained"; "premium"; "strategy";
+        "validate-drc" ]
+    (List.rev !rows);
+  print_endline
+    "(rules: pin 0=5, forbid 2=5, require 1=mem on torus:4x4:classes=mem@0-3;";
+  print_endline
+    " constraint-unaware strategies decline, so the embedding tier or the";
+  print_endline " greedy-feasible fallback answers)"
+
+(* ================================================================== *)
 (* Smoke mode: a fast end-to-end slice wired into `dune runtest`       *)
 
 let smoke () =
@@ -1669,6 +1740,7 @@ let experiments ~large =
     ("E17", e17_budget_curve);
     ("E18", e18_batch_throughput);
     ("E19", e19_multilevel ~large);
+    ("E20", e20_constraints);
     ("ablation-refinement", ablation_refinement);
     ("ablation-routing", ablation_routing);
     ("ablation-route-cap", ablation_route_cap);
@@ -1687,7 +1759,7 @@ let usage () =
   prerr_endline
     "usage: main.exe [--smoke] [--json FILE] [--only ID]... [--large]";
   prerr_endline
-    "  --only ID   run one experiment (repeatable; E1..E19, ablation-*, extension-*)";
+    "  --only ID   run one experiment (repeatable; E1..E20, ablation-*, extension-*)";
   prerr_endline "  --large     include the n=10^6 instances in E19";
   prerr_endline "  --json FILE merge machine-readable records into FILE";
   exit 2

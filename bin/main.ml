@@ -41,9 +41,15 @@ let params_arg =
 
 let topo_arg =
   let doc =
-    Printf.sprintf "Target topology (%s)." (String.concat ", " Topology.known_kinds)
+    Printf.sprintf
+      "Target topology (%s).  Append $(b,:classes=CLASS@IDS[/CLASS@IDS...]) to \
+       tag processors with capability classes, e.g. \
+       $(b,torus:8x8:classes=mem@0-7/io@56-63)."
+      (String.concat ", " Topology.known_kinds)
   in
   Arg.(required & opt (some string) None & info [ "t"; "topology" ] ~docv:"TOPO" ~doc)
+
+let target_topology topo = or_die (Topology.of_string topo)
 
 let routing_arg =
   let doc = "Routing algorithm: $(b,mm) (MM-Route) or $(b,oblivious)." in
@@ -130,10 +136,51 @@ let options_of ~routing ~only ~exclude =
 
 let mapping_of ~input ~params ~topo ~routing =
   let compiled = compile ~input ~params in
-  let kind = or_die (Topology.parse topo) in
-  let topology = Topology.make kind in
+  let topology = target_topology topo in
   let options = options_of ~routing ~only:[] ~exclude:[] in
   (or_die (Driver.map_compiled ~options compiled topology), compiled)
+
+(* placement-constraint args (see Mapper.Constraints) *)
+let pin_arg =
+  let doc = "Pin a task to a processor, e.g. $(b,--pin 3=0).  Repeatable." in
+  Arg.(value & opt_all string [] & info [ "pin" ] ~docv:"TASK=PROC" ~doc)
+
+let forbid_arg =
+  let doc = "Forbid a task from a processor, e.g. $(b,--forbid 3=0).  Repeatable." in
+  Arg.(value & opt_all string [] & info [ "forbid" ] ~docv:"TASK=PROC" ~doc)
+
+let require_arg =
+  let doc =
+    "Require a task to land on a processor of this capability class (see the \
+     $(b,classes=) topology suffix), e.g. $(b,--require 3=mem).  Overrides \
+     the program's $(b,requires) annotation.  Repeatable."
+  in
+  Arg.(value & opt_all string [] & info [ "require" ] ~docv:"TASK=CLASS" ~doc)
+
+let skip_class_arg =
+  let doc =
+    "Exclude every processor of this capability class from placement (they \
+     still route traffic).  Repeatable."
+  in
+  Arg.(value & opt_all string [] & info [ "skip-class" ] ~docv:"CLASS" ~doc)
+
+let constraints_of ~pins ~forbids ~requires ~skip_classes =
+  let joined l = String.concat "," l in
+  {
+    Mapper.Constraints.pins = or_die (Mapper.Constraints.parse_pins (joined pins));
+    forbids = or_die (Mapper.Constraints.parse_forbids (joined forbids));
+    requires = or_die (Mapper.Constraints.parse_requires (joined requires));
+    skip_classes = List.filter (fun c -> c <> "") skip_classes;
+  }
+
+let multilevel_threshold_arg =
+  let doc =
+    "Task count beyond which the flat strategies stand aside for the \
+     multilevel coarsen/map/refine tier."
+  in
+  Arg.(value
+       & opt int Mapper.Multilevel.flat_sweet_spot
+       & info [ "multilevel-threshold" ] ~docv:"N" ~doc)
 
 (* budget / anytime args *)
 let fuel_arg =
@@ -191,17 +238,20 @@ let analyze_cmd =
 
 let map_cmd =
   let run input params topo routing only exclude explain kill_procs kill_links
-      fault_seed fuel deadline_ms fallback =
-    let kind = or_die (Topology.parse topo) in
-    let topology = Topology.make kind in
+      fault_seed fuel deadline_ms fallback pins forbids requires skip_classes
+      multilevel_threshold =
+    let topology = target_topology topo in
     let faults = fault_set ~kill_procs ~kill_links ~fault_seed topology in
     let topology, faults = degraded_target topology faults in
+    let constraints = constraints_of ~pins ~forbids ~requires ~skip_classes in
     let options =
       { (options_of ~routing ~only ~exclude) with
         Driver.fuel;
         Driver.deadline_ms;
         (* any budget implies the anytime contract: always answer *)
         Driver.fallback = fallback || fuel <> None || deadline_ms <> None;
+        Driver.constraints;
+        Driver.multilevel_threshold;
       }
     in
     let outcome =
@@ -234,6 +284,25 @@ let map_cmd =
       if explain then begin
         print_newline ();
         print_string (Stats.to_table stats);
+        (* the DRC pass, by name: every placement rule the mapping was
+           produced under, re-checked against the final assignment *)
+        let compiled_cons =
+          Mapper.Constraints.compile constraints m.Mapping.tg topology
+        in
+        if Mapper.Constraints.active compiled_cons then begin
+          print_newline ();
+          match Mapper.Constraints.drc compiled_cons (Mapping.assignment m) with
+          | [] ->
+            Printf.printf "validate-drc: clean (%s)\n"
+              (let d = Mapper.Constraints.describe constraints in
+               if d = "" then "program-declared requirements" else d)
+          | violations ->
+            Printf.printf "validate-drc: %d violation(s)\n" (List.length violations);
+            List.iter
+              (fun v ->
+                Printf.printf "  %s\n" (Mapper.Constraints.violation_to_string v))
+              violations
+        end;
         print_newline ();
         print_endline (Stats.to_sexp stats)
       end
@@ -259,7 +328,8 @@ let map_cmd =
   Cmd.v (Cmd.info "map" ~doc:"Map a program onto a topology and report METRICS")
     Term.(const run $ input_arg $ params_arg $ topo_arg $ routing_arg $ only_arg
           $ exclude_arg $ explain_arg $ kill_procs_arg $ kill_links_arg
-          $ fault_seed_arg $ fuel_arg $ deadline_arg $ fallback_arg)
+          $ fault_seed_arg $ fuel_arg $ deadline_arg $ fallback_arg $ pin_arg
+          $ forbid_arg $ require_arg $ skip_class_arg $ multilevel_threshold_arg)
 
 let render_cmd =
   let run input params topo routing svg_path =
@@ -379,8 +449,7 @@ let aggregate_cmd =
 let remap_cmd =
   let run input params topo =
     let compiled = compile ~input ~params in
-    let kind = or_die (Topology.parse topo) in
-    let topology = Topology.make kind in
+    let topology = target_topology topo in
     match Remap.plan compiled.Larcs.Compile.graph topology with
     | Error e -> or_die (Error e)
     | Ok p ->
@@ -413,15 +482,22 @@ remapping %s
     Term.(const run $ input_arg $ params_arg $ topo_arg)
 
 let repair_cmd =
-  let run input params topo kill_procs kill_links fault_seed =
+  let run input params topo kill_procs kill_links fault_seed pins forbids
+      requires skip_classes =
     let compiled = compile ~input ~params in
-    let kind = or_die (Topology.parse topo) in
-    let topology = Topology.make kind in
+    let topology = target_topology topo in
     let faults = fault_set ~kill_procs ~kill_links ~fault_seed topology in
     if Faults.is_empty faults then
       die "nothing to repair (give --kill-procs and/or --kill-links)";
+    let options =
+      { Driver.default_options with
+        Driver.constraints = constraints_of ~pins ~forbids ~requires ~skip_classes;
+      }
+    in
     let r =
-      or_die (Remap.recover ~compiled compiled.Larcs.Compile.graph topology faults)
+      or_die
+        (Remap.recover ~options ~compiled compiled.Larcs.Compile.graph topology
+           faults)
     in
     Printf.printf "faults: %s\n\n" (Faults.describe faults);
     Prelude.Tab.print
@@ -458,7 +534,8 @@ let repair_cmd =
        ~doc:"Recover an existing mapping from processor/link failures and compare \
              minimum-disruption repair against a from-scratch remap")
     Term.(const run $ input_arg $ params_arg $ topo_arg $ kill_procs_arg
-          $ kill_links_arg $ fault_seed_arg)
+          $ kill_links_arg $ fault_seed_arg $ pin_arg $ forbid_arg $ require_arg
+          $ skip_class_arg)
 
 let systolic_cmd =
   let run spec max_pes =
@@ -523,10 +600,7 @@ let systolic_cmd =
     Term.(const run $ spec_arg $ pes_arg)
 
 let topo_cmd =
-  let run topo =
-    let kind = or_die (Topology.parse topo) in
-    print_string (Render.topology (Topology.make kind))
-  in
+  let run topo = print_string (Render.topology (target_topology topo)) in
   let arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"TOPO" ~doc:"Topology spec.") in
   Cmd.v (Cmd.info "topo" ~doc:"Describe a network topology") Term.(const run $ arg)
 

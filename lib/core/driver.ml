@@ -21,6 +21,8 @@ type options = Ctx.options = {
   fuel : int option;
   deadline_ms : float option;
   fallback : bool;
+  constraints : Oregami_mapper.Constraints.spec;
+  multilevel_threshold : int;
 }
 
 let default_options = Ctx.default_options

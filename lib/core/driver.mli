@@ -37,6 +37,12 @@ type options = Oregami_mapper.Ctx.options = {
   fallback : bool;
       (** baseline placement instead of an error when every strategy
           declines (implied by any budget) *)
+  constraints : Oregami_mapper.Constraints.spec;
+      (** placement constraints: pins, forbids, required capability
+          classes, skip-placement classes *)
+  multilevel_threshold : int;
+      (** task count beyond which the flat strategies yield to the
+          multilevel tier *)
 }
 
 val default_options : options

@@ -42,6 +42,7 @@ let sub_taskgraph tg expr =
   let comms = Phase_expr.comm_names expr and execs = Phase_expr.exec_names expr in
   Taskgraph.make
     ~node_labels:tg.Taskgraph.node_labels ~node_types:tg.Taskgraph.node_types
+    ~node_requires:tg.Taskgraph.node_requires
     ~declared_symmetric:tg.Taskgraph.declared_symmetric ~name:tg.Taskgraph.tg_name
     ~n:tg.Taskgraph.n
     ~comm_phases:
@@ -167,7 +168,15 @@ let recover ?options ?(migration_volume = 8) ?compiled tg topo faults =
   let* rc_base = base_r in
   let rc_base_makespan = (Netsim.run rc_base).Netsim.makespan in
   let repair_r, rc_repair_ms =
-    timed (fun () -> Repair.repair rc_base view.Faults.topo)
+    (* the repair honours the same placement constraints the base
+       mapping was produced under — recompiled against the degraded
+       machine, so a pin on a dead processor refuses by name *)
+    let constraints =
+      match options with
+      | Some o -> o.Oregami_mapper.Ctx.constraints
+      | None -> Oregami_mapper.Constraints.none
+    in
+    timed (fun () -> Repair.repair ~constraints rc_base view.Faults.topo)
   in
   let* rc_repair = repair_r in
   let remap_r, rc_remap_ms =

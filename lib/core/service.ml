@@ -1,4 +1,5 @@
 module Topology = Oregami_topology.Topology
+module Constraints = Oregami_mapper.Constraints
 module Ctx = Oregami_mapper.Ctx
 module Budget = Oregami_mapper.Budget
 module Isolate = Oregami_mapper.Isolate
@@ -128,6 +129,47 @@ let parse_request ~id line =
               Ok (with_options req (fun o -> { o with Ctx.only = names () }))
             | "exclude" ->
               Ok (with_options req (fun o -> { o with Ctx.exclude = names () }))
+            | "multilevel-threshold" ->
+              let* n = non_negative "multilevel-threshold" in
+              Ok
+                (with_options req (fun o -> { o with Ctx.multilevel_threshold = n }))
+            (* placement constraints; [:] separates inside values since
+               [=] already binds the key, e.g. pin=3:0,7:12 *)
+            | "pin" ->
+              let* pins = Constraints.parse_pins v in
+              Ok
+                (with_options req (fun o ->
+                     {
+                       o with
+                       Ctx.constraints =
+                         { o.Ctx.constraints with Constraints.pins };
+                     }))
+            | "forbid" ->
+              let* forbids = Constraints.parse_forbids v in
+              Ok
+                (with_options req (fun o ->
+                     {
+                       o with
+                       Ctx.constraints =
+                         { o.Ctx.constraints with Constraints.forbids };
+                     }))
+            | "require" ->
+              let* requires = Constraints.parse_requires v in
+              Ok
+                (with_options req (fun o ->
+                     {
+                       o with
+                       Ctx.constraints =
+                         { o.Ctx.constraints with Constraints.requires };
+                     }))
+            | "skip" ->
+              Ok
+                (with_options req (fun o ->
+                     {
+                       o with
+                       Ctx.constraints =
+                         { o.Ctx.constraints with Constraints.skip_classes = names () };
+                     }))
             | _ -> begin
               (* anything else is a program parameter binding *)
               match int_of_string_opt v with
@@ -227,13 +269,12 @@ let build_topology spec =
   match
     Isolate.protect (fun () ->
         Result.map
-          (fun kind ->
-            let t = Topology.make kind in
+          (fun t ->
             (* pre-warm the hop matrix once, here, so every request on
                this topology (from any domain) finds it published *)
             ignore (Oregami_topology.Distcache.hops t);
             t)
-          (Topology.parse spec))
+          (Topology.of_string spec))
   with
   | Error exn -> Error ("internal crash: " ^ exn)
   | Ok r -> r
@@ -254,7 +295,7 @@ let setup ?caches req =
   | None -> begin
     match
       Isolate.protect (fun () ->
-          let* kind = Topology.parse req.rq_topology in
+          let* topo = Topology.of_string req.rq_topology in
           let* source, defaults = load_program req.rq_program in
           let bindings =
             req.rq_bindings
@@ -263,7 +304,7 @@ let setup ?caches req =
                 defaults
           in
           let* compiled = Oregami_larcs.Compile.compile_source ~bindings source in
-          Ok (compiled, Topology.make kind))
+          Ok (compiled, topo))
     with
     | Error exn -> Error ("internal crash: " ^ exn)
     | Ok r -> r
@@ -297,7 +338,9 @@ let run_request ?breaker ?caches req =
             in
             incr n;
             fuel := !fuel + used;
-            if rank r > rank !best then best := r;
+            (* first attempt always lands, so a failing request reports
+               its real error instead of the placeholder *)
+            if !n = 1 || rank r > rank !best then best := r;
             (* 3 = Ok Full: nothing better is reachable *)
             if rank !best >= 3 then continue := false
           done;

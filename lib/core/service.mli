@@ -7,12 +7,18 @@
     {v PROGRAM TOPOLOGY [key=value ...] v}
 
     [PROGRAM] is a LaRCS source file or a built-in workload name,
-    [TOPOLOGY] a topology spec ([torus:8x8], [hypercube:4], ...).
+    [TOPOLOGY] a topology spec ([torus:8x8], [hypercube:4], ...,
+    optionally with a [:classes=CLASS@IDS/...] capability suffix).
     Blank lines and lines whose first token starts with [#] are
     skipped.  Recognised option keys: [fuel=N] and [deadline-ms=X]
     (per-attempt budget), [retries=N] (extra reduced-scope attempts,
     default 2), [seed=N], [routing=mm|oblivious], [only=a,b] /
-    [exclude=a,b] (strategy selection).  Any other [key=value] with an
+    [exclude=a,b] (strategy selection),
+    [multilevel-threshold=N] (flat-vs-multilevel gate), and the
+    placement constraints [pin=T:P,...], [forbid=T:P,...],
+    [require=T:CLASS,...], [skip=CLASS,...] ([:] separates inside the
+    values because [=] binds the key; see
+    {!Oregami_mapper.Constraints}).  Any other [key=value] with an
     integer value is passed to the program as a parameter binding
     (like [oregami map -p key=value]).
 

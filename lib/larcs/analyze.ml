@@ -28,6 +28,7 @@ type t = {
   cayley : cayley_analysis option;
   affine_maps : (string * affine_map list) list option;
   single_nodetype : bool;
+  requirements : (string * string) list;
 }
 
 let comm_function tg phase =
@@ -346,6 +347,12 @@ let analyze (c : Compile.compiled) =
     && List.for_all (fun (_, k) -> match k with Bijective _ -> true | Functional | General -> false) kinds
   in
   let cayley = if all_bijective then cayley_of_kinds tg.Taskgraph.n kinds else None in
+  let requirements =
+    List.filter_map
+      (fun (s : Compile.node_space) ->
+        Option.map (fun r -> (s.Compile.type_name, r)) s.Compile.requires)
+      c.Compile.spaces
+  in
   {
     declared_family = tg.Taskgraph.declared_family;
     detected_family = detect_family tg;
@@ -354,6 +361,7 @@ let analyze (c : Compile.compiled) =
     cayley;
     affine_maps = affine_analysis c;
     single_nodetype = List.length c.Compile.spaces = 1;
+    requirements;
   }
 
 let pp fmt a =
@@ -382,4 +390,8 @@ let pp fmt a =
   (match a.affine_maps with
   | Some _ -> Format.fprintf fmt "@,  affine communication: yes (systolic candidate)"
   | None -> Format.fprintf fmt "@,  affine communication: no");
+  if a.requirements <> [] then
+    Format.fprintf fmt "@,  requirements: %s"
+      (String.concat ", "
+         (List.map (fun (ty, cls) -> Printf.sprintf "%s requires %s" ty cls) a.requirements));
   Format.fprintf fmt "@]"

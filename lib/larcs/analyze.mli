@@ -41,6 +41,10 @@ type t = {
       (** per phase, per rule; present when the program has a single
           node type and every rule probes affine *)
   single_nodetype : bool;
+  requirements : (string * string) list;
+      (** node types carrying a [requires CLASS] annotation (type name →
+          capability class); the mapper's constraint layer enforces
+          them per task via [Taskgraph.node_requires] *)
 }
 
 val comm_function : Oregami_taskgraph.Taskgraph.t -> string -> int array option

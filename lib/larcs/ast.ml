@@ -42,6 +42,9 @@ type nodetype = {
   nt_name : string;
   nt_ranges : range list;  (** one per label dimension *)
   nt_symmetric : bool;  (** declared [nodesymmetric] *)
+  nt_requires : string option;
+      (** declared [requires CLASS]: every task of this type must be
+          placed on a processor of that capability class *)
 }
 
 type rule = {

@@ -7,6 +7,7 @@ type node_space = {
   dims : (int * int) list;
   offset : int;
   count : int;
+  requires : string option;
 }
 
 type compiled = {
@@ -104,7 +105,10 @@ let build_spaces env nodetypes =
               (Printf.sprintf "nodetype %S: node space exceeds %d tasks"
                  nt.Ast.nt_name max_tasks)
         in
-        let space = { type_name = nt.Ast.nt_name; dims; offset; count } in
+        let space =
+          { type_name = nt.Ast.nt_name; dims; offset; count;
+            requires = nt.Ast.nt_requires }
+        in
         Ok (space :: spaces, offset + count))
       (Ok ([], 0))
       nodetypes
@@ -295,7 +299,8 @@ let compile ?(bindings = []) (program : Ast.program) =
           Ok
             (( { Ast.nt_name = sp.Ast.sp_name;
                  nt_ranges = [ { Ast.lo = Ast.Int 0; hi = Ast.Int (count - 1) } ];
-                 nt_symmetric = false },
+                 nt_symmetric = false;
+                 nt_requires = None },
                d )
             :: l)
         end)
@@ -356,20 +361,23 @@ let compile ?(bindings = []) (program : Ast.program) =
   let multi = List.length spaces > 1 in
   let node_labels = Array.make n "" in
   let node_types = Array.make n "" in
+  let node_requires = Array.make n "" in
   List.iter
     (fun space ->
+      let req = Option.value ~default:"" space.requires in
       iter_space space.dims (fun values ->
           match rank_of space.dims values with
           | Some r ->
             node_labels.(space.offset + r) <- label_string multi space.type_name values;
-            node_types.(space.offset + r) <- space.type_name
+            node_types.(space.offset + r) <- space.type_name;
+            node_requires.(space.offset + r) <- req
           | None -> assert false))
     spaces;
   let declared_symmetric =
     List.for_all (fun (nt : Ast.nodetype) -> nt.Ast.nt_symmetric) program.Ast.nodetypes
   in
   let* graph =
-    Taskgraph.make ~node_labels ~node_types ~declared_symmetric
+    Taskgraph.make ~node_labels ~node_types ~node_requires ~declared_symmetric
       ?declared_family:program.Ast.family ~name:program.Ast.prog_name ~n ~comm_phases
       ~exec_phases ~expr ()
   in
@@ -417,10 +425,13 @@ let dump c =
   List.iter
     (fun space ->
       Buffer.add_string buf
-        (Printf.sprintf "  (nodetype %s (offset %d) (count %d) (dims %s))\n"
+        (Printf.sprintf "  (nodetype %s (offset %d) (count %d) (dims %s)%s)\n"
            space.type_name space.offset space.count
            (String.concat " "
-              (List.map (fun (lo, hi) -> Printf.sprintf "(%d %d)" lo hi) space.dims))))
+              (List.map (fun (lo, hi) -> Printf.sprintf "(%d %d)" lo hi) space.dims))
+           (match space.requires with
+           | Some r -> Printf.sprintf " (requires %s)" r
+           | None -> "")))
     c.spaces;
   List.iter
     (fun { Taskgraph.cp_name; edges } ->

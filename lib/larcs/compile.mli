@@ -7,6 +7,9 @@ type node_space = {
   dims : (int * int) list;  (** per-dimension inclusive (lo, hi) *)
   offset : int;  (** first global task id of this type *)
   count : int;
+  requires : string option;
+      (** processor capability class every task of this type requires
+          (the declaration's [requires CLASS] annotation) *)
 }
 
 type compiled = {

@@ -29,7 +29,7 @@ type lexeme = { tok : token; line : int; col : int }
 
 let keywords =
   [ "algorithm"; "import"; "family"; "nodetype"; "comphase"; "exphase"; "phases";
-    "volume"; "when"; "cost"; "mod"; "xor"; "div"; "eps"; "nodesymmetric"; "in";
+    "volume"; "when"; "cost"; "mod"; "xor"; "div"; "eps"; "nodesymmetric"; "requires"; "in";
     "and"; "or"; "not"; "at"; "spawntree"; "depth" ]
 
 let is_digit c = c >= '0' && c <= '9'

@@ -32,7 +32,7 @@ type lexeme = { tok : token; line : int; col : int }
 val keywords : string list
 (** Reserved words: algorithm, import, family, nodetype, comphase,
     exphase, phases, volume, when, cost, mod, xor, div, eps,
-    nodesymmetric, in, and, or, not, at. *)
+    nodesymmetric, requires, in, and, or, not, at. *)
 
 val tokenize : string -> (lexeme list, string) result
 (** Comments run from [--] or [#] to end of line. *)

@@ -382,8 +382,15 @@ let parse_program st =
       let nt_ranges = parse_ranges st in
       let nt_symmetric = (current st).tok = KW "nodesymmetric" in
       if nt_symmetric then advance st;
+      let nt_requires =
+        if (current st).tok = KW "requires" then begin
+          advance st;
+          Some (expect_id st)
+        end
+        else None
+      in
       expect st SEMI;
-      nodetypes := { Ast.nt_name; nt_ranges; nt_symmetric } :: !nodetypes;
+      nodetypes := { Ast.nt_name; nt_ranges; nt_symmetric; nt_requires } :: !nodetypes;
       decls ()
     | KW "spawntree" ->
       advance st;

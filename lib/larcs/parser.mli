@@ -6,7 +6,7 @@
     program  := "algorithm" ID "(" [ID {"," ID}] ")" ";" decl*
     decl     := "import" ID {"," ID} ";"
               | "family" ID ";"
-              | "nodetype" ID ":" ranges ["nodesymmetric"] ";"
+              | "nodetype" ID ":" ranges ["nodesymmetric"] ["requires" ID] ";"
               | "comphase" ID "{" rule* "}"
               | "exphase" ID [":" ID pattern] ["cost" expr] ";"
               | "phases" pexpr ";"

@@ -65,8 +65,11 @@ let program (p : Ast.program) =
         | [ r ] -> range r
         | rs -> "(" ^ String.concat ", " (List.map range rs) ^ ")"
       in
-      line "nodetype %s : %s%s;" nt.Ast.nt_name ranges
-        (if nt.Ast.nt_symmetric then " nodesymmetric" else ""))
+      line "nodetype %s : %s%s%s;" nt.Ast.nt_name ranges
+        (if nt.Ast.nt_symmetric then " nodesymmetric" else "")
+        (match nt.Ast.nt_requires with
+        | Some cls -> " requires " ^ cls
+        | None -> ""))
     p.Ast.nodetypes;
   List.iter
     (fun (sp : Ast.spawntree) -> line "spawntree %s : depth %s;" sp.Ast.sp_name (expr sp.Ast.sp_depth))

@@ -148,6 +148,7 @@ let replan_phase (m : Mapping.t) ~phase =
     (match
        Taskgraph.make ~node_labels:tg.Taskgraph.node_labels
          ~node_types:tg.Taskgraph.node_types
+         ~node_requires:tg.Taskgraph.node_requires
          ~declared_symmetric:tg.Taskgraph.declared_symmetric
          ?declared_family:tg.Taskgraph.declared_family
          ~name:tg.Taskgraph.tg_name ~n ~comm_phases ~exec_phases ~expr:tg.Taskgraph.expr ()

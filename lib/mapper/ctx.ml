@@ -32,6 +32,8 @@ type options = {
   fuel : int option;
   deadline_ms : float option;
   fallback : bool;
+  constraints : Constraints.spec;
+  multilevel_threshold : int;
 }
 
 let default_options =
@@ -49,6 +51,10 @@ let default_options =
     fuel = None;
     deadline_ms = None;
     fallback = false;
+    constraints = Constraints.none;
+    (* keep in sync with the flat/multilevel gate the seed shipped with
+       (Multilevel.flat_sweet_spot) *)
+    multilevel_threshold = 2048;
   }
 
 type t = {
@@ -63,6 +69,8 @@ type t = {
   stats : Stats.t;
   faults : Faults.t;
   alive : int array;
+  placeable : int array;
+  constraints : Constraints.t;
   budget : Budget.t;
   breaker : Isolate.breaker;
 }
@@ -84,6 +92,15 @@ let make ?(options = default_options) ?(faults = Faults.none) ?breaker
      degraded value starts with an empty cache slot). *)
   let dist, dist_s = Oregami_prelude.Clock.time (fun () -> Distcache.hops topo) in
   Stats.add_phase_seconds stats "distcache" dist_s;
+  let constraints = Constraints.compile options.constraints tg topo in
+  let alive = Array.of_list (Topology.alive_procs topo) in
+  let placeable =
+    if Constraints.active constraints then
+      Array.of_list
+        (List.filter (fun p -> not (Constraints.skip_proc constraints p))
+           (Array.to_list alive))
+    else alive
+  in
   {
     compiled;
     analysis = lazy (Option.map Analyze.analyze compiled);
@@ -95,7 +112,9 @@ let make ?(options = default_options) ?(faults = Faults.none) ?breaker
     options;
     stats;
     faults;
-    alive = Array.of_list (Topology.alive_procs topo);
+    alive;
+    placeable;
+    constraints;
     budget;
     breaker = (match breaker with Some b -> b | None -> Isolate.breaker ());
   }
@@ -125,5 +144,8 @@ let mesh_dims ctx =
   end
 
 (* processors a strategy may actually use: on a degraded topology the
-   dead ones are not placement targets *)
-let procs ctx = Array.length ctx.alive
+   dead ones are not placement targets, and under constraints the
+   skip-placement classes are excluded too *)
+let procs ctx = Array.length ctx.placeable
+
+let constrained ctx = Constraints.active ctx.constraints

@@ -38,6 +38,13 @@ type options = {
       (** when every selected strategy declines (or the budget dies
           before any candidate lands), place a cheap baseline mapping
           instead of returning an error.  Budgeted runs imply it. *)
+  constraints : Constraints.spec;
+      (** placement constraints (pins, forbids, required classes, skip
+          classes), compiled once per run onto [t.constraints] *)
+  multilevel_threshold : int;
+      (** task count above which the flat strategies stand aside and
+          the multilevel tier takes over (the two-way gate both
+          {!Strategy} and [Multilevel.available] consult) *)
 }
 
 val default_options : options
@@ -65,6 +72,14 @@ type t = {
   alive : int array;
       (** alive processor ids, increasing — the only valid placement
           targets.  Equals [0 .. node_count-1] on a pristine topology. *)
+  placeable : int array;
+      (** alive processor ids that are not in a skip-placement class —
+          what strategies may actually place clusters on.  Equals
+          [alive] when no constraints are active. *)
+  constraints : Constraints.t;
+      (** [options.constraints] compiled against [tg] and [topo];
+          check [Constraints.errors] before mapping (the pipeline
+          does) *)
   budget : Budget.t;
       (** the run's fuel/deadline meter, built from [options.fuel] /
           [options.deadline_ms] at context construction (which is when
@@ -107,5 +122,9 @@ val mesh_dims : t -> int list option
 
 val procs : t -> int
 (** Number of processors a strategy may place clusters on:
-    [Topology.alive_count topo] — the full node count on a pristine
-    topology, the survivors on a degraded one. *)
+    [Array.length placeable] — the full node count on a pristine
+    unconstrained topology, the survivors minus skip-placement classes
+    otherwise. *)
+
+val constrained : t -> bool
+(** [Constraints.active t.constraints]. *)

@@ -12,7 +12,7 @@ let generations activation =
               (Array.to_seqi activation))))
   |> List.filter (fun g -> g <> [])
 
-let place ?budget static ~activation ~cap topo =
+let place ?budget ?feasible static ~activation ~cap topo =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let n = Ugraph.node_count static in
   let procs = Topology.node_count topo in
@@ -20,6 +20,8 @@ let place ?budget static ~activation ~cap topo =
   if Array.length activation <> n then invalid_arg "Incremental.place: activation length";
   if cap * Topology.alive_count topo < n then
     invalid_arg "Incremental.place: capacity too small";
+  let constrained = feasible <> None in
+  let may = match feasible with Some f -> f | None -> fun _ _ -> true in
   let dc = Distcache.hops topo in
   let proc_of = Array.make n (-1) in
   let load = Array.make procs 0 in
@@ -30,9 +32,23 @@ let place ?budget static ~activation ~cap topo =
   (* anytime completion once the budget dies: first alive processor
      with room, skipping the per-processor cost scan *)
   let assign_cheap t =
-    let p = ref 0 in
-    while not (alive !p) || load.(!p) >= cap do incr p done;
-    assign t !p
+    if not constrained then begin
+      let p = ref 0 in
+      while not (alive !p) || load.(!p) >= cap do incr p done;
+      assign t !p
+    end
+    else begin
+      let best = ref (-1) in
+      let p = ref 0 in
+      while !best = -1 && !p < procs do
+        if alive !p && load.(!p) < cap && may t !p then best := !p;
+        incr p
+      done;
+      if !best = -1 then
+        invalid_arg
+          (Printf.sprintf "Incremental.place: no feasible processor for task %d" t);
+      assign t !best
+    end
   in
   List.iter
     (fun generation ->
@@ -52,7 +68,7 @@ let place ?budget static ~activation ~cap topo =
           in
           let best = ref (-1) and best_key = ref (max_int, max_int, max_int) in
           for p = 0 to procs - 1 do
-            if alive p && load.(p) < cap then begin
+            if alive p && load.(p) < cap && may t p then begin
               let key = (cost p, load.(p), p) in
               if key < !best_key then begin
                 best_key := key;
@@ -60,6 +76,9 @@ let place ?budget static ~activation ~cap topo =
               end
             end
           done;
+          if !best = -1 then
+            invalid_arg
+              (Printf.sprintf "Incremental.place: no feasible processor for task %d" t);
           assign t !best
           end)
         generation)

@@ -10,6 +10,7 @@
 
 val place :
   ?budget:Budget.t ->
+  ?feasible:(int -> int -> bool) ->
   Oregami_graph.Ugraph.t ->
   activation:int array ->
   cap:int ->
@@ -25,7 +26,12 @@ val place :
     An exhausted [budget] places the remaining tasks on the first
     alive processor with room instead of scanning costs — the
     capacity invariant still holds, recorded as an ["incremental"]
-    truncation. *)
+    truncation.
+
+    [feasible t p] (default everything) filters the processors task
+    [t] may occupy — the bridge to {!Constraints.feasible}.  With the
+    filter present, a task with no feasible processor under the
+    capacity bound raises [Invalid_argument] naming the task. *)
 
 val generations : int array -> int list list
 (** Task ids grouped by activation level, levels ascending. *)

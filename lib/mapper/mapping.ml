@@ -44,7 +44,7 @@ let tasks_on_proc m =
   done;
   tasks
 
-let validate m =
+let validate ?constraints m =
   let n = m.tg.Taskgraph.n in
   let k = cluster_count m in
   let procs = Topology.node_count m.topo in
@@ -81,6 +81,23 @@ let validate m =
       m.proc_of_cluster;
     if !dup then Error "two clusters on one processor (embedding must be injective)"
     else Ok ()
+  in
+  (* placement constraints, when supplied: report the first DRC
+     violation by name (task, processor, rule) *)
+  let* () =
+    match constraints with
+    | None -> Ok ()
+    | Some c -> begin
+      match Constraints.drc c (assignment m) with
+      | [] -> Ok ()
+      | v :: rest ->
+        let extra =
+          match List.length rest with
+          | 0 -> ""
+          | k -> Printf.sprintf " (and %d more)" k
+        in
+        Error (Constraints.violation_to_string v ^ extra)
+    end
   in
   (* every communication phase must be routed consistently *)
   List.fold_left

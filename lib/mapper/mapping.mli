@@ -34,11 +34,13 @@ val cluster_members : t -> int list array
 
 val tasks_on_proc : t -> int list array
 
-val validate : t -> (unit, string) result
+val validate : ?constraints:Constraints.t -> t -> (unit, string) result
 (** Structural checks: cluster ids dense, embedding injective and in
     range, every cross-processor communication edge routed with a path
     that starts at the sender's processor and ends at the receiver's,
-    every co-located edge routed with the empty path. *)
+    every co-located edge routed with the empty path.  When
+    [constraints] is supplied the {!Constraints.drc} pass runs too and
+    the first violation is reported by name. *)
 
 val dilation_stats : t -> int * float * int
 (** [(max, average, edge_count)] over all routed cross-processor edges

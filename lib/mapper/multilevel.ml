@@ -35,13 +35,18 @@ type t = {
 
 let available ctx =
   let n = ctx.Ctx.tg.Taskgraph.n in
-  if n > flat_sweet_spot then Ok ()
+  let threshold = ctx.Ctx.options.Ctx.multilevel_threshold in
+  if Ctx.constrained ctx then
+    (* the projected per-level refinement moves tasks freely between
+       processors; declining by name keeps the constraint contract *)
+    Error "constraints present: multilevel refinement is constraint-unaware"
+  else if n > threshold then Ok ()
   else if List.mem "multilevel" ctx.Ctx.options.Ctx.only then Ok ()
   else
     Error
       (Printf.sprintf
          "graph fits the flat strategies (%d <= %d tasks); force with --only multilevel"
-         n flat_sweet_spot)
+         n threshold)
 
 (* disconnected processor pairs must never look attractive *)
 let hop dist u v =

@@ -26,8 +26,11 @@
     so small-graph behaviour (and every golden test) is unchanged. *)
 
 val flat_sweet_spot : int
-(** Largest task count the flat strategies handle comfortably (2048);
-    at or below it the tier declines unless explicitly selected. *)
+(** Default largest task count the flat strategies handle comfortably
+    (2048) — the default of [Ctx.options.multilevel_threshold], which
+    is what {!available} and the flat gates actually consult
+    ([--multilevel-threshold] tunes it); at or below it the tier
+    declines unless explicitly selected. *)
 
 type t = {
   ml_cluster_of : int array;  (** task → dense cluster id *)

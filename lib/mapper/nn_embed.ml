@@ -9,7 +9,9 @@ let weighted_hops cg topo proc_of_cluster =
       acc + (w * Distcache.hop dc proc_of_cluster.(a) proc_of_cluster.(b)))
     0 (Ugraph.edges cg)
 
-let embed ?budget cg topo =
+exception Infeasible of string
+
+let embed ?budget ?fixed ?allowed cg topo =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let k = Ugraph.node_count cg in
   let p = Topology.node_count topo in
@@ -17,6 +19,11 @@ let embed ?budget cg topo =
   let alive = Topology.alive topo in
   if k > Topology.alive_count topo then
     invalid_arg "Nn_embed: more clusters than alive processors";
+  (* the constrained path: [may c v] filters candidate processors per
+     cluster, [fixed] pre-places pinned clusters.  Both default to the
+     unconstrained behaviour bit-for-bit. *)
+  let constrained = fixed <> None || allowed <> None in
+  let may = match allowed with Some f -> f | None -> fun _ _ -> true in
   let dc = Distcache.hops topo in
   let proc_of = Array.make k (-1) in
   let proc_used = Array.make p false in
@@ -24,10 +31,45 @@ let embed ?budget cg topo =
     proc_of.(cluster) <- proc;
     proc_used.(proc) <- true
   in
+  (match fixed with
+  | None -> ()
+  | Some fx ->
+    if Array.length fx <> k then invalid_arg "Nn_embed: fixed must cover every cluster";
+    Array.iteri
+      (fun c pr ->
+        if pr >= 0 then begin
+          if not (alive pr) then
+            raise (Infeasible (Printf.sprintf "cluster %d pinned to dead processor %d" c pr));
+          if proc_used.(pr) then
+            raise
+              (Infeasible (Printf.sprintf "two clusters pinned to processor %d" pr));
+          place c pr
+        end)
+      fx);
   let first_alive () =
     let v = ref 0 in
     while not (alive !v) do incr v done;
     !v
+  in
+  (* first free processor a cluster accepts, [-1] when none *)
+  let first_free c =
+    let best = ref (-1) in
+    let v = ref 0 in
+    while !best = -1 && !v < p do
+      if alive !v && (not proc_used.(!v)) && may c !v then best := !v;
+      incr v
+    done;
+    !best
+  in
+  let seed_cluster c =
+    if proc_of.(c) = -1 then begin
+      if not constrained then place c (first_alive ())
+      else begin
+        match first_free c with
+        | -1 -> raise (Infeasible (Printf.sprintf "no feasible processor for cluster %d" c))
+        | v -> place c v
+      end
+    end
   in
   (* seed: heaviest edge on a max-degree processor and its neighbour *)
   let heaviest =
@@ -40,7 +82,7 @@ let embed ?budget cg topo =
   in
   let tg = Topology.graph topo in
   (match heaviest with
-  | Some (_, a, b) ->
+  | Some (_, a, b) when not constrained ->
     let seed_proc =
       let best = ref (first_alive ()) in
       for v = !best + 1 to p - 1 do
@@ -60,7 +102,24 @@ let embed ?budget cg topo =
         !v
     in
     if k > 1 then place b neighbour
-  | None -> if k > 0 then place 0 (first_alive ()));
+  | Some (_, a, b) ->
+    (* constrained seeding: max-degree among the seed's own feasible
+       processors; its partner lands via the growth scan below, which
+       already honours the filter *)
+    if proc_of.(a) = -1 then begin
+      let best = ref (-1) in
+      for v = 0 to p - 1 do
+        if
+          alive v && (not proc_used.(v)) && may a v
+          && (!best = -1 || Ugraph.degree tg v > Ugraph.degree tg !best)
+        then best := v
+      done;
+      match !best with
+      | -1 -> raise (Infeasible (Printf.sprintf "no feasible processor for cluster %d" a))
+      | v -> place a v
+    end;
+    ignore b
+  | None -> if k > 0 then seed_cluster 0);
   (* grow: most-communicating unplaced cluster onto the cheapest free
      processor *)
   let remaining () =
@@ -77,12 +136,23 @@ let embed ?budget cg topo =
       (* anytime completion: drop the attraction/cost scans and stream
          the remaining clusters onto the first free alive processors *)
       Budget.note budget "nn-embed";
-      let proc = ref 0 in
-      List.iter
-        (fun c ->
-          while not (alive !proc) || proc_used.(!proc) do incr proc done;
-          place c !proc)
-        unplaced
+      if not constrained then begin
+        let proc = ref 0 in
+        List.iter
+          (fun c ->
+            while not (alive !proc) || proc_used.(!proc) do incr proc done;
+            place c !proc)
+          unplaced
+      end
+      else
+        List.iter
+          (fun c ->
+            match first_free c with
+            | -1 ->
+              raise
+                (Infeasible (Printf.sprintf "no feasible processor for cluster %d" c))
+            | v -> place c v)
+          unplaced
     | unplaced ->
       let attraction c =
         List.fold_left
@@ -109,7 +179,7 @@ let embed ?budget cg topo =
         in
         let best = ref (-1) and best_cost = ref max_int in
         for proc = 0 to p - 1 do
-          if alive proc && not proc_used.(proc) then begin
+          if alive proc && (not proc_used.(proc)) && may c proc then begin
             let cost = cost proc in
             if cost < !best_cost then begin
               best_cost := cost;
@@ -117,6 +187,8 @@ let embed ?budget cg topo =
             end
           end
         done;
+        if !best = -1 then
+          raise (Infeasible (Printf.sprintf "no feasible processor for cluster %d" c));
         place c !best);
       grow ()
   in

@@ -2,8 +2,14 @@
     cluster graph into the network, placing highly communicating
     clusters on adjacent processors. *)
 
+exception Infeasible of string
+(** Raised (constrained runs only) when a cluster has no feasible free
+    processor left; the message names the cluster. *)
+
 val embed :
   ?budget:Budget.t ->
+  ?fixed:int array ->
+  ?allowed:(int -> int -> bool) ->
   Oregami_graph.Ugraph.t ->
   Oregami_topology.Topology.t ->
   int array
@@ -19,7 +25,14 @@ val embed :
 
     When [budget] (default unlimited) trips, the remaining clusters
     are streamed onto the first free alive processors — still
-    injective and alive-only, recorded as an ["nn-embed"] truncation. *)
+    injective and alive-only, recorded as an ["nn-embed"] truncation.
+
+    Placement constraints ({!Constraints}): [fixed] pre-places
+    clusters (entry ≥ 0 pins that cluster, [-1] leaves it free, length
+    must equal the cluster count) and [allowed c p] filters the
+    processors cluster [c] may occupy.  Both default to the
+    unconstrained behaviour bit-for-bit; with either present, a
+    cluster with no feasible free processor raises {!Infeasible}. *)
 
 val weighted_hops :
   Oregami_graph.Ugraph.t -> Oregami_topology.Topology.t -> int array -> int

@@ -6,10 +6,17 @@ module Clock = Oregami_prelude.Clock
 let now () = Clock.now ()
 
 (* embedding pass: candidates that carry no placement get NN-Embed on
-   their cluster graph, then pairwise-interchange refinement *)
+   their cluster graph, then pairwise-interchange refinement.  With
+   constraints active the per-task rules are projected onto the
+   candidate's clusters (a cluster merging incompatible tasks rejects
+   the candidate by name) and both passes run filtered; the
+   unconstrained path is bit-identical to the historical one. *)
 let place ctx (cand : Strategy.candidate) =
   match cand.Strategy.placement with
-  | Strategy.Placed proc_of_cluster -> proc_of_cluster
+  | Strategy.Placed proc_of_cluster ->
+    (* strategies that place directly answer for feasibility
+       themselves; the DRC in [finish] catches any violation *)
+    Ok proc_of_cluster
   | Strategy.Embed ->
     let t0 = now () in
     let cg = Ugraph.create cand.Strategy.clusters in
@@ -19,17 +26,46 @@ let place ctx (cand : Strategy.candidate) =
         if cu <> cv then Ugraph.add_edge ~w cg cu cv)
       (Ugraph.edges (Ctx.static ctx));
     let budget = ctx.Ctx.budget in
-    let proc_of_cluster = Nn_embed.embed ~budget cg ctx.Ctx.topo in
     let result =
-      if ctx.Ctx.options.Ctx.refine then begin
-        let swaps = ref 0 in
-        let refined =
-          Refine.improve_embedding ~budget ~swaps cg ctx.Ctx.topo proc_of_cluster
-        in
-        Stats.add_refine_swaps ctx.Ctx.stats !swaps;
-        refined
+      if not (Ctx.constrained ctx) then begin
+        let proc_of_cluster = Nn_embed.embed ~budget cg ctx.Ctx.topo in
+        if ctx.Ctx.options.Ctx.refine then begin
+          let swaps = ref 0 in
+          let refined =
+            Refine.improve_embedding ~budget ~swaps cg ctx.Ctx.topo proc_of_cluster
+          in
+          Stats.add_refine_swaps ctx.Ctx.stats !swaps;
+          Ok refined
+        end
+        else Ok proc_of_cluster
       end
-      else proc_of_cluster
+      else begin
+        let cons = ctx.Ctx.constraints in
+        match
+          Constraints.project cons ~clusters:cand.Strategy.clusters
+            ~cluster_of:cand.Strategy.cluster_of
+        with
+        | Error e -> Error e
+        | Ok pj -> begin
+          let allowed = Constraints.cluster_allowed cons pj in
+          match
+            Nn_embed.embed ~budget ~fixed:pj.Constraints.pj_fixed ~allowed cg
+              ctx.Ctx.topo
+          with
+          | exception Nn_embed.Infeasible msg -> Error ("embedding infeasible: " ^ msg)
+          | proc_of_cluster ->
+            if ctx.Ctx.options.Ctx.refine then begin
+              let swaps = ref 0 in
+              let refined =
+                Refine.improve_embedding ~budget ~swaps ~allowed cg ctx.Ctx.topo
+                  proc_of_cluster
+              in
+              Stats.add_refine_swaps ctx.Ctx.stats !swaps;
+              Ok refined
+            end
+            else Ok proc_of_cluster
+        end
+      end
     in
     Stats.add_phase_seconds ctx.Ctx.stats "embed" (now () -. t0);
     result
@@ -64,7 +100,10 @@ let finish ctx (cand : Strategy.candidate) proc_of_cluster =
       strategy = cand.Strategy.label;
     }
   in
-  match Mapping.validate m with
+  let constraints =
+    if Ctx.constrained ctx then Some ctx.Ctx.constraints else None
+  in
+  match Mapping.validate ?constraints m with
   | Ok () -> Ok m
   | Error e -> Error ("mapping failed validation: " ^ e)
 
@@ -128,17 +167,101 @@ let no_strategy_error stats =
 
 (* the last-resort placement: balanced consecutive blocks on the alive
    processors — O(n), needs no analysis, valid whenever the (possibly
-   degraded) machine is still connected *)
+   degraded) machine is still connected.  Under constraints the blocks
+   become a greedy feasible assignment: pins first, then each task on
+   the least-loaded feasible placeable processor (soft cap ⌈n/p⌉ keeps
+   it balanced); no feasible processor rejects the fallback by name. *)
 let fallback_candidate ctx =
   let n = ctx.Ctx.tg.Taskgraph.n in
-  let cluster_of, proc_of_cluster = Baselines.block ~n ~procs:(Ctx.procs ctx) in
-  let proc_of_cluster = Array.map (fun c -> ctx.Ctx.alive.(c)) proc_of_cluster in
-  {
-    Strategy.label = "fallback:block";
-    clusters = Array.length proc_of_cluster;
-    cluster_of;
-    placement = Strategy.Placed proc_of_cluster;
-  }
+  if not (Ctx.constrained ctx) then begin
+    let cluster_of, proc_of_cluster = Baselines.block ~n ~procs:(Ctx.procs ctx) in
+    let proc_of_cluster = Array.map (fun c -> ctx.Ctx.alive.(c)) proc_of_cluster in
+    Ok
+      {
+        Strategy.label = "fallback:block";
+        clusters = Array.length proc_of_cluster;
+        cluster_of;
+        placement = Strategy.Placed proc_of_cluster;
+      }
+  end
+  else begin
+    let cons = ctx.Ctx.constraints in
+    let placeable = ctx.Ctx.placeable in
+    let p = Array.length placeable in
+    if p = 0 then Error "fallback: no placeable processors"
+    else begin
+      let cap = (n + p - 1) / p in
+      let nprocs = Oregami_topology.Topology.node_count ctx.Ctx.topo in
+      let load = Array.make nprocs 0 in
+      let proc_of_task = Array.make n (-1) in
+      let feasible t pr = Constraints.feasible cons ~task:t ~proc:pr in
+      (* pins first so pinned processors carry their load before the
+         balance scan considers them *)
+      for t = 0 to n - 1 do
+        match Constraints.pinned cons t with
+        | Some pr ->
+          proc_of_task.(t) <- pr;
+          load.(pr) <- load.(pr) + 1
+        | None -> ()
+      done;
+      let err = ref None in
+      for t = 0 to n - 1 do
+        if !err = None && proc_of_task.(t) = -1 then begin
+          (* least-loaded feasible placeable processor, under the soft
+             cap when possible; smallest id breaks ties *)
+          let best = ref (-1) and best_load = ref max_int in
+          let capped = ref (-1) and capped_load = ref max_int in
+          Array.iter
+            (fun pr ->
+              if feasible t pr then begin
+                if load.(pr) < !best_load then begin
+                  best := pr;
+                  best_load := load.(pr)
+                end;
+                if load.(pr) < cap && load.(pr) < !capped_load then begin
+                  capped := pr;
+                  capped_load := load.(pr)
+                end
+              end)
+            placeable;
+          let choice = if !capped <> -1 then !capped else !best in
+          if choice = -1 then
+            err :=
+              Some (Printf.sprintf "fallback: no feasible processor for task %d" t)
+          else begin
+            proc_of_task.(t) <- choice;
+            load.(choice) <- load.(choice) + 1
+          end
+        end
+      done;
+      match !err with
+      | Some e -> Error e
+      | None ->
+        (* dense clusters grouped by processor — injective by
+           construction *)
+        let ids = Hashtbl.create (min (2 * p) 4096) in
+        let cluster_of =
+          Array.map
+            (fun pr ->
+              match Hashtbl.find_opt ids pr with
+              | Some c -> c
+              | None ->
+                let c = Hashtbl.length ids in
+                Hashtbl.add ids pr c;
+                c)
+            proc_of_task
+        in
+        let proc_of_cluster = Array.make (Hashtbl.length ids) 0 in
+        Hashtbl.iter (fun pr c -> proc_of_cluster.(c) <- pr) ids;
+        Ok
+          {
+            Strategy.label = "fallback:greedy-feasible";
+            clusters = Array.length proc_of_cluster;
+            cluster_of;
+            placement = Strategy.Placed proc_of_cluster;
+          }
+    end
+  end
 
 let compete ~score ctx strategies =
   let stats = ctx.Ctx.stats in
@@ -149,13 +272,28 @@ let compete ~score ctx strategies =
      instead of a torn-down pipeline *)
   let crashed_pass = ref false in
   let finish_protected cand =
-    match Isolate.protect (fun () -> finish ctx cand (place ctx cand)) with
+    match
+      Isolate.protect (fun () ->
+          match place ctx cand with
+          | Ok proc_of_cluster -> finish ctx cand proc_of_cluster
+          | Error e -> Error e)
+    with
     | Ok r -> r
     | Error exn ->
       crashed_pass := true;
       Error ("crashed: " ^ exn)
   in
+  (* a malformed constraint spec fails the whole run up front — every
+     strategy (and the fallback) would reject or mis-place against it *)
+  let spec_errors = Constraints.errors ctx.Ctx.constraints in
   let result =
+    match spec_errors with
+    | e :: _ as es ->
+      let extra =
+        match List.length es with 1 -> "" | k -> Printf.sprintf " (and %d more)" (k - 1)
+      in
+      Error ("invalid constraints: " ^ e ^ extra)
+    | [] ->
     let dispatch, competing =
       (* --only means a pure portfolio competition: no short-circuit *)
       if ctx.Ctx.options.Ctx.only <> [] then ([], strategies)
@@ -229,8 +367,9 @@ let compete ~score ctx strategies =
       (Stats.attempts stats)
   in
   let fallback_wanted =
-    ctx.Ctx.options.Ctx.fallback || Budget.exhausted budget || crashed_produce
-    || !crashed_pass
+    spec_errors = []
+    && (ctx.Ctx.options.Ctx.fallback || Budget.exhausted budget || crashed_produce
+       || !crashed_pass)
   in
   let fallback_used = ref false in
   let result =
@@ -238,29 +377,35 @@ let compete ~score ctx strategies =
     | Ok _ -> result
     | Error _ when fallback_wanted -> begin
       let tf = now () in
-      let fb = fallback_candidate ctx in
-      let finished = finish_protected fb in
-      let dt = now () -. tf in
-      Stats.add_phase_seconds stats "fallback" dt;
-      match finished with
-      | Ok m ->
-        Stats.record_attempt stats ~strategy:"fallback"
-          ~outcome:(Stats.Produced 1) ~seconds:dt;
-        let cr =
-          Stats.record_candidate stats ~strategy:"fallback"
-            ~label:fb.Strategy.label ~score:None ~ok:true ~note:""
-        in
-        Stats.mark_winner stats cr;
-        fallback_used := true;
-        Ok m
+      match fallback_candidate ctx with
       | Error e ->
-        Stats.record_attempt stats ~strategy:"fallback"
-          ~outcome:(Stats.Rejected e) ~seconds:dt;
-        let (_ : Stats.candidate) =
-          Stats.record_candidate stats ~strategy:"fallback"
-            ~label:fb.Strategy.label ~score:None ~ok:false ~note:e
-        in
+        Stats.record_attempt stats ~strategy:"fallback" ~outcome:(Stats.Rejected e)
+          ~seconds:(now () -. tf);
         Error (no_strategy_error stats)
+      | Ok fb -> begin
+        let finished = finish_protected fb in
+        let dt = now () -. tf in
+        Stats.add_phase_seconds stats "fallback" dt;
+        match finished with
+        | Ok m ->
+          Stats.record_attempt stats ~strategy:"fallback"
+            ~outcome:(Stats.Produced 1) ~seconds:dt;
+          let cr =
+            Stats.record_candidate stats ~strategy:"fallback"
+              ~label:fb.Strategy.label ~score:None ~ok:true ~note:""
+          in
+          Stats.mark_winner stats cr;
+          fallback_used := true;
+          Ok m
+        | Error e ->
+          Stats.record_attempt stats ~strategy:"fallback"
+            ~outcome:(Stats.Rejected e) ~seconds:dt;
+          let (_ : Stats.candidate) =
+            Stats.record_candidate stats ~strategy:"fallback"
+              ~label:fb.Strategy.label ~score:None ~ok:false ~note:e
+          in
+          Error (no_strategy_error stats)
+      end
     end
     | Error _ -> result
   in

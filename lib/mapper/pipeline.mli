@@ -43,16 +43,22 @@
     METRICS) because [oregami_metrics] sits above this library in the
     dependency order. *)
 
-val place : Ctx.t -> Strategy.candidate -> int array
+val place : Ctx.t -> Strategy.candidate -> (int array, string) result
 (** The embedding pass: a [Placed] candidate's own placement, or
     NN-Embed over the candidate's cluster graph followed by
     pairwise-interchange refinement when [ctx.options.refine] — swap
-    counts land in [ctx.stats]. *)
+    counts land in [ctx.stats].  With constraints active the per-task
+    rules are projected onto the clusters ({!Constraints.project}) and
+    both passes run filtered; [Error] (named reason) rejects the
+    candidate when a cluster merges incompatible constraints or no
+    feasible processor remains. *)
 
 val finish :
   Ctx.t -> Strategy.candidate -> int array -> (Mapping.t, string) result
 (** The routing pass: route the placed candidate with the configured
-    router (recording matching rounds) and validate the mapping. *)
+    router (recording matching rounds) and validate the mapping —
+    including the {!Constraints.drc} named-violation pass when
+    constraints are active. *)
 
 val compete :
   score:(Mapping.t -> int) ->

@@ -11,8 +11,10 @@ let cluster_cost dc cg proc_of c p =
     (fun acc (d, w) -> if d = c then acc else acc + (w * Distcache.hop dc p proc_of.(d)))
     0 (Ugraph.neighbors cg c)
 
-let improve_embedding ?(max_rounds = 10) ?budget ?swaps cg topo proc_of_cluster =
+let improve_embedding ?(max_rounds = 10) ?budget ?swaps ?allowed cg topo
+    proc_of_cluster =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  let may = match allowed with Some f -> f | None -> fun _ _ -> true in
   let accepted () = match swaps with Some r -> incr r | None -> () in
   let k = Ugraph.node_count cg in
   let p = Topology.node_count topo in
@@ -45,7 +47,7 @@ let improve_embedding ?(max_rounds = 10) ?budget ?swaps cg topo proc_of_cluster 
             (* move c to a free processor *)
             let before = cluster_cost dc cg proc_of c pc in
             let after = cluster_cost dc cg proc_of c target in
-            if after < before then begin
+            if after < before && may c target then begin
               occupant.(pc) <- -1;
               occupant.(target) <- c;
               proc_of.(c) <- target;
@@ -63,7 +65,7 @@ let improve_embedding ?(max_rounds = 10) ?budget ?swaps cg topo proc_of_cluster 
             let after =
               cluster_cost dc cg proc_of c pd + cluster_cost dc cg proc_of d pc
             in
-            if after < before then begin
+            if after < before && may c pd && may d pc then begin
               occupant.(pc) <- d;
               occupant.(pd) <- c;
               improved := true;

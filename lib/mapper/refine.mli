@@ -11,6 +11,7 @@ val improve_embedding :
   ?max_rounds:int ->
   ?budget:Budget.t ->
   ?swaps:int ref ->
+  ?allowed:(int -> int -> bool) ->
   Oregami_graph.Ugraph.t ->
   Oregami_topology.Topology.t ->
   int array ->
@@ -20,7 +21,12 @@ val improve_embedding :
     When [swaps] is given it is incremented once per accepted move or
     swap — the pipeline's per-pass instrumentation.  An exhausted
     [budget] stops the sweep at the current (always-valid) embedding,
-    recorded as a ["refine"] truncation. *)
+    recorded as a ["refine"] truncation.
+
+    [allowed c p] (default everything) filters the processors cluster
+    [c] may occupy: moves and swaps that would violate it are skipped,
+    so a cluster pinned via a single allowed processor is immobile and
+    the result stays {!Constraints}-feasible if the input was. *)
 
 val objective :
   Oregami_graph.Ugraph.t -> Oregami_topology.Topology.t -> int array -> int

@@ -12,7 +12,7 @@ let moved r = List.length r.rp_moves
 (* Incremental-placer cost rule (see Incremental.place): hop-weighted
    communication from a candidate processor to the task's already-placed
    neighbours; ties broken by lighter load, then smaller id. *)
-let evacuate static dc degraded proc_of load cap_load t =
+let evacuate static dc degraded feasible proc_of load cap_load t =
   let cost p =
     List.fold_left
       (fun acc (u, w) ->
@@ -22,7 +22,10 @@ let evacuate static dc degraded proc_of load cap_load t =
   let pick ~capped =
     let best = ref (-1) and best_key = ref (max_int, max_int, max_int) in
     for p = 0 to Topology.node_count degraded - 1 do
-      if Topology.alive degraded p && ((not capped) || load.(p) < cap_load) then begin
+      if
+        Topology.alive degraded p && feasible t p
+        && ((not capped) || load.(p) < cap_load)
+      then begin
         let key = (cost p, load.(p), p) in
         if key < !best_key then begin
           best_key := key;
@@ -34,7 +37,7 @@ let evacuate static dc degraded proc_of load cap_load t =
   in
   match pick ~capped:true with -1 -> pick ~capped:false | p -> p
 
-let repair ?(cap = 64) (m : Mapping.t) degraded =
+let repair ?(cap = 64) ?(constraints = Constraints.none) (m : Mapping.t) degraded =
   let tg = m.Mapping.tg in
   let n = tg.Taskgraph.n in
   if Topology.node_count degraded <> Topology.node_count m.Mapping.topo then
@@ -46,6 +49,19 @@ let repair ?(cap = 64) (m : Mapping.t) degraded =
     let alive_count = Topology.alive_count degraded in
     if alive_count = 0 then Error "no processor survives the faults"
     else begin
+      (* constraints are recompiled against the *degraded* machine: a
+         task pinned to a dead processor is a compile error here — the
+         repair refuses rather than evacuate it somewhere it must not
+         run *)
+      let cons = Constraints.compile constraints tg degraded in
+      match Constraints.errors cons with
+      | e :: _ -> Error ("constraints unsatisfiable after faults: " ^ e)
+      | [] ->
+      let constrained = Constraints.active cons in
+      let feasible =
+        if constrained then fun t p -> Constraints.feasible cons ~task:t ~proc:p
+        else fun _ _ -> true
+      in
       let before = Mapping.assignment m in
       let static = Taskgraph.static_graph tg in
       let dc = Distcache.hops degraded in
@@ -67,12 +83,24 @@ let repair ?(cap = 64) (m : Mapping.t) degraded =
         |> List.sort (fun a b -> compare (-weight a, a) (-weight b, b))
       in
       let cap_load = max 1 ((n + alive_count - 1) / alive_count) in
+      let stuck = ref None in
       List.iter
         (fun t ->
-          let p = evacuate static dc degraded proc_of load cap_load t in
-          proc_of.(t) <- p;
-          load.(p) <- load.(p) + 1)
+          if !stuck = None then begin
+            match evacuate static dc degraded feasible proc_of load cap_load t with
+            | -1 ->
+              stuck :=
+                Some
+                  (Printf.sprintf
+                     "no feasible surviving processor for evacuated task %d" t)
+            | p ->
+              proc_of.(t) <- p;
+              load.(p) <- load.(p) + 1
+          end)
         evacuees;
+      match !stuck with
+      | Some e -> Error e
+      | None ->
       (* dense clusters rebuilt from the processor assignment (evacuees
          may merge into surviving clusters when no processor is free) *)
       let ids = Hashtbl.create 16 in
@@ -102,7 +130,9 @@ let repair ?(cap = 64) (m : Mapping.t) degraded =
           strategy = Printf.sprintf "repair(%s)" m.Mapping.strategy;
         }
       in
-      match Mapping.validate mapping with
+      match
+        Mapping.validate ?constraints:(if constrained then Some cons else None) mapping
+      with
       | Error e -> Error ("repaired mapping failed validation: " ^ e)
       | Ok () ->
         let rp_moves =

@@ -27,10 +27,22 @@ type t = {
 
 val moved : t -> int
 
-val repair : ?cap:int -> Mapping.t -> Oregami_topology.Topology.t -> (t, string) result
+val repair :
+  ?cap:int ->
+  ?constraints:Constraints.spec ->
+  Mapping.t ->
+  Oregami_topology.Topology.t ->
+  (t, string) result
 (** [repair m degraded] repairs [m] against the degraded view of its
     topology.  [cap] bounds candidate routes per processor pair for
     MM-Route (default 64).  Errors when the processor counts disagree,
     when nothing survives, or when the repaired mapping fails
     validation (e.g. the surviving machine is partitioned and a phase
-    cannot be routed). *)
+    cannot be routed).
+
+    [constraints] (default {!Constraints.none}) is recompiled against
+    the {e degraded} machine: a pinned task whose processor died makes
+    the repair refuse with a named reason instead of evacuating the
+    task somewhere it must not run, evacuation only considers survivors
+    the shared {!Constraints.feasible} predicate accepts, and the
+    repaired mapping passes the DRC. *)

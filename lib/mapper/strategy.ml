@@ -33,15 +33,29 @@ let always _ = Ok ()
    the user forces them by name *)
 let fits_flat name ctx =
   let n = ctx.Ctx.tg.Taskgraph.n in
-  if n <= Multilevel.flat_sweet_spot then Ok ()
+  let threshold = ctx.Ctx.options.Ctx.multilevel_threshold in
+  if n <= threshold then Ok ()
   else if List.mem name ctx.Ctx.options.Ctx.only then Ok ()
   else
     Error
       (Printf.sprintf
          "graph exceeds the flat sweet spot (%d > %d tasks), multilevel territory; force with --only %s"
-         n Multilevel.flat_sweet_spot name)
+         n threshold name)
 
 let gate flag name ctx = if flag ctx.Ctx.options then Ok () else Error ("disabled (" ^ name ^ " = false)")
+
+(* strategies that emit a fixed [Placed] assignment without consulting
+   the feasibility predicate must decline constrained runs by name;
+   the [Embed] producers respect constraints through the shared
+   NN-Embed/Refine candidate filter instead *)
+let unconstrained what ctx =
+  if not (Ctx.constrained ctx) then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "constraints present: %s is constraint-unaware (pins/requires/forbids need the \
+          embedding strategies)"
+         what)
 
 (* canned tables, lattice placement and coset contraction all assume the
    intact network symmetry; on a degraded machine they would place onto
@@ -406,7 +420,10 @@ let registry () =
         (fun ctx ->
           match gate (fun o -> o.Ctx.allow_canned) "allow_canned" ctx with
           | Error _ as e -> e
-          | Ok () -> intact "canned" ctx);
+          | Ok () -> (
+            match intact "canned" ctx with
+            | Error _ as e -> e
+            | Ok () -> unconstrained "canned" ctx));
       produce = canned_produce;
     };
     {
@@ -419,7 +436,10 @@ let registry () =
           if not ctx.Ctx.options.Ctx.allow_systolic then
             Error "disabled (allow_systolic = false)"
           else if ctx.Ctx.compiled = None then Error "no compiled program (bare task graph)"
-          else intact "systolic" ctx);
+          else
+            match intact "systolic" ctx with
+            | Error _ as e -> e
+            | Ok () -> unconstrained "systolic" ctx);
       produce = systolic_produce;
     };
     {
@@ -492,7 +512,7 @@ let registry () =
       tier = Compete;
       default_on = false;
       doc = "random balanced placement (draws from the ctx RNG seed)";
-      available = always;
+      available = unconstrained "random";
       produce =
         baseline "random" (fun ctx ~n ~procs -> Baselines.random ctx.Ctx.rng ~n ~procs);
     };
@@ -501,7 +521,7 @@ let registry () =
       tier = Compete;
       default_on = false;
       doc = "consecutive blocks on the identity embedding (no NN-Embed)";
-      available = always;
+      available = unconstrained "naive-block";
       produce = baseline "block" (fun _ ~n ~procs -> Baselines.block ~n ~procs);
     };
     {
@@ -509,7 +529,7 @@ let registry () =
       tier = Compete;
       default_on = false;
       doc = "round-robin dealing on the identity embedding";
-      available = always;
+      available = unconstrained "round-robin";
       produce = baseline "round-robin" (fun _ ~n ~procs -> Baselines.round_robin ~n ~procs);
     };
   ]

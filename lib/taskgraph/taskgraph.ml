@@ -10,6 +10,7 @@ type t = {
   n : int;
   node_labels : string array;
   node_types : string array;
+  node_requires : string array;
   comm_phases : comm_phase list;
   exec_phases : exec_phase list;
   expr : Phase_expr.t;
@@ -25,8 +26,8 @@ let duplicates names =
   in
   find sorted
 
-let make ?node_labels ?node_types ?(declared_symmetric = false) ?declared_family ~name ~n
-    ~comm_phases ~exec_phases ~expr () =
+let make ?node_labels ?node_types ?node_requires ?(declared_symmetric = false)
+    ?declared_family ~name ~n ~comm_phases ~exec_phases ~expr () =
   let ( let* ) r f = Result.bind r f in
   let* () = if n > 0 then Ok () else Error "task graph needs at least one task" in
   let cp_names = List.map fst comm_phases and ep_names = List.map fst exec_phases in
@@ -58,9 +59,16 @@ let make ?node_labels ?node_types ?(declared_symmetric = false) ?declared_family
     match node_labels with Some l -> l | None -> Array.init n string_of_int
   in
   let node_types = match node_types with Some l -> l | None -> Array.make n "task" in
+  let node_requires =
+    match node_requires with Some l -> l | None -> Array.make n ""
+  in
   let* () =
-    if Array.length node_labels = n && Array.length node_types = n then Ok ()
-    else Error "node label/type arrays must have one entry per task"
+    if
+      Array.length node_labels = n
+      && Array.length node_types = n
+      && Array.length node_requires = n
+    then Ok ()
+    else Error "node label/type/requires arrays must have one entry per task"
   in
   Ok
     {
@@ -68,6 +76,7 @@ let make ?node_labels ?node_types ?(declared_symmetric = false) ?declared_family
       n;
       node_labels;
       node_types;
+      node_requires;
       comm_phases = List.map (fun (cp_name, edges) -> { cp_name; edges }) comm_phases;
       exec_phases = List.map (fun (ep_name, costs) -> { ep_name; costs }) exec_phases;
       expr;
@@ -75,11 +84,11 @@ let make ?node_labels ?node_types ?(declared_symmetric = false) ?declared_family
       declared_family;
     }
 
-let make_exn ?node_labels ?node_types ?declared_symmetric ?declared_family ~name ~n
-    ~comm_phases ~exec_phases ~expr () =
+let make_exn ?node_labels ?node_types ?node_requires ?declared_symmetric
+    ?declared_family ~name ~n ~comm_phases ~exec_phases ~expr () =
   match
-    make ?node_labels ?node_types ?declared_symmetric ?declared_family ~name ~n
-      ~comm_phases ~exec_phases ~expr ()
+    make ?node_labels ?node_types ?node_requires ?declared_symmetric ?declared_family
+      ~name ~n ~comm_phases ~exec_phases ~expr ()
   with
   | Ok tg -> tg
   | Error msg -> invalid_arg ("Taskgraph.make_exn: " ^ msg)

@@ -21,6 +21,10 @@ type t = private {
   n : int;
   node_labels : string array;
   node_types : string array;
+  node_requires : string array;
+      (** per-task required processor capability class ([""] = none);
+          surfaced from LaRCS [requires] annotations and enforced by
+          the mapper's constraint layer *)
   comm_phases : comm_phase list;
   exec_phases : exec_phase list;
   expr : Phase_expr.t;
@@ -33,6 +37,7 @@ type t = private {
 val make :
   ?node_labels:string array ->
   ?node_types:string array ->
+  ?node_requires:string array ->
   ?declared_symmetric:bool ->
   ?declared_family:string ->
   name:string ->
@@ -43,12 +48,14 @@ val make :
   unit ->
   (t, string) result
 (** Validates: positive [n], unique phase names, each phase digraph on
-    exactly [n] nodes, each cost array of length [n], and a
-    well-formed phase expression over the declared names. *)
+    exactly [n] nodes, each cost array of length [n] (likewise
+    [node_requires] when given), and a well-formed phase expression
+    over the declared names. *)
 
 val make_exn :
   ?node_labels:string array ->
   ?node_types:string array ->
+  ?node_requires:string array ->
   ?declared_symmetric:bool ->
   ?declared_family:string ->
   name:string ->

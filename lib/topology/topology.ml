@@ -19,11 +19,17 @@ type kind =
 
 type cache = ..
 
+let default_class = "compute"
+
 type t = {
   kind : kind;
   graph : Ugraph.t;
   links : (int * int) array;
   link_ids : (int * int, int) Hashtbl.t;
+  classes : string array;
+      (* classes.(u) is processor [u]'s capability class; all
+         [default_class] for homogeneous machines.  Preserved verbatim
+         by [degrade] so fault views keep their class tags. *)
   dead : bool array;
       (* dead.(u) marks a failed processor; its links are absent from
          [graph]/[links].  All-false for pristine topologies. *)
@@ -211,11 +217,16 @@ let build_graph kind =
       perms;
     g
 
-let of_graph kind graph dead cut_links =
+let of_graph ?classes kind graph dead cut_links =
   let links = Array.of_list (List.map (fun (u, v, _) -> (u, v)) (Ugraph.edges graph)) in
   let link_ids = Hashtbl.create (max 16 (Array.length links)) in
   Array.iteri (fun i uv -> Hashtbl.add link_ids uv i) links;
-  { kind; graph; links; link_ids; dead; cut_links; cache = Atomic.make None }
+  let classes =
+    match classes with
+    | Some c -> c
+    | None -> Array.make (Ugraph.node_count graph) default_class
+  in
+  { kind; graph; links; link_ids; classes; dead; cut_links; cache = Atomic.make None }
 
 let make kind =
   let graph = build_graph kind in
@@ -249,6 +260,23 @@ let alive_procs t =
     if not t.dead.(u) then out := u :: !out
   done;
   !out
+
+let node_class t u =
+  if u < 0 || u >= Array.length t.classes then invalid_arg "Topology.node_class";
+  t.classes.(u)
+
+let node_classes t = Array.copy t.classes
+
+let is_classed t = Array.exists (fun c -> c <> default_class) t.classes
+
+let class_names t = List.sort_uniq compare (Array.to_list t.classes)
+
+let with_classes t classes =
+  if Array.length classes <> Ugraph.node_count t.graph then
+    invalid_arg "Topology.with_classes: one class per processor required";
+  (* the cache slot holds graph-derived structures only (distances,
+     routes), so the re-classed view may share it *)
+  { t with classes = Array.copy classes }
 
 let base_name t =
   match t.kind with
@@ -335,7 +363,7 @@ let degrade t ~dead_procs:dp ~dead_links:dl =
           (fun i (u, v, w) ->
             if not (dead_link.(i) || dead.(u) || dead.(v)) then Ugraph.add_edge ~w g u v)
           (Ugraph.edges t.graph);
-        Ok (of_graph t.kind g dead !cut)
+        Ok (of_graph ~classes:t.classes t.kind g dead !cut)
       end
     end
 
@@ -451,6 +479,98 @@ let parse s =
   end
   | _ -> Error (Printf.sprintf "bad topology %S (want family:args)" s)
 
+let class_name_ok s =
+  String.length s > 0
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '-')
+       s
+
+let parse_class_spec ~n spec =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let classes = Array.make n default_class in
+  let rec groups = function
+    | [] -> Ok classes
+    | g :: rest -> begin
+      match String.index_opt g '@' with
+      | None -> err "bad class group %S (want CLASS@IDS, e.g. mem@0,4-7)" g
+      | Some i ->
+        let cls = String.sub g 0 i in
+        let ids = String.sub g (i + 1) (String.length g - i - 1) in
+        if not (class_name_ok cls) then
+          err "bad class name %S (want letters, digits, '_' or '-')" cls
+        else begin
+          let rec assign = function
+            | [] -> groups rest
+            | p :: ps -> begin
+              let bounds =
+                match String.index_opt p '-' with
+                | Some j when j > 0 ->
+                  ( int_of_string_opt (String.sub p 0 j),
+                    int_of_string_opt (String.sub p (j + 1) (String.length p - j - 1)) )
+                | Some _ | None ->
+                  let v = int_of_string_opt p in
+                  (v, v)
+              in
+              match bounds with
+              | Some lo, Some hi when lo > hi ->
+                err "empty processor range %S in class %s" p cls
+              | Some lo, Some hi when lo < 0 || hi >= n ->
+                err "processor ids %S of class %s out of range (topology has %d processors)"
+                  p cls n
+              | Some lo, Some hi ->
+                for u = lo to hi do
+                  classes.(u) <- cls
+                done;
+                assign ps
+              | _, _ -> err "bad processor ids %S in class %s (want ID or LO-HI)" p cls
+            end
+          in
+          assign (String.split_on_char ',' ids)
+        end
+    end
+  in
+  groups (String.split_on_char '/' spec)
+
+let classes_prefix = "classes="
+
+let of_string s =
+  let segs = String.split_on_char ':' s in
+  let base_segs, class_spec =
+    match List.rev segs with
+    | last :: rest
+      when String.length last >= String.length classes_prefix
+           && String.sub last 0 (String.length classes_prefix) = classes_prefix ->
+      ( List.rev rest,
+        Some
+          (String.sub last (String.length classes_prefix)
+             (String.length last - String.length classes_prefix)) )
+    | _ -> (segs, None)
+  in
+  match parse (String.concat ":" base_segs) with
+  | Error e -> Error e
+  | Ok kind -> begin
+    let t = make kind in
+    match class_spec with
+    | None -> Ok t
+    | Some spec ->
+      Result.map (with_classes t) (parse_class_spec ~n:(node_count t) spec)
+  end
+
 let pp fmt t =
   Format.fprintf fmt "%s: %d processors, %d links, degree %d, diameter %d" (name t)
-    (node_count t) (link_count t) (Ugraph.max_degree t.graph) (diameter t)
+    (node_count t) (link_count t) (Ugraph.max_degree t.graph) (diameter t);
+  if is_classed t then begin
+    let counts = Hashtbl.create 8 in
+    Array.iter
+      (fun c ->
+        Hashtbl.replace counts c (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
+      t.classes;
+    Format.fprintf fmt ", classes";
+    List.iter
+      (fun c -> Format.fprintf fmt " %s:%d" c (Hashtbl.find counts c))
+      (class_names t)
+  end

@@ -114,8 +114,45 @@ val parse : string -> (kind, string) result
     ["binomial:4"], ["butterfly:3"], ["ccc:3"], ["hex:3x4"],
     ["star:4"], ["debruijn:4"], ["shuffle:4"]. *)
 
+val of_string : string -> (t, string) result
+(** Parses a full topology spec, i.e. {!parse} notation optionally
+    followed by a capability-class suffix:
+    ["torus:4x4:classes=mem@0,3/io@12-15"].  The suffix lists
+    [CLASS@IDS] groups separated by ['/'], where [IDS] is a
+    comma-separated list of processor ids and [LO-HI] ranges; unlisted
+    processors keep {!default_class}.  Later groups override earlier
+    ones on overlap. *)
+
 val known_kinds : string list
 (** Names accepted by {!parse}, for help messages. *)
+
+(** {2 Capability classes}
+
+    Heterogeneous machines tag each processor with a capability class
+    (e.g. ["compute"], ["mem"], ["io"], or user-defined names).  Tasks
+    may require a class and mapping constraints may skip whole classes;
+    see [Oregami_mapper.Constraints].  Classes are orthogonal to the
+    link structure: they survive {!degrade} unchanged. *)
+
+val default_class : string
+(** ["compute"] — the class of every processor of an unclassed
+    topology. *)
+
+val node_class : t -> int -> string
+
+val node_classes : t -> string array
+(** A copy of the per-processor class array, indexed by processor id. *)
+
+val class_names : t -> string list
+(** Distinct class names in use, sorted. *)
+
+val is_classed : t -> bool
+(** Whether any processor has a class other than {!default_class}. *)
+
+val with_classes : t -> string array -> t
+(** A view of the topology with the given per-processor classes (one
+    per processor; raises [Invalid_argument] otherwise).  The graph,
+    numbering and cache are shared. *)
 
 val pp : Format.formatter -> t -> unit
 

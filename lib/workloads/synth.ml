@@ -28,27 +28,45 @@ let string_of_family = function
   | Tree -> "tree"
   | Rmat -> "rmat"
 
+(* errors name the offending field: a batch file with hundreds of
+   synth: specs is debugged from the message alone *)
 let parse s =
-  let fail () =
-    Error
-      (Printf.sprintf
-         "bad synthetic spec %S (want synth:FAMILY:N[:SEED], families: %s)" s
-         (String.concat ", " (List.map fst families)))
+  let fail fmt =
+    Printf.ksprintf
+      (fun m -> Error (Printf.sprintf "bad synthetic spec %S: %s" s m))
+      fmt
   in
-  if not (is_spec s) then fail ()
+  let families_s = String.concat ", " (List.map fst families) in
+  if not (is_spec s) then
+    fail "want synth:FAMILY:N[:SEED], families: %s" families_s
   else begin
     match String.split_on_char ':' s with
     | [ _; fam; n ] | [ _; fam; n; _ ] as parts -> begin
-      let seed =
-        match parts with
-        | [ _; _; _; sd ] -> int_of_string_opt sd
-        | _ -> Some 1
+      let ( let* ) = Result.bind in
+      let* f =
+        match family_of_string fam with
+        | Some f -> Ok f
+        | None -> fail "unknown family %S (families: %s)" fam families_s
       in
-      match (family_of_string fam, int_of_string_opt n, seed) with
-      | Some f, Some n, Some seed when n > 0 -> Ok (f, n, seed)
-      | _ -> fail ()
+      let* n =
+        match int_of_string_opt n with
+        | Some n when n > 0 -> Ok n
+        | Some n -> fail "task count must be positive, got %d" n
+        | None -> fail "task count %S is not an integer" n
+      in
+      let* seed =
+        match parts with
+        | [ _; _; _; sd ] -> begin
+          match int_of_string_opt sd with
+          | Some seed -> Ok seed
+          | None -> fail "seed %S is not an integer" sd
+        end
+        | _ -> Ok 1
+      in
+      Ok (f, n, seed)
     end
-    | _ -> fail ()
+    | parts ->
+      fail "want synth:FAMILY:N[:SEED] (3 or 4 fields, got %d)" (List.length parts)
   end
 
 let isqrt n =

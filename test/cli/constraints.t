@@ -1,0 +1,62 @@
+Placement constraints thread through every layer: pins, forbids,
+capability-class requirements, and skip-placement classes.  The
+`classes=` topology suffix tags processors; `--pin/--forbid/--require/
+--skip-class` constrain the mapping; validate-drc re-checks every rule
+against the final assignment by name.
+
+A pin plus a class requirement on a classed torus.  The dispatch
+strategies stand aside (they are constraint-unaware), the embedding
+strategies compete under the rules, and the winner passes the DRC:
+
+  $ oregami map jacobi -t "torus:4x4:classes=mem@0-3" --pin 0=5 --require 1=mem --explain | grep -E '^(canned|systolic|multilevel) +skipped|validate-drc' | sed -E 's/ +/ /g;s/[0-9]+\.[0-9]+/*/g'
+  canned skipped * constraints present: canned is constraint-unaware (pins/requires/forbids need the embedding strategies)
+  systolic skipped * constraints present: systolic is constraint-unaware (pins/requires/forbids need the embedding strategies)
+  multilevel skipped * constraints present: multilevel refinement is constraint-unaware
+  validate-drc: clean (pin 0=5 require 1=mem)
+
+Candidates that merge a required task with an incompatibly pinned one
+are rejected with the violated rule spelled out:
+
+  $ oregami map jacobi -t "torus:4x4:classes=mem@0-3" --pin 0=5 --require 1=mem --explain | grep -o 'cluster 0 requires class "mem" but is pinned to processor 5 of class "compute"' | sort -u
+  cluster 0 requires class "mem" but is pinned to processor 5 of class "compute"
+
+An infeasible spec is refused up front, naming the rule:
+
+  $ oregami map jacobi -t torus:4x4 --pin 0=99
+  oregami: invalid constraints: pin: processor 99 out of range (topology has 16 processors)
+  [1]
+  $ oregami map jacobi -t torus:4x4 --pin 0=1 --pin 0=2
+  oregami: invalid constraints: task 0 pinned to both processors 1 and 2
+  [1]
+  $ oregami map jacobi -t "torus:4x4:classes=mem@0-3" --require 5=gpu
+  oregami: invalid constraints: task 5 requires class "gpu" but no alive placeable processor offers it (classes: compute, mem)
+  [1]
+
+skip-class carves processors out of placement entirely (they still
+route traffic):
+
+  $ oregami map jacobi -t "torus:4x4:classes=io@12-15" --skip-class io --explain | grep -E 'processors|max tasks/proc|validate-drc' | sed -E 's/ +/ /g'
+   64 tasks -> 12 clusters -> 16 processors
+  processors 16
+  max tasks/proc 6
+  validate-drc: clean (skip io)
+
+Repair honours the constraints the mapping was produced under,
+recompiled against the degraded machine.  A pin whose processor
+survives stays put; a pin on a dead processor refuses by name:
+
+  $ oregami repair jacobi -t torus:4x4 --kill-procs 5 --pin 0=3 | grep -E 'faults|minimum' | sed -E 's/ +/ /g;s/[0-9]+/N/g'
+  faults: N dead processor (N)
+  before faults (mwm+nn) - - N
+  minimum-disruption repair N N N
+
+  $ oregami repair jacobi -t torus:4x4 --kill-procs 3 --pin 0=3
+  oregami: constraints unsatisfiable after faults: task 0 pinned to dead processor 3
+  [1]
+
+The batch service takes the same rules as request keys (`:` separates
+inside the values because `=` binds the key):
+
+  $ printf 'jacobi torus:4x4:classes=mem@0-3 pin=0:5 require=1:mem\njacobi torus:4x4 pin=0:99\n' | oregami serve | sed -E 's/[0-9]+\.[0-9]+/*/g'
+  1	jacobi	torus:4x4:classes=mem@0-3	ok	tiled+nn	full	132	*	1	3168	-
+  2	jacobi	torus:4x4	error	-	-	-	*	3	0	invalid constraints: pin: processor 99 out of range (topology has 16 processors)

@@ -96,11 +96,20 @@ already picks the multilevel tier:
    (degradation full)
    (seconds *))
 
-A malformed spec is a usage error:
+A malformed spec is a usage error naming the offending field:
 
   $ oregami map synth:grid:zero -t torus:4x4
-  oregami: bad synthetic spec "synth:grid:zero" (want synth:FAMILY:N[:SEED], families: grid, ring, tree, rmat)
+  oregami: bad synthetic spec "synth:grid:zero": task count "zero" is not an integer
+  [2]
+  $ oregami map synth:grid:0 -t torus:4x4
+  oregami: bad synthetic spec "synth:grid:0": task count must be positive, got 0
   [2]
   $ oregami map synth:mobius:100 -t torus:4x4
-  oregami: bad synthetic spec "synth:mobius:100" (want synth:FAMILY:N[:SEED], families: grid, ring, tree, rmat)
+  oregami: bad synthetic spec "synth:mobius:100": unknown family "mobius" (families: grid, ring, tree, rmat)
+  [2]
+  $ oregami map synth:rmat:64:soon -t torus:4x4
+  oregami: bad synthetic spec "synth:rmat:64:soon": seed "soon" is not an integer
+  [2]
+  $ oregami map synth:rmat:64:1:9 -t torus:4x4
+  oregami: bad synthetic spec "synth:rmat:64:1:9": want synth:FAMILY:N[:SEED] (3 or 4 fields, got 5)
   [2]
