@@ -49,11 +49,12 @@ type record = {
   rec_seconds : float;  (* wall-clock of the measured step *)
   rec_completion : int option;  (* METRICS completion-time model *)
   rec_speedup : float option;
+  rec_extra : (string * float) list;  (* experiment-specific numbers *)
 }
 
 let records : record list ref = ref []
 
-let record ?completion ?speedup ~experiment ~case seconds =
+let record ?completion ?speedup ?(extra = []) ~experiment ~case seconds =
   records :=
     {
       rec_experiment = experiment;
@@ -61,6 +62,7 @@ let record ?completion ?speedup ~experiment ~case seconds =
       rec_seconds = seconds;
       rec_completion = completion;
       rec_speedup = speedup;
+      rec_extra = extra;
     }
     :: !records
 
@@ -147,10 +149,12 @@ let write_json file =
     @ (match r.rec_completion with
       | Some c -> [ Printf.sprintf {|"completion": %d|} c ]
       | None -> [])
-    @
-    match r.rec_speedup with
-    | Some s -> [ Printf.sprintf {|"speedup": %.3f|} s ]
-    | None -> []
+    @ (match r.rec_speedup with
+      | Some s -> [ Printf.sprintf {|"speedup": %.3f|} s ]
+      | None -> [])
+    @ List.map
+        (fun (k, v) -> Printf.sprintf {|"%s": %.3f|} (json_escape k) v)
+        r.rec_extra
   in
   let lines =
     kept @ List.map (fun r -> "{ " ^ String.concat ", " (fields r) ^ " }") fresh
@@ -1563,6 +1567,200 @@ let e20_constraints () =
   print_endline " greedy-feasible fallback answers)"
 
 (* ================================================================== *)
+(* E21: the daemon under sustained open-loop load and overload         *)
+
+(* E21's child mode: a real daemon process behind a Unix socket, so the
+   measurements cross a genuine socket + process boundary and SIGTERM
+   drain runs with real signal handlers (not an in-process controller) *)
+let e21_daemon socket jobs queue_bound cache_bound =
+  exit
+    (Daemon.run
+       { (Daemon.default_config (Daemon.Unix_socket socket)) with
+         Daemon.d_jobs = jobs;
+         d_queue_bound = queue_bound;
+         (* open-loop phases keep many requests in flight on one
+            connection: only the admission queue may shed here *)
+         d_max_inflight = 4096;
+         d_cache_bound = Some cache_bound;
+       })
+
+let e21_daemon_load () =
+  Tab.section
+    "E21  Daemon: sustained open-loop load, overload shedding, SIGTERM drain";
+  (* sun_path caps Unix socket paths at ~108 bytes: keep them in /tmp *)
+  let sock = Printf.sprintf "/tmp/oregami-e21-%d.sock" (Unix.getpid ()) in
+  (* queue bound 2 on 4 workers: an accepted 40 ms job waits at most
+     ~20 ms in the queue, keeping the accepted p99 well inside the 2x
+     contract while the overload excess sheds *)
+  let jobs = 4 and queue_bound = 2 and cache_bound = 4 in
+  let pid =
+    Unix.create_process Sys.executable_name
+      [|
+        Sys.executable_name; "--e21-daemon"; sock; string_of_int jobs;
+        string_of_int queue_bound; string_of_int cache_bound;
+      |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  (* dial with retry: the child is still binding when we get here *)
+  let fd =
+    let rec go n =
+      match Daemon.connect (Daemon.Unix_socket sock) with
+      | fd -> fd
+      | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _) when n > 0 ->
+        Unix.sleepf 0.02;
+        go (n - 1)
+    in
+    go 250
+  in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr (Unix.dup fd) in
+  let say line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  let hear () = input_line ic in
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  (* server-side latency: the elapsed-ms column (admission to answer) *)
+  let elapsed_of line =
+    match String.split_on_char '\t' line with
+    | _ :: _ :: _ :: _ :: _ :: _ :: _ :: e :: _ -> float_of_string e
+    | _ -> failwith (Printf.sprintf "E21: no elapsed column in %S" line)
+  in
+  let percentile xs p =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    a.(max 0 (min (n - 1) (int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1)))
+  in
+  (* phase 0, correctness + cache bound: six distinct topologies through
+     a bound-4 cache must evict rather than grow *)
+  List.iter
+    (fun n ->
+      (* one at a time: the warmup must not trip its own admission queue *)
+      say (Printf.sprintf "nbody ring:%d fuel=200 retries=0" n);
+      let line = hear () in
+      if not (contains line "\tok\t") then
+        failwith (Printf.sprintf "E21: warmup mapping failed: %S" line))
+    [ 4; 5; 6; 7; 8; 9 ];
+  say "stats";
+  let s = hear () in
+  let topo_size =
+    let marker = "(topologies (size " in
+    let rec find i =
+      if i + String.length marker > String.length s then
+        failwith (Printf.sprintf "E21: no topology stats in %S" s)
+      else if String.sub s i (String.length marker) = marker then
+        i + String.length marker
+      else find (i + 1)
+    in
+    let idx = find 0 in
+    let j = String.index_from s idx ')' in
+    int_of_string (String.sub s idx (j - idx))
+  in
+  if topo_size > cache_bound then
+    failwith
+      (Printf.sprintf "E21: topology cache grew to %d (bound %d)" topo_size cache_bound);
+  (* fixed-duration jobs so latency shifts are pure queueing: 4 workers
+     x 40 ms sleeps = 100 jobs/s service capacity *)
+  let unloaded =
+    List.init 15 (fun _ ->
+        say "sleep 40";
+        elapsed_of (hear ()))
+  in
+  let p50_u = percentile unloaded 50.0 and p99_u = percentile unloaded 99.0 in
+  let phase n interval =
+    Prelude.Clock.time (fun () ->
+        for _ = 1 to n do
+          say "sleep 40";
+          Unix.sleepf interval
+        done;
+        let ok = ref [] and shed = ref 0 in
+        for _ = 1 to n do
+          let line = hear () in
+          if contains line "overload: admission queue full" then incr shed
+          else if contains line "\tok\t" then ok := elapsed_of line :: !ok
+          else failwith (Printf.sprintf "E21: unexpected answer %S" line)
+        done;
+        (!ok, !shed))
+  in
+  (* sustained: arrivals at ~0.9x capacity, nothing should queue long *)
+  let (sus_ok, sus_shed), t_sus = phase 120 0.011 in
+  (* overload: arrivals at ~2x capacity against a 4-deep queue; the
+     excess must shed by name so the accepted tail stays bounded *)
+  let (over_ok, over_shed), t_over = phase 80 0.005 in
+  if over_shed = 0 then failwith "E21: overload shed nothing";
+  if List.length over_ok < 10 then
+    failwith
+      (Printf.sprintf "E21: only %d accepted overload jobs" (List.length over_ok));
+  let p50_s = percentile sus_ok 50.0 and p99_s = percentile sus_ok 99.0 in
+  let p99_o = percentile over_ok 99.0 in
+  if p99_o > 2.0 *. p99_u then
+    failwith
+      (Printf.sprintf "E21: accepted p99 %.1f ms exceeds 2x unloaded p99 %.1f ms"
+         p99_o p99_u);
+  (* graceful drain: SIGTERM, every admitted request answered (none are
+     pending here), connection closed, exit 0, socket file removed *)
+  Unix.kill pid Sys.sigterm;
+  (try
+     while true do
+       ignore (hear ())
+     done
+   with End_of_file -> ());
+  close_out_noerr oc;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> failwith (Printf.sprintf "E21: daemon exited %d" n)
+  | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) -> failwith "E21: daemon died of a signal");
+  if Sys.file_exists sock then failwith "E21: socket file left behind";
+  let thr_sus = float_of_int (List.length sus_ok) /. t_sus in
+  let thr_over = float_of_int (List.length over_ok) /. t_over in
+  Tab.print
+    ~header:[ "phase"; "jobs"; "accepted"; "shed"; "req/s"; "p50 ms"; "p99 ms" ]
+    [
+      [ "unloaded"; "15"; "15"; "0"; "-"; Tab.fixed 1 p50_u; Tab.fixed 1 p99_u ];
+      [
+        "sustained ~0.9x"; "120"; string_of_int (List.length sus_ok);
+        string_of_int sus_shed; Tab.fixed 1 thr_sus; Tab.fixed 1 p50_s;
+        Tab.fixed 1 p99_s;
+      ];
+      [
+        "overload ~2x"; "80"; string_of_int (List.length over_ok);
+        string_of_int over_shed; Tab.fixed 1 thr_over; "-"; Tab.fixed 1 p99_o;
+      ];
+    ];
+  Printf.printf
+    "4 workers x 40 ms jobs (100 jobs/s capacity), queue bound %d; overload\n\
+     sheds by name and the accepted p99 stays within 2x the unloaded p99\n\
+     (%.1f vs %.1f ms); SIGTERM drained with exit 0 and removed the socket\n"
+    queue_bound p99_o p99_u;
+  record ~experiment:"E21" ~case:"unloaded (15 sequential 40 ms jobs)"
+    ~extra:[ ("p50_ms", p50_u); ("p99_ms", p99_u) ]
+    (List.fold_left ( +. ) 0.0 unloaded /. 1e3);
+  record ~experiment:"E21" ~case:"sustained (120 jobs at ~0.9x capacity)"
+    ~extra:
+      [
+        ("p50_ms", p50_s); ("p99_ms", p99_s); ("requests_per_s", thr_sus);
+        ("shed", float_of_int sus_shed);
+      ]
+    t_sus;
+  record ~experiment:"E21"
+    ~case:(Printf.sprintf "overload (80 jobs at ~2x capacity, queue bound %d)" queue_bound)
+    ~extra:
+      [
+        ("p99_ms", p99_o); ("p99_vs_unloaded", p99_o /. Float.max 0.001 p99_u);
+        ("accepted", float_of_int (List.length over_ok));
+        ("shed", float_of_int over_shed);
+        ("requests_per_s", thr_over);
+      ]
+    t_over
+
+(* ================================================================== *)
 (* Smoke mode: a fast end-to-end slice wired into `dune runtest`       *)
 
 let smoke () =
@@ -1741,6 +1939,7 @@ let experiments ~large =
     ("E18", e18_batch_throughput);
     ("E19", e19_multilevel ~large);
     ("E20", e20_constraints);
+    ("E21", e21_daemon_load);
     ("ablation-refinement", ablation_refinement);
     ("ablation-routing", ablation_routing);
     ("ablation-route-cap", ablation_route_cap);
@@ -1759,16 +1958,19 @@ let usage () =
   prerr_endline
     "usage: main.exe [--smoke] [--json FILE] [--only ID]... [--large]";
   prerr_endline
-    "  --only ID   run one experiment (repeatable; E1..E20, ablation-*, extension-*)";
+    "  --only ID   run one experiment (repeatable; E1..E21, ablation-*, extension-*)";
   prerr_endline "  --large     include the n=10^6 instances in E19";
   prerr_endline "  --json FILE merge machine-readable records into FILE";
   exit 2
 
 let () =
-  (* E18's fresh-process worker; not part of the public interface *)
+  (* E18/E21's fresh-process workers; not part of the public interface *)
   (match Array.to_list Sys.argv with
   | [ _; "--e18-serve"; jobs; req_file; out_file ] ->
     e18_serve (int_of_string jobs) req_file out_file
+  | [ _; "--e21-daemon"; socket; jobs; queue_bound; cache_bound ] ->
+    e21_daemon socket (int_of_string jobs) (int_of_string queue_bound)
+      (int_of_string cache_bound)
   | _ -> ());
   let smoke_mode = ref false
   and json_file = ref None

@@ -655,6 +655,146 @@ let batch_cmd =
              (identical to $(b,serve) reading the file)")
     Term.(const run $ file_arg $ sexp_arg $ jobs_arg)
 
+(* the long-lived daemon and its line client *)
+let listen_of ~socket ~port =
+  match (socket, port) with
+  | Some path, None -> Daemon.Unix_socket path
+  | None, Some p -> Daemon.Tcp p
+  | _ -> die ~code:2 "give exactly one of --socket PATH or --port N"
+
+let socket_arg =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Listen on (or dial) a Unix-domain socket at $(docv).")
+
+let port_arg =
+  Arg.(value & opt (some int) None
+       & info [ "port" ] ~docv:"N"
+           ~doc:"Listen on (or dial) loopback TCP port $(docv).")
+
+let daemon_cmd =
+  let run socket port jobs queue_bound max_inflight fuel_cap deadline_cap
+      timeout cache_bound sexp =
+    if jobs < 1 then die ~code:2 "--jobs must be at least 1";
+    if queue_bound < 0 then die ~code:2 "--queue-bound must be >= 0";
+    if max_inflight < 1 then die ~code:2 "--max-inflight must be >= 1";
+    if cache_bound < 0 then die ~code:2 "--cache-bound must be >= 0";
+    let cfg =
+      {
+        (Daemon.default_config (listen_of ~socket ~port)) with
+        Daemon.d_jobs = jobs;
+        Daemon.d_queue_bound = queue_bound;
+        Daemon.d_max_inflight = max_inflight;
+        Daemon.d_fuel_cap = fuel_cap;
+        Daemon.d_deadline_cap_ms = deadline_cap;
+        Daemon.d_timeout_ms = timeout;
+        Daemon.d_cache_bound = (if cache_bound = 0 then None else Some cache_bound);
+        Daemon.d_format = (if sexp then Service.Sexp else Service.Tsv);
+      }
+    in
+    match Daemon.run cfg with
+    | code -> exit code
+    | exception Unix.Unix_error (e, fn, arg) ->
+      die (Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e))
+  in
+  let queue_bound_arg =
+    Arg.(value & opt int 64
+         & info [ "queue-bound" ] ~docv:"N"
+             ~doc:"Admission queue bound: requests beyond $(docv) waiting \
+                   for a worker are shed with a named $(b,overload:) error \
+                   line.  $(b,0) sheds everything a worker cannot take \
+                   immediately.")
+  in
+  let max_inflight_arg =
+    Arg.(value & opt int 8
+         & info [ "max-inflight" ] ~docv:"N"
+             ~doc:"Per-client cap on unanswered requests; excess requests \
+                   are shed by name.")
+  in
+  let fuel_cap_arg =
+    Arg.(value & opt (some int) None
+         & info [ "fuel-cap" ] ~docv:"UNITS"
+             ~doc:"Per-request fuel quota: requests without $(b,fuel=) are \
+                   clamped to $(docv), explicit over-asks are rejected with \
+                   a $(b,quota:) error line.")
+  in
+  let deadline_cap_arg =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-cap-ms" ] ~docv:"MS"
+             ~doc:"Per-request deadline quota, enforced like \
+                   $(b,--fuel-cap).")
+  in
+  let timeout_arg =
+    Arg.(value & opt (some float) None
+         & info [ "timeout-ms" ] ~docv:"MS"
+             ~doc:"Per-request wall-clock timeout measured from admission: \
+                   queueing time shrinks the mapper's deadline budget, and \
+                   a request whose timeout lapsed while queued is answered \
+                   $(b,timeout:) without running.")
+  in
+  let cache_bound_arg =
+    Arg.(value & opt int 64
+         & info [ "cache-bound" ] ~docv:"N"
+             ~doc:"LRU bound on each shared artifact cache (compiled \
+                   programs, topologies).  $(b,0) means unbounded.")
+  in
+  Cmd.v
+    (Cmd.info "daemon"
+       ~doc:"Serve mapping requests forever on a Unix or TCP socket, with \
+             bounded admission (load-shedding by name), per-request quotas \
+             and timeouts, LRU-bounded caches, a live $(b,stats) verb, and \
+             graceful drain on SIGTERM")
+    Term.(const run $ socket_arg $ port_arg $ jobs_arg $ queue_bound_arg
+          $ max_inflight_arg $ fuel_cap_arg $ deadline_cap_arg $ timeout_arg
+          $ cache_bound_arg $ sexp_arg)
+
+let client_cmd =
+  let run socket port =
+    let listen = listen_of ~socket ~port in
+    let fd =
+      match Daemon.connect listen with
+      | fd -> fd
+      | exception Unix.Unix_error (e, fn, arg) ->
+        die (Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e))
+    in
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr (Unix.dup fd) in
+    (* answers arrive in completion order while we are still typing:
+       pump them on their own thread so neither side can stall *)
+    let pump =
+      Thread.create
+        (fun () ->
+          try
+            while true do
+              print_endline (input_line ic);
+              flush stdout
+            done
+          with End_of_file | Sys_error _ -> ())
+        ()
+    in
+    (try
+       while true do
+         let line = input_line stdin in
+         output_string oc line;
+         output_char oc '\n';
+         flush oc
+       done
+     with End_of_file -> ());
+    (* half-close tells the daemon we are done asking; it answers
+       everything pending, then closes, which ends the pump *)
+    (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+    Thread.join pump;
+    close_out_noerr oc;
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    exit 0
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Forward request lines from stdin to a running $(b,daemon) and \
+             print each answer line (requests also work interactively; try \
+             $(b,stats) or $(b,ping))")
+    Term.(const run $ socket_arg $ port_arg)
+
 let workloads_cmd =
   let run () =
     Prelude.Tab.print
@@ -684,5 +824,6 @@ let () =
           [
             parse_cmd; dump_cmd; analyze_cmd; map_cmd; render_cmd; routes_cmd;
             simulate_cmd; aggregate_cmd; remap_cmd; repair_cmd; serve_cmd;
-            batch_cmd; systolic_cmd; topo_cmd; workloads_cmd;
+            batch_cmd; daemon_cmd; client_cmd; systolic_cmd; topo_cmd;
+            workloads_cmd;
           ]))

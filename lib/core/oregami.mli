@@ -82,6 +82,11 @@ module Service = Service
     result line (TSV or s-expression) out, retry-with-reduced-scope on
     budget exhaustion, and a shared circuit breaker across requests. *)
 
+module Daemon = Daemon
+(** Long-lived socket daemon over {!Service}: bounded admission with
+    named load-shedding, per-client quotas and timeouts, LRU-bounded
+    artifact caches, live [stats], and graceful SIGTERM drain. *)
+
 module Metrics = Oregami_metrics.Metrics
 module Netsim = Oregami_metrics.Netsim
 module Render = Oregami_metrics.Render

@@ -11,6 +11,7 @@ module Workloads = Oregami_workloads.Workloads
 module Clock = Oregami_prelude.Clock
 module Memo = Oregami_prelude.Memo
 module Pool = Oregami_prelude.Pool
+module Rng = Oregami_prelude.Rng
 
 type format = Tsv | Sexp
 
@@ -37,6 +38,11 @@ type outcome = {
   r_error : string;
 }
 
+(* a LaRCS source is human-written text; anything beyond this is a
+   stray binary or a mistake, and slurping it unchecked would let one
+   request balloon the service's memory *)
+let max_program_bytes = 1 lsl 20
+
 let load_program path_or_workload =
   match
     List.find_opt
@@ -47,11 +53,21 @@ let load_program path_or_workload =
   | None -> begin
     try
       let ic = open_in path_or_workload in
-      let len = in_channel_length ic in
-      let s = really_input_string ic len in
-      close_in ic;
-      Ok (s, [])
-    with Sys_error m -> Error m
+      (* close on every exit, including a short read raising
+         End_of_file out of really_input_string *)
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          if len > max_program_bytes then
+            Error
+              (Printf.sprintf "%s: program too large: %d bytes (cap %d)"
+                 path_or_workload len max_program_bytes)
+          else Ok (really_input_string ic len, []))
+    with
+    | Sys_error m -> Error m
+    | End_of_file ->
+      Error (Printf.sprintf "%s: truncated read" path_or_workload)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -72,16 +88,25 @@ let parse_request ~id line =
   | [ _ ] -> Error "want: PROGRAM TOPOLOGY [key=value ...]"
   | program :: topology :: opts ->
     let with_options req f = { req with rq_options = f req.rq_options } in
-    let* req =
+    let* req, _seen =
       List.fold_left
         (fun acc tok ->
-          let* req = acc in
+          let* req, seen = acc in
           match String.index_opt tok '=' with
           | None | Some 0 ->
             Error (Printf.sprintf "bad token %S (want key=value)" tok)
           | Some i ->
             let k = String.sub tok 0 i in
             let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+            (* a repeated key is a client typo (the second value would
+               silently win): fail loudly instead *)
+            let* () =
+              if List.mem k seen then
+                Error (Printf.sprintf "duplicate key %S (each key may appear once)" k)
+              else Ok ()
+            in
+            let seen = k :: seen in
+            let* req =
             let non_negative what =
               match int_of_string_opt v with
               | Some n when n >= 0 -> Ok n
@@ -177,16 +202,19 @@ let parse_request ~id line =
               | None ->
                 Error
                   (Printf.sprintf "bad parameter %S (want an integer value)" tok)
-            end))
+            end)
+            in
+            Ok (req, seen))
         (Ok
-           {
-             rq_id = id;
-             rq_program = program;
-             rq_topology = topology;
-             rq_bindings = [];
-             rq_options = { Ctx.default_options with Ctx.fallback = true };
-             rq_retries = default_retries;
-           })
+           ( {
+               rq_id = id;
+               rq_program = program;
+               rq_topology = topology;
+               rq_bindings = [];
+               rq_options = { Ctx.default_options with Ctx.fallback = true };
+               rq_retries = default_retries;
+             },
+             [] ))
         opts
     in
     Ok (Some { req with rq_bindings = List.rev req.rq_bindings })
@@ -222,6 +250,34 @@ let rank = function
   | Ok (_, Stats.Truncated _) -> 2
   | Ok (_, Stats.Full) -> 3
 
+(* Jittered exponential backoff between retry attempts.  A bare retry
+   loop re-fires instantly, so when many requests on a pool (or many
+   daemon clients) hit the same transient hiccup they all retry in
+   lockstep; the jitter decorrelates them.  The delay only spends
+   wall-clock — output bytes are unchanged, and the jitter draws from
+   the request's own deterministic [Rng] stream, never from global
+   state. *)
+type backoff = {
+  bo_base_ms : float;  (** delay before the first retry *)
+  bo_factor : float;  (** multiplier per further retry *)
+  bo_cap_ms : float;  (** ceiling on the un-jittered delay *)
+  bo_jitter : float;
+      (** [j] scales the delay uniformly in [[1-j, 1+j)]; [0] = none *)
+}
+
+let default_backoff =
+  { bo_base_ms = 1.0; bo_factor = 2.0; bo_cap_ms = 50.0; bo_jitter = 0.5 }
+
+(* [n] is the 1-based retry ordinal (first retry = 1) *)
+let backoff_delay_ms bo rng n =
+  let raw = bo.bo_base_ms *. (bo.bo_factor ** float_of_int (n - 1)) in
+  let capped = Float.min bo.bo_cap_ms raw in
+  let scale =
+    if bo.bo_jitter <= 0.0 then 1.0
+    else 1.0 -. bo.bo_jitter +. Rng.float rng (2.0 *. bo.bo_jitter)
+  in
+  Float.max 0.0 (capped *. scale)
+
 (* ------------------------------------------------------------------ *)
 (* shared artifact caches                                             *)
 
@@ -240,7 +296,8 @@ type caches = {
       (* key: the topology spec string *)
 }
 
-let caches () = { c_programs = Memo.create (); c_topologies = Memo.create () }
+let caches ?bound () =
+  { c_programs = Memo.create ?bound (); c_topologies = Memo.create ?bound () }
 
 let program_key req =
   String.concat " "
@@ -310,10 +367,12 @@ let setup ?caches req =
     | Ok r -> r
   end
 
-let run_request ?breaker ?caches req =
+let run_request ?(backoff = default_backoff) ?breaker ?caches req =
   let breaker =
     match breaker with Some b -> b | None -> Isolate.breaker ()
   in
+  (* jitter stream decorrelated across requests of one batch *)
+  let rng = Rng.create (req.rq_options.Ctx.seed + (977 * req.rq_id)) in
   let attempts = ref 0 in
   let fuel = ref 0 in
   let result, seconds =
@@ -325,6 +384,8 @@ let run_request ?breaker ?caches req =
           let n = ref 0 in
           let continue = ref true in
           while !continue && !n <= req.rq_retries do
+            if !n > 0 then
+              Unix.sleepf (backoff_delay_ms backoff rng !n /. 1e3);
             let options = attempt_options req.rq_options !n in
             let r, used =
               match

@@ -10,7 +10,9 @@
     [TOPOLOGY] a topology spec ([torus:8x8], [hypercube:4], ...,
     optionally with a [:classes=CLASS@IDS/...] capability suffix).
     Blank lines and lines whose first token starts with [#] are
-    skipped.  Recognised option keys: [fuel=N] and [deadline-ms=X]
+    skipped.  A repeated key on one line is a named parse error (the
+    later value would otherwise win silently).  Recognised option
+    keys: [fuel=N] and [deadline-ms=X]
     (per-attempt budget), [retries=N] (extra reduced-scope attempts,
     default 2), [seed=N], [routing=mm|oblivious], [only=a,b] /
     [exclude=a,b] (strategy selection),
@@ -77,12 +79,35 @@ type outcome = {
   r_error : string;  (** [""] when ok *)
 }
 
+val max_program_bytes : int
+(** Size cap on program files read by {!load_program}; larger files
+    are rejected with a named error instead of being slurped. *)
+
 val load_program : string -> (string * (string * int) list, string) result
 (** Resolve a program argument: a built-in workload name (returning
-    its source and default parameter bindings) or a readable file. *)
+    its source and default parameter bindings) or a readable file.
+    The channel is closed on every path, and files over
+    {!max_program_bytes} are refused by name. *)
 
 val parse_request : id:int -> string -> (request option, string) result
-(** [Ok None] for blank/comment lines. *)
+(** [Ok None] for blank/comment lines.  Duplicate keys are an
+    [Error]. *)
+
+type backoff = {
+  bo_base_ms : float;  (** delay before the first retry *)
+  bo_factor : float;  (** multiplier per further retry *)
+  bo_cap_ms : float;  (** ceiling on the un-jittered delay *)
+  bo_jitter : float;
+      (** [j] scales each delay uniformly in [[1-j, 1+j)]; [0] = none *)
+}
+(** Jittered exponential backoff between retry attempts, replacing the
+    bare instant-retry counter: concurrent requests hitting the same
+    transient failure decorrelate instead of re-firing in lockstep.
+    Backoff spends wall-clock only — result bytes are unchanged, and
+    the jitter draws from the request's own seeded RNG. *)
+
+val default_backoff : backoff
+(** 1 ms base, doubling, 50 ms cap, ±50% jitter. *)
 
 type caches = {
   c_programs :
@@ -95,20 +120,30 @@ type caches = {
     missing program file — are immutable and safe to share across
     domains. *)
 
-val caches : unit -> caches
-(** Fresh, empty caches. *)
+val caches : ?bound:int -> unit -> caches
+(** Fresh, empty caches.  With [bound], each table keeps at most
+    [bound] entries under LRU eviction ({!Oregami_prelude.Memo}) — the
+    configuration a long-lived daemon needs so sustained many-key
+    traffic cannot grow the caches without limit. *)
 
 val run_request :
+  ?backoff:backoff ->
   ?breaker:Oregami_mapper.Isolate.breaker ->
   ?caches:caches ->
   request ->
   outcome
 (** Runs the request's attempt schedule.  Never raises: setup crashes
     and strategy crashes both become an error outcome (the latter via
-    the pipeline's own {!Oregami_mapper.Isolate} barrier).  With
-    [caches], program compilation and topology construction go through
-    the shared tables (and their results are identical to a cold
-    setup, wall-clock aside). *)
+    the pipeline's own {!Oregami_mapper.Isolate} barrier).  Before
+    each retry the calling domain sleeps per [backoff] (default
+    {!default_backoff}).  With [caches], program compilation and
+    topology construction go through the shared tables (and their
+    results are identical to a cold setup, wall-clock aside). *)
+
+val malformed : id:int -> line:string -> string -> outcome
+(** The error outcome {!serve} emits for an unparseable request line —
+    exposed so other frontends (the network daemon) can answer
+    malformed input identically. *)
 
 val render : format -> outcome -> string
 (** One line, no trailing newline.  [Tsv] column order: id, program,

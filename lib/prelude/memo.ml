@@ -1,33 +1,93 @@
-type 'v entry = Ready of 'v | Building
+type 'v entry = Ready of { value : 'v; mutable stamp : int } | Building
 
 type ('k, 'v) t = {
   lock : Mutex.t;
   changed : Condition.t;
   tbl : ('k, 'v entry) Hashtbl.t;
+  bound : int option;
+  mutable tick : int;  (* recency clock; larger stamp = used more recently *)
+  mutable ready : int;  (* published entries (Building claims excluded) *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
 }
 
-let create ?(size = 16) () =
-  { lock = Mutex.create (); changed = Condition.create (); tbl = Hashtbl.create size }
+type stats = {
+  mc_size : int;
+  mc_bound : int option;
+  mc_hits : int;
+  mc_misses : int;
+  mc_evictions : int;
+}
+
+let create ?(size = 16) ?bound () =
+  (match bound with
+  | Some b when b < 1 -> invalid_arg "Memo.create: bound must be >= 1"
+  | _ -> ());
+  {
+    lock = Mutex.create ();
+    changed = Condition.create ();
+    tbl = Hashtbl.create size;
+    bound;
+    tick = 0;
+    ready = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+(* caller holds [t.lock].  Building claims are never evicted: their
+   builder still expects to publish, and a waiter is parked on them. *)
+let evict_over_bound t =
+  match t.bound with
+  | None -> ()
+  | Some b ->
+    while t.ready > b do
+      let victim =
+        Hashtbl.fold
+          (fun k e acc ->
+            match (e, acc) with
+            | Building, _ -> acc
+            | Ready r, Some (_, best) when best <= r.stamp -> acc
+            | Ready r, _ -> Some (k, r.stamp))
+          t.tbl None
+      in
+      match victim with
+      | None -> t.ready <- 0 (* unreachable: ready > 0 implies a Ready entry *)
+      | Some (k, _) ->
+        Hashtbl.remove t.tbl k;
+        t.ready <- t.ready - 1;
+        t.evictions <- t.evictions + 1
+    done
 
 let get t key build =
   Mutex.lock t.lock;
   let rec claim () =
     match Hashtbl.find_opt t.tbl key with
-    | Some (Ready v) ->
+    | Some (Ready r) ->
+      t.tick <- t.tick + 1;
+      r.stamp <- t.tick;
+      t.hits <- t.hits + 1;
       Mutex.unlock t.lock;
-      v
+      r.value
     | Some Building ->
       (* someone else is building this key; sleep until the table
          changes rather than duplicating the work *)
       Condition.wait t.changed t.lock;
       claim ()
     | None ->
+      t.misses <- t.misses + 1;
       Hashtbl.replace t.tbl key Building;
       Mutex.unlock t.lock;
       (match build () with
       | v ->
         Mutex.lock t.lock;
-        Hashtbl.replace t.tbl key (Ready v);
+        t.tick <- t.tick + 1;
+        Hashtbl.replace t.tbl key (Ready { value = v; stamp = t.tick });
+        t.ready <- t.ready + 1;
+        (* the fresh entry holds the newest stamp, so under any bound
+           >= 1 the eviction scan always picks an older key *)
+        evict_over_bound t;
         Condition.broadcast t.changed;
         Mutex.unlock t.lock;
         v
@@ -46,7 +106,7 @@ let find_opt t key =
   Mutex.lock t.lock;
   let r =
     match Hashtbl.find_opt t.tbl key with
-    | Some (Ready v) -> Some v
+    | Some (Ready r) -> Some r.value
     | Some Building | None -> None
   in
   Mutex.unlock t.lock;
@@ -57,3 +117,13 @@ let length t =
   let n = Hashtbl.length t.tbl in
   Mutex.unlock t.lock;
   n
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      {
+        mc_size = t.ready;
+        mc_bound = t.bound;
+        mc_hits = t.hits;
+        mc_misses = t.misses;
+        mc_evictions = t.evictions;
+      })

@@ -1,4 +1,4 @@
-(** Domain-safe build-once table.
+(** Domain-safe build-once table, optionally bounded with LRU eviction.
 
     A [('k, 'v) t] maps keys to values that are expensive to build and
     immutable once built (compiled programs, topologies with warmed
@@ -8,11 +8,31 @@
     lock; latecomers block on a condition variable until the value is
     published.  If the build raises, the claim is released, the
     exception propagates to the builder, and a waiting domain retries
-    the build itself. *)
+    the build itself.
+
+    With [~bound:n] the table keeps at most [n] {e published} values:
+    publishing a fresh value beyond the bound evicts the least
+    recently used key(s) first (every {!get} refreshes its key's
+    recency).  Pending builds do not count toward the bound and are
+    never evicted.  An evicted key is rebuilt on its next {!get} — the
+    at-most-once guarantee is per residency, not per lifetime — which
+    is what keeps a long-lived service's artifact caches from growing
+    without limit under sustained many-key traffic. *)
 
 type ('k, 'v) t
 
-val create : ?size:int -> unit -> ('k, 'v) t
+type stats = {
+  mc_size : int;  (** published values currently resident *)
+  mc_bound : int option;  (** the configured LRU bound, if any *)
+  mc_hits : int;  (** {!get} calls answered from the table *)
+  mc_misses : int;  (** {!get} calls that claimed a build *)
+  mc_evictions : int;  (** values dropped by the LRU bound *)
+}
+
+val create : ?size:int -> ?bound:int -> unit -> ('k, 'v) t
+(** [size] is the initial hash-table sizing hint.  [bound], when
+    given, caps the number of published values (LRU eviction); it must
+    be at least 1 or [Invalid_argument] is raised. *)
 
 val get : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
 (** [get t key build] returns the cached value for [key], building and
@@ -20,7 +40,11 @@ val get : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
     the table lock, so independent keys build concurrently. *)
 
 val find_opt : ('k, 'v) t -> 'k -> 'v option
-(** The cached value, if already published ([None] while building). *)
+(** The cached value, if already published ([None] while building).
+    A pure peek: touches neither the recency order nor the counters. *)
 
 val length : ('k, 'v) t -> int
 (** Number of keys present (published or building). *)
+
+val stats : ('k, 'v) t -> stats
+(** Hit/miss/eviction counters and current size, read atomically. *)

@@ -75,3 +75,88 @@ let map ~jobs f arr =
     ~task:(fun i -> f arr.(i))
     ~emit:(fun i v -> out.(i) <- Some v);
   Array.map Option.get out
+
+(* ------------------------------------------------------------------ *)
+(* Persistent pool over a bounded admission queue.
+
+   [run] is batch-shaped: it needs the task count up front.  A
+   long-lived service instead feeds jobs as they arrive, so [feeder]
+   keeps the worker domains alive across jobs and makes admission
+   explicit: [offer] either enqueues (within the bound) or returns
+   [false] immediately — the caller sheds the load by name instead of
+   blocking, which is what keeps a server responsive when the queue
+   is full.  [drain] stops admission, lets the workers finish every
+   job already accepted, and joins them. *)
+
+type 'a feeder = {
+  f_lock : Mutex.t;
+  f_nonempty : Condition.t;
+  f_queue : 'a Queue.t;
+  f_bound : int;
+  mutable f_stop : bool;
+  mutable f_active : int;  (* jobs a worker is processing right now *)
+  mutable f_workers : unit Domain.t list;
+}
+
+let feeder ~jobs ~bound handler =
+  if jobs < 1 then invalid_arg "Pool.feeder: jobs must be >= 1";
+  if bound < 0 then invalid_arg "Pool.feeder: bound must be >= 0";
+  let f =
+    {
+      f_lock = Mutex.create ();
+      f_nonempty = Condition.create ();
+      f_queue = Queue.create ();
+      f_bound = bound;
+      f_stop = false;
+      f_active = 0;
+      f_workers = [];
+    }
+  in
+  let worker () =
+    let running = ref true in
+    while !running do
+      Mutex.lock f.f_lock;
+      while Queue.is_empty f.f_queue && not f.f_stop do
+        Condition.wait f.f_nonempty f.f_lock
+      done;
+      if Queue.is_empty f.f_queue then begin
+        (* stop requested and nothing left: done *)
+        running := false;
+        Mutex.unlock f.f_lock
+      end
+      else begin
+        let x = Queue.pop f.f_queue in
+        f.f_active <- f.f_active + 1;
+        Mutex.unlock f.f_lock;
+        (* the handler owns its own error reporting; a raise here must
+           not kill the worker domain *)
+        (try handler x with _ -> ());
+        Mutex.lock f.f_lock;
+        f.f_active <- f.f_active - 1;
+        Mutex.unlock f.f_lock
+      end
+    done
+  in
+  f.f_workers <- List.init jobs (fun _ -> Domain.spawn worker);
+  f
+
+let offer f x =
+  Mutex.protect f.f_lock (fun () ->
+      if f.f_stop || Queue.length f.f_queue >= f.f_bound then false
+      else begin
+        Queue.push x f.f_queue;
+        Condition.signal f.f_nonempty;
+        true
+      end)
+
+let depth f = Mutex.protect f.f_lock (fun () -> Queue.length f.f_queue)
+
+let inflight f = Mutex.protect f.f_lock (fun () -> f.f_active)
+
+let drain f =
+  Mutex.lock f.f_lock;
+  f.f_stop <- true;
+  Condition.broadcast f.f_nonempty;
+  Mutex.unlock f.f_lock;
+  List.iter Domain.join f.f_workers;
+  f.f_workers <- []

@@ -32,3 +32,42 @@ val run : jobs:int -> n:int -> task:(int -> 'a) -> emit:(int -> 'a -> unit) -> u
 val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~jobs f arr] is [Array.map f arr] computed on the pool, in
     input order. *)
+
+(** {2 Persistent pool with a bounded admission queue}
+
+    {!run} is batch-shaped (task count known up front).  A long-lived
+    service instead feeds jobs as clients produce them: {!feeder}
+    keeps [jobs] worker domains alive across jobs, and admission is
+    explicit — {!offer} either enqueues within the bound or returns
+    [false] {e immediately}, so the caller can shed the load with a
+    named rejection instead of blocking.  This is the backpressure
+    primitive under the network daemon's admission control. *)
+
+type 'a feeder
+
+val feeder : jobs:int -> bound:int -> ('a -> unit) -> 'a feeder
+(** [feeder ~jobs ~bound handler] spawns [jobs] worker domains that
+    pull accepted jobs FIFO and run [handler] on each.  At most
+    [bound] jobs wait in the queue (jobs being processed do not
+    count).  The handler owns its own error reporting: if it raises,
+    the exception is swallowed and the worker keeps serving.  [jobs]
+    must be at least 1; [bound] at least 0 ([0] sheds every offer —
+    useful for tests). *)
+
+val offer : 'a feeder -> 'a -> bool
+(** Non-blocking admission: [true] if the job was enqueued, [false]
+    if the queue is at its bound (or the feeder is draining) — the
+    caller should reject the job by name.  Safe from any thread or
+    domain. *)
+
+val depth : 'a feeder -> int
+(** Jobs currently waiting in the queue (excludes jobs being
+    processed). *)
+
+val inflight : 'a feeder -> int
+(** Jobs currently being processed by a worker. *)
+
+val drain : 'a feeder -> unit
+(** Stop admitting ([offer] returns [false] from now on), let the
+    workers finish every job already accepted, and join them.  Blocks
+    until the queue is empty and every worker has exited. *)

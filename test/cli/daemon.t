@@ -1,0 +1,58 @@
+The long-lived daemon: the batch service behind a Unix socket, with
+admission control, quotas, a live stats verb, and graceful SIGTERM
+drain.  (Socket paths live under /tmp because sun_path caps them at
+~108 bytes, far shorter than cram working directories.)
+
+  $ SOCK=$(mktemp -u /tmp/oregami-cram-XXXXXX.sock)
+  $ oregami daemon --socket "$SOCK" --jobs 2 2>daemon.log &
+  $ DAEMON=$!
+
+Wait for the socket to appear:
+
+  $ for i in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.05; done
+
+The client forwards request lines and prints one answer line each —
+the same bytes the batch service emits:
+
+  $ printf 'voting hypercube:2\n' | oregami client --socket "$SOCK" | sed -E 's/[0-9]+\.[0-9]+/*/g'
+  1	voting	hypercube:2	ok	group-theoretic	full	24	*	1	159	-
+
+Control verbs: ping answers pong, stats answers one s-expression of
+live counters:
+
+  $ printf 'ping\n' | oregami client --socket "$SOCK"
+  pong
+  $ printf 'stats\n' | oregami client --socket "$SOCK" | grep -c '(stats (served 1) (shed 0)'
+  1
+  $ printf 'stats\n' | oregami client --socket "$SOCK" | grep -c '(latency-ms (p50 '
+  1
+
+Malformed lines are answered in place, the connection stays up:
+
+  $ printf 'lonely\nvoting hypercube:2 fuel=1 fuel=2\n' | oregami client --socket "$SOCK" | cut -f4,11
+  error	want: PROGRAM TOPOLOGY [key=value ...]
+  error	duplicate key "fuel" (each key may appear once)
+
+SIGTERM drains gracefully: exit 0, socket file removed:
+
+  $ kill -TERM $DAEMON
+  $ wait $DAEMON
+  $ [ -e "$SOCK" ] && echo "socket left behind" || echo "socket removed"
+  socket removed
+
+Quotas reject explicit over-asks by name:
+
+  $ SOCK2=$(mktemp -u /tmp/oregami-cram-XXXXXX.sock)
+  $ oregami daemon --socket "$SOCK2" --jobs 1 --fuel-cap 50 2>daemon2.log &
+  $ DAEMON2=$!
+  $ for i in $(seq 1 100); do [ -S "$SOCK2" ] && break; sleep 0.05; done
+  $ printf 'voting hypercube:2 fuel=100\n' | oregami client --socket "$SOCK2" | cut -f4,11
+  error	quota: fuel=100 exceeds cap 50
+  $ kill -TERM $DAEMON2
+  $ wait $DAEMON2
+
+The daemon needs an address:
+
+  $ oregami daemon
+  oregami: give exactly one of --socket PATH or --port N
+  [2]

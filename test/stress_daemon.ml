@@ -1,0 +1,371 @@
+(* Daemon soak (`dune build @stress`).
+
+   Four scenarios against real Unix sockets:
+
+   1. SIGTERM drain: a forked daemon killed with provably-admitted
+      jobs inflight must answer every one of them, exit 0, and remove
+      its socket file.
+   2. Soak: 8 concurrent clients each stream 40 mixed requests and
+      must get exactly one answer per request, every answer matching
+      what the batch service says for the same line (elapsed column
+      masked; answers re-sorted by id since they arrive in completion
+      order).
+   3. Overload: a burst of fixed-duration [sleep] jobs against a tiny
+      queue must shed by name, and the p99 latency of the *accepted*
+      jobs must stay within 2x the unloaded p99 — shedding is what
+      keeps the tail bounded.
+   4. Cache bound: traffic over more topologies than the cache bound
+      admits must evict rather than grow, proven by the stats verb. *)
+
+open Oregami
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("stress_daemon: " ^ m);
+      exit 1)
+    fmt
+
+(* --- plumbing ----------------------------------------------------- *)
+
+type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let dial path =
+  let rec go n =
+    match Daemon.connect (Daemon.Unix_socket path) with
+    | fd -> fd
+    | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _) when n > 0 ->
+      Unix.sleepf 0.02;
+      go (n - 1)
+  in
+  let fd = go 250 in
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr (Unix.dup fd);
+  }
+
+let say c line =
+  output_string c.oc line;
+  output_char c.oc '\n';
+  flush c.oc
+
+let hear c = input_line c.ic
+
+let hangup c =
+  close_out_noerr c.oc;
+  try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* mask the wall-clock elapsed-ms column (index 7) *)
+let mask line =
+  String.split_on_char '\t' line
+  |> List.mapi (fun i col -> if i = 7 then "*" else col)
+  |> String.concat "\t"
+
+let id_of line =
+  match String.split_on_char '\t' line with
+  | x :: _ -> ( match int_of_string_opt x with Some n -> n | None -> max_int)
+  | [] -> max_int
+
+let elapsed_of line =
+  match String.split_on_char '\t' line with
+  | _ :: _ :: _ :: _ :: _ :: _ :: _ :: e :: _ -> float_of_string e
+  | _ -> fail "no elapsed column in %S" line
+
+(* sun_path is ~108 bytes: keep socket paths short and in /tmp *)
+let sock_path tag = Printf.sprintf "/tmp/oregd-%s-%d.sock" tag (Unix.getpid ())
+
+let in_process_daemon cfg =
+  let lock = Mutex.create () and arrived = Condition.create () in
+  let ctl = ref None in
+  let code = ref (-1) in
+  let th =
+    Thread.create
+      (fun () ->
+        code :=
+          Daemon.run ~handle_signals:false
+            ~ready:(fun c ->
+              Mutex.lock lock;
+              ctl := Some c;
+              Condition.broadcast arrived;
+              Mutex.unlock lock)
+            cfg)
+      ()
+  in
+  Mutex.lock lock;
+  while !ctl = None do
+    Condition.wait arrived lock
+  done;
+  Mutex.unlock lock;
+  fun () ->
+    Daemon.shutdown (Option.get !ctl);
+    Thread.join th;
+    !code
+
+let percentile xs p =
+  match xs with
+  | [] -> fail "percentile of nothing"
+  | _ ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    a.(max 0 (min (n - 1) (int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1)))
+
+(* --- 1: SIGTERM drain in a forked daemon -------------------------- *)
+
+let sigterm_drain () =
+  let path = sock_path "term" in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 -> begin
+    (* child: a real daemon with real signal handlers *)
+    match
+      Daemon.run
+        { (Daemon.default_config (Daemon.Unix_socket path)) with
+          Daemon.d_jobs = 2;
+          Daemon.d_queue_bound = 16;
+        }
+    with
+    | code -> Stdlib.exit code
+    | exception _ -> Stdlib.exit 99
+  end
+  | pid ->
+    let c = dial path in
+    let jobs = 4 in
+    for _ = 1 to jobs do
+      say c "sleep 300"
+    done;
+    (* the reader is sequential: once stats answers, all four sleeps
+       were admitted — the drain guarantee now covers them *)
+    say c "stats";
+    let s = hear c in
+    if not (contains s "(stats ") then fail "expected a stats line, got %S" s;
+    Unix.kill pid Sys.sigterm;
+    let answers = ref 0 in
+    (try
+       while true do
+         let line = hear c in
+         if not (contains line "\tok\t") then
+           fail "drained job answered badly: %S" line;
+         incr answers
+       done
+     with End_of_file -> ());
+    hangup c;
+    if !answers <> jobs then
+      fail "SIGTERM drain answered %d of %d admitted jobs" !answers jobs;
+    (match Unix.waitpid [] pid with
+    | _, Unix.WEXITED 0 -> ()
+    | _, Unix.WEXITED n -> fail "daemon exited %d after SIGTERM" n
+    | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) -> fail "daemon died of a signal");
+    if Sys.file_exists path then fail "socket file left behind";
+    print_endline "stress_daemon: SIGTERM drain answered everything, exit 0"
+
+(* --- 2: concurrent soak against the batch-service oracle ---------- *)
+
+let soak_requests =
+  [
+    "voting hypercube:2";
+    "nbody ring:8 seed=5";
+    "nbody torus:4x4 fuel=100";
+    "./no-such-file.larcs ring:4";
+    "jacobi mesh:4x4 iters=1";
+    "voting hypercube:2 deadline-ms=0 retries=0";
+    "lonely";
+    "nbody ring:8 fuel=1 fuel=2";
+  ]
+
+(* what `serve` (jobs=1, cold caches) answers for this stream *)
+let oracle lines =
+  List.filter_map
+    (fun (i, line) ->
+      match Service.parse_request ~id:i line with
+      | Ok None -> None
+      | Ok (Some req) ->
+        Some (mask (Service.render Service.Tsv (Service.run_request req)))
+      | Error e ->
+        Some (mask (Service.render Service.Tsv (Service.malformed ~id:i ~line e))))
+    (List.mapi (fun i l -> (i + 1, l)) lines)
+
+let soak () =
+  let clients = 8 and rounds = 5 in
+  let path = sock_path "soak" in
+  let stop =
+    in_process_daemon
+      { (Daemon.default_config (Daemon.Unix_socket path)) with
+        Daemon.d_jobs = 4;
+        (* deep queue: nothing may shed, every answer must match *)
+        Daemon.d_queue_bound = 4096;
+        Daemon.d_max_inflight = 4096;
+      }
+  in
+  let lines = List.concat (List.init rounds (fun _ -> soak_requests)) in
+  let want = oracle lines in
+  let results = Array.make clients [] in
+  let worker k () =
+    let c = dial path in
+    List.iter (say c) lines;
+    (try Unix.shutdown c.fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+    let answers = ref [] in
+    (try
+       while true do
+         answers := hear c :: !answers
+       done
+     with End_of_file -> ());
+    hangup c;
+    results.(k) <- List.rev_map mask !answers
+  in
+  let threads = List.init clients (fun k -> Thread.create (worker k) ()) in
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun k answers ->
+      let got = List.sort (fun a b -> compare (id_of a) (id_of b)) answers in
+      if List.length got <> List.length want then
+        fail "client %d: %d answers for %d requests" k (List.length got)
+          (List.length want);
+      List.iteri
+        (fun i (w, g) ->
+          if w <> g then
+            fail "client %d answer %d diverged from serve\n  want: %s\n  got:  %s"
+              k (i + 1) w g)
+        (List.combine want got))
+    results;
+  let code = stop () in
+  if code <> 0 then fail "soak daemon drain returned %d" code;
+  Printf.printf
+    "stress_daemon: %d clients x %d requests, all answers = batch service\n"
+    clients (List.length lines)
+
+(* --- 3: overload sheds and the accepted tail stays bounded -------- *)
+
+let overload () =
+  let path = sock_path "load" in
+  let stop =
+    in_process_daemon
+      { (Daemon.default_config (Daemon.Unix_socket path)) with
+        Daemon.d_jobs = 4;
+        Daemon.d_queue_bound = 2;
+        Daemon.d_max_inflight = 4096;
+      }
+  in
+  let c = dial path in
+  (* unloaded baseline: sequential sleep-50 jobs; latency is the
+     server-side elapsed column (admission to answer) *)
+  let unloaded =
+    List.init 10 (fun _ ->
+        say c "sleep 50";
+        elapsed_of (hear c))
+  in
+  let p99_unloaded = percentile unloaded 99.0 in
+  (* stagger the four workers so completions spread out, then sustain
+     arrivals at ~2x service capacity (4 workers / 50 ms = 80 jobs/s,
+     sent at ~160/s): the queue stays saturated so a steady fraction
+     sheds, while accepted jobs still measure a bounded tail *)
+  for _ = 1 to 4 do
+    say c "sleep 50";
+    Unix.sleepf 0.012
+  done;
+  for _ = 1 to 56 do
+    say c "sleep 50";
+    Unix.sleepf 0.006
+  done;
+  (try Unix.shutdown c.fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+  let accepted = ref [] and shed = ref 0 in
+  (try
+     while true do
+       let line = hear c in
+       if contains line "overload: admission queue full" then incr shed
+       else if contains line "\tok\t" then accepted := elapsed_of line :: !accepted
+       else fail "unexpected overload answer %S" line
+     done
+   with End_of_file -> ());
+  hangup c;
+  let code = stop () in
+  if code <> 0 then fail "overload daemon drain returned %d" code;
+  if !shed = 0 then fail "overload burst shed nothing";
+  if List.length !accepted < 10 then
+    fail "only %d accepted jobs; burst too small to measure" (List.length !accepted);
+  let p99_loaded = percentile !accepted 99.0 in
+  if p99_loaded > 2.0 *. p99_unloaded then
+    fail "accepted p99 %.1f ms exceeds 2x unloaded p99 %.1f ms" p99_loaded
+      p99_unloaded;
+  Printf.printf
+    "stress_daemon: overload shed %d, accepted %d, p99 %.1f ms vs unloaded %.1f ms\n"
+    !shed (List.length !accepted) p99_loaded p99_unloaded
+
+(* --- 4: the artifact caches never exceed their bound -------------- *)
+
+let cache_bound () =
+  let path = sock_path "cache" in
+  let bound = 4 in
+  let stop =
+    in_process_daemon
+      { (Daemon.default_config (Daemon.Unix_socket path)) with
+        Daemon.d_jobs = 2;
+        Daemon.d_cache_bound = Some bound;
+      }
+  in
+  let c = dial path in
+  (* 9 distinct topologies through a bound of 4, twice over *)
+  for _ = 1 to 2 do
+    for n = 4 to 12 do
+      say c (Printf.sprintf "nbody ring:%d fuel=50 retries=0" n);
+      let line = hear c in
+      if not (contains line "\tok\t") then fail "mapping failed: %S" line;
+      say c "stats";
+      let s = hear c in
+      (* parse "(topologies (size N)": the bound must hold at every
+         observation point, not just at the end *)
+      let idx =
+        let marker = "(topologies (size " in
+        let rec go i =
+          if i + String.length marker > String.length s then
+            fail "no topology stats in %S" s
+          else if String.sub s i (String.length marker) = marker then
+            i + String.length marker
+          else go (i + 1)
+        in
+        go 0
+      in
+      let size =
+        let j = String.index_from s idx ')' in
+        int_of_string (String.sub s idx (j - idx))
+      in
+      if size > bound then fail "topology cache grew to %d (bound %d)" size bound
+    done
+  done;
+  (* 18 gets over 9 keys with bound 4: evictions are guaranteed *)
+  say c "stats";
+  let s = hear c in
+  let topo_stats =
+    let marker = "(topologies (size " in
+    let rec find i =
+      if i + String.length marker > String.length s then
+        fail "no topology stats in %S" s
+      else if String.sub s i (String.length marker) = marker then i
+      else find (i + 1)
+    in
+    let start = find 0 in
+    String.sub s start (String.length s - start)
+  in
+  if contains topo_stats "(evictions 0)" then
+    fail "cache bound never evicted: %S" s;
+  hangup c;
+  let code = stop () in
+  if code <> 0 then fail "cache daemon drain returned %d" code;
+  print_endline "stress_daemon: cache bound held at every observation"
+
+let () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  (* fork first, while this process has spawned no domains *)
+  sigterm_drain ();
+  soak ();
+  overload ();
+  cache_bound ();
+  print_endline "stress_daemon: all scenarios passed"

@@ -267,6 +267,53 @@ let test_service_parse () =
   | Error _ -> ()
   | _ -> Alcotest.fail "bad fuel value should be rejected"
 
+let test_service_duplicate_key_rejected () =
+  (match Service.parse_request ~id:1 "nbody ring:4 fuel=10 fuel=20" with
+  | Error e ->
+    Alcotest.(check bool) "names the duplicate" true
+      (String.length e >= 9 && String.sub e 0 9 = "duplicate")
+  | Ok _ -> Alcotest.fail "duplicate option key should be rejected");
+  (* duplicate parameter bindings are the same typo *)
+  (match Service.parse_request ~id:1 "nbody ring:4 n=12 n=13" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate binding should be rejected");
+  (* distinct keys still combine *)
+  let r = parse_ok "nbody ring:4 fuel=10 deadline-ms=5 n=12" in
+  Alcotest.(check (option int)) "fuel kept" (Some 10)
+    r.Service.rq_options.Ctx.fuel
+
+let test_service_program_size_cap () =
+  let path = Filename.temp_file "oregami-big" ".larcs" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc (String.make (Service.max_program_bytes + 1) 'x');
+      close_out oc;
+      match Service.load_program path with
+      | Error e ->
+        let contains hay needle =
+          let n = String.length needle and h = String.length hay in
+          let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "names the cap" true (contains e "too large")
+      | Ok _ -> Alcotest.fail "oversized program should be refused")
+
+(* backoff spends wall-clock only: a zero-delay schedule and the
+   default must produce identical outcomes *)
+let test_service_backoff_pure_delay () =
+  let instant =
+    { Service.default_backoff with Service.bo_base_ms = 0.0; bo_cap_ms = 0.0 }
+  in
+  let req = parse_ok "nbody ring:8 deadline-ms=0 retries=2" in
+  let a = Service.run_request ~backoff:instant req in
+  let b = Service.run_request req in
+  let mask r = { r with Service.r_elapsed_ms = 0.0 } in
+  Alcotest.(check bool) "same outcome, wall-clock aside" true
+    (mask a = mask b);
+  Alcotest.(check bool) "retry schedule ran" true (a.Service.r_attempts >= 2)
+
 let test_service_poisoned_request () =
   let r = Service.run_request (parse_ok "./no-such-file.larcs ring:4") in
   Alcotest.(check bool) "failed" false r.Service.r_ok;
@@ -383,6 +430,12 @@ let () =
       ( "service",
         [
           Alcotest.test_case "parse" `Quick test_service_parse;
+          Alcotest.test_case "duplicate key rejected" `Quick
+            test_service_duplicate_key_rejected;
+          Alcotest.test_case "program size cap" `Quick
+            test_service_program_size_cap;
+          Alcotest.test_case "backoff is pure delay" `Quick
+            test_service_backoff_pure_delay;
           Alcotest.test_case "poisoned request" `Quick
             test_service_poisoned_request;
           Alcotest.test_case "budgeted request" `Quick

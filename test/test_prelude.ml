@@ -271,6 +271,66 @@ let test_pool_empty_and_single () =
 
 (* ------------------------------------------------------------------ *)
 
+(* spin until a predicate holds; the feeder's workers run on their own
+   domains, so tests must wait for them to observe state changes *)
+let await what p =
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while (not (p ())) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.001
+  done;
+  if not (p ()) then Alcotest.failf "timed out waiting for %s" what
+
+let test_feeder_processes_everything () =
+  let processed = Atomic.make 0 in
+  let f = Pool.feeder ~jobs:3 ~bound:100 (fun _ -> Atomic.incr processed) in
+  for i = 1 to 50 do
+    Alcotest.(check bool) "within bound" true (Pool.offer f i)
+  done;
+  Pool.drain f;
+  Alcotest.(check int) "every accepted job ran" 50 (Atomic.get processed)
+
+let test_feeder_sheds_at_bound () =
+  let gate = Mutex.create () in
+  Mutex.lock gate;
+  let f =
+    Pool.feeder ~jobs:1 ~bound:2 (fun _ ->
+        Mutex.lock gate;
+        Mutex.unlock gate)
+  in
+  Alcotest.(check bool) "first accepted" true (Pool.offer f 1);
+  (* the lone worker picks job 1 and blocks on the gate *)
+  await "worker pickup" (fun () -> Pool.inflight f = 1 && Pool.depth f = 0);
+  Alcotest.(check bool) "queue slot 1" true (Pool.offer f 2);
+  Alcotest.(check bool) "queue slot 2" true (Pool.offer f 3);
+  Alcotest.(check bool) "bound reached: shed" false (Pool.offer f 4);
+  Alcotest.(check int) "depth at bound" 2 (Pool.depth f);
+  Mutex.unlock gate;
+  Pool.drain f;
+  Alcotest.(check int) "drained empty" 0 (Pool.depth f)
+
+let test_feeder_zero_bound_sheds_all () =
+  let f = Pool.feeder ~jobs:2 ~bound:0 (fun _ -> ()) in
+  Alcotest.(check bool) "no queue slots" false (Pool.offer f 1);
+  Pool.drain f
+
+let test_feeder_rejects_after_drain () =
+  let f = Pool.feeder ~jobs:2 ~bound:8 (fun _ -> ()) in
+  Pool.drain f;
+  Alcotest.(check bool) "drained feeder sheds" false (Pool.offer f 1)
+
+let test_feeder_handler_exception_survives () =
+  let processed = Atomic.make 0 in
+  let f =
+    Pool.feeder ~jobs:1 ~bound:16 (fun i ->
+        if i = 1 then failwith "handler bug" else Atomic.incr processed)
+  in
+  Alcotest.(check bool) "poison job accepted" true (Pool.offer f 1);
+  Alcotest.(check bool) "next job accepted" true (Pool.offer f 2);
+  Pool.drain f;
+  Alcotest.(check int) "worker outlived the raise" 1 (Atomic.get processed)
+
+(* ------------------------------------------------------------------ *)
+
 let test_memo_builds_once () =
   let m = Memo.create () in
   let builds = ref 0 in
@@ -308,6 +368,81 @@ let test_memo_single_build_under_race () =
   Alcotest.(check (list string)) "all see the published value"
     [ "value"; "value"; "value"; "value" ] results;
   Alcotest.(check int) "built exactly once" 1 (Atomic.get builds)
+
+(* ------------------------------------------------------------------ *)
+
+let test_memo_lru_eviction_order () =
+  let m = Memo.create ~bound:2 () in
+  Alcotest.(check int) "a" 1 (Memo.get m "a" (fun () -> 1));
+  Alcotest.(check int) "b" 2 (Memo.get m "b" (fun () -> 2));
+  (* touch [a]: [b] becomes the least recently used *)
+  Alcotest.(check int) "a again (hit)" 1 (Memo.get m "a" (fun () -> 99));
+  Alcotest.(check int) "c evicts b" 3 (Memo.get m "c" (fun () -> 3));
+  Alcotest.(check (option int)) "a survived (recently used)" (Some 1)
+    (Memo.find_opt m "a");
+  Alcotest.(check (option int)) "b evicted" None (Memo.find_opt m "b");
+  Alcotest.(check (option int)) "c resident" (Some 3) (Memo.find_opt m "c");
+  (* rebuilding [b] now evicts [a], the oldest of {a, c} *)
+  Alcotest.(check int) "b rebuilds after eviction" 20 (Memo.get m "b" (fun () -> 20));
+  Alcotest.(check (option int)) "a evicted in turn" None (Memo.find_opt m "a")
+
+let test_memo_lru_counters () =
+  let m = Memo.create ~bound:2 () in
+  ignore (Memo.get m "a" (fun () -> 1));
+  ignore (Memo.get m "b" (fun () -> 2));
+  ignore (Memo.get m "a" (fun () -> 1));
+  ignore (Memo.get m "c" (fun () -> 3));
+  let s = Memo.stats m in
+  Alcotest.(check int) "size at bound" 2 s.Memo.mc_size;
+  Alcotest.(check (option int)) "bound reported" (Some 2) s.Memo.mc_bound;
+  Alcotest.(check int) "hits" 1 s.Memo.mc_hits;
+  Alcotest.(check int) "misses" 3 s.Memo.mc_misses;
+  Alcotest.(check int) "evictions" 1 s.Memo.mc_evictions;
+  (* find_opt is a pure peek: nothing moves *)
+  ignore (Memo.find_opt m "c");
+  Alcotest.(check int) "peek counts nothing" 1 (Memo.stats m).Memo.mc_hits
+
+let test_memo_unbounded_never_evicts () =
+  let m = Memo.create () in
+  for i = 0 to 99 do
+    ignore (Memo.get m i (fun () -> i))
+  done;
+  let s = Memo.stats m in
+  Alcotest.(check int) "all resident" 100 s.Memo.mc_size;
+  Alcotest.(check (option int)) "no bound" None s.Memo.mc_bound;
+  Alcotest.(check int) "no evictions" 0 s.Memo.mc_evictions
+
+let test_memo_bound_validated () =
+  Alcotest.check_raises "bound 0 refused"
+    (Invalid_argument "Memo.create: bound must be >= 1") (fun () ->
+      ignore (Memo.create ~bound:0 ()))
+
+(* domains hammering a bounded table with overlapping key sets: the
+   residency bound must hold at every observation point, and every get
+   must return the right value despite evictions and rebuilds *)
+let test_memo_lru_bound_under_race () =
+  let bound = 4 in
+  let m = Memo.create ~bound () in
+  let worker seed () =
+    let rng = Rng.create seed in
+    let ok = ref true in
+    for _ = 1 to 500 do
+      let k = Rng.int rng 16 in
+      if Memo.get m k (fun () -> k * 3) <> k * 3 then ok := false;
+      if (Memo.stats m).Memo.mc_size > bound then ok := false
+    done;
+    !ok
+  in
+  let domains = List.init 4 (fun i -> Domain.spawn (worker (100 + i))) in
+  let results = List.map Domain.join domains in
+  Alcotest.(check (list bool)) "values right, bound never exceeded"
+    [ true; true; true; true ] results;
+  let s = Memo.stats m in
+  Alcotest.(check bool) "final size within bound" true (s.Memo.mc_size <= bound);
+  Alcotest.(check bool) "evictions happened (16 keys, bound 4)" true
+    (s.Memo.mc_evictions > 0);
+  Alcotest.(check int) "counters account for every get" 2000
+    (s.Memo.mc_hits + s.Memo.mc_misses)
 
 let () =
   Alcotest.run "prelude"
@@ -355,6 +490,18 @@ let () =
           Alcotest.test_case "emit exception" `Quick test_pool_emit_exception;
           Alcotest.test_case "empty and single" `Quick test_pool_empty_and_single;
         ] );
+      ( "feeder",
+        [
+          Alcotest.test_case "processes everything" `Quick
+            test_feeder_processes_everything;
+          Alcotest.test_case "sheds at the bound" `Quick test_feeder_sheds_at_bound;
+          Alcotest.test_case "zero bound sheds all" `Quick
+            test_feeder_zero_bound_sheds_all;
+          Alcotest.test_case "rejects after drain" `Quick
+            test_feeder_rejects_after_drain;
+          Alcotest.test_case "handler exception survives" `Quick
+            test_feeder_handler_exception_survives;
+        ] );
       ( "memo",
         [
           Alcotest.test_case "builds once" `Quick test_memo_builds_once;
@@ -362,5 +509,12 @@ let () =
             test_memo_builder_exception_releases_claim;
           Alcotest.test_case "single build under race" `Quick
             test_memo_single_build_under_race;
+          Alcotest.test_case "LRU eviction order" `Quick test_memo_lru_eviction_order;
+          Alcotest.test_case "LRU counters" `Quick test_memo_lru_counters;
+          Alcotest.test_case "unbounded never evicts" `Quick
+            test_memo_unbounded_never_evicts;
+          Alcotest.test_case "bound validated" `Quick test_memo_bound_validated;
+          Alcotest.test_case "bound holds under racing domains" `Quick
+            test_memo_lru_bound_under_race;
         ] );
     ]
