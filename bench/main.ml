@@ -1761,6 +1761,101 @@ let e21_daemon_load () =
     t_over
 
 (* ================================================================== *)
+(* E22: online cluster lifecycle under sustained arrivals and chaos    *)
+
+let e22_cluster_lifecycle () =
+  Tab.section
+    "E22  Online cluster: leased regions, chaos healing, repair-vs-remap pricing";
+  let machine = topo "torus:8x8" in
+  let n_events = 240 in
+  let events = Cluster.synth_trace ~events:n_events ~seed:42 machine in
+  let chaos =
+    match
+      Cluster.parse_chaos
+        "60:kill-procs=9;90:revive-procs=9;120:kill-procs=27,36;150:kill-links=0,1;180:revive-procs=27,36;200:revive-links=0,1"
+    with
+    | Ok c -> c
+    | Error e -> failwith ("E22: chaos spec: " ^ e)
+  in
+  let r, secs =
+    Prelude.Clock.time (fun () ->
+        match Cluster.run ~chaos machine events with
+        | Ok r -> r
+        | Error e -> failwith ("E22: " ^ e))
+  in
+  if r.Cluster.rp_chaos_applied < 1 then
+    failwith "E22: no chaos event landed mid-trace";
+  if r.Cluster.rp_repairs + r.Cluster.rp_remaps + r.Cluster.rp_evictions < 1
+  then failwith "E22: chaos never touched a lease; trace too idle";
+  (* utilization / fragmentation over time, by trace quarter *)
+  let samples = Array.of_list r.Cluster.rp_samples in
+  let n = Array.length samples in
+  let quarter q =
+    let lo = q * n / 4 and hi = (q + 1) * n / 4 in
+    let slice = Array.sub samples lo (hi - lo) in
+    let mean f =
+      Array.fold_left (fun a s -> a +. f s) 0.0 slice
+      /. float_of_int (max 1 (Array.length slice))
+    in
+    let peak f = Array.fold_left (fun a s -> Float.max a (f s)) 0.0 slice in
+    ( mean (fun s -> s.Cluster.s_utilization),
+      mean (fun s -> s.Cluster.s_fragmentation),
+      peak (fun s -> s.Cluster.s_fragmentation),
+      hi - lo )
+  in
+  Tab.print
+    ~header:
+      [ "trace quarter"; "events"; "mean util"; "mean frag"; "peak frag" ]
+    (List.map
+       (fun q ->
+         let u, f, pf, len = quarter q in
+         [
+           Printf.sprintf "Q%d" (q + 1); string_of_int len; Tab.fixed 2 u;
+           Tab.fixed 2 f; Tab.fixed 2 pf;
+         ])
+       [ 0; 1; 2; 3 ]);
+  Printf.printf
+    "%d trace events + %d chaos events on torus:8x8 (%.2f s): %d admitted,\n\
+     %d completed, %d refused, %d shed; healing chose repair %d / remap %d /\n\
+     evict %d times, total migration %d, re-packs %d (declined %d)\n"
+    n_events
+    (r.Cluster.rp_chaos_applied + r.Cluster.rp_chaos_refused)
+    secs r.Cluster.rp_admitted r.Cluster.rp_completed
+    (List.length r.Cluster.rp_refused)
+    (List.length r.Cluster.rp_shed)
+    r.Cluster.rp_repairs r.Cluster.rp_remaps r.Cluster.rp_evictions
+    r.Cluster.rp_migration_total r.Cluster.rp_repacks
+    r.Cluster.rp_repacks_declined;
+  List.iter
+    (fun q ->
+      let u, f, pf, len = quarter q in
+      record ~experiment:"E22"
+        ~case:(Printf.sprintf "quarter %d (%d events)" (q + 1) len)
+        ~extra:
+          [
+            ("mean_utilization", u); ("mean_fragmentation", f);
+            ("peak_fragmentation", pf);
+          ]
+        secs)
+    [ 0; 1; 2; 3 ];
+  record ~experiment:"E22"
+    ~case:
+      (Printf.sprintf "healing (%d trace + %d chaos events)" n_events
+         r.Cluster.rp_chaos_applied)
+    ~extra:
+      [
+        ("admitted", float_of_int r.Cluster.rp_admitted);
+        ("refused", float_of_int (List.length r.Cluster.rp_refused));
+        ("repairs", float_of_int r.Cluster.rp_repairs);
+        ("remaps", float_of_int r.Cluster.rp_remaps);
+        ("evictions", float_of_int r.Cluster.rp_evictions);
+        ("repacks", float_of_int r.Cluster.rp_repacks);
+        ("migration_total", float_of_int r.Cluster.rp_migration_total);
+        ("chaos_applied", float_of_int r.Cluster.rp_chaos_applied);
+      ]
+    secs
+
+(* ================================================================== *)
 (* Smoke mode: a fast end-to-end slice wired into `dune runtest`       *)
 
 let smoke () =
@@ -1940,6 +2035,7 @@ let experiments ~large =
     ("E19", e19_multilevel ~large);
     ("E20", e20_constraints);
     ("E21", e21_daemon_load);
+    ("E22", e22_cluster_lifecycle);
     ("ablation-refinement", ablation_refinement);
     ("ablation-routing", ablation_routing);
     ("ablation-route-cap", ablation_route_cap);
@@ -1958,7 +2054,7 @@ let usage () =
   prerr_endline
     "usage: main.exe [--smoke] [--json FILE] [--only ID]... [--large]";
   prerr_endline
-    "  --only ID   run one experiment (repeatable; E1..E21, ablation-*, extension-*)";
+    "  --only ID   run one experiment (repeatable; E1..E22, ablation-*, extension-*)";
   prerr_endline "  --large     include the n=10^6 instances in E19";
   prerr_endline "  --json FILE merge machine-readable records into FILE";
   exit 2

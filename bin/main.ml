@@ -813,6 +813,109 @@ let workloads_cmd =
   Cmd.v (Cmd.info "workloads" ~doc:"List the built-in workload programs")
     Term.(const run $ const ())
 
+(* the online cluster: lease regions to a stream of jobs, survive chaos *)
+let cluster_cmd =
+  let run topo trace chaos explain queue_bound max_retries defrag =
+    let machine = target_topology topo in
+    let events =
+      if String.length trace >= 6 && String.sub trace 0 6 = "synth:" then begin
+        let rest = String.sub trace 6 (String.length trace - 6) in
+        match String.split_on_char ':' rest with
+        | [ n ] | [ n; "" ] -> begin
+          match int_of_string_opt n with
+          | Some n when n > 0 -> Cluster.synth_trace ~events:n ~seed:1 machine
+          | _ -> die ~code:2 (Printf.sprintf "bad synth trace %S" trace)
+        end
+        | [ n; seed ] -> begin
+          match (int_of_string_opt n, int_of_string_opt seed) with
+          | Some n, Some seed when n > 0 ->
+            Cluster.synth_trace ~events:n ~seed machine
+          | _ -> die ~code:2 (Printf.sprintf "bad synth trace %S" trace)
+        end
+        | _ -> die ~code:2 (Printf.sprintf "bad synth trace %S (want synth:EVENTS[:SEED])" trace)
+      end
+      else or_die (Cluster.load_trace trace)
+    in
+    let chaos = match chaos with None -> [] | Some s -> or_die (Cluster.parse_chaos s) in
+    if queue_bound < 1 then die ~code:2 "--queue-bound must be >= 1";
+    if max_retries < 0 then die ~code:2 "--max-retries must be >= 0";
+    if defrag <= 0.0 || defrag > 1.0 then
+      die ~code:2 "--defrag-threshold must be in (0, 1]";
+    let config =
+      {
+        Cluster.default_config with
+        Cluster.cf_queue_bound = queue_bound;
+        Cluster.cf_max_retries = max_retries;
+        Cluster.cf_defrag_threshold = defrag;
+      }
+    in
+    let explain_hook = if explain then Some print_endline else None in
+    let r = or_die (Cluster.run ~config ?explain:explain_hook ~chaos machine events) in
+    let open Cluster in
+    Printf.printf "events %d: admitted %d, completed %d, cancelled %d, refused %d, shed %d\n"
+      r.rp_events r.rp_admitted r.rp_completed r.rp_cancelled
+      (List.length r.rp_refused) (List.length r.rp_shed);
+    Printf.printf
+      "healing: repairs %d, remaps %d, evictions %d, repacks %d (declined %d), \
+       migration %d\n"
+      r.rp_repairs r.rp_remaps r.rp_evictions r.rp_repacks r.rp_repacks_declined
+      r.rp_migration_total;
+    Printf.printf "chaos: applied %d, refused %d\n" r.rp_chaos_applied r.rp_chaos_refused;
+    (match List.rev r.rp_samples with
+    | last :: _ ->
+      Printf.printf "final: utilization %.2f, fragmentation %.2f, running %d, free %d\n"
+        last.s_utilization last.s_fragmentation last.s_running last.s_free
+    | [] -> ());
+    if r.rp_running <> [] then
+      Printf.printf "running: %s\n" (String.concat " " r.rp_running);
+    List.iter (fun (name, why) -> Printf.printf "refused %s: %s\n" name why) r.rp_refused;
+    List.iter (fun name -> Printf.printf "shed %s\n" name) r.rp_shed;
+    if r.rp_refused <> [] || r.rp_shed <> [] then exit 1
+  in
+  let trace_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"TRACE"
+             ~doc:"Trace file (arrive/depart/kill/revive lines) or \
+                   $(b,synth:EVENTS[:SEED]) for a generated arrival stream.")
+  in
+  let chaos_arg =
+    Arg.(value & opt (some string) None
+         & info [ "chaos" ] ~docv:"SPEC"
+             ~doc:"Chaos schedule $(b,AT:ACTION[;AT:ACTION...]); actions \
+                   $(b,kill-procs=IDS), $(b,kill-links=IDS), \
+                   $(b,revive-procs=IDS), $(b,revive-links=IDS).  $(b,AT) is \
+                   the 0-based trace event index the action fires before.")
+  in
+  let explain_arg =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"Stream every admission/healing/re-pack decision as it is made.")
+  in
+  let queue_bound_arg =
+    Arg.(value & opt int Cluster.default_config.Cluster.cf_queue_bound
+         & info [ "queue-bound" ] ~docv:"N"
+             ~doc:"Pending arrivals held before shedding (default 16).")
+  in
+  let max_retries_arg =
+    Arg.(value & opt int Cluster.default_config.Cluster.cf_max_retries
+         & info [ "max-retries" ] ~docv:"N"
+             ~doc:"Placement retries per queued arrival (default 3).")
+  in
+  let defrag_arg =
+    Arg.(value & opt float Cluster.default_config.Cluster.cf_defrag_threshold
+         & info [ "defrag-threshold" ] ~docv:"F"
+             ~doc:"Free-pool fragmentation above which a re-pack is priced \
+                   (default 0.5).")
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:"Run an online cluster lifecycle: lease processor regions to a \
+             stream of arriving/departing jobs, inject chaos, heal by priced \
+             repair-vs-remap, re-pack when fragmented; exit 1 if any job was \
+             refused or shed")
+    Term.(const run $ topo_arg $ trace_arg $ chaos_arg $ explain_arg
+          $ queue_bound_arg $ max_retries_arg $ defrag_arg)
+
 let default =
   Term.(ret (const (`Help (`Pager, None))))
 
@@ -824,6 +927,6 @@ let () =
           [
             parse_cmd; dump_cmd; analyze_cmd; map_cmd; render_cmd; routes_cmd;
             simulate_cmd; aggregate_cmd; remap_cmd; repair_cmd; serve_cmd;
-            batch_cmd; daemon_cmd; client_cmd; systolic_cmd; topo_cmd;
-            workloads_cmd;
+            batch_cmd; daemon_cmd; client_cmd; cluster_cmd; systolic_cmd;
+            topo_cmd; workloads_cmd;
           ]))

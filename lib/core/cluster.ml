@@ -1,0 +1,1090 @@
+module Topology = Oregami_topology.Topology
+module Faults = Oregami_topology.Faults
+module Taskgraph = Oregami_taskgraph.Taskgraph
+module Ugraph = Oregami_graph.Ugraph
+module Constraints = Oregami_mapper.Constraints
+module Incremental = Oregami_mapper.Incremental
+module Repair = Oregami_mapper.Repair
+module Mapping = Oregami_mapper.Mapping
+module Route = Oregami_mapper.Route
+module Netsim = Oregami_metrics.Netsim
+module Synth = Oregami_workloads.Synth
+module Compile = Oregami_larcs.Compile
+module Rng = Oregami_prelude.Rng
+
+let ( let* ) = Result.bind
+
+type arrival = {
+  ar_name : string;
+  ar_program : string;
+  ar_procs : int option;
+  ar_bindings : (string * int) list;
+  ar_constraints : Constraints.spec;
+}
+
+type event =
+  | Arrive of arrival
+  | Depart of string
+  | Kill of { procs : int list; links : int list }
+  | Revive of { procs : int list; links : int list }
+
+let ids l = String.concat "," (List.map string_of_int l)
+
+let describe_faultish verb procs links =
+  let parts =
+    List.filter_map Fun.id
+      [
+        (if procs = [] then None else Some (Printf.sprintf "procs %s" (ids procs)));
+        (if links = [] then None else Some (Printf.sprintf "links %s" (ids links)));
+      ]
+  in
+  verb ^ " " ^ if parts = [] then "nothing" else String.concat " " parts
+
+let describe_event = function
+  | Arrive a ->
+    Printf.sprintf "arrive %s (%s%s)" a.ar_name a.ar_program
+      (match a.ar_procs with Some k -> Printf.sprintf ", %d procs" k | None -> "")
+  | Depart name -> "depart " ^ name
+  | Kill { procs; links } -> describe_faultish "kill" procs links
+  | Revive { procs; links } -> describe_faultish "revive" procs links
+
+type config = {
+  cf_queue_bound : int;
+  cf_max_retries : int;
+  cf_defrag_threshold : float;
+  cf_migration_volume : int;
+  cf_route_cap : int;
+}
+
+let default_config =
+  {
+    cf_queue_bound = 16;
+    cf_max_retries = 3;
+    cf_defrag_threshold = 0.5;
+    cf_migration_volume = 8;
+    cf_route_cap = 64;
+  }
+
+type sample = {
+  s_clock : int;
+  s_event : string;
+  s_utilization : float;
+  s_fragmentation : float;
+  s_running : int;
+  s_queued : int;
+  s_free : int;
+}
+
+type report = {
+  rp_events : int;
+  rp_admitted : int;
+  rp_completed : int;
+  rp_cancelled : int;
+  rp_refused : (string * string) list;
+  rp_shed : string list;
+  rp_repairs : int;
+  rp_remaps : int;
+  rp_evictions : int;
+  rp_repacks : int;
+  rp_repacks_declined : int;
+  rp_migration_total : int;
+  rp_chaos_applied : int;
+  rp_chaos_refused : int;
+  rp_running : string list;
+  rp_queued : string list;
+  rp_samples : sample list;
+  rp_log : string list;
+}
+
+type lease = {
+  l_arrival : arrival;
+  l_tg : Taskgraph.t;
+  l_activation : int array;
+  mutable l_procs : int list;  (** the leased region, sorted *)
+  mutable l_mapping : Mapping.t;
+  mutable l_makespan : int;  (** Netsim steady-state, cached for pricing *)
+}
+
+type pending = {
+  p_arrival : arrival;
+  p_tg : Taskgraph.t;
+  p_activation : int array;
+  mutable p_attempts : int;
+  mutable p_not_before : int;  (** clock value gating the next attempt *)
+  mutable p_last_error : string;
+}
+
+type t = {
+  cfg : config;
+  base : Topology.t;
+  mutable view : Faults.view;
+  leases : (string, lease) Hashtbl.t;
+  mutable queue : pending list;  (** FIFO, bounded by [cf_queue_bound] *)
+  mutable clock : int;
+  mutable explain : (string -> unit) option;
+  mutable log : string list;  (** reversed *)
+  mutable samples : sample list;  (** reversed *)
+  mutable events : int;
+  mutable admitted : int;
+  mutable completed : int;
+  mutable cancelled : int;
+  mutable refused : (string * string) list;  (** reversed *)
+  mutable shed : string list;  (** reversed *)
+  mutable repairs : int;
+  mutable remaps : int;
+  mutable evictions : int;
+  mutable repacks : int;
+  mutable repacks_declined : int;
+  mutable migration_total : int;
+  mutable chaos_applied : int;
+  mutable chaos_refused : int;
+}
+
+let logf t fmt =
+  Printf.ksprintf
+    (fun line ->
+      let line = Printf.sprintf "[%d] %s" t.clock line in
+      t.log <- line :: t.log;
+      match t.explain with Some f -> f line | None -> ())
+    fmt
+
+let refuse t name reason =
+  t.refused <- (name, reason) :: t.refused;
+  logf t "refuse %s: %s" name reason
+
+(* ------------------------------------------------------------------ *)
+(* occupancy *)
+
+let leased_procs t =
+  let topo = t.view.Faults.topo in
+  Hashtbl.fold (fun _ l acc -> l.l_procs @ acc) t.leases []
+  |> List.sort_uniq compare
+  |> List.filter (Topology.alive topo)
+
+let free_procs t =
+  let leased = leased_procs t in
+  Topology.alive_procs t.view.Faults.topo
+  |> List.filter (fun p -> not (List.mem p leased))
+
+let lease_assignment t name =
+  match Hashtbl.find_opt t.leases name with
+  | None -> None
+  | Some l ->
+    Some (l.l_tg, t.view.Faults.topo, Mapping.assignment l.l_mapping)
+
+let utilization t = Netsim.utilization t.view.Faults.topo ~leased:(leased_procs t)
+
+let fragmentation t = Netsim.fragmentation t.view.Faults.topo ~free:(free_procs t)
+
+let sample t what =
+  t.samples <-
+    {
+      s_clock = t.clock;
+      s_event = what;
+      s_utilization = utilization t;
+      s_fragmentation = fragmentation t;
+      s_running = Hashtbl.length t.leases;
+      s_queued = List.length t.queue;
+      s_free = List.length (free_procs t);
+    }
+    :: t.samples
+
+(* ------------------------------------------------------------------ *)
+(* region allocation: best-fit connected block out of the free pool *)
+
+let free_components topo free =
+  (* connected components of [free] in BFS order, so a prefix of a
+     component is itself near-connected *)
+  let in_free = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace in_free p ()) free;
+  let g = Topology.graph topo in
+  let seen = Hashtbl.create 16 in
+  let component seed =
+    let q = Queue.create () in
+    Queue.add seed q;
+    Hashtbl.replace seen seed ();
+    let acc = ref [] in
+    while not (Queue.is_empty q) do
+      let p = Queue.pop q in
+      acc := p :: !acc;
+      List.iter
+        (fun (u, _) ->
+          if Hashtbl.mem in_free u && not (Hashtbl.mem seen u) then begin
+            Hashtbl.replace seen u ();
+            Queue.add u q
+          end)
+        (Ugraph.neighbors g p)
+    done;
+    List.rev !acc
+  in
+  List.filter_map
+    (fun p -> if Hashtbl.mem seen p then None else Some (component p))
+    free
+
+(* [allocate t ~exclude want] picks [want] processors from the free
+   pool (minus [exclude]): the smallest connected free block that fits
+   (best-fit, to keep big blocks for big jobs), else spanning blocks
+   largest-first.  Returns the region and how many blocks it spans. *)
+let allocate t ~exclude want =
+  let free = List.filter (fun p -> not (List.mem p exclude)) (free_procs t) in
+  if List.length free < want then
+    Error
+      (Printf.sprintf "%d free processor%s, need %d" (List.length free)
+         (if List.length free = 1 then "" else "s")
+         want)
+  else begin
+    let comps = free_components t.view.Faults.topo free in
+    let fitting = List.filter (fun c -> List.length c >= want) comps in
+    match List.sort (fun a b -> compare (List.length a) (List.length b)) fitting with
+    | best :: _ -> Ok (List.filteri (fun i _ -> i < want) best, 1)
+    | [] ->
+      (* no single block fits: span blocks, largest first *)
+      let rec take acc spans = function
+        | _ when List.length acc >= want -> (List.filteri (fun i _ -> i < want) acc, spans)
+        | [] -> (acc, spans)
+        | c :: rest -> take (acc @ c) (spans + 1) rest
+      in
+      let region, spans =
+        take [] 0
+          (List.sort (fun a b -> compare (List.length b) (List.length a)) comps)
+      in
+      Ok (region, spans)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* placement *)
+
+let build_mapping t tg activation region cons =
+  let topo = t.view.Faults.topo in
+  let in_region = Array.make (Topology.node_count topo) false in
+  List.iter (fun p -> in_region.(p) <- true) region;
+  let n = tg.Taskgraph.n in
+  let k = max 1 (List.length region) in
+  let cap = max 1 ((n + k - 1) / k) in
+  let active = Constraints.active cons in
+  let feasible task p =
+    in_region.(p) && ((not active) || Constraints.feasible cons ~task ~proc:p)
+  in
+  let* proc_of =
+    Incremental.try_place ~feasible (Taskgraph.static_graph tg) ~activation ~cap topo
+  in
+  let cluster_ids = Hashtbl.create 16 in
+  let cluster_of =
+    Array.map
+      (fun p ->
+        match Hashtbl.find_opt cluster_ids p with
+        | Some c -> c
+        | None ->
+          let c = Hashtbl.length cluster_ids in
+          Hashtbl.add cluster_ids p c;
+          c)
+      proc_of
+  in
+  let proc_of_cluster = Array.make (Hashtbl.length cluster_ids) 0 in
+  Hashtbl.iter (fun p c -> proc_of_cluster.(c) <- p) cluster_ids;
+  let routings, _ =
+    Route.mm_route ~cap:t.cfg.cf_route_cap tg topo ~proc_of_task:proc_of
+  in
+  let m =
+    {
+      Mapping.tg;
+      topo;
+      cluster_of;
+      proc_of_cluster;
+      routings;
+      strategy = "cluster-incremental";
+    }
+  in
+  match
+    Mapping.validate ?constraints:(if active then Some cons else None) m
+  with
+  | Error e -> Error ("placement failed validation: " ^ e)
+  | Ok () -> Ok m
+
+(* processors the mapping actually occupies, sorted *)
+let used_procs m =
+  Array.to_list (Mapping.assignment m) |> List.sort_uniq compare
+
+(* Try to give [p] a lease right now.  [Error] reasons are transient —
+   the machine may free up, grow back, or defragment. *)
+let try_admit t (p : pending) =
+  let ar = p.p_arrival in
+  let topo = t.view.Faults.topo in
+  let n = p.p_tg.Taskgraph.n in
+  let cons = Constraints.compile ar.ar_constraints p.p_tg topo in
+  let* () =
+    match Constraints.errors cons with
+    | e :: _ -> Error ("constraints: " ^ e)
+    | [] -> Ok ()
+  in
+  (* pinned processors must be part of the region, whatever the
+     allocator would prefer *)
+  let pinned = List.sort_uniq compare (List.map snd ar.ar_constraints.Constraints.pins) in
+  let free = free_procs t in
+  let* () =
+    List.fold_left
+      (fun acc pr ->
+        let* () = acc in
+        if not (Topology.alive topo pr) then
+          Error (Printf.sprintf "pinned processor %d is dead" pr)
+        else if not (List.mem pr free) then
+          Error (Printf.sprintf "pinned processor %d is leased" pr)
+        else Ok ())
+      (Ok ()) pinned
+  in
+  let want =
+    match ar.ar_procs with Some k -> k | None -> max 1 ((n + 1) / 2)
+  in
+  let want = min want (Topology.alive_count topo) in
+  let* region, spans =
+    if want <= List.length pinned then Ok (pinned, 1)
+    else
+      let* rest, spans = allocate t ~exclude:pinned (want - List.length pinned) in
+      Ok (List.sort_uniq compare (pinned @ rest), spans)
+  in
+  let* m = build_mapping t p.p_tg p.p_activation region cons in
+  let makespan = (Netsim.run m).Netsim.makespan in
+  let lease =
+    {
+      l_arrival = ar;
+      l_tg = p.p_tg;
+      l_activation = p.p_activation;
+      l_procs = List.sort_uniq compare region;
+      l_mapping = m;
+      l_makespan = makespan;
+    }
+  in
+  Hashtbl.replace t.leases ar.ar_name lease;
+  t.admitted <- t.admitted + 1;
+  logf t "admit %s: %d tasks on %d procs {%s}%s, makespan %d" ar.ar_name n
+    (List.length region) (ids lease.l_procs)
+    (if spans > 1 then Printf.sprintf " spanning %d fragments" spans else "")
+    makespan;
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* admission queue: bounded FIFO, exponential backoff in trace time *)
+
+let enqueue t p =
+  if List.length t.queue >= t.cfg.cf_queue_bound then begin
+    t.shed <- p.p_arrival.ar_name :: t.shed;
+    logf t "shed %s: queue full (%d waiting)" p.p_arrival.ar_name
+      (List.length t.queue)
+  end
+  else begin
+    t.queue <- t.queue @ [ p ];
+    logf t "queue %s (attempt %d): %s" p.p_arrival.ar_name p.p_attempts
+      p.p_last_error
+  end
+
+let drain t =
+  let keep =
+    List.filter
+      (fun p ->
+        if p.p_not_before > t.clock then true
+        else begin
+          match try_admit t p with
+          | Ok () -> false
+          | Error e ->
+            p.p_attempts <- p.p_attempts + 1;
+            p.p_last_error <- e;
+            if p.p_attempts > t.cfg.cf_max_retries then begin
+              refuse t p.p_arrival.ar_name
+                (Printf.sprintf "placement failed after %d attempts: %s"
+                   p.p_attempts e);
+              false
+            end
+            else begin
+              (* exponential backoff in trace time, so a transiently
+                 full machine is not hammered on every event *)
+              p.p_not_before <- t.clock + (1 lsl p.p_attempts);
+              true
+            end
+        end)
+      t.queue
+  in
+  t.queue <- keep
+
+(* ------------------------------------------------------------------ *)
+(* chaos healing: price repair vs. fresh re-placement vs. eviction *)
+
+let price t m =
+  let topo = t.view.Faults.topo in
+  let before = Mapping.assignment (fst m) and after = Mapping.assignment (snd m) in
+  Netsim.migration_time ~volume:t.cfg.cf_migration_volume topo before after
+
+let heal t name l =
+  let topo = t.view.Faults.topo in
+  let alive_region = List.filter (Topology.alive topo) l.l_procs in
+  let dead_in_lease = List.filter (fun p -> not (Topology.alive topo p)) l.l_procs in
+  let free = free_procs t in
+  let allowed = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace allowed p ()) alive_region;
+  List.iter (fun p -> Hashtbl.replace allowed p ()) free;
+  let repair_cand =
+    match
+      Repair.repair ~cap:t.cfg.cf_route_cap ~constraints:l.l_arrival.ar_constraints
+        ~allowed:(Hashtbl.mem allowed) l.l_mapping topo
+    with
+    | Error e -> Error ("repair: " ^ e)
+    | Ok rep ->
+      let m = rep.Repair.rp_mapping in
+      let migration = price t (l.l_mapping, m) in
+      let makespan = (Netsim.run m).Netsim.makespan in
+      Ok (m, migration, makespan, Repair.moved rep)
+  in
+  let commit which (m, migration, makespan, moved) =
+    l.l_mapping <- m;
+    l.l_makespan <- makespan;
+    l.l_procs <- List.sort_uniq compare (alive_region @ used_procs m);
+    t.migration_total <- t.migration_total + migration;
+    logf t "%s %s: %d moved, migration %d, makespan %d, region {%s}" which name
+      moved migration makespan (ids l.l_procs)
+  in
+  if dead_in_lease = [] then begin
+    (* untouched placement; routes may still cross freshly dead links
+       or processors, so re-route via a zero-move repair *)
+    match repair_cand with
+    | Ok ((_, _, _, 0) as cand) -> commit "reroute" cand
+    | Ok cand ->
+      t.repairs <- t.repairs + 1;
+      commit "repair" cand
+    | Error e ->
+      t.evictions <- t.evictions + 1;
+      Hashtbl.remove t.leases name;
+      logf t "evict %s: %s" name e;
+      enqueue t
+        {
+          p_arrival = l.l_arrival;
+          p_tg = l.l_tg;
+          p_activation = l.l_activation;
+          p_attempts = 0;
+          p_not_before = t.clock;
+          p_last_error = e;
+        }
+  end
+  else begin
+    logf t "%s lost procs {%s}" name (ids dead_in_lease);
+    let remap_cand =
+      let want = List.length l.l_procs in
+      let* grown, _ =
+        if want <= List.length alive_region then Ok ([], 1)
+        else allocate t ~exclude:alive_region (want - List.length alive_region)
+      in
+      let region = List.sort_uniq compare (alive_region @ grown) in
+      let cons = Constraints.compile l.l_arrival.ar_constraints l.l_tg topo in
+      let* () =
+        match Constraints.errors cons with
+        | e :: _ -> Error ("constraints: " ^ e)
+        | [] -> Ok ()
+      in
+      let* m = build_mapping t l.l_tg l.l_activation region cons in
+      let migration = price t (l.l_mapping, m) in
+      let makespan = (Netsim.run m).Netsim.makespan in
+      let moved =
+        let b = Mapping.assignment l.l_mapping and a = Mapping.assignment m in
+        let c = ref 0 in
+        Array.iteri (fun i p -> if p <> a.(i) then incr c) b;
+        !c
+      in
+      Ok (m, migration, makespan, moved)
+    in
+    match (repair_cand, remap_cand) with
+    | Ok ((_, rmig, rmk, _) as r), Ok ((_, smig, smk, _) as s) ->
+      (* minimum total disruption: migration traffic plus the
+         steady-state makespan the survivors will then run at *)
+      if rmig + rmk <= smig + smk then begin
+        t.repairs <- t.repairs + 1;
+        logf t "heal %s: repair wins (%d+%d vs remap %d+%d)" name rmig rmk smig smk;
+        commit "repair" r
+      end
+      else begin
+        t.remaps <- t.remaps + 1;
+        logf t "heal %s: remap wins (%d+%d vs repair %d+%d)" name smig smk rmig rmk;
+        commit "remap" s
+      end
+    | Ok ((_, _, _, _) as r), Error e ->
+      t.repairs <- t.repairs + 1;
+      logf t "heal %s: repair only (%s)" name e;
+      commit "repair" r
+    | Error e, Ok ((_, _, _, _) as s) ->
+      t.remaps <- t.remaps + 1;
+      logf t "heal %s: remap only (%s)" name e;
+      commit "remap" s
+    | Error er, Error es ->
+      t.evictions <- t.evictions + 1;
+      Hashtbl.remove t.leases name;
+      logf t "evict %s: %s; %s" name er es;
+      enqueue t
+        {
+          p_arrival = l.l_arrival;
+          p_tg = l.l_tg;
+          p_activation = l.l_activation;
+          p_attempts = 0;
+          p_not_before = t.clock;
+          p_last_error = er;
+        }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* defragmenting re-pack *)
+
+let repack_candidate t =
+  (* re-place every lease into a freshly allocated compact region,
+     biggest jobs first, against an empty machine *)
+  let topo = t.view.Faults.topo in
+  let leases =
+    Hashtbl.fold (fun name l acc -> (name, l) :: acc) t.leases []
+    |> List.sort (fun (na, a) (nb, b) ->
+           compare (-List.length a.l_procs, na) (-List.length b.l_procs, nb))
+  in
+  let taken = ref [] in
+  List.fold_left
+    (fun acc (name, l) ->
+      let* plan = acc in
+      let cons = Constraints.compile l.l_arrival.ar_constraints l.l_tg topo in
+      let* () =
+        match Constraints.errors cons with
+        | e :: _ -> Error (name ^ ": constraints: " ^ e)
+        | [] -> Ok ()
+      in
+      let pinned =
+        List.sort_uniq compare (List.map snd l.l_arrival.ar_constraints.Constraints.pins)
+      in
+      let free =
+        Topology.alive_procs topo
+        |> List.filter (fun p -> not (List.mem p !taken) && not (List.mem p pinned))
+      in
+      let want = max 1 (List.length l.l_procs - List.length pinned) in
+      let* region =
+        if List.length free < want then
+          Error (Printf.sprintf "%s: %d free, need %d" name (List.length free) want)
+        else begin
+          let comps = free_components topo free in
+          let fitting = List.filter (fun c -> List.length c >= want) comps in
+          match
+            List.sort (fun a b -> compare (List.length a) (List.length b)) fitting
+          with
+          | best :: _ -> Ok (List.filteri (fun i _ -> i < want) best)
+          | [] ->
+            let rec take acc = function
+              | _ when List.length acc >= want -> List.filteri (fun i _ -> i < want) acc
+              | [] -> acc
+              | c :: rest -> take (acc @ c) rest
+            in
+            Ok
+              (take []
+                 (List.sort (fun a b -> compare (List.length b) (List.length a)) comps))
+        end
+      in
+      let region = List.sort_uniq compare (pinned @ region) in
+      let* m =
+        Result.map_error (fun e -> name ^ ": " ^ e)
+          (build_mapping t l.l_tg l.l_activation region cons)
+      in
+      taken := region @ !taken;
+      let migration = price t (l.l_mapping, m) in
+      Ok ((name, l, region, m, migration) :: plan))
+    (Ok []) leases
+
+let maybe_repack t =
+  let frag = fragmentation t in
+  if
+    frag > t.cfg.cf_defrag_threshold
+    && t.queue <> []
+    && Hashtbl.length t.leases > 0
+  then begin
+    match repack_candidate t with
+    | Error e -> logf t "repack abandoned: %s" e
+    | Ok plan ->
+      let total_migration =
+        List.fold_left (fun acc (_, _, _, _, m) -> acc + m) 0 plan
+      in
+      (* projected queue wait: each waiting job roughly waits out the
+         mean remaining makespan of a running lease *)
+      let mean_makespan =
+        let n = Hashtbl.length t.leases in
+        Hashtbl.fold (fun _ l acc -> acc + l.l_makespan) t.leases 0 / max 1 n
+      in
+      let queue_wait = List.length t.queue * mean_makespan in
+      if total_migration < queue_wait then begin
+        t.repacks <- t.repacks + 1;
+        t.migration_total <- t.migration_total + total_migration;
+        List.iter
+          (fun (name, l, region, m, migration) ->
+            l.l_procs <- region;
+            l.l_mapping <- m;
+            l.l_makespan <- (Netsim.run m).Netsim.makespan;
+            logf t "repack %s -> {%s} (migration %d)" name (ids region) migration)
+          plan;
+        logf t "repack committed: fragmentation %.2f, migration %d < queue wait %d"
+          frag total_migration queue_wait;
+        drain t
+      end
+      else begin
+        t.repacks_declined <- t.repacks_declined + 1;
+        logf t "repack declined: migration %d >= queue wait %d (fragmentation %.2f)"
+          total_migration queue_wait frag
+      end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* the event loop *)
+
+let create ?(config = default_config) base =
+  if Topology.node_count base = 0 then Error "empty machine"
+  else
+    let* view = Faults.degrade base Faults.none in
+    Ok
+      {
+        cfg = config;
+        base;
+        view;
+        leases = Hashtbl.create 16;
+        queue = [];
+        clock = 0;
+        explain = None;
+        log = [];
+        samples = [];
+        events = 0;
+        admitted = 0;
+        completed = 0;
+        cancelled = 0;
+        refused = [];
+        shed = [];
+        repairs = 0;
+        remaps = 0;
+        evictions = 0;
+        repacks = 0;
+        repacks_declined = 0;
+        migration_total = 0;
+        chaos_applied = 0;
+        chaos_refused = 0;
+      }
+
+let known t name =
+  Hashtbl.mem t.leases name
+  || List.exists (fun p -> p.p_arrival.ar_name = name) t.queue
+
+(* graph + activation for an arrival: synth spec, workload name, or
+   LaRCS file.  Failures here are permanent — retrying cannot fix a
+   missing program. *)
+let load_arrival ar =
+  if Synth.is_spec ar.ar_program then
+    let* tg = Synth.build ar.ar_program in
+    Ok (tg, Array.make tg.Taskgraph.n 0)
+  else
+    let* source, defaults = Service.load_program ar.ar_program in
+    let bindings =
+      ar.ar_bindings
+      @ List.filter (fun (k, _) -> not (List.mem_assoc k ar.ar_bindings)) defaults
+    in
+    let* compiled = Compile.compile_source ~bindings source in
+    Ok (compiled.Compile.graph, compiled.Compile.activation)
+
+let arrive t ar =
+  if known t ar.ar_name then
+    refuse t ar.ar_name "duplicate job name (already running or queued)"
+  else begin
+    match
+      let* () =
+        match ar.ar_procs with
+        | Some k when k <= 0 -> Error (Printf.sprintf "requested %d processors" k)
+        | Some k when k > Topology.node_count t.base ->
+          Error
+            (Printf.sprintf "requested %d processors, machine has %d" k
+               (Topology.node_count t.base))
+        | _ -> Ok ()
+      in
+      load_arrival ar
+    with
+    | Error e -> refuse t ar.ar_name e
+    | Ok (tg, activation) ->
+      let p =
+        {
+          p_arrival = ar;
+          p_tg = tg;
+          p_activation = activation;
+          p_attempts = 0;
+          p_not_before = t.clock;
+          p_last_error = "";
+        }
+      in
+      (match try_admit t p with
+      | Ok () -> ()
+      | Error e ->
+        p.p_attempts <- 1;
+        p.p_not_before <- t.clock + 1;
+        p.p_last_error <- e;
+        enqueue t p)
+  end
+
+let depart t name =
+  match Hashtbl.find_opt t.leases name with
+  | Some l ->
+    Hashtbl.remove t.leases name;
+    t.completed <- t.completed + 1;
+    logf t "depart %s: released {%s}" name (ids l.l_procs);
+    drain t;
+    maybe_repack t
+  | None ->
+    let before = List.length t.queue in
+    t.queue <- List.filter (fun p -> p.p_arrival.ar_name <> name) t.queue;
+    if List.length t.queue < before then begin
+      t.cancelled <- t.cancelled + 1;
+      logf t "cancel %s: departed while queued" name
+    end
+    else logf t "depart %s: unknown job (ignored)" name
+
+let kill t procs links =
+  let f = t.view.Faults.faults in
+  match
+    let* merged =
+      Faults.make ~procs:(procs @ f.Faults.procs) ~links:(links @ f.Faults.links)
+        t.base
+    in
+    Faults.degrade t.base merged
+  with
+  | Error e ->
+    t.chaos_refused <- t.chaos_refused + 1;
+    logf t "chaos refused (%s): %s" (describe_faultish "kill" procs links) e
+  | Ok view ->
+    t.view <- view;
+    t.chaos_applied <- t.chaos_applied + 1;
+    logf t "chaos: %s (%s)" (describe_faultish "kill" procs links)
+      (Faults.describe view.Faults.faults);
+    (* heal every lease: even untouched placements may route through
+       the freshly dead hardware *)
+    Hashtbl.fold (fun name l acc -> (name, l) :: acc) t.leases []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.iter (fun (name, l) -> heal t name l);
+    drain t
+
+let revive t procs links =
+  match Faults.revive ~procs ~links t.view with
+  | Error e ->
+    t.chaos_refused <- t.chaos_refused + 1;
+    logf t "chaos refused (%s): %s" (describe_faultish "revive" procs links) e
+  | Ok view ->
+    t.view <- view;
+    t.chaos_applied <- t.chaos_applied + 1;
+    logf t "chaos: %s (%s)" (describe_faultish "revive" procs links)
+      (Faults.describe view.Faults.faults);
+    drain t
+
+let step t ev =
+  t.clock <- t.clock + 1;
+  t.events <- t.events + 1;
+  (match ev with
+  | Arrive ar -> arrive t ar
+  | Depart name -> depart t name
+  | Kill { procs; links } -> kill t procs links
+  | Revive { procs; links } -> revive t procs links);
+  (* queued jobs whose backoff expired get another shot on every tick *)
+  drain t;
+  sample t (describe_event ev)
+
+(* ------------------------------------------------------------------ *)
+(* invariants: lease accounting, checked by the stress soak *)
+
+let invariants t =
+  let topo = t.view.Faults.topo in
+  let owner = Hashtbl.create 16 in
+  let* () =
+    Hashtbl.fold
+      (fun name l acc ->
+        let* () = acc in
+        List.fold_left
+          (fun acc p ->
+            let* () = acc in
+            if not (Topology.alive topo p) then
+              Error (Printf.sprintf "lease %s holds dead processor %d" name p)
+            else begin
+              match Hashtbl.find_opt owner p with
+              | Some other ->
+                Error
+                  (Printf.sprintf "processor %d leased to both %s and %s" p other
+                     name)
+              | None ->
+                Hashtbl.replace owner p name;
+                Ok ()
+            end)
+          (Ok ()) l.l_procs)
+      t.leases (Ok ())
+  in
+  let* () =
+    Hashtbl.fold
+      (fun name l acc ->
+        let* () = acc in
+        Array.to_list (Mapping.assignment l.l_mapping)
+        |> List.fold_left
+             (fun acc p ->
+               let* () = acc in
+               if not (List.mem p l.l_procs) then
+                 Error
+                   (Printf.sprintf "lease %s places a task on %d outside its region"
+                      name p)
+               else Ok ())
+             (Ok ()))
+      t.leases (Ok ())
+  in
+  let leased = leased_procs t and free = free_procs t in
+  let alive = Topology.alive_count topo in
+  if List.length leased + List.length free <> alive then
+    Error
+      (Printf.sprintf "conservation: %d leased + %d free <> %d alive"
+         (List.length leased) (List.length free) alive)
+  else if List.exists (fun p -> List.mem p leased) free then
+    Error "conservation: a processor is both leased and free"
+  else if List.length t.queue > t.cfg.cf_queue_bound then
+    Error
+      (Printf.sprintf "queue %d over bound %d" (List.length t.queue)
+         t.cfg.cf_queue_bound)
+  else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* wrap-up *)
+
+let finish t =
+  (* final drain: let every backoff expire and retries exhaust, then
+     refuse whatever still waits — no job ends unaccounted *)
+  let guard = ref ((t.cfg.cf_max_retries + 2) * (List.length t.queue + 1)) in
+  while t.queue <> [] && !guard > 0 do
+    decr guard;
+    let next =
+      List.fold_left (fun acc p -> min acc p.p_not_before) max_int t.queue
+    in
+    t.clock <- max (t.clock + 1) next;
+    drain t
+  done;
+  List.iter
+    (fun p ->
+      refuse t p.p_arrival.ar_name
+        (Printf.sprintf "still queued when the trace ended (last error: %s)"
+           (if p.p_last_error = "" then "never attempted" else p.p_last_error)))
+    t.queue;
+  t.queue <- [];
+  let running =
+    Hashtbl.fold (fun name _ acc -> name :: acc) t.leases [] |> List.sort compare
+  in
+  {
+    rp_events = t.events;
+    rp_admitted = t.admitted;
+    rp_completed = t.completed;
+    rp_cancelled = t.cancelled;
+    rp_refused = List.rev t.refused;
+    rp_shed = List.rev t.shed;
+    rp_repairs = t.repairs;
+    rp_remaps = t.remaps;
+    rp_evictions = t.evictions;
+    rp_repacks = t.repacks;
+    rp_repacks_declined = t.repacks_declined;
+    rp_migration_total = t.migration_total;
+    rp_chaos_applied = t.chaos_applied;
+    rp_chaos_refused = t.chaos_refused;
+    rp_running = running;
+    rp_queued = [];
+    rp_samples = List.rev t.samples;
+    rp_log = List.rev t.log;
+  }
+
+let run ?config ?explain ?(chaos = []) base events =
+  let* t = create ?config base in
+  t.explain <- explain;
+  let chaos = List.stable_sort (fun (a, _) (b, _) -> compare a b) chaos in
+  let rec go i chaos events =
+    let chaos =
+      let due, later = List.partition (fun (at, _) -> at <= i) chaos in
+      List.iter (fun (_, ev) -> step t ev) due;
+      later
+    in
+    match events with
+    | [] ->
+      (* chaos scheduled past the end of the trace still fires *)
+      List.iter (fun (_, ev) -> step t ev) chaos
+    | ev :: rest ->
+      step t ev;
+      go (i + 1) chaos rest
+  in
+  go 0 chaos events;
+  Ok (finish t)
+
+(* ------------------------------------------------------------------ *)
+(* parsing: chaos specs and trace files *)
+
+let parse_action s =
+  match String.index_opt s '=' with
+  | None -> Error (Printf.sprintf "bad chaos action %S (want ACTION=IDS)" s)
+  | Some eq ->
+    let key = String.sub s 0 eq in
+    let v = String.sub s (eq + 1) (String.length s - eq - 1) in
+    let* ids = Faults.parse_ids v in
+    (match key with
+    | "kill-procs" -> Ok (Kill { procs = ids; links = [] })
+    | "kill-links" -> Ok (Kill { procs = []; links = ids })
+    | "revive-procs" -> Ok (Revive { procs = ids; links = [] })
+    | "revive-links" -> Ok (Revive { procs = []; links = ids })
+    | k ->
+      Error
+        (Printf.sprintf
+           "unknown chaos action %S (want kill-procs, kill-links, revive-procs \
+            or revive-links)"
+           k))
+
+let parse_chaos s =
+  String.split_on_char ';' (String.trim s)
+  |> List.filter (fun part -> String.trim part <> "")
+  |> List.fold_left
+       (fun acc part ->
+         let* evs = acc in
+         let part = String.trim part in
+         match String.index_opt part ':' with
+         | None -> Error (Printf.sprintf "bad chaos event %S (want AT:ACTION)" part)
+         | Some colon ->
+           let at_s = String.sub part 0 colon in
+           let action = String.sub part (colon + 1) (String.length part - colon - 1) in
+           (match int_of_string_opt at_s with
+           | None -> Error (Printf.sprintf "bad chaos time %S" at_s)
+           | Some at when at < 0 -> Error (Printf.sprintf "negative chaos time %d" at)
+           | Some at ->
+             let* ev = parse_action action in
+             Ok ((at, ev) :: evs)))
+       (Ok [])
+  |> Result.map List.rev
+
+let tokens line =
+  String.split_on_char ' ' line |> List.filter (fun tok -> tok <> "")
+
+let parse_kv tok =
+  match String.index_opt tok '=' with
+  | None -> None
+  | Some eq ->
+    Some
+      ( String.sub tok 0 eq,
+        String.sub tok (eq + 1) (String.length tok - eq - 1) )
+
+let parse_arrival name program opts =
+  List.fold_left
+    (fun acc tok ->
+      let* ar = acc in
+      match parse_kv tok with
+      | None -> Error (Printf.sprintf "bad option %S (want key=value)" tok)
+      | Some (k, v) -> (
+        let cons = ar.ar_constraints in
+        match k with
+        | "procs" -> (
+          match int_of_string_opt v with
+          | Some n when n > 0 -> Ok { ar with ar_procs = Some n }
+          | _ -> Error (Printf.sprintf "bad procs %S" v))
+        | "pin" ->
+          let* pins = Constraints.parse_pins v in
+          Ok { ar with ar_constraints = { cons with Constraints.pins } }
+        | "forbid" ->
+          let* forbids = Constraints.parse_forbids v in
+          Ok { ar with ar_constraints = { cons with Constraints.forbids } }
+        | "require" ->
+          let* requires = Constraints.parse_requires v in
+          Ok { ar with ar_constraints = { cons with Constraints.requires } }
+        | "skip" ->
+          let skip_classes = String.split_on_char ',' v in
+          Ok { ar with ar_constraints = { cons with Constraints.skip_classes } }
+        | _ -> (
+          match int_of_string_opt v with
+          | Some n -> Ok { ar with ar_bindings = (k, n) :: ar.ar_bindings }
+          | None -> Error (Printf.sprintf "bad parameter %S (want an integer)" tok))))
+    (Ok
+       {
+         ar_name = name;
+         ar_program = program;
+         ar_procs = None;
+         ar_bindings = [];
+         ar_constraints = Constraints.none;
+       })
+    opts
+
+let parse_fault_opts verb opts =
+  let* procs, links =
+    List.fold_left
+      (fun acc tok ->
+        let* procs, links = acc in
+        match parse_kv tok with
+        | Some ("procs", v) ->
+          let* p = Faults.parse_ids v in
+          Ok (procs @ p, links)
+        | Some ("links", v) ->
+          let* l = Faults.parse_ids v in
+          Ok (procs, links @ l)
+        | _ ->
+          Error (Printf.sprintf "bad %s option %S (want procs=IDS or links=IDS)" verb tok))
+      (Ok ([], []))
+      opts
+  in
+  if procs = [] && links = [] then
+    Error (Printf.sprintf "%s needs procs=IDS and/or links=IDS" verb)
+  else Ok (procs, links)
+
+let parse_trace_line lineno line =
+  let at_line e = Printf.sprintf "line %d: %s" lineno e in
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok None
+  else
+    Result.map_error at_line
+      (match tokens line with
+      | "arrive" :: name :: program :: opts ->
+        Result.map (fun ar -> Some (Arrive ar)) (parse_arrival name program opts)
+      | [ "depart"; name ] -> Ok (Some (Depart name))
+      | "kill" :: opts ->
+        let* procs, links = parse_fault_opts "kill" opts in
+        Ok (Some (Kill { procs; links }))
+      | "revive" :: opts ->
+        let* procs, links = parse_fault_opts "revive" opts in
+        Ok (Some (Revive { procs; links }))
+      | verb :: _ ->
+        Error
+          (Printf.sprintf "unknown trace verb %S (want arrive, depart, kill or revive)"
+             verb)
+      | [] -> Error "empty line")
+
+let load_trace path =
+  match In_channel.with_open_text path In_channel.input_lines with
+  | exception Sys_error e -> Error e
+  | lines ->
+    List.fold_left
+      (fun acc (lineno, line) ->
+        let* evs = acc in
+        let* ev = parse_trace_line lineno line in
+        match ev with None -> Ok evs | Some ev -> Ok (ev :: evs))
+      (Ok [])
+      (List.mapi (fun i line -> (i + 1, line)) lines)
+    |> Result.map List.rev
+
+(* ------------------------------------------------------------------ *)
+(* synthetic arrival generator *)
+
+let synth_trace ~events ~seed topo =
+  let rng = Rng.create seed in
+  let nprocs = Topology.node_count topo in
+  let families = [| "grid"; "ring"; "tree"; "rmat" |] in
+  let active = ref [] and counter = ref 0 in
+  List.init events (fun _ ->
+      if !active <> [] && Rng.float rng 1.0 < 0.45 then begin
+        let name = Rng.pick rng (Array.of_list !active) in
+        active := List.filter (fun n -> n <> name) !active;
+        Depart name
+      end
+      else begin
+        incr counter;
+        let name = Printf.sprintf "job%d" !counter in
+        let fam = Rng.pick rng families in
+        let n = 8 + Rng.int rng 33 in
+        let procs = 1 + Rng.int rng (max 1 (nprocs / 4)) in
+        active := name :: !active;
+        Arrive
+          {
+            ar_name = name;
+            ar_program = Printf.sprintf "synth:%s:%d:%d" fam n (1 + Rng.int rng 999);
+            ar_procs = Some procs;
+            ar_bindings = [];
+            ar_constraints = Constraints.none;
+          }
+      end)

@@ -53,13 +53,17 @@ let default_config listen =
 type client = {
   c_fd : Unix.file_descr;
   c_oc : out_channel;  (* on a dup of [c_fd], so closing both is safe *)
+  c_key : int;  (* admission lane: the feeder drains clients round-robin *)
   c_lock : Mutex.t;  (* guards the channel and the counters below *)
   c_done : Condition.t;  (* signalled whenever [c_pending] drops *)
   mutable c_pending : int;  (* accepted jobs not yet answered *)
   mutable c_id : int;  (* last request ordinal handed out *)
 }
 
-type kind = Jrun of Service.request | Jsleep of int * float  (* id, ms *)
+type kind =
+  | Jrun of Service.request
+  | Jsleep of int * float  (* id, ms *)
+  | Jcluster of { jc_id : int; jc_topo : string; jc_trace : string; jc_chaos : string option }
 type job = { j_client : client; j_kind : kind; j_admit : float }
 
 (* latency ring: enough history for stable p99 without unbounded
@@ -74,6 +78,7 @@ type t = {
   stopping : bool Atomic.t;
   lock : Mutex.t;  (* guards counters, the ring and the client list *)
   mutable clients : client list;
+  mutable client_seq : int;  (* admission keys handed out *)
   mutable served : int;  (* accepted jobs answered (ok or error) *)
   mutable shed : int;  (* overload rejections *)
   mutable quota_rejects : int;
@@ -122,31 +127,114 @@ let percentile sorted p =
   else
     sorted.(max 0 (min (n - 1) (int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1)))
 
-let stats_line t =
-  let served, shed, quota, bad, snapshot =
+(* one consistent snapshot feeding both exposition formats *)
+type snapshot = {
+  sn_served : int;
+  sn_shed : int;
+  sn_quota : int;
+  sn_bad : int;
+  sn_depth : int;
+  sn_inflight : int;
+  sn_draining : bool;
+  sn_tripped : string list;
+  sn_programs : Memo.stats;
+  sn_topologies : Memo.stats;
+  sn_p50 : float;
+  sn_p99 : float;
+}
+
+let snapshot t =
+  let served, shed, quota, bad, lats =
     Mutex.protect t.lock (fun () ->
         let n = min t.lat_n lat_window in
         (t.served, t.shed, t.quota_rejects, t.bad_lines, Array.sub t.lat 0 n))
   in
-  Array.sort compare snapshot;
-  let p50 = percentile snapshot 50.0 and p99 = percentile snapshot 99.0 in
+  Array.sort compare lats;
   let f = feeder_exn t in
-  let cache name (s : Memo.stats) =
+  {
+    sn_served = served;
+    sn_shed = shed;
+    sn_quota = quota;
+    sn_bad = bad;
+    sn_depth = Pool.depth f;
+    sn_inflight = Pool.inflight f;
+    sn_draining = Atomic.get t.stopping;
+    sn_tripped = Isolate.tripped t.breaker;
+    sn_programs = Memo.stats t.caches.Service.c_programs;
+    sn_topologies = Memo.stats t.caches.Service.c_topologies;
+    sn_p50 = percentile lats 50.0;
+    sn_p99 = percentile lats 99.0;
+  }
+
+let stats_line t =
+  let s = snapshot t in
+  let cache name (c : Memo.stats) =
     Printf.sprintf "(%s (size %d) (bound %s) (hits %d) (misses %d) (evictions %d))"
-      name s.Memo.mc_size
-      (match s.Memo.mc_bound with None -> "-" | Some b -> string_of_int b)
-      s.Memo.mc_hits s.Memo.mc_misses s.Memo.mc_evictions
+      name c.Memo.mc_size
+      (match c.Memo.mc_bound with None -> "-" | Some b -> string_of_int b)
+      c.Memo.mc_hits c.Memo.mc_misses c.Memo.mc_evictions
   in
   Printf.sprintf
     "(stats (served %d) (shed %d) (quota-rejects %d) (malformed %d) \
      (queue-depth %d) (inflight %d) (draining %b) (tripped (%s)) %s %s \
      (latency-ms (p50 %.3f) (p99 %.3f)))"
-    served shed quota bad (Pool.depth f) (Pool.inflight f)
-    (Atomic.get t.stopping)
-    (String.concat " " (Isolate.tripped t.breaker))
-    (cache "programs" (Memo.stats t.caches.Service.c_programs))
-    (cache "topologies" (Memo.stats t.caches.Service.c_topologies))
-    p50 p99
+    s.sn_served s.sn_shed s.sn_quota s.sn_bad s.sn_depth s.sn_inflight
+    s.sn_draining
+    (String.concat " " s.sn_tripped)
+    (cache "programs" s.sn_programs)
+    (cache "topologies" s.sn_topologies)
+    s.sn_p50 s.sn_p99
+
+(* Prometheus text exposition (version 0.0.4): same snapshot, one
+   metric per line, ready for a scrape job pointed at [stats
+   --format prometheus] *)
+let stats_prometheus t =
+  let s = snapshot t in
+  let b = Buffer.create 1024 in
+  let metric ?(labels = "") ~typ ~help name v =
+    Printf.bprintf b "# HELP %s %s\n# TYPE %s %s\n%s%s %s\n" name help name typ
+      name labels v
+  in
+  metric ~typ:"counter" ~help:"Accepted jobs answered (ok or error)."
+    "oregami_requests_served_total" (string_of_int s.sn_served);
+  metric ~typ:"counter" ~help:"Requests rejected by overload shedding."
+    "oregami_requests_shed_total" (string_of_int s.sn_shed);
+  metric ~typ:"counter" ~help:"Requests rejected by budget quotas."
+    "oregami_quota_rejects_total" (string_of_int s.sn_quota);
+  metric ~typ:"counter" ~help:"Malformed request lines."
+    "oregami_malformed_lines_total" (string_of_int s.sn_bad);
+  metric ~typ:"gauge" ~help:"Jobs waiting in the admission queue."
+    "oregami_queue_depth" (string_of_int s.sn_depth);
+  metric ~typ:"gauge" ~help:"Jobs being processed right now."
+    "oregami_inflight_jobs" (string_of_int s.sn_inflight);
+  metric ~typ:"gauge" ~help:"1 while the daemon is draining for shutdown."
+    "oregami_draining" (if s.sn_draining then "1" else "0");
+  metric ~typ:"gauge" ~help:"Strategies benched by the circuit breaker."
+    "oregami_strategies_tripped" (string_of_int (List.length s.sn_tripped));
+  (* all samples of one family must sit together under its TYPE line *)
+  let cache_family ~typ ~help name field =
+    Printf.bprintf b "# HELP %s %s\n# TYPE %s %s\n" name help name typ;
+    List.iter
+      (fun (label, c) ->
+        Printf.bprintf b "%s{cache=%S} %d\n" name label (field c))
+      [ ("programs", s.sn_programs); ("topologies", s.sn_topologies) ]
+  in
+  cache_family ~typ:"gauge" ~help:"Entries in a build-once artifact cache."
+    "oregami_cache_size" (fun (c : Memo.stats) -> c.Memo.mc_size);
+  cache_family ~typ:"counter" ~help:"Artifact cache hits."
+    "oregami_cache_hits_total" (fun c -> c.Memo.mc_hits);
+  cache_family ~typ:"counter" ~help:"Artifact cache misses."
+    "oregami_cache_misses_total" (fun c -> c.Memo.mc_misses);
+  cache_family ~typ:"counter" ~help:"Artifact cache LRU evictions."
+    "oregami_cache_evictions_total" (fun c -> c.Memo.mc_evictions);
+  Printf.bprintf b
+    "# HELP oregami_request_latency_ms Admit-to-answer latency over the \
+     retained window.\n\
+     # TYPE oregami_request_latency_ms gauge\n\
+     oregami_request_latency_ms{quantile=\"0.5\"} %.3f\n\
+     oregami_request_latency_ms{quantile=\"0.99\"} %.3f"
+    s.sn_p50 s.sn_p99;
+  Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
 (* the worker side                                                    *)
@@ -169,10 +257,69 @@ let refusal ~id ~program ~topology msg =
     r_error = msg;
   }
 
+(* a daemon-driven cluster trace is capped so one request line cannot
+   pin a worker domain for minutes *)
+let cluster_max_events = 500
+
+(* [cluster TOPO synth:EVENTS[:SEED] [chaos=SPEC]]: run a whole online
+   lifecycle in one job, answer one s-expression summary line *)
+let run_cluster ~jc_topo ~jc_trace ~jc_chaos =
+  let ( let* ) = Result.bind in
+  let* machine = Oregami_topology.Topology.of_string jc_topo in
+  let* events, seed =
+    if String.length jc_trace >= 6 && String.sub jc_trace 0 6 = "synth:" then
+      let rest = String.sub jc_trace 6 (String.length jc_trace - 6) in
+      match
+        String.split_on_char ':' rest |> List.map int_of_string_opt
+      with
+      | [ Some n ] when n > 0 -> Ok (n, 1)
+      | [ Some n; Some s ] when n > 0 -> Ok (n, s)
+      | _ -> Error (Printf.sprintf "bad trace %S (want synth:EVENTS[:SEED])" jc_trace)
+    else Error (Printf.sprintf "bad trace %S (want synth:EVENTS[:SEED])" jc_trace)
+  in
+  let* () =
+    if events > cluster_max_events then
+      Error (Printf.sprintf "trace of %d events exceeds cap %d" events cluster_max_events)
+    else Ok ()
+  in
+  let* chaos =
+    match jc_chaos with None -> Ok [] | Some s -> Cluster.parse_chaos s
+  in
+  let* r = Cluster.run ~chaos machine (Cluster.synth_trace ~events ~seed machine) in
+  Ok
+    (Printf.sprintf
+       "(cluster (events %d) (admitted %d) (completed %d) (cancelled %d) \
+        (refused %d) (shed %d) (repairs %d) (remaps %d) (evictions %d) \
+        (repacks %d) (migration %d) (chaos-applied %d) (chaos-refused %d))"
+       r.Cluster.rp_events r.Cluster.rp_admitted r.Cluster.rp_completed
+       r.Cluster.rp_cancelled
+       (List.length r.Cluster.rp_refused)
+       (List.length r.Cluster.rp_shed)
+       r.Cluster.rp_repairs r.Cluster.rp_remaps r.Cluster.rp_evictions
+       r.Cluster.rp_repacks r.Cluster.rp_migration_total
+       r.Cluster.rp_chaos_applied r.Cluster.rp_chaos_refused)
+
 let run_job t job =
   let cl = job.j_client in
+  match job.j_kind with
+  | Jcluster { jc_id; jc_topo; jc_trace; jc_chaos } ->
+    (* answered as one s-expression line of cluster counters, not a
+       mapping outcome row *)
+    let line =
+      match run_cluster ~jc_topo ~jc_trace ~jc_chaos with
+      | Ok line -> line
+      | Error e ->
+        Service.render t.cfg.d_format
+          (refusal ~id:jc_id ~program:"cluster" ~topology:jc_topo
+             ("cluster: " ^ e))
+    in
+    record_latency t (Clock.elapsed_ms job.j_admit);
+    send cl line;
+    job_done cl
+  | Jsleep _ | Jrun _ ->
   let outcome =
     match job.j_kind with
+    | Jcluster _ -> assert false
     | Jsleep (id, ms) ->
       Unix.sleepf (ms /. 1e3);
       {
@@ -283,7 +430,9 @@ let enqueue t cl ~id ~program ~topology kind =
       cl.c_pending <- cl.c_pending + 1;
       Mutex.unlock cl.c_lock;
       let job = { j_client = cl; j_kind = kind; j_admit = Clock.now () } in
-      if not (Pool.offer (feeder_exn t) job) then begin
+      (* each client queues in its own lane; the pool drains lanes
+         round-robin, so a flooding client cannot starve the others *)
+      if not (Pool.offer_keyed (feeder_exn t) ~key:cl.c_key job) then begin
         job_done cl;
         refuse t cl ~shed:true ~id ~program ~topology
           (Printf.sprintf "overload: admission queue full (bound %d)"
@@ -328,7 +477,24 @@ let reader t cl =
        with
        | [ "quit" ] -> quit := true
        | [ "ping" ] -> send cl "pong"
-       | [ "stats" ] -> send cl (stats_line t)
+       | [ "stats" ] | [ "stats"; "--format"; "sexp" ] -> send cl (stats_line t)
+       | [ "stats"; "prometheus" ] | [ "stats"; "--format"; "prometheus" ] ->
+         send cl (stats_prometheus t)
+       | [ "stats"; "--format"; fmt ] ->
+         send cl (Printf.sprintf "error unknown stats format %S" fmt)
+       | "cluster" :: topo :: trace :: rest
+         when rest = []
+              || (match rest with
+                 | [ r ] -> String.length r > 6 && String.sub r 0 6 = "chaos="
+                 | _ -> false) ->
+         cl.c_id <- cl.c_id + 1;
+         let chaos =
+           match rest with
+           | [ r ] -> Some (String.sub r 6 (String.length r - 6))
+           | _ -> None
+         in
+         enqueue t cl ~id:cl.c_id ~program:"cluster" ~topology:topo
+           (Jcluster { jc_id = cl.c_id; jc_topo = topo; jc_trace = trace; jc_chaos = chaos })
        | [ "sleep"; ms ] when float_of_string_opt ms <> None ->
          (* a queued no-op job: deterministic service time, so tests
             and benchmarks can shape load without touching the mapper *)
@@ -385,6 +551,7 @@ let run ?ready ?(handle_signals = true) cfg =
       stopping = Atomic.make false;
       lock = Mutex.create ();
       clients = [];
+      client_seq = 0;
       served = 0;
       shed = 0;
       quota_rejects = 0;
@@ -414,17 +581,19 @@ let run ?ready ?(handle_signals = true) cfg =
     | [ _ ], _, _ -> begin
       match Unix.accept sock with
       | fd, _ ->
+        Mutex.lock t.lock;
+        t.client_seq <- t.client_seq + 1;
         let cl =
           {
             c_fd = fd;
             c_oc = Unix.out_channel_of_descr (Unix.dup fd);
+            c_key = t.client_seq;
             c_lock = Mutex.create ();
             c_done = Condition.create ();
             c_pending = 0;
             c_id = 0;
           }
         in
-        Mutex.lock t.lock;
         t.clients <- cl :: t.clients;
         Mutex.unlock t.lock;
         readers := Thread.create (fun () -> reader t cl) () :: !readers

@@ -34,13 +34,20 @@
     [PROGRAM TOPOLOGY [key=value ...]], each answer is one
     {!Service.render} line.  Requests from one client are answered in
     completion order (the id column identifies them); requests of
-    different clients share the pool.  Four control verbs are handled
+    different clients share the pool, drained {e round-robin per
+    client} ({!Oregami_prelude.Pool.offer_keyed}), so one flooding
+    client only lengthens its own lane.  Control verbs are handled
     specially: [stats] answers one s-expression line of live counters
     (served/shed/quota rejects, queue depth, inflight, breaker trips,
-    per-cache hit/miss/eviction, p50/p99 latency); [ping] answers
-    [pong]; [quit] closes the connection after pending answers; and
-    [sleep MS] queues a no-op job of fixed duration — a deterministic
-    load shape for tests and benchmarks. *)
+    per-cache hit/miss/eviction, p50/p99 latency), and
+    [stats --format prometheus] (or [stats prometheus]) the same
+    snapshot in Prometheus text exposition; [ping] answers [pong];
+    [quit] closes the connection after pending answers; [sleep MS]
+    queues a no-op job of fixed duration — a deterministic load shape
+    for tests and benchmarks; and
+    [cluster TOPO synth:EVENTS[:SEED] [chaos=SPEC]] queues a bounded
+    online-lifecycle run ({!Cluster}) answered as one s-expression
+    summary line. *)
 
 type listen = Unix_socket of string | Tcp of int
 (** Where to listen: a Unix-domain socket path (replacing a stale

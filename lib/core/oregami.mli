@@ -87,6 +87,11 @@ module Daemon = Daemon
     named load-shedding, per-client quotas and timeouts, LRU-bounded
     artifact caches, live [stats], and graceful SIGTERM drain. *)
 
+module Cluster = Cluster
+(** Online cluster lifecycle: leased processor regions for a stream of
+    arriving/departing programs, chaos-injected failures, priced
+    repair-vs-remap-vs-evict healing, and defragmenting re-packs. *)
+
 module Metrics = Oregami_metrics.Metrics
 module Netsim = Oregami_metrics.Netsim
 module Render = Oregami_metrics.Render

@@ -12,14 +12,19 @@ let generations activation =
               (Array.to_seqi activation))))
   |> List.filter (fun g -> g <> [])
 
-let place ?budget ?feasible static ~activation ~cap topo =
+exception Stuck of string
+
+let try_place ?budget ?feasible static ~activation ~cap topo =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let n = Ugraph.node_count static in
   let procs = Topology.node_count topo in
   let alive = Topology.alive topo in
-  if Array.length activation <> n then invalid_arg "Incremental.place: activation length";
-  if cap * Topology.alive_count topo < n then
-    invalid_arg "Incremental.place: capacity too small";
+  if Array.length activation <> n then Error "activation length mismatch"
+  else if cap * Topology.alive_count topo < n then
+    Error
+      (Printf.sprintf "capacity too small: %d tasks on %d processors at cap %d"
+         n (Topology.alive_count topo) cap)
+  else begin
   let constrained = feasible <> None in
   let may = match feasible with Some f -> f | None -> fun _ _ -> true in
   let dc = Distcache.hops topo in
@@ -45,42 +50,49 @@ let place ?budget ?feasible static ~activation ~cap topo =
         incr p
       done;
       if !best = -1 then
-        invalid_arg
-          (Printf.sprintf "Incremental.place: no feasible processor for task %d" t);
+        raise (Stuck (Printf.sprintf "no feasible processor for task %d" t));
       assign t !best
     end
   in
-  List.iter
-    (fun generation ->
-      List.iter
-        (fun t ->
-          if not (Budget.poll budget ~cost:procs) then begin
-            Budget.note budget "incremental";
-            assign_cheap t
-          end
-          else begin
-          let cost p =
-            List.fold_left
-              (fun acc (u, w) ->
-                if proc_of.(u) <> -1 then acc + (w * Distcache.hop dc p proc_of.(u))
-                else acc)
-              0 (Ugraph.neighbors static t)
-          in
-          let best = ref (-1) and best_key = ref (max_int, max_int, max_int) in
-          for p = 0 to procs - 1 do
-            if alive p && load.(p) < cap && may t p then begin
-              let key = (cost p, load.(p), p) in
-              if key < !best_key then begin
-                best_key := key;
-                best := p
-              end
+  match
+    List.iter
+      (fun generation ->
+        List.iter
+          (fun t ->
+            if not (Budget.poll budget ~cost:procs) then begin
+              Budget.note budget "incremental";
+              assign_cheap t
             end
-          done;
-          if !best = -1 then
-            invalid_arg
-              (Printf.sprintf "Incremental.place: no feasible processor for task %d" t);
-          assign t !best
-          end)
-        generation)
-    (generations activation);
-  proc_of
+            else begin
+            let cost p =
+              List.fold_left
+                (fun acc (u, w) ->
+                  if proc_of.(u) <> -1 then acc + (w * Distcache.hop dc p proc_of.(u))
+                  else acc)
+                0 (Ugraph.neighbors static t)
+            in
+            let best = ref (-1) and best_key = ref (max_int, max_int, max_int) in
+            for p = 0 to procs - 1 do
+              if alive p && load.(p) < cap && may t p then begin
+                let key = (cost p, load.(p), p) in
+                if key < !best_key then begin
+                  best_key := key;
+                  best := p
+                end
+              end
+            done;
+            if !best = -1 then
+              raise (Stuck (Printf.sprintf "no feasible processor for task %d" t));
+            assign t !best
+            end)
+          generation)
+      (generations activation)
+  with
+  | () -> Ok proc_of
+  | exception Stuck e -> Error e
+  end
+
+let place ?budget ?feasible static ~activation ~cap topo =
+  match try_place ?budget ?feasible static ~activation ~cap topo with
+  | Ok proc_of -> proc_of
+  | Error e -> invalid_arg ("Incremental.place: " ^ e)

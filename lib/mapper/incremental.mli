@@ -33,5 +33,19 @@ val place :
     filter present, a task with no feasible processor under the
     capacity bound raises [Invalid_argument] naming the task. *)
 
+val try_place :
+  ?budget:Budget.t ->
+  ?feasible:(int -> int -> bool) ->
+  Oregami_graph.Ugraph.t ->
+  activation:int array ->
+  cap:int ->
+  Oregami_topology.Topology.t ->
+  (int array, string) result
+(** Like {!place} but total: precondition failures (activation length
+    mismatch, insufficient capacity) and a task with no feasible
+    processor become a named [Error] instead of raising.  The online
+    cluster uses this — a transiently unplaceable arrival is queued
+    and retried, not a crash. *)
+
 val generations : int array -> int list list
 (** Task ids grouped by activation level, levels ascending. *)

@@ -12,7 +12,7 @@ let moved r = List.length r.rp_moves
 (* Incremental-placer cost rule (see Incremental.place): hop-weighted
    communication from a candidate processor to the task's already-placed
    neighbours; ties broken by lighter load, then smaller id. *)
-let evacuate static dc degraded feasible proc_of load cap_load t =
+let evacuate static dc degraded allowed feasible proc_of load cap_load t =
   let cost p =
     List.fold_left
       (fun acc (u, w) ->
@@ -23,7 +23,7 @@ let evacuate static dc degraded feasible proc_of load cap_load t =
     let best = ref (-1) and best_key = ref (max_int, max_int, max_int) in
     for p = 0 to Topology.node_count degraded - 1 do
       if
-        Topology.alive degraded p && feasible t p
+        Topology.alive degraded p && allowed p && feasible t p
         && ((not capped) || load.(p) < cap_load)
       then begin
         let key = (cost p, load.(p), p) in
@@ -37,7 +37,8 @@ let evacuate static dc degraded feasible proc_of load cap_load t =
   in
   match pick ~capped:true with -1 -> pick ~capped:false | p -> p
 
-let repair ?(cap = 64) ?(constraints = Constraints.none) (m : Mapping.t) degraded =
+let repair ?(cap = 64) ?(constraints = Constraints.none) ?(allowed = fun _ -> true)
+    (m : Mapping.t) degraded =
   let tg = m.Mapping.tg in
   let n = tg.Taskgraph.n in
   if Topology.node_count degraded <> Topology.node_count m.Mapping.topo then
@@ -87,7 +88,7 @@ let repair ?(cap = 64) ?(constraints = Constraints.none) (m : Mapping.t) degrade
       List.iter
         (fun t ->
           if !stuck = None then begin
-            match evacuate static dc degraded feasible proc_of load cap_load t with
+            match evacuate static dc degraded allowed feasible proc_of load cap_load t with
             | -1 ->
               stuck :=
                 Some

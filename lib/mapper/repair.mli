@@ -30,6 +30,7 @@ val moved : t -> int
 val repair :
   ?cap:int ->
   ?constraints:Constraints.spec ->
+  ?allowed:(int -> bool) ->
   Mapping.t ->
   Oregami_topology.Topology.t ->
   (t, string) result
@@ -45,4 +46,9 @@ val repair :
     the repair refuse with a named reason instead of evacuating the
     task somewhere it must not run, evacuation only considers survivors
     the shared {!Constraints.feasible} predicate accepts, and the
-    repaired mapping passes the DRC. *)
+    repaired mapping passes the DRC.
+
+    [allowed] (default everything) restricts evacuation targets to a
+    region of the machine — a multi-tenant cluster passes the job's
+    lease plus the free pool so a repair never lands on a neighbour's
+    processors.  Frozen survivors are not re-checked against it. *)

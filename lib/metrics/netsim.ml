@@ -317,3 +317,56 @@ let spans ?(params = default_params) (m : Mapping.t) phase =
   let slot = { Phase_expr.comms = [ phase ]; execs = [] } in
   let messages = List.map (fun (r, v) -> (r, v, 0)) (slot_messages m slot) in
   simulate_spans params m.Mapping.topo messages
+
+(* ------------------------------------------------------------------ *)
+(* Occupancy metrics for the online cluster: how much of the surviving
+   machine is leased out, and how shattered the free space is. *)
+
+let utilization topo ~leased =
+  let alive = Topology.alive_count topo in
+  if alive = 0 then 0.0
+  else begin
+    let busy =
+      List.fold_left
+        (fun acc p -> if Topology.alive topo p then acc + 1 else acc)
+        0 (List.sort_uniq compare leased)
+    in
+    float_of_int busy /. float_of_int alive
+  end
+
+let fragmentation topo ~free =
+  let free = List.sort_uniq compare free in
+  let free = List.filter (Topology.alive topo) free in
+  match free with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let total = List.length free in
+    let in_free = Hashtbl.create total in
+    List.iter (fun p -> Hashtbl.replace in_free p ()) free;
+    let g = Topology.graph topo in
+    let seen = Hashtbl.create total in
+    (* BFS restricted to free processors: largest contiguous free block *)
+    let component seed =
+      let q = Queue.create () in
+      Queue.add seed q;
+      Hashtbl.replace seen seed ();
+      let size = ref 0 in
+      while not (Queue.is_empty q) do
+        let p = Queue.pop q in
+        incr size;
+        List.iter
+          (fun (u, _) ->
+            if Hashtbl.mem in_free u && not (Hashtbl.mem seen u) then begin
+              Hashtbl.replace seen u ();
+              Queue.add u q
+            end)
+          (Oregami_graph.Ugraph.neighbors g p)
+      done;
+      !size
+    in
+    let largest =
+      List.fold_left
+        (fun acc p -> if Hashtbl.mem seen p then acc else max acc (component p))
+        0 free
+    in
+    1.0 -. (float_of_int largest /. float_of_int total)

@@ -116,3 +116,17 @@ val run_with_fault :
     run on the repaired mapping.  Errors (never crashes) on invalid
     fault ids, an empty fault set, faults that disconnect the
     survivors, or an unrepairable mapping. *)
+
+val utilization : Oregami_topology.Topology.t -> leased:int list -> float
+(** Fraction of the {e alive} processors currently under lease —
+    duplicates and dead ids in [leased] are ignored.  [0.] on a machine
+    with nothing alive. *)
+
+val fragmentation : Oregami_topology.Topology.t -> free:int list -> float
+(** How shattered the free space is: [1 - largest contiguous free
+    block / total free processors], where contiguity is adjacency in
+    the (possibly degraded) topology restricted to free alive
+    processors.  [0.] when the free space is empty, a single processor,
+    or one connected block; approaches [1.] as the free processors
+    scatter into many small islands.  Drives the cluster's re-pack
+    decision. *)

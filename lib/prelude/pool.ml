@@ -86,17 +86,41 @@ let map ~jobs f arr =
    [false] immediately — the caller sheds the load by name instead of
    blocking, which is what keeps a server responsive when the queue
    is full.  [drain] stops admission, lets the workers finish every
-   job already accepted, and joins them. *)
+   job already accepted, and joins them.
+
+   Admission is keyed: jobs enqueue under a caller-chosen key (one per
+   client, say) and the workers drain the keys round-robin, one job
+   from each key in rotation — a client flooding the queue under its
+   own key cannot starve the others, it only lengthens its own lane.
+   [offer] is [offer_keyed] under key 0; with a single key the drain
+   order is plain FIFO, exactly as before. *)
 
 type 'a feeder = {
   f_lock : Mutex.t;
   f_nonempty : Condition.t;
-  f_queue : 'a Queue.t;
+  f_queues : (int, 'a Queue.t) Hashtbl.t;  (* per-key lanes, all non-empty *)
+  mutable f_order : int list;  (* round-robin rotation over the lanes *)
+  mutable f_len : int;  (* total queued, across lanes *)
   f_bound : int;
   mutable f_stop : bool;
   mutable f_active : int;  (* jobs a worker is processing right now *)
   mutable f_workers : unit Domain.t list;
 }
+
+(* caller holds the lock and guarantees f_len > 0 *)
+let pop_round_robin f =
+  match f.f_order with
+  | [] -> assert false
+  | k :: rest ->
+    let q = Hashtbl.find f.f_queues k in
+    let x = Queue.pop q in
+    f.f_len <- f.f_len - 1;
+    if Queue.is_empty q then begin
+      Hashtbl.remove f.f_queues k;
+      f.f_order <- rest
+    end
+    else f.f_order <- rest @ [ k ];
+    x
 
 let feeder ~jobs ~bound handler =
   if jobs < 1 then invalid_arg "Pool.feeder: jobs must be >= 1";
@@ -105,7 +129,9 @@ let feeder ~jobs ~bound handler =
     {
       f_lock = Mutex.create ();
       f_nonempty = Condition.create ();
-      f_queue = Queue.create ();
+      f_queues = Hashtbl.create 16;
+      f_order = [];
+      f_len = 0;
       f_bound = bound;
       f_stop = false;
       f_active = 0;
@@ -116,16 +142,16 @@ let feeder ~jobs ~bound handler =
     let running = ref true in
     while !running do
       Mutex.lock f.f_lock;
-      while Queue.is_empty f.f_queue && not f.f_stop do
+      while f.f_len = 0 && not f.f_stop do
         Condition.wait f.f_nonempty f.f_lock
       done;
-      if Queue.is_empty f.f_queue then begin
+      if f.f_len = 0 then begin
         (* stop requested and nothing left: done *)
         running := false;
         Mutex.unlock f.f_lock
       end
       else begin
-        let x = Queue.pop f.f_queue in
+        let x = pop_round_robin f in
         f.f_active <- f.f_active + 1;
         Mutex.unlock f.f_lock;
         (* the handler owns its own error reporting; a raise here must
@@ -140,16 +166,25 @@ let feeder ~jobs ~bound handler =
   f.f_workers <- List.init jobs (fun _ -> Domain.spawn worker);
   f
 
-let offer f x =
+let offer_keyed f ~key x =
   Mutex.protect f.f_lock (fun () ->
-      if f.f_stop || Queue.length f.f_queue >= f.f_bound then false
+      if f.f_stop || f.f_len >= f.f_bound then false
       else begin
-        Queue.push x f.f_queue;
+        (match Hashtbl.find_opt f.f_queues key with
+        | Some q -> Queue.push x q
+        | None ->
+          let q = Queue.create () in
+          Queue.push x q;
+          Hashtbl.replace f.f_queues key q;
+          f.f_order <- f.f_order @ [ key ]);
+        f.f_len <- f.f_len + 1;
         Condition.signal f.f_nonempty;
         true
       end)
 
-let depth f = Mutex.protect f.f_lock (fun () -> Queue.length f.f_queue)
+let offer f x = offer_keyed f ~key:0 x
+
+let depth f = Mutex.protect f.f_lock (fun () -> f.f_len)
 
 let inflight f = Mutex.protect f.f_lock (fun () -> f.f_active)
 

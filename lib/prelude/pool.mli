@@ -47,18 +47,25 @@ type 'a feeder
 
 val feeder : jobs:int -> bound:int -> ('a -> unit) -> 'a feeder
 (** [feeder ~jobs ~bound handler] spawns [jobs] worker domains that
-    pull accepted jobs FIFO and run [handler] on each.  At most
-    [bound] jobs wait in the queue (jobs being processed do not
-    count).  The handler owns its own error reporting: if it raises,
-    the exception is swallowed and the worker keeps serving.  [jobs]
-    must be at least 1; [bound] at least 0 ([0] sheds every offer —
-    useful for tests). *)
+    pull accepted jobs and run [handler] on each.  Jobs are drained
+    {e round-robin over admission keys} (see {!offer_keyed}): one job
+    from each key's FIFO lane in rotation, so no key can starve the
+    others; within a key, order is FIFO.  At most [bound] jobs wait
+    across all lanes (jobs being processed do not count).  The handler
+    owns its own error reporting: if it raises, the exception is
+    swallowed and the worker keeps serving.  [jobs] must be at least
+    1; [bound] at least 0 ([0] sheds every offer — useful for
+    tests). *)
+
+val offer_keyed : 'a feeder -> key:int -> 'a -> bool
+(** Non-blocking admission under a caller-chosen key (one per client,
+    say): [true] if the job was enqueued, [false] if the total queue
+    is at its bound (or the feeder is draining) — the caller should
+    reject the job by name.  Safe from any thread or domain. *)
 
 val offer : 'a feeder -> 'a -> bool
-(** Non-blocking admission: [true] if the job was enqueued, [false]
-    if the queue is at its bound (or the feeder is draining) — the
-    caller should reject the job by name.  Safe from any thread or
-    domain. *)
+(** {!offer_keyed} under key [0] — single-lane callers get plain FIFO,
+    exactly the old behaviour. *)
 
 val depth : 'a feeder -> int
 (** Jobs currently waiting in the queue (excludes jobs being

@@ -113,3 +113,24 @@ let degrade base f =
       (Printf.sprintf
          "faults disconnect %s: surviving processors split into %d partitions %s"
          (Topology.name base) (List.length parts) (pp_partitions parts))
+
+(* ------------------------------------------------------------------ *)
+(* revive: the inverse of degrade.  Chaos schedules (and operators)
+   bring processors and links back; the fault set shrinks and the view
+   is rebuilt from the base, so ids stay stable: processor ids were
+   never renumbered, and every surviving link id re-derives from the
+   base link table. *)
+
+let remove_revived what dead revived =
+  List.fold_left
+    (fun acc id ->
+      Result.bind acc (fun dead ->
+          if List.mem id dead then Ok (List.filter (fun d -> d <> id) dead)
+          else Error (Printf.sprintf "cannot revive %s %d: not dead" what id)))
+    (Ok dead) revived
+
+let revive ?(procs = []) ?(links = []) view =
+  let ( let* ) = Result.bind in
+  let* procs = remove_revived "processor" view.faults.procs procs in
+  let* links = remove_revived "link" view.faults.links links in
+  degrade view.base { procs; links }

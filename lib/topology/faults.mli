@@ -52,6 +52,16 @@ val degrade : Topology.t -> t -> (view, string) result
     machine.  With an empty fault set the view's [topo] is [base]
     itself. *)
 
+val revive : ?procs:int list -> ?links:int list -> view -> (view, string) result
+(** The inverse of {!degrade}: remove the named processors/links from
+    the view's fault set and rebuild the degraded view from the base.
+    Ids are stable — processor ids are never renumbered, and the new
+    view's link ids re-derive from the base link table, so
+    [degrade ∘ revive] round-trips: reviving every fault yields a view
+    whose [topo] is the base itself.  Errors (by name) on reviving a
+    processor or link that is not currently dead; ids are base ids,
+    exactly as in the fault set. *)
+
 val partitions : Topology.t -> int list list
 (** Connected components of the surviving (alive) processors of a
     possibly-degraded topology, each sorted, ordered by smallest

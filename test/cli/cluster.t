@@ -1,0 +1,63 @@
+Online cluster lifecycle: a trace of arriving and departing jobs
+leases regions of a live machine; a mid-trace kill is healed by
+pricing minimum-disruption repair against a from-scratch remap, and
+the revive returns the processor to the free pool.  --explain streams
+every decision:
+
+  $ cat > trace.txt <<'EOF'
+  > # two tenants on a 4x4 torus
+  > arrive alpha synth:grid:12:1 procs=6
+  > arrive beta synth:ring:8:2 procs=4
+  > kill procs=0
+  > revive procs=0
+  > depart alpha
+  > EOF
+
+  $ oregami cluster trace.txt -t torus:4x4 --explain
+  [1] admit alpha: 12 tasks on 6 procs {0,1,2,3,4,12}, makespan 8
+  [2] admit beta: 8 tasks on 4 procs {5,6,7,9}, makespan 8
+  [3] chaos: kill procs 0 (1 dead processor (0))
+  [3] alpha lost procs {0}
+  [3] heal alpha: repair wins (18+8 vs remap 36+10)
+  [3] repair alpha: 2 moved, migration 18, makespan 8, region {1,2,3,4,12,13,14}
+  [3] reroute beta: 0 moved, migration 0, makespan 8, region {5,6,7,9}
+  [4] chaos: revive procs 0 (no faults)
+  [5] depart alpha: released {1,2,3,4,12,13,14}
+  events 5: admitted 2, completed 1, cancelled 0, refused 0, shed 0
+  healing: repairs 1, remaps 0, evictions 0, repacks 0 (declined 0), migration 18
+  chaos: applied 2, refused 0
+  final: utilization 0.25, fragmentation 0.00, running 1, free 12
+  running: beta
+
+A synthetic arrival stream with a chaos schedule injected from the
+command line (chaos events count toward the total):
+
+  $ oregami cluster synth:12:3 -t torus:4x4 --chaos '4:kill-procs=5;9:revive-procs=5'
+  events 14: admitted 8, completed 4, cancelled 0, refused 0, shed 0
+  healing: repairs 0, remaps 0, evictions 0, repacks 0 (declined 0), migration 0
+  chaos: applied 2, refused 0
+  final: utilization 0.38, fragmentation 0.00, running 4, free 10
+  running: job2 job5 job6 job8
+
+A job the machine can never hold is refused by name, and any refusal
+makes the run exit 1:
+
+  $ printf 'arrive big synth:grid:10:1 procs=99\n' > big.txt
+  $ oregami cluster big.txt -t mesh:2x2
+  events 1: admitted 0, completed 0, cancelled 0, refused 1, shed 0
+  healing: repairs 0, remaps 0, evictions 0, repacks 0 (declined 0), migration 0
+  chaos: applied 0, refused 0
+  final: utilization 0.00, fragmentation 0.00, running 0, free 4
+  refused big: requested 99 processors, machine has 4
+  [1]
+
+Malformed traces and chaos specs are named usage errors:
+
+  $ printf 'launch x\n' > bad.txt
+  $ oregami cluster bad.txt -t mesh:2x2
+  oregami: line 1: unknown trace verb "launch" (want arrive, depart, kill or revive)
+  [1]
+
+  $ oregami cluster synth:5:1 -t torus:4x4 --chaos oops
+  oregami: bad chaos event "oops" (want AT:ACTION)
+  [1]

@@ -1,0 +1,110 @@
+(* Cluster lifecycle soak: 500 seeded arrival/departure events on a
+   torus:8x8 with periodic chaos woven in, the lease-accounting
+   invariants checked after every single event, and the final report
+   audited so that every job that ever arrived is accounted for by
+   name — admitted, refused, or shed; never silently lost. *)
+
+open Oregami
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("FAIL: " ^ s); exit 1) fmt
+
+let () =
+  let machine =
+    match Topology.of_string "torus:8x8" with
+    | Ok t -> t
+    | Error e -> fail "topology: %s" e
+  in
+  let events = Cluster.synth_trace ~events:500 ~seed:20260809 machine in
+  let arrivals =
+    List.filter_map
+      (function Cluster.Arrive a -> Some a.Cluster.ar_name | _ -> None)
+      events
+  in
+  (* weave chaos through the trace: kill a processor every 60 events,
+     revive it 30 later; one link blink near the middle *)
+  let chaos =
+    List.concat_map
+      (fun i ->
+        let p = 1 + ((i * 7) mod 62) in
+        [
+          (60 * i, Cluster.Kill { procs = [ p ]; links = [] });
+          ((60 * i) + 30, Cluster.Revive { procs = [ p ]; links = [] });
+        ])
+      [ 1; 2; 3; 4; 5; 6; 7 ]
+    @ [
+        (250, Cluster.Kill { procs = []; links = [ 0; 1 ] });
+        (280, Cluster.Revive { procs = []; links = [ 0; 1 ] });
+      ]
+  in
+  let chaos = List.sort (fun (a, _) (b, _) -> compare a b) chaos in
+  let t =
+    match Cluster.create machine with
+    | Ok t -> t
+    | Error e -> fail "create: %s" e
+  in
+  (* drive by hand rather than through Cluster.run so the invariants
+     are asserted after EVERY event, chaos included *)
+  let steps = ref 0 in
+  let check ev =
+    Cluster.step t ev;
+    incr steps;
+    (match Cluster.invariants t with
+    | Ok () -> ()
+    | Error e ->
+      fail "invariants broken after event %d (%s): %s" !steps
+        (Cluster.describe_event ev) e);
+    let u = Cluster.utilization t and f = Cluster.fragmentation t in
+    if u < 0.0 || u > 1.0 then fail "utilization %f out of range" u;
+    if f < 0.0 || f > 1.0 then fail "fragmentation %f out of range" f
+  in
+  let rec go i chaos events =
+    let due, later = List.partition (fun (at, _) -> at <= i) chaos in
+    List.iter (fun (_, ev) -> check ev) due;
+    match events with
+    | [] -> List.iter (fun (_, ev) -> check ev) later
+    | ev :: rest ->
+      check ev;
+      go (i + 1) later rest
+  in
+  go 0 chaos events;
+  let r = Cluster.finish t in
+  (match Cluster.invariants t with
+  | Ok () -> ()
+  | Error e -> fail "invariants broken after finish: %s" e);
+  (* every arrival is accounted for exactly once by name *)
+  let refused = List.map fst r.Cluster.rp_refused in
+  List.iter
+    (fun name ->
+      let admitted =
+        List.mem name r.Cluster.rp_running
+        || (not (List.mem name refused))
+           && not (List.mem name r.Cluster.rp_shed)
+      in
+      let seen =
+        (if admitted then 1 else 0)
+        + (if List.mem name refused then 1 else 0)
+        + if List.mem name r.Cluster.rp_shed then 1 else 0
+      in
+      if seen <> 1 then fail "job %s accounted %d times" name seen)
+    arrivals;
+  if r.Cluster.rp_queued <> [] then
+    fail "finish left %d jobs queued" (List.length r.Cluster.rp_queued);
+  let named = List.length refused + List.length r.Cluster.rp_shed in
+  if r.Cluster.rp_admitted + r.Cluster.rp_cancelled + named < List.length arrivals
+  then
+    fail "%d arrivals, only %d admitted + %d cancelled + %d refused/shed"
+      (List.length arrivals) r.Cluster.rp_admitted r.Cluster.rp_cancelled named;
+  if r.Cluster.rp_events <> !steps then
+    fail "report counts %d events, drove %d" r.Cluster.rp_events !steps;
+  if r.Cluster.rp_chaos_applied + r.Cluster.rp_chaos_refused <> List.length chaos
+  then
+    fail "%d chaos events, %d applied + %d refused" (List.length chaos)
+      r.Cluster.rp_chaos_applied r.Cluster.rp_chaos_refused;
+  Printf.printf
+    "stress_cluster: %d events ok (%d arrivals: %d admissions, %d refused, %d \
+     shed; %d repairs, %d remaps, %d evictions, %d repacks; chaos %d applied, \
+     %d refused)\n"
+    !steps (List.length arrivals) r.Cluster.rp_admitted (List.length refused)
+    (List.length r.Cluster.rp_shed) r.Cluster.rp_repairs r.Cluster.rp_remaps
+    r.Cluster.rp_evictions r.Cluster.rp_repacks r.Cluster.rp_chaos_applied
+    r.Cluster.rp_chaos_refused

@@ -259,6 +259,125 @@ let test_stats_verb () =
         ];
       hangup c)
 
+(* the feeder drains one job per client lane in rotation, so a client
+   flooding the queue only lengthens its own lane: a second client's
+   single request must be answered after at most a couple of the
+   flooder's jobs, not after all of them *)
+let test_round_robin_fairness () =
+  with_daemon
+    ~tweak:(fun c -> { c with Daemon.d_jobs = 1 })
+    (fun path ->
+      let flood = dial path in
+      List.iter (fun _ -> say flood "sleep 150") [ 1; 2; 3; 4; 5 ];
+      (* wait until the lone worker holds the flooder's first job and
+         the other four wait in its lane *)
+      let rec settle n =
+        if n = 0 then Alcotest.fail "flood never settled";
+        say flood "stats";
+        let s = hear flood in
+        if not (contains s "(inflight 1)" && contains s "(queue-depth 4)")
+        then begin
+          Unix.sleepf 0.005;
+          settle (n - 1)
+        end
+      in
+      settle 100;
+      let quiet = dial path in
+      say quiet "sleep 150";
+      (match fields (hear quiet) with
+      | _ :: "sleep" :: _ :: status :: _ ->
+        Alcotest.(check string) "quiet client answered ok" "ok" status
+      | other -> Alcotest.failf "unexpected answer %S" (String.concat "\t" other));
+      (* round-robin: at most inflight + one flood job + ours have been
+         served when our answer lands; FIFO would make it all six *)
+      say quiet "stats";
+      let s = hear quiet in
+      let served =
+        let tag = "(served " in
+        let rec find i =
+          if i + String.length tag > String.length s then
+            Alcotest.failf "no served count in %S" s
+          else if String.sub s i (String.length tag) = tag then
+            let j = ref (i + String.length tag) in
+            let start = !j in
+            while s.[!j] <> ')' do incr j done;
+            int_of_string (String.sub s start (!j - start))
+          else find (i + 1)
+        in
+        find 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "served %d <= 4 when the quiet client is answered"
+           served)
+        true (served <= 4);
+      hangup quiet;
+      (* the flooder's jobs all still complete *)
+      List.iter
+        (fun _ ->
+          Alcotest.(check bool) "flood job ok" true
+            (contains (hear flood) "\tok\t"))
+        [ 1; 2; 3; 4; 5 ];
+      hangup flood)
+
+let test_stats_prometheus () =
+  with_daemon (fun path ->
+      let c = dial path in
+      say c "voting hypercube:2";
+      ignore (hear c);
+      say c "stats --format prometheus";
+      (* multi-line answer: the latency 0.99 quantile is always last *)
+      let rec slurp acc =
+        let line = hear c in
+        if contains line "quantile=\"0.99\"" then List.rev (line :: acc)
+        else slurp (line :: acc)
+      in
+      let body = slurp [] in
+      let text = String.concat "\n" body in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) (Printf.sprintf "scrape has %s" needle) true
+            (contains text needle))
+        [
+          "# TYPE oregami_requests_served_total counter";
+          "oregami_requests_served_total 1";
+          "# TYPE oregami_queue_depth gauge";
+          "oregami_cache_size{cache=\"programs\"} 1";
+          "oregami_cache_hits_total{cache=\"topologies\"}";
+          "oregami_request_latency_ms{quantile=\"0.5\"}";
+        ];
+      (* exposition rule: every sample of a family sits under its own
+         TYPE line, before the next family starts *)
+      let rec families seen = function
+        | [] -> List.rev seen
+        | line :: rest ->
+          if String.length line > 7 && String.sub line 0 7 = "# TYPE " then
+            families (List.nth (String.split_on_char ' ' line) 2 :: seen) rest
+          else families seen rest
+      in
+      let fams = families [] body in
+      Alcotest.(check int) "each family declared once"
+        (List.length fams)
+        (List.length (List.sort_uniq compare fams));
+      say c "stats --format csv";
+      Alcotest.(check bool) "unknown format named" true
+        (contains (hear c) "unknown stats format");
+      hangup c)
+
+let test_cluster_verb () =
+  with_daemon (fun path ->
+      let c = dial path in
+      say c "cluster torus:4x4 synth:20:7 chaos=4:kill-procs=3;12:revive-procs=3";
+      let line = hear c in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) (Printf.sprintf "summary has %s" needle) true
+            (contains line needle))
+        [ "(cluster "; "(events 22)"; "(admitted "; "(chaos-applied 2)" ];
+      say c "cluster torus:4x4 synth:nope";
+      Alcotest.(check bool) "bad trace spec named" true
+        (contains (hear c) "error");
+      hangup c)
+
 let () =
   (* a client that hangs up mid-answer must surface as EPIPE on the
      daemon's write, not kill this process *)
@@ -280,5 +399,10 @@ let () =
           Alcotest.test_case "malformed lines answered" `Quick
             test_malformed_line_answered;
           Alcotest.test_case "stats verb" `Quick test_stats_verb;
+          Alcotest.test_case "round-robin fairness" `Quick
+            test_round_robin_fairness;
+          Alcotest.test_case "stats --format prometheus" `Quick
+            test_stats_prometheus;
+          Alcotest.test_case "cluster verb" `Quick test_cluster_verb;
         ] );
     ]

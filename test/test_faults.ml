@@ -244,6 +244,88 @@ let test_incremental_and_routes_degraded () =
     (fun p -> Alcotest.(check bool) "placement alive" true (Topology.alive d p))
     placed
 
+(* revive: the inverse of degrade, with stable ids *)
+let test_revive () =
+  let base, faults, view = acceptance_view () in
+  (* partial revive: bring processor 3 back, keep 7 and the cut link dead *)
+  let partial = get (Faults.revive ~procs:[ 3 ] view) in
+  Alcotest.(check (list int)) "7 still dead" [ 7 ]
+    partial.Faults.faults.Faults.procs;
+  Alcotest.(check bool) "3 alive again" true (Topology.alive partial.Faults.topo 3);
+  Alcotest.(check bool) "7 still dead in topo" false
+    (Topology.alive partial.Faults.topo 7);
+  Alcotest.(check (list int)) "cut link still dead" faults.Faults.links
+    partial.Faults.faults.Faults.links;
+  (* full revive: the view's topo is the base itself *)
+  let full =
+    get (Faults.revive ~procs:partial.Faults.faults.Faults.procs
+           ~links:partial.Faults.faults.Faults.links partial)
+  in
+  Alcotest.(check bool) "no faults left" true (Faults.is_empty full.Faults.faults);
+  Alcotest.(check bool) "topo is the base" true (full.Faults.topo == base);
+  (* errors are named *)
+  expect_error "revive an alive processor" (fun e -> contains e "not dead")
+    (Faults.revive ~procs:[ 0 ] view);
+  expect_error "revive an alive link" (fun e -> contains e "not dead")
+    (Faults.revive ~links:[ 31 ] view)
+
+(* degrade ∘ revive round-trips the link table for arbitrary fault
+   sets: every surviving link of the re-revived view carries the same
+   base id and endpoints as before the round trip *)
+let prop_revive_roundtrip =
+  QCheck.Test.make ~name:"degrade ∘ revive round-trips the link table" ~count:100
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Prelude.Rng.create seed in
+      let base =
+        topo_of
+          (match seed mod 3 with
+          | 0 -> "hypercube:4"
+          | 1 -> "torus:4x4"
+          | _ -> "mesh:3x5")
+      in
+      let nprocs = Topology.node_count base in
+      let nlinks = Topology.link_count base in
+      match
+        Faults.random rng
+          ~procs:(Prelude.Rng.int rng (min 3 (nprocs - 1)))
+          ~links:(Prelude.Rng.int rng (min 4 nlinks))
+          base
+      with
+      | Error e -> QCheck.Test.fail_reportf "random faults: %s" e
+      | Ok faults -> begin
+        match Faults.degrade base faults with
+        | Error _ -> true (* disconnecting draw: nothing to round-trip *)
+        | Ok view -> begin
+          match
+            Faults.revive ~procs:faults.Faults.procs ~links:faults.Faults.links
+              view
+          with
+          | Error e -> QCheck.Test.fail_reportf "full revive refused: %s" e
+          | Ok revived ->
+            if not (Faults.is_empty revived.Faults.faults) then
+              QCheck.Test.fail_reportf "faults survive a full revive";
+            if Topology.link_count revived.Faults.topo <> nlinks then
+              QCheck.Test.fail_reportf "link count %d <> base %d"
+                (Topology.link_count revived.Faults.topo)
+                nlinks;
+            (* every base link is its own image again *)
+            Array.iteri
+              (fun i b ->
+                if i <> b then
+                  QCheck.Test.fail_reportf "link %d maps to base %d after revive" i b)
+              revived.Faults.link_to_base;
+            (* and a second degrade with the same faults reproduces the
+               original view's translation table exactly *)
+            (match Faults.degrade revived.Faults.topo faults with
+            | Error e -> QCheck.Test.fail_reportf "re-degrade refused: %s" e
+            | Ok again ->
+              if again.Faults.link_to_base <> view.Faults.link_to_base then
+                QCheck.Test.fail_reportf "re-degrade shuffled link ids");
+            true
+        end
+      end)
+
 let () =
   Alcotest.run "faults"
     [
@@ -252,6 +334,8 @@ let () =
           Alcotest.test_case "structure" `Quick test_degrade_structure;
           Alcotest.test_case "validation" `Quick test_fault_validation;
           Alcotest.test_case "partitions" `Quick test_partition_errors;
+          Alcotest.test_case "revive" `Quick test_revive;
+          QCheck_alcotest.to_alcotest prop_revive_roundtrip;
         ] );
       ( "mapping",
         [
