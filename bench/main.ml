@@ -1858,6 +1858,136 @@ let e22_cluster_lifecycle () =
 (* ================================================================== *)
 (* Smoke mode: a fast end-to-end slice wired into `dune runtest`       *)
 
+(* ================================================================== *)
+(* E23: coarse routing — traffic-aggregated MM-Route for the large tier *)
+
+let e23_coarse_routing () =
+  Tab.section
+    "E23  Coarse routing: traffic-aggregated MM-Route vs full MM-Route";
+  (* end-to-end multilevel runs at the sizes where routing dominates:
+     the full-MM-Route rows are the E19 baselines, the coarse rows the
+     same run with --routing coarse *)
+  let cases =
+    [
+      (Synth.Grid, 100_000, "torus:32x32"); (Synth.Rmat, 10_000, "torus:16x16");
+    ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun (family, n, topo_s) ->
+      let tg = Synth.generate family ~n ~seed:1 in
+      let fam = Synth.string_of_family family in
+      let t = topo topo_s in
+      let run routing jobs =
+        let options =
+          { Driver.default_options with
+            Driver.only = [ "multilevel" ];
+            Driver.routing;
+            Driver.jobs = jobs;
+          }
+        in
+        Prelude.Clock.time (fun () -> Driver.map_taskgraph ~options tg t)
+      in
+      let full, full_s = run Driver.Mm_route 1 in
+      let coarse, coarse_s = run Driver.Coarse 1 in
+      let coarse4, _ = run Driver.Coarse 4 in
+      match (full, coarse, coarse4) with
+      | Error e, _, _ | _, Error e, _ | _, _, Error e ->
+        failwith (Printf.sprintf "E23: %s n=%d on %s: %s" fam n topo_s e)
+      | Ok fm, Ok cm, Ok cm4 ->
+        (* byte-identical across pool widths: same placement, same
+           routes, message for message *)
+        if cm.Mapping.routings <> cm4.Mapping.routings
+           || Mapping.assignment cm <> Mapping.assignment cm4
+        then
+          failwith
+            (Printf.sprintf "E23: %s n=%d coarse jobs=1 and jobs=4 differ" fam n);
+        let fs = Metrics.summary fm and cs = Metrics.summary cm in
+        let speedup = full_s /. coarse_s in
+        let ratio =
+          float_of_int cs.Metrics.max_link_contention
+          /. float_of_int (max 1 fs.Metrics.max_link_contention)
+        in
+        record ~experiment:"E23"
+          ~case:(Printf.sprintf "%s n=%d on %s via multilevel+mm-route" fam n topo_s)
+          ~completion:fs.Metrics.completion_time
+          ~extra:[ ("max-contention", float_of_int fs.Metrics.max_link_contention) ]
+          full_s;
+        record ~experiment:"E23"
+          ~case:(Printf.sprintf "%s n=%d on %s via multilevel+coarse" fam n topo_s)
+          ~completion:cs.Metrics.completion_time ~speedup
+          ~extra:
+            [
+              ("max-contention", float_of_int cs.Metrics.max_link_contention);
+              ("contention-ratio", ratio);
+              ("jobs-identical", 1.0);
+            ]
+          coarse_s;
+        List.iter
+          (fun (router, s, seconds, sp) ->
+            rows :=
+              [
+                fam; string_of_int n; topo_s; router;
+                string_of_int s.Metrics.completion_time;
+                string_of_int s.Metrics.max_link_contention;
+                Tab.fixed 3 seconds; sp;
+              ]
+              :: !rows)
+          [
+            ("mm-route", fs, full_s, "-");
+            ("coarse", cs, coarse_s, Printf.sprintf "%.1fx" speedup);
+          ])
+    cases;
+  Tab.print
+    ~header:
+      [ "family"; "tasks"; "topology"; "routing"; "completion";
+        "max contention"; "seconds"; "speedup" ]
+    (List.rev !rows);
+  (* contention guard on the small E4/E15 suite: aggregating messages
+     into per-pair demands must not concentrate a phase's traffic —
+     coarse max link contention stays within 1.5x of full MM-Route on
+     every workload x topology case *)
+  let topologies = [ "hypercube:3"; "mesh:4x4"; "torus:4x4"; "ring:8" ] in
+  let worst = ref 0.0 and worst_case = ref "-" and checked = ref 0 in
+  List.iter
+    (fun spec ->
+      let compiled = Workloads.compile_exn spec in
+      List.iter
+        (fun topo_s ->
+          let t = topo topo_s in
+          let run routing =
+            Driver.map_compiled
+              ~options:{ Driver.default_options with Driver.routing }
+              compiled t
+          in
+          match (run Driver.Mm_route, run Driver.Coarse) with
+          | Error _, _ | _, Error _ -> ()
+          | Ok fm, Ok cm ->
+            incr checked;
+            let fc = (Metrics.summary fm).Metrics.max_link_contention in
+            let cc = (Metrics.summary cm).Metrics.max_link_contention in
+            let ratio = float_of_int cc /. float_of_int (max 1 fc) in
+            if ratio > !worst then begin
+              worst := ratio;
+              worst_case :=
+                Printf.sprintf "%s on %s (%d vs %d)" spec.Workloads.w_name
+                  topo_s cc fc
+            end)
+        topologies)
+    (Workloads.all ());
+  Printf.printf
+    "\ncontention guard: %d E4/E15-style cases, worst coarse/full ratio %.2fx (%s)\n"
+    !checked !worst !worst_case;
+  record ~experiment:"E23" ~case:"contention guard worst ratio (E4/E15 suite)"
+    ~extra:[ ("worst-ratio", !worst); ("cases", float_of_int !checked) ]
+    0.0;
+  if !worst > 1.5 then
+    failwith
+      (Printf.sprintf "E23: coarse contention %.2fx full MM-Route on %s"
+         !worst !worst_case)
+
+(* ================================================================== *)
+
 let smoke () =
   print_endline "OREGAMI bench --smoke";
   (* CSR fast path agrees with the reference traversal *)
@@ -2011,6 +2141,49 @@ let smoke () =
        "multilevel smoke: grid(10000) on torus:64x64 -> %d clusters, %d levels, completion %d\n"
        (Array.length m.Mapping.proc_of_cluster) levels
        (Metrics.summary m).Metrics.completion_time);
+  (* coarse routing: valid mapping, per-message endpoints agree with
+     full MM-Route, byte-identical across pool widths *)
+  (let tg = Synth.generate Synth.Rmat ~n:3_000 ~seed:1 in
+   let t = topo "torus:8x8" in
+   let run routing jobs =
+     let options =
+       { Driver.default_options with
+         Driver.only = [ "multilevel" ];
+         Driver.routing;
+         Driver.jobs = jobs;
+       }
+     in
+     match Driver.map_taskgraph ~options tg t with
+     | Ok m -> m
+     | Error e -> failwith ("smoke: coarse routing run failed: " ^ e)
+   in
+   let full = run Driver.Mm_route 1 in
+   let coarse = run Driver.Coarse 1 in
+   let coarse4 = run Driver.Coarse 4 in
+   (match Mapping.validate coarse with
+   | Ok () -> ()
+   | Error e -> failwith ("smoke: coarse mapping invalid: " ^ e));
+   if coarse.Mapping.routings <> coarse4.Mapping.routings then
+     failwith "smoke: coarse routing differs between jobs=1 and jobs=4";
+   (* same placement, so every message must connect the same processor
+      pair under both routers *)
+   let endpoints m =
+     List.concat_map
+       (fun pr ->
+         List.map
+           (fun re ->
+             ( pr.Mapping.pr_phase, re.Mapping.re_src, re.Mapping.re_dst,
+               re.Mapping.re_route.Routes.nodes <> [] ))
+           pr.Mapping.pr_edges)
+       m.Mapping.routings
+   in
+   if endpoints full <> endpoints coarse then
+     failwith "smoke: coarse routing disagrees with MM-Route on message endpoints";
+   Printf.printf
+     "coarse smoke: rmat(3000) on torus:8x8 -> %d routed edges, jobs=1/4 identical\n"
+     (List.fold_left
+        (fun acc pr -> acc + List.length pr.Mapping.pr_edges)
+        0 coarse.Mapping.routings));
   print_endline "smoke ok"
 
 let experiments ~large =
@@ -2036,6 +2209,7 @@ let experiments ~large =
     ("E20", e20_constraints);
     ("E21", e21_daemon_load);
     ("E22", e22_cluster_lifecycle);
+    ("E23", e23_coarse_routing);
     ("ablation-refinement", ablation_refinement);
     ("ablation-routing", ablation_routing);
     ("ablation-route-cap", ablation_route_cap);
@@ -2054,7 +2228,7 @@ let usage () =
   prerr_endline
     "usage: main.exe [--smoke] [--json FILE] [--only ID]... [--large]";
   prerr_endline
-    "  --only ID   run one experiment (repeatable; E1..E22, ablation-*, extension-*)";
+    "  --only ID   run one experiment (repeatable; E1..E23, ablation-*, extension-*)";
   prerr_endline "  --large     include the n=10^6 instances in E19";
   prerr_endline "  --json FILE merge machine-readable records into FILE";
   exit 2

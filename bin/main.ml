@@ -52,8 +52,21 @@ let topo_arg =
 let target_topology topo = or_die (Topology.of_string topo)
 
 let routing_arg =
-  let doc = "Routing algorithm: $(b,mm) (MM-Route) or $(b,oblivious)." in
-  Arg.(value & opt string "mm" & info [ "routing" ] ~docv:"ALG" ~doc)
+  let doc =
+    "Routing algorithm: $(b,mm-route) (per-message MM-Route), $(b,oblivious) \
+     (the topology's deterministic single-path scheme), $(b,coarse) \
+     (traffic-aggregated MM-Route for large graphs), or $(b,auto) (the \
+     default: mm-route up to the multilevel threshold, coarse above)."
+  in
+  Arg.(value & opt string "auto" & info [ "routing" ] ~docv:"ALG" ~doc)
+
+let route_jobs_arg =
+  let doc =
+    "Domains used to route independent communication phases concurrently \
+     under coarse routing (flat MM-Route ignores it).  Output is \
+     byte-identical across widths."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 (* fault injection *)
 let kill_procs_arg =
@@ -125,14 +138,20 @@ let compile ~input ~params =
   let source, bindings = load ~input ~params in
   or_die (Larcs.Compile.compile_source ~bindings source)
 
+let parse_routing = function
+  (* "mm" is the historical spelling; keep it as an alias *)
+  | "mm" | "mm-route" -> Ok Driver.Mm_route
+  | "oblivious" -> Ok Driver.Oblivious
+  | "coarse" -> Ok Driver.Coarse
+  | "auto" -> Ok Driver.Auto
+  | other ->
+    Error
+      (Printf.sprintf "unknown routing %S (valid: mm-route, oblivious, coarse, auto)"
+         other)
+
 let options_of ~routing ~only ~exclude =
-  let base =
-    match routing with
-    | "mm" -> Driver.default_options
-    | "oblivious" -> { Driver.default_options with Driver.routing = Driver.Oblivious }
-    | other -> or_die (Error (Printf.sprintf "unknown routing %S" other))
-  in
-  { base with Driver.only; Driver.exclude }
+  let routing = or_die (parse_routing routing) in
+  { Driver.default_options with Driver.routing; Driver.only; Driver.exclude }
 
 let mapping_of ~input ~params ~topo ~routing =
   let compiled = compile ~input ~params in
@@ -237,15 +256,17 @@ let analyze_cmd =
     Term.(const run $ input_arg $ params_arg)
 
 let map_cmd =
-  let run input params topo routing only exclude explain kill_procs kill_links
-      fault_seed fuel deadline_ms fallback pins forbids requires skip_classes
-      multilevel_threshold =
+  let run input params topo routing jobs only exclude explain kill_procs
+      kill_links fault_seed fuel deadline_ms fallback pins forbids requires
+      skip_classes multilevel_threshold =
+    if jobs < 1 then die ~code:2 "--jobs must be at least 1";
     let topology = target_topology topo in
     let faults = fault_set ~kill_procs ~kill_links ~fault_seed topology in
     let topology, faults = degraded_target topology faults in
     let constraints = constraints_of ~pins ~forbids ~requires ~skip_classes in
     let options =
       { (options_of ~routing ~only ~exclude) with
+        Driver.jobs;
         Driver.fuel;
         Driver.deadline_ms;
         (* any budget implies the anytime contract: always answer *)
@@ -326,10 +347,11 @@ let map_cmd =
                    s-expression dump.")
   in
   Cmd.v (Cmd.info "map" ~doc:"Map a program onto a topology and report METRICS")
-    Term.(const run $ input_arg $ params_arg $ topo_arg $ routing_arg $ only_arg
-          $ exclude_arg $ explain_arg $ kill_procs_arg $ kill_links_arg
-          $ fault_seed_arg $ fuel_arg $ deadline_arg $ fallback_arg $ pin_arg
-          $ forbid_arg $ require_arg $ skip_class_arg $ multilevel_threshold_arg)
+    Term.(const run $ input_arg $ params_arg $ topo_arg $ routing_arg
+          $ route_jobs_arg $ only_arg $ exclude_arg $ explain_arg
+          $ kill_procs_arg $ kill_links_arg $ fault_seed_arg $ fuel_arg
+          $ deadline_arg $ fallback_arg $ pin_arg $ forbid_arg $ require_arg
+          $ skip_class_arg $ multilevel_threshold_arg)
 
 let render_cmd =
   let run input params topo routing svg_path =

@@ -5,12 +5,13 @@ module Stats = Oregami_mapper.Stats
 module Mapping = Oregami_mapper.Mapping
 module Metrics = Oregami_metrics.Metrics
 
-type routing = Ctx.routing = Mm_route | Oblivious
+type routing = Ctx.routing = Mm_route | Oblivious | Coarse | Auto
 
 type options = Ctx.options = {
   b : int option;
   routing : routing;
   route_cap : int;
+  jobs : int;
   allow_canned : bool;
   allow_group : bool;
   allow_systolic : bool;

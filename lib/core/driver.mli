@@ -18,12 +18,19 @@
     Embedding uses the canned placement or NN-Embed, and routing uses
     MM-Route (or the oblivious deterministic router on request). *)
 
-type routing = Oregami_mapper.Ctx.routing = Mm_route | Oblivious
+type routing = Oregami_mapper.Ctx.routing =
+  | Mm_route
+  | Oblivious
+  | Coarse  (** traffic-aggregated MM-Route for the large tier *)
+  | Auto  (** [Mm_route] below [multilevel_threshold] tasks, [Coarse] above *)
 
 type options = Oregami_mapper.Ctx.options = {
   b : int option;  (** load-balance bound B for MWM-Contract *)
   routing : routing;
   route_cap : int;  (** candidate shortest routes per pair *)
+  jobs : int;
+      (** domains for routing independent phases under [Coarse];
+          output is byte-identical across widths *)
   allow_canned : bool;
   allow_group : bool;
   allow_systolic : bool;

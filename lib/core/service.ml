@@ -141,14 +141,25 @@ let parse_request ~id line =
               Ok (with_options req (fun o -> { o with Ctx.seed = n }))
             | "routing" -> begin
               match v with
-              | "mm" ->
+              (* "mm" is the historical spelling; keep it as an alias *)
+              | "mm" | "mm-route" ->
                 Ok
                   (with_options req (fun o -> { o with Ctx.routing = Ctx.Mm_route }))
               | "oblivious" ->
                 Ok
                   (with_options req (fun o ->
                        { o with Ctx.routing = Ctx.Oblivious }))
-              | other -> Error (Printf.sprintf "unknown routing %S" other)
+              | "coarse" ->
+                Ok
+                  (with_options req (fun o -> { o with Ctx.routing = Ctx.Coarse }))
+              | "auto" ->
+                Ok (with_options req (fun o -> { o with Ctx.routing = Ctx.Auto }))
+              | other ->
+                Error
+                  (Printf.sprintf
+                     "unknown routing %S (valid: mm-route, oblivious, coarse, \
+                      auto)"
+                     other)
             end
             | "only" ->
               Ok (with_options req (fun o -> { o with Ctx.only = names () }))

@@ -14,7 +14,8 @@
     later value would otherwise win silently).  Recognised option
     keys: [fuel=N] and [deadline-ms=X]
     (per-attempt budget), [retries=N] (extra reduced-scope attempts,
-    default 2), [seed=N], [routing=mm|oblivious], [only=a,b] /
+    default 2), [seed=N], [routing=mm-route|oblivious|coarse|auto]
+    ([mm] is accepted as an alias for [mm-route]), [only=a,b] /
     [exclude=a,b] (strategy selection),
     [multilevel-threshold=N] (flat-vs-multilevel gate), and the
     placement constraints [pin=T:P,...], [forbid=T:P,...],

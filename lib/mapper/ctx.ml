@@ -16,12 +16,13 @@ module Distcache = Oregami_topology.Distcache
 module Faults = Oregami_topology.Faults
 module Rng = Oregami_prelude.Rng
 
-type routing = Mm_route | Oblivious
+type routing = Mm_route | Oblivious | Coarse | Auto
 
 type options = {
   b : int option;
   routing : routing;
   route_cap : int;
+  jobs : int;
   allow_canned : bool;
   allow_group : bool;
   allow_systolic : bool;
@@ -39,8 +40,9 @@ type options = {
 let default_options =
   {
     b = None;
-    routing = Mm_route;
+    routing = Auto;
     route_cap = 64;
+    jobs = 1;
     allow_canned = true;
     allow_group = true;
     allow_systolic = true;
@@ -149,3 +151,15 @@ let mesh_dims ctx =
 let procs ctx = Array.length ctx.placeable
 
 let constrained ctx = Constraints.active ctx.constraints
+
+(* [Auto] follows the same gate as the multilevel tier: the flat-tier
+   sizes keep exact per-message MM-Route, the large tier (where the
+   multilevel strategy takes over and routing dominates wall-clock)
+   switches to the traffic-aggregated coarse router.  An explicit
+   routing choice is always respected. *)
+let resolve_routing ctx =
+  match ctx.options.routing with
+  | Auto ->
+    if ctx.tg.Taskgraph.n > ctx.options.multilevel_threshold then Coarse
+    else Mm_route
+  | r -> r

@@ -10,12 +10,25 @@
     deterministic RNG for randomized strategies, the option record,
     and the {!Stats} sink every pass reports into. *)
 
-type routing = Mm_route | Oblivious
+type routing =
+  | Mm_route  (** per-message maximal-matching routing (paper §4.4) *)
+  | Oblivious  (** the topology's deterministic single-path scheme *)
+  | Coarse
+      (** traffic-aggregated MM-Route: messages sharing a processor
+          pair are routed once, on aggregated demands (large tier) *)
+  | Auto
+      (** {!Mm_route} up to [multilevel_threshold] tasks, {!Coarse}
+          above — the same gate the multilevel tier switches on *)
 
 type options = {
   b : int option;  (** load-balance bound B for MWM-Contract *)
   routing : routing;
   route_cap : int;  (** candidate shortest routes per pair *)
+  jobs : int;
+      (** domains used to route independent communication phases
+          concurrently under {!Coarse} routing; results are merged in
+          phase order so output is byte-identical to [jobs = 1].  The
+          flat passes ignore it. *)
   allow_canned : bool;
   allow_group : bool;
   allow_systolic : bool;
@@ -48,7 +61,8 @@ type options = {
 }
 
 val default_options : options
-(** Same defaults as the seed driver ([b = None], MM-Route, cap 64,
+(** Same defaults as the seed driver ([b = None], [Auto] routing —
+    which resolves to MM-Route at flat-tier sizes — cap 64, [jobs = 1],
     all dispatch paths allowed, refinement on), [seed = 2026], no
     selection restrictions. *)
 
@@ -128,3 +142,10 @@ val procs : t -> int
 
 val constrained : t -> bool
 (** [Constraints.active t.constraints]. *)
+
+val resolve_routing : t -> routing
+(** The routing pass to actually run: explicit choices pass through,
+    [Auto] resolves to {!Coarse} when the task count exceeds
+    [options.multilevel_threshold] (the multilevel tier's territory,
+    where per-message MM-Route dominates wall-clock) and {!Mm_route}
+    otherwise.  Never returns [Auto]. *)

@@ -16,6 +16,9 @@ let place ctx (cand : Strategy.candidate) =
   | Strategy.Placed proc_of_cluster ->
     (* strategies that place directly answer for feasibility
        themselves; the DRC in [finish] catches any violation *)
+    (* record the pass anyway so --explain shows all four pass
+       timings; adopting a direct placement costs nothing *)
+    Stats.add_phase_seconds ctx.Ctx.stats "place" 0.0;
     Ok proc_of_cluster
   | Strategy.Embed ->
     let t0 = now () in
@@ -78,7 +81,7 @@ let finish ctx (cand : Strategy.candidate) proc_of_cluster =
   let proc_of_task = Array.init n (fun t -> proc_of_cluster.(cluster_of.(t))) in
   let t0 = now () in
   let routings =
-    match ctx.Ctx.options.Ctx.routing with
+    match Ctx.resolve_routing ctx with
     | Ctx.Mm_route ->
       let routings, rstats =
         Route.mm_route ~budget:ctx.Ctx.budget ~cap:ctx.Ctx.options.Ctx.route_cap tg
@@ -87,7 +90,21 @@ let finish ctx (cand : Strategy.candidate) proc_of_cluster =
       Stats.add_matching_rounds ctx.Ctx.stats
         (List.fold_left (fun acc (_, rounds) -> acc + rounds) 0 rstats.Route.phases);
       routings
+    | Ctx.Coarse ->
+      let routings, cstats =
+        Route.coarse_route ~budget:ctx.Ctx.budget
+          ~cap:ctx.Ctx.options.Ctx.route_cap ~jobs:ctx.Ctx.options.Ctx.jobs tg
+          ctx.Ctx.topo ~proc_of_task
+      in
+      Stats.add_matching_rounds ctx.Ctx.stats
+        (List.fold_left
+           (fun acc (_, rounds) -> acc + rounds)
+           0 cstats.Route.co_phases);
+      Stats.bump ctx.Ctx.stats "coarse route pairs" cstats.Route.co_pairs;
+      Stats.bump ctx.Ctx.stats "coarse route messages" cstats.Route.co_messages;
+      routings
     | Ctx.Oblivious -> Route.deterministic_route tg ctx.Ctx.topo ~proc_of_task
+    | Ctx.Auto -> assert false (* resolve_routing never returns Auto *)
   in
   Stats.add_phase_seconds ctx.Ctx.stats "route" (now () -. t0);
   let m =
@@ -103,7 +120,10 @@ let finish ctx (cand : Strategy.candidate) proc_of_cluster =
   let constraints =
     if Ctx.constrained ctx then Some ctx.Ctx.constraints else None
   in
-  match Mapping.validate ?constraints m with
+  let tv = now () in
+  let validated = Mapping.validate ?constraints m in
+  Stats.add_phase_seconds ctx.Ctx.stats "validate" (now () -. tv);
+  match validated with
   | Ok () -> Ok m
   | Error e -> Error ("mapping failed validation: " ^ e)
 

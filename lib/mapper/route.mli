@@ -34,6 +34,48 @@ val mm_route :
     per pair — recorded as an ["mm-route"] truncation.  Reachable
     pairs always end up fully routed. *)
 
+type coarse_stats = {
+  co_phases : (string * int) list;
+      (** local re-route sweeps used per phase *)
+  co_pairs : int;
+      (** unique cross-processor demand pairs, summed over phases *)
+  co_messages : int;
+      (** messages fanned back out, summed over phases *)
+}
+
+val coarse_route :
+  ?budget:Budget.t ->
+  ?cap:int ->
+  ?jobs:int ->
+  Oregami_taskgraph.Taskgraph.t ->
+  Oregami_topology.Topology.t ->
+  proc_of_task:int array ->
+  Mapping.phase_routing list * coarse_stats
+(** Traffic-aggregated MM-Route for the large tier.  Per phase, the
+    cross-processor messages are aggregated into unique
+    [(src_proc, dst_proc)] demands weighted by message multiplicity
+    (the quantity per-phase link contention counts); each demand picks
+    one route from a traffic-weighted sample of its candidate shortest
+    routes (hot pairs keep up to [cap] candidates, light pairs a
+    stride sample, never fewer than a small floor), scored by
+    congestion delta against an incremental per-link load array; a few
+    local re-route sweeps then un-commit and re-pick each pair until a
+    sweep changes nothing.  The chosen route fans back out to every
+    original message, so per-pair endpoints agree exactly with
+    {!mm_route} and co-located / unreachable messages follow the same
+    contract.
+
+    [jobs > 1] routes independent phases concurrently on a domain pool
+    with ordered merge — output is byte-identical to [jobs = 1].  The
+    parallel path is skipped when [budget] is limited (the meter is
+    not domain-safe); when it runs, per-phase fuel is folded back in
+    phase order so [Budget.fuel_used] matches a sequential run.
+
+    When [budget] trips mid-phase the remaining pairs commit their
+    first candidate (complete routes, no contention spreading) and
+    later phases enumerate a single route per pair — recorded as a
+    ["coarse-route"] truncation. *)
+
 val deterministic_route :
   Oregami_taskgraph.Taskgraph.t ->
   Oregami_topology.Topology.t ->

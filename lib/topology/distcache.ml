@@ -147,3 +147,9 @@ let routes ?(cap = 64) topo u v =
           Hashtbl.replace c.st.route_memo key (cap, rs);
           rs)
   end
+
+let routes_sampled ?(cap = 64) ~want topo u v =
+  (* the full (capped) enumeration lands in the memo exactly as a
+     plain [routes] query would, so mixed full/sampled callers share
+     one cache entry per pair; only the stride sample is per-call *)
+  Routes.sample_evenly ~want (routes ~cap topo u v)

@@ -56,6 +56,15 @@ val routes : ?cap:int -> Topology.t -> int -> int -> Routes.route list
     with a smaller cap than a stored entry reuses its prefix; a larger
     cap recomputes only if the stored list had been truncated. *)
 
+val routes_sampled :
+  ?cap:int -> want:int -> Topology.t -> int -> int -> Routes.route list
+(** [routes_sampled ?cap ~want topo u v] enumerates (and memoises)
+    routes exactly like {!routes}, then trims the list to at most
+    [want] candidates with {!Routes.sample_evenly}.  The coarse router
+    sizes [want] by a pair's aggregated traffic so hot pairs keep the
+    full candidate spread while the long tail of light pairs is scored
+    against a handful of representatives. *)
+
 val hop_builds : Topology.t -> int
 (** How many times this topology's hop matrix has been computed —
     0 before first use, and 1 forever after unless the cache is

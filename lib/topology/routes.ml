@@ -97,3 +97,17 @@ let deterministic topo u v =
     | Topology.Shuffle_exchange _ -> first_shortest topo u v
 
 let hops r = List.length r.links
+
+(* Deterministic stride sampling: keep [want] routes spread evenly
+   across the (lexicographically ordered) candidate list instead of
+   its prefix, so a trimmed candidate set still covers the whole
+   shortest-route DAG.  Index 0 is always kept, which preserves the
+   "first candidate" every budget-exhaustion commit path relies on. *)
+let sample_evenly ~want rs =
+  let n = List.length rs in
+  if want <= 0 then []
+  else if want >= n then rs
+  else begin
+    let arr = Array.of_list rs in
+    List.init want (fun i -> arr.(i * n / want))
+  end

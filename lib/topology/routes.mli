@@ -46,3 +46,12 @@ val deterministic : Topology.t -> int -> int -> route
     unreachable. *)
 
 val hops : route -> int
+
+val sample_evenly : want:int -> route list -> route list
+(** [sample_evenly ~want rs] keeps at most [want] routes, spread
+    evenly over the list by deterministic stride sampling (the first
+    route is always kept; relative order is preserved).  [want <= 0]
+    yields the empty list, [want >= length rs] yields [rs] unchanged.
+    The coarse router uses this to trim a heavy pair's candidate set
+    without collapsing it onto a lexicographic prefix that would share
+    every early link. *)

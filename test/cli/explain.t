@@ -52,6 +52,7 @@ columns vary between runs, so every decimal is filtered.
   produce    *
   embed      *
   route      *
+  validate   *
   degradation: full
   total pipeline time: * ms
   
@@ -63,7 +64,7 @@ columns vary between runs, so every decimal is filtered.
    (candidates
     ((strategy group) (mapping "group-theoretic") (score ()) (valid true) (winner true)))
    (counters (attempts 3) (produced 1) (rejected 2) (skipped 0) (crashed 0) (candidates 1) (valid-candidates 1) (matching-rounds 9) (refine-swaps 0) (distcache-hop-builds 1))
-   (phases (distcache *) (produce *) (embed *) (route *))
+   (phases (distcache *) (produce *) (embed *) (route *) (validate *))
    (winner ((strategy group) (mapping "group-theoretic")))
    (degradation full)
    (seconds *))

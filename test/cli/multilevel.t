@@ -40,8 +40,8 @@ already picks the multilevel tier:
   total IPC volume               1214
   dilation (max)                    5
   dilation (avg)                *
-  max link contention              33
-  completion time (model)         106
+  max link contention              29
+  completion time (model)         102
   
   strategy attempts:
   strategy       outcome      ms  detail
@@ -50,7 +50,7 @@ already picks the multilevel tier:
   candidates (score = METRICS completion-time model):
   strategy       mapping  score  valid
   ----------  ----------  -----  -----  ----------
-  multilevel  multilevel    106    yes  <-- winner
+  multilevel  multilevel    102    yes  <-- winner
   pipeline counters:
   counter                    value
   -------------------------  -----
@@ -61,7 +61,7 @@ already picks the multilevel tier:
   crashed                        0
   candidates                     1
   valid candidates               1
-  matching rounds               76
+  matching rounds               10
   refine swaps                  10
   distcache hop builds           1
   multilevel levels              8
@@ -76,12 +76,16 @@ already picks the multilevel tier:
   multilevel coarsest nodes     64
   multilevel refine moves      676
   multilevel refine gain       294
+  coarse route pairs           213
+  coarse route messages       8064
   phase wall-clock:
   phase          ms
   ---------  ------
   distcache   *
   produce    *
+  place       *
   route       *
+  validate    *
   degradation: full
   total pipeline time: * ms
   
@@ -89,9 +93,9 @@ already picks the multilevel tier:
    (attempts
     ((strategy multilevel) (outcome (produced 1)) (seconds *)))
    (candidates
-    ((strategy multilevel) (mapping "multilevel") (score 106) (valid true) (winner true)))
-   (counters (attempts 1) (produced 1) (rejected 0) (skipped 0) (crashed 0) (candidates 1) (valid-candidates 1) (matching-rounds 76) (refine-swaps 10) (distcache-hop-builds 1) (multilevel-levels 8) (multilevel-level-0-nodes 4096) (multilevel-level-1-nodes 2238) (multilevel-level-2-nodes 1214) (multilevel-level-3-nodes 665) (multilevel-level-4-nodes 361) (multilevel-level-5-nodes 194) (multilevel-level-6-nodes 99) (multilevel-level-7-nodes 64) (multilevel-coarsest-nodes 64) (multilevel-refine-moves 676) (multilevel-refine-gain 294))
-   (phases (distcache *) (produce *) (route *))
+    ((strategy multilevel) (mapping "multilevel") (score 102) (valid true) (winner true)))
+   (counters (attempts 1) (produced 1) (rejected 0) (skipped 0) (crashed 0) (candidates 1) (valid-candidates 1) (matching-rounds 10) (refine-swaps 10) (distcache-hop-builds 1) (multilevel-levels 8) (multilevel-level-0-nodes 4096) (multilevel-level-1-nodes 2238) (multilevel-level-2-nodes 1214) (multilevel-level-3-nodes 665) (multilevel-level-4-nodes 361) (multilevel-level-5-nodes 194) (multilevel-level-6-nodes 99) (multilevel-level-7-nodes 64) (multilevel-coarsest-nodes 64) (multilevel-refine-moves 676) (multilevel-refine-gain 294) (coarse-route-pairs 213) (coarse-route-messages 8064))
+   (phases (distcache *) (produce *) (place *) (route *) (validate *))
    (winner ((strategy multilevel) (mapping "multilevel")))
    (degradation full)
    (seconds *))

@@ -1,0 +1,219 @@
+(* The routing tier: full MM-Route vs the traffic-aggregated coarse
+   router.
+
+   Coarse routing answers for the same contract as MM-Route — every
+   cross-processor message carries a complete shortest route between
+   its endpoints' processors, over alive links only, deterministically —
+   it just computes one route per (src_proc, dst_proc) demand instead
+   of one per message.  These tests pin that contract down, plus the
+   jobs-width determinism of the parallel phase fan-out and the
+   stride-sampling helper the candidate cap rides on. *)
+
+open Oregami
+module Route = Mapper.Route
+module Budget = Mapper.Budget
+module Routes = Oregami_topology.Routes
+module Distcache = Oregami_topology.Distcache
+
+let topo s = Topology.make (Result.get_ok (Topology.parse s))
+
+(* deterministic placement for a bare task graph: balanced blocks over
+   the given processors *)
+let block_placement tg procs =
+  let n = tg.Taskgraph.n in
+  let nprocs = Array.length procs in
+  Array.init n (fun t -> procs.(t * nprocs / n))
+
+let alive_array t = Array.of_list (Topology.alive_procs t)
+
+let instances =
+  [
+    (Synth.Rmat, 600, 2, "torus:8x8"); (Synth.Grid, 900, 1, "mesh:6x6");
+    (Synth.Tree, 500, 1, "hypercube:4");
+  ]
+
+(* --- sample_evenly ------------------------------------------------- *)
+
+let test_sample_evenly () =
+  let mk n = List.init n (fun i -> { Routes.nodes = [ i ]; links = [] }) in
+  Alcotest.(check int) "want 0 is empty" 0
+    (List.length (Routes.sample_evenly ~want:0 (mk 5)));
+  Alcotest.(check bool) "want >= n is identity" true
+    (Routes.sample_evenly ~want:9 (mk 5) = mk 5);
+  for n = 1 to 30 do
+    for want = 1 to n do
+      let sampled = Routes.sample_evenly ~want (mk n) in
+      Alcotest.(check int)
+        (Printf.sprintf "n=%d want=%d keeps exactly want" n want)
+        want (List.length sampled);
+      (match sampled with
+      | { Routes.nodes = [ 0 ]; _ } :: _ -> ()
+      | _ -> Alcotest.failf "n=%d want=%d dropped the first route" n want);
+      (* a subsequence: indices strictly increase *)
+      let ids = List.map (fun r -> List.hd r.Routes.nodes) sampled in
+      ignore
+        (List.fold_left
+           (fun prev i ->
+             if i <= prev then
+               Alcotest.failf "n=%d want=%d not strictly increasing" n want;
+             i)
+           (-1) ids)
+    done
+  done
+
+(* --- full routes over alive links ---------------------------------- *)
+
+let check_routes_complete t proc_of_task routings tg =
+  List.iter2
+    (fun (cp : Taskgraph.comm_phase) pr ->
+      Alcotest.(check string) "phase name" cp.Taskgraph.cp_name pr.Mapping.pr_phase;
+      List.iter
+        (fun re ->
+          let pu = proc_of_task.(re.Mapping.re_src)
+          and pv = proc_of_task.(re.Mapping.re_dst) in
+          let r = re.Mapping.re_route in
+          if pu = pv then
+            Alcotest.(check bool) "co-located message has no links" true
+              (r.Routes.links = [])
+          else begin
+            (match r.Routes.nodes with
+            | first :: _ ->
+              Alcotest.(check int) "route starts at the sender's proc" pu first
+            | [] -> Alcotest.failf "message %d->%d left unrouted" re.Mapping.re_src re.Mapping.re_dst);
+            Alcotest.(check int) "route ends at the receiver's proc" pv
+              (List.nth r.Routes.nodes (List.length r.Routes.nodes - 1));
+            Alcotest.(check int) "route is a shortest route"
+              (Distcache.hop (Distcache.hops t) pu pv)
+              (List.length r.Routes.links);
+            (* the link ids must be exactly the path's links on this
+               (possibly degraded) topology: a degraded view carries
+               only surviving links, so matching here proves the route
+               crosses alive links only *)
+            Alcotest.(check (list int)) "links match the node path on alive links"
+              (Topology.links_of_path t r.Routes.nodes)
+              r.Routes.links
+          end)
+        pr.Mapping.pr_edges)
+    tg.Taskgraph.comm_phases routings
+
+let test_coarse_routes_complete () =
+  List.iter
+    (fun (family, n, seed, topo_s) ->
+      let tg = Synth.generate family ~n ~seed in
+      let t = topo topo_s in
+      let proc_of_task = block_placement tg (alive_array t) in
+      let routings, _ = Route.coarse_route tg t ~proc_of_task in
+      check_routes_complete t proc_of_task routings tg)
+    instances
+
+let test_coarse_routes_complete_degraded () =
+  (* kill processors and links; the surviving torus stays connected and
+     every routed message must avoid the dead links *)
+  let base = topo "torus:8x8" in
+  let faults = Result.get_ok (Faults.make ~procs:[ 9; 27 ] ~links:[ 3; 40 ] base) in
+  let view = Result.get_ok (Faults.degrade base faults) in
+  let t = view.Faults.topo in
+  let tg = Synth.generate Synth.Rmat ~n:700 ~seed:5 in
+  let proc_of_task = block_placement tg (alive_array t) in
+  let routings, _ = Route.coarse_route tg t ~proc_of_task in
+  check_routes_complete t proc_of_task routings tg
+
+(* --- agreement with full MM-Route ---------------------------------- *)
+
+let test_endpoints_agree_with_mm_route () =
+  List.iter
+    (fun (family, n, seed, topo_s) ->
+      let tg = Synth.generate family ~n ~seed in
+      let t = topo topo_s in
+      let proc_of_task = block_placement tg (alive_array t) in
+      let coarse, _ = Route.coarse_route tg t ~proc_of_task in
+      let full, _ = Route.mm_route tg t ~proc_of_task in
+      let skeleton routings =
+        List.map
+          (fun pr ->
+            ( pr.Mapping.pr_phase,
+              List.map
+                (fun re ->
+                  let ends = function
+                    | [] -> None
+                    | first :: _ as nodes ->
+                      Some (first, List.nth nodes (List.length nodes - 1))
+                  in
+                  ( re.Mapping.re_src, re.Mapping.re_dst, re.Mapping.re_volume,
+                    ends re.Mapping.re_route.Routes.nodes,
+                    List.length re.Mapping.re_route.Routes.links ))
+                pr.Mapping.pr_edges ))
+          routings
+      in
+      (* same messages in the same order, same route endpoints, same
+         (shortest) hop counts — only the link choices may differ *)
+      Alcotest.(check bool) "per-pair route endpoints agree" true
+        (skeleton coarse = skeleton full))
+    instances
+
+(* --- determinism across jobs widths -------------------------------- *)
+
+let test_deterministic_across_jobs () =
+  (* a multi-phase workload so the parallel fan-out actually engages *)
+  let compiled = Workloads.compile_exn (Workloads.nbody ~n:24 ~s:3) in
+  let tg = compiled.Larcs.Compile.graph in
+  let t = topo "hypercube:4" in
+  let proc_of_task = block_placement tg (alive_array t) in
+  let r1, s1 = Route.coarse_route ~jobs:1 tg t ~proc_of_task in
+  let r4, s4 = Route.coarse_route ~jobs:4 tg t ~proc_of_task in
+  let r7, _ = Route.coarse_route ~jobs:7 tg t ~proc_of_task in
+  Alcotest.(check bool) "jobs=4 routes identical to jobs=1" true (r1 = r4);
+  Alcotest.(check bool) "jobs=7 routes identical to jobs=1" true (r1 = r7);
+  Alcotest.(check bool) "stats identical too" true (s1 = s4);
+  Alcotest.(check bool) "several phases routed" true
+    (List.length s1.Route.co_phases > 1)
+
+let test_repeated_runs_identical () =
+  let tg = Synth.generate Synth.Rmat ~n:400 ~seed:9 in
+  let t = topo "torus:4x8" in
+  let proc_of_task = block_placement tg (alive_array t) in
+  let a, _ = Route.coarse_route tg t ~proc_of_task in
+  let b, _ = Route.coarse_route tg t ~proc_of_task in
+  Alcotest.(check bool) "same inputs, same routes" true (a = b)
+
+(* --- budget -------------------------------------------------------- *)
+
+let test_budget_still_routes_fully () =
+  let tg = Synth.generate Synth.Rmat ~n:500 ~seed:3 in
+  let t = topo "torus:8x8" in
+  let proc_of_task = block_placement tg (alive_array t) in
+  let budget = Budget.create ~fuel:50 () in
+  let routings, _ = Route.coarse_route ~budget tg t ~proc_of_task in
+  (* the meter tripped, was recorded by name, and yet every reachable
+     message still carries a complete route *)
+  Alcotest.(check bool) "tiny fuel budget tripped" true (Budget.exhausted budget);
+  Alcotest.(check bool) "truncation recorded by name" true
+    (List.mem "coarse-route" (Budget.truncations budget));
+  check_routes_complete t proc_of_task routings tg
+
+let () =
+  Alcotest.run "route"
+    [
+      ( "sampling",
+        [ Alcotest.test_case "sample_evenly" `Quick test_sample_evenly ] );
+      ( "coarse",
+        [
+          Alcotest.test_case "routes complete" `Quick test_coarse_routes_complete;
+          Alcotest.test_case "routes complete on degraded machine" `Quick
+            test_coarse_routes_complete_degraded;
+          Alcotest.test_case "endpoints agree with mm-route" `Quick
+            test_endpoints_agree_with_mm_route;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "identical across jobs widths" `Quick
+            test_deterministic_across_jobs;
+          Alcotest.test_case "identical across runs" `Quick
+            test_repeated_runs_identical;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "tripped budget still routes fully" `Quick
+            test_budget_still_routes_fully;
+        ] );
+    ]
